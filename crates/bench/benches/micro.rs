@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the µproxy fast path and its building
+//! blocks: the real per-packet costs behind Table 3.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slice_hashes::{incremental_update16, inet_checksum, md5, name_fingerprint};
+use slice_nfsproto::{decode_call, encode_call, AuthUnix, Fhandle, NfsRequest, Packet, SockAddr};
+use slice_sim::SimTime;
+use slice_uproxy::{ProxyConfig, Uproxy};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashes");
+    let fh = Fhandle::root();
+    g.bench_function("md5_64B", |b| {
+        let data = [0xa5u8; 64];
+        b.iter(|| md5(black_box(&data)))
+    });
+    g.bench_function("name_fingerprint", |b| {
+        b.iter(|| name_fingerprint(black_box(&fh.0), black_box(b"src/kern_exec.c")))
+    });
+    g.bench_function("inet_checksum_8KB", |b| {
+        let data = vec![0x3cu8; 8192];
+        b.iter(|| inet_checksum(black_box(&data)))
+    });
+    g.bench_function("incremental_checksum_update", |b| {
+        b.iter(|| incremental_update16(black_box(0x1234), black_box(0xaaaa), black_box(0xbbbb)))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nfs_codec");
+    let cred = AuthUnix::default();
+    let req = NfsRequest::Lookup {
+        dir: Fhandle::root(),
+        name: "kern_exec.c".into(),
+    };
+    let payload = encode_call(7, &cred, &req);
+    g.bench_function("encode_lookup_call", |b| {
+        b.iter(|| encode_call(black_box(7), black_box(&cred), black_box(&req)))
+    });
+    g.bench_function("decode_lookup_call", |b| {
+        b.iter(|| decode_call(black_box(&payload)).unwrap())
+    });
+    let write = NfsRequest::Write {
+        fh: Fhandle::root(),
+        offset: 1 << 20,
+        stable: slice_nfsproto::StableHow::Unstable,
+        data: vec![0u8; 32768],
+    };
+    let wpayload = encode_call(9, &cred, &write);
+    g.bench_function("decode_32K_write_call", |b| {
+        b.iter(|| decode_call(black_box(&wpayload)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_packet_rewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    let src = SockAddr::new(0x0a000001, 700);
+    let dst = SockAddr::new(0x0a00ffff, 2049);
+    g.bench_function("rewrite_dst_incremental", |b| {
+        let pkt = Packet::new(src, dst, vec![0x42u8; 8192]);
+        b.iter(|| {
+            let mut p = pkt.clone();
+            p.rewrite_dst(black_box(SockAddr::new(0x0a003000, 2049)));
+            p
+        })
+    });
+    g.bench_function("full_checksum_8KB_packet", |b| {
+        let pkt = Packet::new(src, dst, vec![0x42u8; 8192]);
+        b.iter(|| Packet::full_checksum(black_box(pkt.src), black_box(pkt.dst), &pkt.payload))
+    });
+    g.finish();
+}
+
+fn bench_uproxy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uproxy");
+    let cfg = ProxyConfig::test_default();
+    let cred = AuthUnix::default();
+    let lookup = NfsRequest::Lookup {
+        dir: Fhandle::root(),
+        name: "file.c".into(),
+    };
+    let read = NfsRequest::Read {
+        fh: Fhandle::new(42, 0, 0, 0, 0),
+        offset: 1 << 20,
+        count: 32768,
+    };
+    g.bench_function("route_lookup", |b| {
+        let mut proxy = Uproxy::new(cfg.clone());
+        let mut xid = 0u32;
+        b.iter(|| {
+            xid = xid.wrapping_add(1);
+            let pkt = Packet::new(
+                cfg.client_addr,
+                cfg.virtual_addr,
+                encode_call(xid, &cred, &lookup),
+            );
+            proxy.outbound(SimTime::ZERO, black_box(pkt))
+        })
+    });
+    g.bench_function("route_bulk_read", |b| {
+        let mut proxy = Uproxy::new(cfg.clone());
+        let mut xid = 0u32;
+        b.iter(|| {
+            xid = xid.wrapping_add(1);
+            let pkt = Packet::new(
+                cfg.client_addr,
+                cfg.virtual_addr,
+                encode_call(xid, &cred, &read),
+            );
+            proxy.outbound(SimTime::ZERO, black_box(pkt))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_codec,
+    bench_packet_rewrite,
+    bench_uproxy
+);
+criterion_main!(benches);

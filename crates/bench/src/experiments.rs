@@ -1,0 +1,356 @@
+//! Experiment runners: one function per paper table/figure, shared by the
+//! bench binaries and the calibration tests.
+
+use slice_core::{
+    BaselineEnsemble, BaselineKind, EnsemblePolicy, SliceConfig, SliceEnsemble, Workload,
+};
+use slice_nfsproto::{encode_call, encode_reply, AuthUnix, Packet};
+use slice_sim::{Series, SimDuration, SimTime};
+use slice_uproxy::{PhaseStats, ProxyConfig, Uproxy};
+use slice_workloads::{BulkIo, SpecSfs, SpecSfsConfig, Untar};
+
+fn deadline_secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+/// A benchmark-friendly Slice configuration: metadata-only stores, full
+/// CPU accounting.
+pub fn bench_config() -> SliceConfig {
+    SliceConfig {
+        retain_data: false,
+        charge_cpu: true,
+        storage_nodes: 8,
+        ..Default::default()
+    }
+}
+
+/// One Table 2 cell: bulk bandwidth in MB/s.
+#[derive(Debug, Clone, Copy)]
+pub struct BulkResult {
+    /// Delivered bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+}
+
+impl BulkResult {
+    /// MB/s (decimal, as the paper reports).
+    pub fn mbs(&self) -> f64 {
+        self.bandwidth_bps / 1e6
+    }
+}
+
+/// Runs the Table 2 bulk I/O experiment: `clients` writers (then readers)
+/// of `bytes_per_client`, mirrored or not. Returns (write, read) aggregate
+/// bandwidth.
+pub fn run_bulk(clients: usize, bytes_per_client: u64, mirrored: bool) -> (BulkResult, BulkResult) {
+    let cfg = SliceConfig {
+        clients,
+        ..bench_config()
+    };
+    let writers: Vec<Box<dyn slice_core::Workload>> = (0..clients)
+        .map(|i| {
+            Box::new(BulkIo::writer(
+                &format!("dd{i}"),
+                bytes_per_client,
+                mirrored,
+            )) as Box<dyn slice_core::Workload>
+        })
+        .collect();
+    let mut ens = SliceEnsemble::build(&cfg, writers);
+    ens.start();
+    ens.run_to_completion(deadline_secs(3600));
+    let mut write_secs: f64 = 0.0;
+    for i in 0..clients {
+        let w = ens
+            .client(i)
+            .workload()
+            .expect("workload")
+            .as_any()
+            .downcast_ref::<BulkIo>()
+            .expect("bulk");
+        assert!(w.finished(), "writer {i} incomplete");
+        write_secs = write_secs.max(bytes_per_client as f64 / w.bandwidth().expect("bw"));
+    }
+    let write_bw = clients as f64 * bytes_per_client as f64 / write_secs;
+    // Read phase on the same ensemble (server caches hold only the tail of
+    // each file, as after a real dd write pass).
+    for i in 0..clients {
+        ens.client_mut(i).set_workload(Box::new(BulkIo::reader(
+            &format!("dd{i}"),
+            bytes_per_client,
+        )));
+    }
+    for &c in &ens.clients.clone() {
+        ens.engine.kick(c);
+    }
+    ens.run_to_completion(deadline_secs(7200));
+    let mut read_secs: f64 = 0.0;
+    for i in 0..clients {
+        let r = ens
+            .client(i)
+            .workload()
+            .expect("workload")
+            .as_any()
+            .downcast_ref::<BulkIo>()
+            .expect("bulk");
+        assert!(r.finished(), "reader {i} incomplete");
+        read_secs = read_secs.max(bytes_per_client as f64 / r.bandwidth().expect("bw"));
+    }
+    let read_bw = clients as f64 * bytes_per_client as f64 / read_secs;
+    (
+        BulkResult {
+            bandwidth_bps: write_bw,
+        },
+        BulkResult {
+            bandwidth_bps: read_bw,
+        },
+    )
+}
+
+/// Table 3: replay an untar-shaped packet stream through a real µproxy and
+/// report measured CPU fractions at the paper's 6250 packets/second rate.
+pub fn run_uproxy_phases(pairs: usize) -> PhaseStats {
+    use slice_nfsproto::{NfsRequest, Sattr3, SetTime, SockAddr};
+    let cfg = ProxyConfig {
+        dir_sites: (0..4)
+            .map(|i| SockAddr::new(0x0a00_1000 + i, 2049))
+            .collect(),
+        storage_sites: (0..8)
+            .map(|i| SockAddr::new(0x0a00_3000 + i, 2049))
+            .collect(),
+        ..ProxyConfig::test_default()
+    };
+    let mut proxy = Uproxy::new(cfg.clone());
+    let cred = AuthUnix::default();
+    let root = slice_nfsproto::Fhandle::root();
+    let mut now = SimTime::ZERO;
+    let mut xid = 1u32;
+    // The untar seven-op sequence per created file.
+    for i in 0..pairs / 7 {
+        let name = format!("src{i}.c");
+        let file = slice_nfsproto::Fhandle::new(1000 + i as u64, 0, 0, 7 * i as u64, 0);
+        let reqs = [
+            NfsRequest::Lookup {
+                dir: root,
+                name: name.clone(),
+            },
+            NfsRequest::Access {
+                fh: root,
+                mask: 0x3f,
+            },
+            NfsRequest::Create {
+                dir: root,
+                name,
+                attr: Sattr3::default(),
+            },
+            NfsRequest::Getattr { fh: file },
+            NfsRequest::Lookup {
+                dir: root,
+                name: format!("src{i}.c"),
+            },
+            NfsRequest::Setattr {
+                fh: file,
+                attr: Sattr3 {
+                    mtime: SetTime::ServerTime,
+                    ..Default::default()
+                },
+            },
+            NfsRequest::Setattr {
+                fh: file,
+                attr: Sattr3 {
+                    mode: Some(0o644),
+                    ..Default::default()
+                },
+            },
+        ];
+        for req in reqs {
+            let pkt = Packet::new(
+                cfg.client_addr,
+                cfg.virtual_addr,
+                encode_call(xid, &cred, &req),
+            );
+            let outs = proxy.outbound(now, pkt);
+            // Synthesize the matching reply from the routed destination.
+            for o in outs {
+                if let slice_uproxy::ProxyOut::Net(p) = o {
+                    let attr = slice_nfsproto::Fattr3::new(
+                        slice_nfsproto::FileType::Regular,
+                        1000 + i as u64,
+                        0o644,
+                        slice_nfsproto::NfsTime::default(),
+                    );
+                    let reply = slice_nfsproto::NfsReply::ok(req.proc(), attr);
+                    let rp = Packet::new(p.dst, cfg.client_addr, encode_reply(xid, &reply));
+                    proxy.inbound(now, rp);
+                }
+            }
+            xid += 1;
+            now += SimDuration::from_micros(160);
+        }
+    }
+    proxy.phase_stats()
+}
+
+/// Figure 3 / Figure 4: untar latency per process.
+///
+/// Returns the mean elapsed seconds per process.
+pub fn run_untar_slice(
+    processes: usize,
+    dir_servers: usize,
+    files_per_process: u64,
+    policy: EnsemblePolicy,
+) -> f64 {
+    let cfg = SliceConfig {
+        clients: processes,
+        dir_servers,
+        policy,
+        ..bench_config()
+    };
+    let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
+        .map(|i| Box::new(Untar::new(i as u64, files_per_process)) as Box<dyn slice_core::Workload>)
+        .collect();
+    let mut ens = SliceEnsemble::build(&cfg, workloads);
+    ens.start();
+    ens.run_to_completion(deadline_secs(36_000));
+    let mut total = 0.0;
+    for i in 0..processes {
+        let u = ens
+            .client(i)
+            .workload()
+            .expect("workload")
+            .as_any()
+            .downcast_ref::<Untar>()
+            .expect("untar");
+        total += u
+            .elapsed()
+            .unwrap_or_else(|| panic!("process {i} unfinished"))
+            .as_secs_f64();
+    }
+    total / processes as f64
+}
+
+/// Figure 3 baseline: untar against the MFS memory file server.
+pub fn run_untar_mfs(processes: usize, files_per_process: u64) -> f64 {
+    let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
+        .map(|i| Box::new(Untar::new(i as u64, files_per_process)) as Box<dyn slice_core::Workload>)
+        .collect();
+    let mut ens = BaselineEnsemble::build(BaselineKind::Mfs, 8, false, true, 42, workloads);
+    ens.start();
+    ens.run_to_completion(deadline_secs(36_000));
+    let mut total = 0.0;
+    for i in 0..processes {
+        let u = ens
+            .client(i)
+            .workload()
+            .expect("workload")
+            .as_any()
+            .downcast_ref::<Untar>()
+            .expect("untar");
+        total += u
+            .elapsed()
+            .unwrap_or_else(|| panic!("process {i} unfinished"))
+            .as_secs_f64();
+    }
+    total / processes as f64
+}
+
+/// Result of one SPECsfs-like run.
+#[derive(Debug, Clone, Copy)]
+pub struct SfsResult {
+    /// Offered load, IOPS (aggregate).
+    pub offered: f64,
+    /// Delivered throughput, IOPS (aggregate).
+    pub delivered: f64,
+    /// Mean latency, milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Runs a SPECsfs-like point against a Slice ensemble with
+/// `storage_nodes` nodes at aggregate `offered` IOPS over `processes`
+/// generator processes.
+pub fn run_sfs_slice(storage_nodes: usize, processes: usize, offered: f64) -> SfsResult {
+    let cfg = SliceConfig {
+        clients: processes,
+        storage_nodes,
+        dir_servers: 1,
+        sf_servers: 2,
+        // Scale the small-file caches with the reduced file-set scale
+        // factor (see slice-workloads::specsfs docs).
+        sf_cache_bytes: 64 * 1024 * 1024,
+        storage_cache_bytes: 32 * 1024 * 1024,
+        ..bench_config()
+    };
+    let per = offered / processes as f64;
+    let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
+        .map(|i| {
+            Box::new(SpecSfs::new(SpecSfsConfig::new(i as u64, per)))
+                as Box<dyn slice_core::Workload>
+        })
+        .collect();
+    let mut ens = SliceEnsemble::build(&cfg, workloads);
+    ens.start();
+    ens.run_to_completion(deadline_secs(36_000));
+    collect_sfs(
+        offered,
+        (0..processes).map(|i| {
+            ens.client(i)
+                .workload()
+                .expect("workload")
+                .as_any()
+                .downcast_ref::<SpecSfs>()
+                .expect("sfs")
+                .summary(ens.engine.now())
+        }),
+    )
+}
+
+/// Runs a SPECsfs-like point against the monolithic NFS baseline.
+pub fn run_sfs_baseline(processes: usize, offered: f64) -> SfsResult {
+    let per = offered / processes as f64;
+    let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
+        .map(|i| {
+            Box::new(SpecSfs::new(SpecSfsConfig::new(i as u64, per)))
+                as Box<dyn slice_core::Workload>
+        })
+        .collect();
+    let mut ens = BaselineEnsemble::build(BaselineKind::NfsFfs, 8, false, true, 42, workloads);
+    ens.start();
+    ens.run_to_completion(deadline_secs(36_000));
+    let now = ens.engine.now();
+    collect_sfs(
+        offered,
+        (0..processes).map(|i| {
+            ens.client(i)
+                .workload()
+                .expect("workload")
+                .as_any()
+                .downcast_ref::<SpecSfs>()
+                .expect("sfs")
+                .summary(now)
+        }),
+    )
+}
+
+fn collect_sfs(offered: f64, parts: impl Iterator<Item = (f64, f64, usize)>) -> SfsResult {
+    let mut delivered = 0.0;
+    let mut lat_weighted = 0.0;
+    let mut samples = 0usize;
+    for (iops, mean_ms, n) in parts {
+        delivered += iops;
+        lat_weighted += mean_ms * n as f64;
+        samples += n;
+    }
+    SfsResult {
+        offered,
+        delivered,
+        latency_ms: if samples == 0 {
+            0.0
+        } else {
+            lat_weighted / samples as f64
+        },
+    }
+}
+
+/// Renders a labelled series list for terminal output.
+pub fn print_series(x_label: &str, y_label: &str, series: &[Series]) {
+    println!("{}", slice_sim::render_table(x_label, y_label, series));
+}

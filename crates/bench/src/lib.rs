@@ -1,0 +1,10 @@
+//! Benchmark harness for the Slice reproduction: one runner per paper
+//! table and figure (see the `src/bin` binaries), plus Criterion
+//! micro-benchmarks of the µproxy fast path.
+
+pub mod experiments;
+
+pub use experiments::{
+    bench_config, print_series, run_bulk, run_sfs_baseline, run_sfs_slice, run_untar_mfs,
+    run_untar_slice, run_uproxy_phases, BulkResult, SfsResult,
+};

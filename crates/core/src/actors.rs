@@ -1,0 +1,710 @@
+//! Engine actors wrapping the server state machines: storage nodes,
+//! directory servers, small-file servers, and block-service coordinators.
+//!
+//! Each actor charges calibrated CPU time for the work it performs, turns
+//! protocol-level actions into network sends, and uses deferred-send
+//! timers to model disk and log completion times computed by the
+//! underlying state machines.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use slice_dirsvc::{DirAction, DirServer};
+use slice_nfsproto::{
+    decode_call, decode_reply, encode_reply, Fhandle, NfsProc, NfsRequest, Packet, ReplyBody,
+    SockAddr, StableHow,
+};
+use slice_sim::{Actor, Ctx, NodeId, SimDuration, SimTime, START_TAG};
+use slice_smallfile::{SfAction, SfCtl, SmallFileServer};
+use slice_storage::{CoordAction, Coordinator, StorageNode};
+
+use crate::calib;
+use crate::wire::{Router, Wire};
+
+/// Schedules messages for future instants via timers.
+#[derive(Debug, Default)]
+struct DeferredSender {
+    stash: HashMap<u64, (NodeId, Wire)>,
+    next_tag: u64,
+}
+
+impl DeferredSender {
+    fn send_at(&mut self, ctx: &mut Ctx<'_, Wire>, at: SimTime, to: NodeId, msg: Wire) {
+        if at <= ctx.now() {
+            ctx.send(to, msg);
+        } else {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            self.stash.insert(tag, (to, msg));
+            ctx.set_timer(at - ctx.now(), tag);
+        }
+    }
+
+    /// Fires a deferred send; returns true if the tag belonged to us.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64) -> bool {
+        if let Some((to, msg)) = self.stash.remove(&tag) {
+            ctx.send(to, msg);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn payload_cpu(bytes: usize, per_4k: SimDuration) -> SimDuration {
+    per_4k.mul_f64(bytes as f64 / 4096.0)
+}
+
+/// A duplicate request cache (DRC), the standard NFS server defence
+/// against non-idempotent retransmissions: replies to recent requests are
+/// cached by (client, xid) and replayed verbatim; requests still being
+/// processed are dropped so a retry cannot re-execute them.
+#[derive(Debug, Default)]
+pub struct ReplyCache {
+    done: HashMap<(u32, u16, u32), Packet>,
+    order: std::collections::VecDeque<(u32, u16, u32)>,
+    in_progress: std::collections::HashSet<(u32, u16, u32)>,
+}
+
+/// DRC capacity (entries).
+const DRC_CAPACITY: usize = 2048;
+
+/// Outcome of a DRC admission check.
+pub enum DrcCheck {
+    /// New request: process it.
+    Fresh,
+    /// Retransmission of a request still being served: drop it.
+    InProgress,
+    /// Retransmission of a completed request: replay this reply.
+    Replay(Packet),
+}
+
+impl ReplyCache {
+    fn key(src: SockAddr, xid: u32) -> (u32, u16, u32) {
+        (src.ip, src.port, xid)
+    }
+
+    /// Checks an incoming call and registers it as in progress when fresh.
+    pub fn admit(&mut self, src: SockAddr, xid: u32) -> DrcCheck {
+        let key = Self::key(src, xid);
+        if let Some(reply) = self.done.get(&key) {
+            return DrcCheck::Replay(reply.clone());
+        }
+        if !self.in_progress.insert(key) {
+            return DrcCheck::InProgress;
+        }
+        DrcCheck::Fresh
+    }
+
+    /// Records the reply for a completed request.
+    pub fn complete(&mut self, dst: SockAddr, xid: u32, reply: &Packet) {
+        let key = Self::key(dst, xid);
+        self.in_progress.remove(&key);
+        if self.done.insert(key, reply.clone()).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > DRC_CAPACITY {
+                if let Some(old) = self.order.pop_front() {
+                    self.done.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Drops everything (server restart: the DRC is volatile).
+    pub fn clear(&mut self) {
+        self.done.clear();
+        self.order.clear();
+        self.in_progress.clear();
+    }
+}
+
+/// A network storage node actor.
+pub struct StorageActor {
+    /// The storage node state machine.
+    pub node: StorageNode,
+    addr: SockAddr,
+    router: Router,
+    deferred: DeferredSender,
+    charge_cpu: bool,
+}
+
+impl StorageActor {
+    /// Creates a storage actor serving at `addr`.
+    pub fn new(node: StorageNode, addr: SockAddr, router: Router, charge_cpu: bool) -> Self {
+        StorageActor {
+            node,
+            addr,
+            router,
+            deferred: DeferredSender::default(),
+            charge_cpu,
+        }
+    }
+}
+
+impl Actor<Wire> for StorageActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, from: NodeId, msg: Wire) {
+        match msg {
+            Wire::Udp(pkt) => {
+                let Ok((hdr, req)) = decode_call(&pkt.payload) else {
+                    return;
+                };
+                if self.charge_cpu {
+                    let bytes = match &req {
+                        NfsRequest::Write { data, .. } => data.len(),
+                        NfsRequest::Read { count, .. } => *count as usize,
+                        _ => 0,
+                    };
+                    ctx.use_cpu(
+                        calib::STORAGE_REQ_CPU + payload_cpu(bytes, calib::STORAGE_CPU_PER_4K),
+                    );
+                }
+                let (done, reply) = self.node.handle_nfs(ctx.now(), &req);
+                let out = Packet::new(self.addr, pkt.src, encode_reply(hdr.xid, &reply));
+                if let Some(node) = self.router.try_node_of(pkt.src) {
+                    self.deferred.send_at(ctx, done, node, Wire::Udp(out));
+                }
+            }
+            Wire::Ctl(ctl) => {
+                if self.charge_cpu {
+                    ctx.use_cpu(calib::STORAGE_REQ_CPU);
+                }
+                let (done, reply) = self.node.handle_ctl(ctx.now(), &ctl);
+                self.deferred
+                    .send_at(ctx, done, from, Wire::CtlReply(reply));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64) {
+        self.deferred.on_timer(ctx, tag);
+    }
+
+    fn on_fail(&mut self, _now: SimTime) {
+        self.node.crash_restart();
+        self.deferred.stash.clear();
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A directory server actor.
+pub struct DirActor {
+    /// The directory server state machine.
+    pub server: DirServer,
+    site: u32,
+    addr: SockAddr,
+    router: Router,
+    dir_nodes: Vec<NodeId>,
+    coord_node: Option<NodeId>,
+    sf_nodes: Vec<NodeId>,
+    deferred: DeferredSender,
+    tokens: HashMap<u64, (SockAddr, u32)>,
+    next_token: u64,
+    next_req_id: u64,
+    charge_cpu: bool,
+    /// Routing-table generation this site's slot map corresponds to.
+    pub table_generation: u64,
+    /// Last activity instant (used as the crash point for recovery).
+    last_seen: SimTime,
+    /// WAL preserved across a crash (it lives in shared network storage).
+    crashed_wal: Option<(slice_storage::Wal<slice_dirsvc::DirLog>, SimTime)>,
+    drc: ReplyCache,
+}
+
+impl DirActor {
+    /// Creates a directory actor for `site` at `addr`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        server: DirServer,
+        site: u32,
+        addr: SockAddr,
+        router: Router,
+        dir_nodes: Vec<NodeId>,
+        coord_node: Option<NodeId>,
+        sf_nodes: Vec<NodeId>,
+        charge_cpu: bool,
+    ) -> Self {
+        DirActor {
+            server,
+            site,
+            addr,
+            router,
+            dir_nodes,
+            coord_node,
+            sf_nodes,
+            deferred: DeferredSender::default(),
+            tokens: HashMap::new(),
+            next_token: 1,
+            next_req_id: 1,
+            charge_cpu,
+            table_generation: 1,
+            last_seen: SimTime::ZERO,
+            crashed_wal: None,
+            drc: ReplyCache::default(),
+        }
+    }
+
+    /// Small-file server index for a file (must agree with the µproxy's
+    /// default table: FNV over the fileID).
+    fn sf_index(&self, file: u64) -> usize {
+        if self.sf_nodes.is_empty() {
+            return 0;
+        }
+        slice_hashes::bucket_of(slice_hashes::fnv1a(&file.to_le_bytes()), 64) % self.sf_nodes.len()
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<DirAction>) {
+        for action in actions {
+            match action {
+                DirAction::Reply { token, reply, at } => {
+                    let Some((dst, xid)) = self.tokens.remove(&token) else {
+                        continue;
+                    };
+                    let pkt = Packet::new(self.addr, dst, encode_reply(xid, &reply));
+                    self.drc.complete(dst, xid, &pkt);
+                    if let Some(node) = self.router.try_node_of(dst) {
+                        self.deferred.send_at(ctx, at, node, Wire::Udp(pkt));
+                    }
+                }
+                DirAction::Peer { site, msg } => {
+                    let node = self.dir_nodes[site as usize % self.dir_nodes.len()];
+                    ctx.send(
+                        node,
+                        Wire::Peer {
+                            from_site: self.site,
+                            msg,
+                        },
+                    );
+                }
+                DirAction::DataRemove { file, .. } => {
+                    let req_id = self.next_req_id;
+                    self.next_req_id += 1;
+                    if let Some(coord) = self.coord_node {
+                        ctx.send(
+                            coord,
+                            Wire::Coord(slice_storage::CoordMsg::RemoveFile { req_id, file }),
+                        );
+                    }
+                    if !self.sf_nodes.is_empty() {
+                        let node = self.sf_nodes[self.sf_index(file)];
+                        ctx.send(node, Wire::SfCtl(SfCtl::Remove { file }));
+                    }
+                }
+                DirAction::DataTruncate { file, size, .. } => {
+                    let req_id = self.next_req_id;
+                    self.next_req_id += 1;
+                    if let Some(coord) = self.coord_node {
+                        ctx.send(
+                            coord,
+                            Wire::Coord(slice_storage::CoordMsg::TruncateFile {
+                                req_id,
+                                file,
+                                size,
+                            }),
+                        );
+                    }
+                    if !self.sf_nodes.is_empty() {
+                        let node = self.sf_nodes[self.sf_index(file)];
+                        ctx.send(node, Wire::SfCtl(SfCtl::Truncate { file, size }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Wire> for DirActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, _from: NodeId, msg: Wire) {
+        self.last_seen = ctx.now();
+        match msg {
+            Wire::Udp(pkt) => {
+                let Ok((hdr, req)) = decode_call(&pkt.payload) else {
+                    return;
+                };
+                if self.charge_cpu {
+                    ctx.use_cpu(calib::DIR_OP_CPU);
+                }
+                match self.drc.admit(pkt.src, hdr.xid) {
+                    DrcCheck::Replay(reply) => {
+                        if let Some(node) = self.router.try_node_of(pkt.src) {
+                            ctx.send(node, Wire::Udp(reply));
+                        }
+                        return;
+                    }
+                    DrcCheck::InProgress => return,
+                    DrcCheck::Fresh => {}
+                }
+                let token = self.next_token;
+                self.next_token += 1;
+                self.tokens.insert(token, (pkt.src, hdr.xid));
+                let actions = self.server.handle_nfs(ctx.now(), token, &req);
+                self.dispatch(ctx, actions);
+            }
+            Wire::Peer { from_site, msg } => {
+                if self.charge_cpu {
+                    ctx.use_cpu(calib::DIR_PEER_CPU);
+                }
+                let actions = self.server.handle_peer(ctx.now(), from_site, msg);
+                self.dispatch(ctx, actions);
+            }
+            Wire::CoordReply(_) => {
+                // Data-removal completions need no action here.
+            }
+            Wire::TableFetch => {
+                ctx.send(
+                    _from,
+                    Wire::TableData {
+                        slots: self.server.slot_map().to_vec(),
+                        generation: self.table_generation,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64) {
+        self.deferred.on_timer(ctx, tag);
+    }
+
+    fn on_fail(&mut self, now: SimTime) {
+        // Volatile state is lost; the WAL survives in shared storage and
+        // is replayed up to the crash instant.
+        let wal = self.server.crash();
+        self.crashed_wal = Some((wal, now));
+        self.tokens.clear();
+        self.deferred.stash.clear();
+        self.drc.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if let Some((wal, crash_time)) = self.crashed_wal.take() {
+            // Fast failover: replay backing objects + log (paper §2.3).
+            ctx.use_cpu(SimDuration::from_millis(50));
+            self.server.recover(wal, crash_time);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A small-file server actor.
+pub struct SmallFileActor {
+    /// The small-file server state machine.
+    pub server: SmallFileServer,
+    addr: SockAddr,
+    router: Router,
+    storage_addrs: Vec<SockAddr>,
+    tokens: HashMap<u64, (SockAddr, u32)>,
+    /// Backing RPC xid -> (sf tag, read?).
+    backing: HashMap<u32, (u64, bool)>,
+    next_token: u64,
+    next_xid: u32,
+    charge_cpu: bool,
+    last_seen: SimTime,
+    crashed_wal: Option<(slice_storage::Wal<slice_smallfile::SfLog>, SimTime)>,
+}
+
+impl SmallFileActor {
+    /// Creates a small-file actor at `addr`, issuing backing I/O to
+    /// `storage_addrs` by site index.
+    pub fn new(
+        server: SmallFileServer,
+        addr: SockAddr,
+        router: Router,
+        storage_addrs: Vec<SockAddr>,
+        charge_cpu: bool,
+    ) -> Self {
+        SmallFileActor {
+            server,
+            addr,
+            router,
+            storage_addrs,
+            tokens: HashMap::new(),
+            backing: HashMap::new(),
+            next_token: 1,
+            next_xid: 1,
+            charge_cpu,
+            last_seen: SimTime::ZERO,
+            crashed_wal: None,
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<SfAction>) {
+        for action in actions {
+            match action {
+                SfAction::Reply { token, reply } => {
+                    let Some((dst, xid)) = self.tokens.remove(&token) else {
+                        continue;
+                    };
+                    let pkt = Packet::new(self.addr, dst, encode_reply(xid, &reply));
+                    if let Some(node) = self.router.try_node_of(dst) {
+                        ctx.send(node, Wire::Udp(pkt));
+                    }
+                }
+                SfAction::BackingRead {
+                    tag,
+                    site,
+                    obj,
+                    offset,
+                    len,
+                } => {
+                    let xid = self.next_xid;
+                    self.next_xid = self.next_xid.wrapping_add(1);
+                    self.backing.insert(xid, (tag, true));
+                    let req = NfsRequest::Read {
+                        fh: Fhandle::new(obj, 0, 0, 0, 0),
+                        offset,
+                        count: len,
+                    };
+                    let payload = slice_nfsproto::encode_call(
+                        xid,
+                        &slice_nfsproto::AuthUnix::default(),
+                        &req,
+                    );
+                    let addr = self.storage_addrs[site as usize % self.storage_addrs.len()];
+                    let pkt = Packet::new(self.addr, addr, payload);
+                    if let Some(node) = self.router.try_node_of(addr) {
+                        ctx.send(node, Wire::Udp(pkt));
+                    }
+                }
+                SfAction::BackingWrite {
+                    tag,
+                    site,
+                    obj,
+                    offset,
+                    data,
+                    stable,
+                } => {
+                    let xid = self.next_xid;
+                    self.next_xid = self.next_xid.wrapping_add(1);
+                    if tag != 0 {
+                        self.backing.insert(xid, (tag, false));
+                    }
+                    let req = NfsRequest::Write {
+                        fh: Fhandle::new(obj, 0, 0, 0, 0),
+                        offset,
+                        stable: if stable {
+                            StableHow::FileSync
+                        } else {
+                            StableHow::Unstable
+                        },
+                        data,
+                    };
+                    let payload = slice_nfsproto::encode_call(
+                        xid,
+                        &slice_nfsproto::AuthUnix::default(),
+                        &req,
+                    );
+                    let addr = self.storage_addrs[site as usize % self.storage_addrs.len()];
+                    let pkt = Packet::new(self.addr, addr, payload);
+                    if let Some(node) = self.router.try_node_of(addr) {
+                        ctx.send(node, Wire::Udp(pkt));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Wire> for SmallFileActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, _from: NodeId, msg: Wire) {
+        self.last_seen = ctx.now();
+        match msg {
+            Wire::Udp(pkt) => {
+                let Ok((_, msg_type)) = slice_nfsproto::peek_xid_type(&pkt.payload) else {
+                    return;
+                };
+                if msg_type == slice_nfsproto::MSG_CALL {
+                    let Ok((hdr, req)) = decode_call(&pkt.payload) else {
+                        return;
+                    };
+                    if self.charge_cpu {
+                        let bytes = match &req {
+                            NfsRequest::Write { data, .. } => data.len(),
+                            NfsRequest::Read { count, .. } => *count as usize,
+                            _ => 0,
+                        };
+                        ctx.use_cpu(
+                            calib::SF_OP_CPU + payload_cpu(bytes, calib::STORAGE_CPU_PER_4K),
+                        );
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.tokens.insert(token, (pkt.src, hdr.xid));
+                    let actions = self.server.handle_nfs(ctx.now(), token, req);
+                    self.dispatch(ctx, actions);
+                } else {
+                    // A backing-I/O completion from a storage node.
+                    let Ok((xid, _)) = slice_nfsproto::peek_xid_type(&pkt.payload) else {
+                        return;
+                    };
+                    let Some((tag, is_read)) = self.backing.remove(&xid) else {
+                        return;
+                    };
+                    let data = if is_read {
+                        decode_reply(&pkt.payload, NfsProc::Read)
+                            .ok()
+                            .and_then(|(_, r)| match r.body {
+                                ReplyBody::Read { data, .. } => Some(data),
+                                _ => None,
+                            })
+                    } else {
+                        let _ = decode_reply(&pkt.payload, NfsProc::Write);
+                        None
+                    };
+                    if tag != 0 {
+                        let actions = self.server.handle_backing_done(ctx.now(), tag, data);
+                        self.dispatch(ctx, actions);
+                    }
+                }
+            }
+            Wire::SfCtl(ctl) => {
+                if self.charge_cpu {
+                    ctx.use_cpu(calib::SF_OP_CPU);
+                }
+                let actions = self.server.handle_ctl(ctx.now(), &ctl);
+                self.dispatch(ctx, actions);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_fail(&mut self, now: SimTime) {
+        let wal = self.server.crash();
+        self.crashed_wal = Some((wal, now));
+        self.tokens.clear();
+        self.backing.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if let Some((wal, crash_time)) = self.crashed_wal.take() {
+            ctx.use_cpu(SimDuration::from_millis(50));
+            self.server.recover(wal, crash_time);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const COORD_SWEEP_TAG: u64 = 1 << 41;
+const COORD_SWEEP_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// A block-service coordinator actor.
+pub struct CoordActor {
+    /// The coordinator state machine.
+    pub coord: Coordinator,
+    storage_nodes: Vec<NodeId>,
+    deferred: DeferredSender,
+    charge_cpu: bool,
+    last_seen: SimTime,
+    crashed_wal: Option<(slice_storage::Wal<slice_storage::IntentRecord>, SimTime)>,
+}
+
+impl CoordActor {
+    /// Creates a coordinator actor over the given storage nodes.
+    pub fn new(coord: Coordinator, storage_nodes: Vec<NodeId>, charge_cpu: bool) -> Self {
+        CoordActor {
+            coord,
+            storage_nodes,
+            deferred: DeferredSender::default(),
+            charge_cpu,
+            last_seen: SimTime::ZERO,
+            crashed_wal: None,
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<CoordAction>) {
+        for action in actions {
+            match action {
+                CoordAction::Reply { to, reply, at } => {
+                    self.deferred
+                        .send_at(ctx, at, NodeId(to as u32), Wire::CoordReply(reply));
+                }
+                CoordAction::SendCtl { site, ctl } => {
+                    let node = self.storage_nodes[site as usize % self.storage_nodes.len()];
+                    ctx.send(node, Wire::Ctl(ctl));
+                }
+            }
+        }
+    }
+}
+
+impl Actor<Wire> for CoordActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, from: NodeId, msg: Wire) {
+        self.last_seen = ctx.now();
+        match msg {
+            Wire::Coord(m) => {
+                if self.charge_cpu {
+                    ctx.use_cpu(calib::COORD_MSG_CPU);
+                }
+                let actions = self.coord.handle(ctx.now(), u64::from(from.0), m);
+                self.dispatch(ctx, actions);
+            }
+            Wire::CtlReply(reply) => {
+                if self.charge_cpu {
+                    ctx.use_cpu(calib::COORD_MSG_CPU);
+                }
+                let site = self
+                    .storage_nodes
+                    .iter()
+                    .position(|&n| n == from)
+                    .map(|p| p as u32)
+                    .unwrap_or(0);
+                let actions = self.coord.handle_ctl_reply(ctx.now(), site, reply);
+                self.dispatch(ctx, actions);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64) {
+        if tag == START_TAG || tag == COORD_SWEEP_TAG {
+            ctx.set_timer(COORD_SWEEP_INTERVAL, COORD_SWEEP_TAG);
+            let actions = self.coord.check_timeouts(ctx.now());
+            self.dispatch(ctx, actions);
+            return;
+        }
+        self.deferred.on_timer(ctx, tag);
+    }
+
+    fn on_fail(&mut self, now: SimTime) {
+        let wal = self.coord.crash();
+        self.crashed_wal = Some((wal, now));
+        self.deferred.stash.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if let Some((wal, crash_time)) = self.crashed_wal.take() {
+            ctx.use_cpu(SimDuration::from_millis(20));
+            // Recovery scans the intentions log and probes participants
+            // for operations in progress at the crash (paper §3.3.2).
+            let actions = self.coord.recover(ctx.now(), wal, crash_time);
+            self.dispatch(ctx, actions);
+        }
+        ctx.set_timer(COORD_SWEEP_INTERVAL, COORD_SWEEP_TAG);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

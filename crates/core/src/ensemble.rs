@@ -1,0 +1,452 @@
+//! Ensemble assembly: builds a complete Slice deployment (or a baseline
+//! single-server deployment) inside a simulation engine.
+
+use slice_dirsvc::{DirServer, DirServerConfig, NamePolicy};
+use slice_nfsproto::AuthUnix;
+use slice_sim::{Engine, NetConfig, NodeId, SimDuration, SimTime};
+use slice_smallfile::{SmallFileConfig, SmallFileServer};
+use slice_storage::{Coordinator, StorageNode, StorageNodeConfig};
+use slice_uproxy::{ProxyConfig, ProxyNamePolicy, Uproxy};
+
+use crate::actors::{CoordActor, DirActor, SmallFileActor, StorageActor};
+use crate::baseline::{BaselineActor, BaselineKind, MonoFs};
+use crate::calib;
+use crate::client::{ClientActor, ClientConfig, Workload};
+use crate::wire::{AddrPlan, Router, Wire};
+
+/// Name-space policy for a whole ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsemblePolicy {
+    /// Mkdir switching with redirect probability `redirect_millis / 1000`.
+    MkdirSwitching {
+        /// p × 1000.
+        redirect_millis: u32,
+    },
+    /// Name hashing.
+    NameHashing,
+}
+
+/// Configuration for a Slice ensemble.
+#[derive(Debug, Clone)]
+pub struct SliceConfig {
+    /// Number of client nodes (each with an embedded µproxy).
+    pub clients: usize,
+    /// Number of directory servers.
+    pub dir_servers: usize,
+    /// Number of small-file servers (0 disables the threshold split).
+    pub sf_servers: usize,
+    /// Number of network storage nodes.
+    pub storage_nodes: usize,
+    /// Number of block-service coordinators.
+    pub coordinators: usize,
+    /// Disk arms per storage node.
+    pub disks_per_node: usize,
+    /// Name-space policy.
+    pub policy: EnsemblePolicy,
+    /// Retain file contents (tests) or metadata only (big benchmarks).
+    pub retain_data: bool,
+    /// Charge calibrated CPU costs (off for pure protocol tests).
+    pub charge_cpu: bool,
+    /// Small-file server cache bytes.
+    pub sf_cache_bytes: u64,
+    /// Storage node cache bytes.
+    pub storage_cache_bytes: u64,
+    /// Wrap multisite commits in coordinator intentions.
+    pub use_intents: bool,
+    /// Route bulk I/O through coordinator block maps.
+    pub use_block_maps: bool,
+    /// Stripe unit for static placement (bytes).
+    pub stripe_unit: u64,
+    /// Group commit on file-manager write-ahead logs (ablation knob).
+    pub wal_group_commit: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig {
+            clients: 1,
+            dir_servers: 1,
+            sf_servers: 2,
+            storage_nodes: 4,
+            coordinators: 1,
+            disks_per_node: calib::DISKS_PER_NODE,
+            policy: EnsemblePolicy::MkdirSwitching {
+                redirect_millis: 250,
+            },
+            retain_data: true,
+            charge_cpu: true,
+            sf_cache_bytes: calib::SF_CACHE_BYTES,
+            storage_cache_bytes: calib::STORAGE_CACHE_BYTES,
+            use_intents: true,
+            use_block_maps: false,
+            stripe_unit: 64 * 1024,
+            wal_group_commit: true,
+            seed: 42,
+        }
+    }
+}
+
+/// A built Slice ensemble.
+pub struct SliceEnsemble {
+    /// The simulation engine.
+    pub engine: Engine<Wire>,
+    /// The address plan.
+    pub plan: AddrPlan,
+    /// Client node ids (one per workload).
+    pub clients: Vec<NodeId>,
+    /// Directory server node ids.
+    pub dirs: Vec<NodeId>,
+    /// Small-file server node ids.
+    pub sfs: Vec<NodeId>,
+    /// Storage node ids.
+    pub storage: Vec<NodeId>,
+    /// Coordinator node ids.
+    pub coords: Vec<NodeId>,
+}
+
+impl SliceEnsemble {
+    /// Builds an ensemble; `workloads` supplies one driver per client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads.len() != cfg.clients` or a size is zero where
+    /// one is required.
+    pub fn build(cfg: &SliceConfig, workloads: Vec<Box<dyn Workload>>) -> Self {
+        assert_eq!(workloads.len(), cfg.clients, "one workload per client");
+        assert!(cfg.dir_servers > 0, "need at least one directory server");
+        assert!(cfg.storage_nodes > 0, "need at least one storage node");
+        let plan = AddrPlan::new(
+            cfg.clients,
+            cfg.dir_servers,
+            cfg.sf_servers,
+            cfg.storage_nodes,
+        );
+        let mut engine: Engine<Wire> = Engine::new(NetConfig::gigabit(), cfg.seed);
+
+        // Node ids are assigned sequentially; predict them so every actor
+        // can carry a complete router from birth.
+        let mut next = 0u32;
+        let mut take = |n: usize| -> Vec<NodeId> {
+            let v: Vec<NodeId> = (0..n).map(|i| NodeId(next + i as u32)).collect();
+            next += n as u32;
+            v
+        };
+        let client_ids = take(cfg.clients);
+        let dir_ids = take(cfg.dir_servers);
+        let sf_ids = take(cfg.sf_servers);
+        let storage_ids = take(cfg.storage_nodes);
+        let coord_ids = take(cfg.coordinators);
+
+        let mut router = Router::new();
+        for (i, &id) in client_ids.iter().enumerate() {
+            router.register(plan.clients[i], id);
+        }
+        for (i, &id) in dir_ids.iter().enumerate() {
+            router.register(plan.dirs[i], id);
+        }
+        for (i, &id) in sf_ids.iter().enumerate() {
+            router.register(plan.sfs[i], id);
+        }
+        for (i, &id) in storage_ids.iter().enumerate() {
+            router.register(plan.storage[i], id);
+        }
+
+        let name_policy = match cfg.policy {
+            EnsemblePolicy::MkdirSwitching { redirect_millis } => {
+                ProxyNamePolicy::MkdirSwitching { redirect_millis }
+            }
+            EnsemblePolicy::NameHashing => ProxyNamePolicy::NameHashing,
+        };
+        let dir_policy = match cfg.policy {
+            EnsemblePolicy::MkdirSwitching { .. } => NamePolicy::MkdirSwitching,
+            EnsemblePolicy::NameHashing => NamePolicy::NameHashing,
+        };
+
+        // Clients.
+        for (i, workload) in workloads.into_iter().enumerate() {
+            let proxy_cfg = ProxyConfig {
+                virtual_addr: plan.virtual_addr,
+                client_addr: plan.clients[i],
+                dir_sites: plan.dirs.clone(),
+                sf_sites: plan.sfs.clone(),
+                storage_sites: plan.storage.clone(),
+                coord_sites: cfg.coordinators as u32,
+                name_policy,
+                threshold: slice_smallfile::SF_THRESHOLD,
+                stripe_unit: cfg.stripe_unit,
+                mirror_copies: 2,
+                use_block_maps: cfg.use_block_maps,
+                use_intents: cfg.use_intents,
+                attr_cache_entries: 4096,
+                writeback_interval: calib::ATTR_WRITEBACK,
+            };
+            let client_cfg = ClientConfig {
+                addr: plan.clients[i],
+                server_addr: plan.virtual_addr,
+                cred: AuthUnix {
+                    machine: format!("client{i}"),
+                    ..Default::default()
+                },
+                charge_cpu: cfg.charge_cpu,
+            };
+            let actor = ClientActor::new(
+                client_cfg,
+                Some(Uproxy::new(proxy_cfg)),
+                router.clone(),
+                coord_ids.clone(),
+                workload,
+            );
+            let id = engine.add_node(&format!("client{i}"), Box::new(actor));
+            assert_eq!(id, client_ids[i]);
+        }
+        // Directory servers.
+        for (i, &expect) in dir_ids.iter().enumerate() {
+            let ds = DirServer::new(DirServerConfig {
+                site: i as u32,
+                sites: cfg.dir_servers as u32,
+                policy: dir_policy,
+                clock_skew: SimDuration::from_micros(i as u64 * 3),
+                wal: slice_storage::WalParams {
+                    batched: cfg.wal_group_commit,
+                    ..Default::default()
+                },
+            });
+            let actor = DirActor::new(
+                ds,
+                i as u32,
+                plan.dirs[i],
+                router.clone(),
+                dir_ids.clone(),
+                coord_ids.first().copied(),
+                sf_ids.clone(),
+                cfg.charge_cpu,
+            );
+            let id = engine.add_node(&format!("dir{i}"), Box::new(actor));
+            assert_eq!(id, expect);
+        }
+        // Small-file servers.
+        for (i, &expect) in sf_ids.iter().enumerate() {
+            let sf = SmallFileServer::new(SmallFileConfig {
+                server_id: i as u32,
+                storage_sites: cfg.storage_nodes as u32,
+                cache_bytes: cfg.sf_cache_bytes,
+                retain_data: cfg.retain_data,
+            });
+            let actor = SmallFileActor::new(
+                sf,
+                plan.sfs[i],
+                router.clone(),
+                plan.storage.clone(),
+                cfg.charge_cpu,
+            );
+            let id = engine.add_node(&format!("sf{i}"), Box::new(actor));
+            assert_eq!(id, expect);
+        }
+        // Storage nodes.
+        for (i, &expect) in storage_ids.iter().enumerate() {
+            let node = StorageNode::new(&StorageNodeConfig {
+                disks: cfg.disks_per_node,
+                disk_params: calib::disk_params(),
+                channel_bps: calib::STORAGE_CHANNEL_BPS,
+                cache_bytes: cfg.storage_cache_bytes,
+                retain_data: cfg.retain_data,
+            });
+            let actor = StorageActor::new(node, plan.storage[i], router.clone(), cfg.charge_cpu);
+            let id = engine.add_node(&format!("storage{i}"), Box::new(actor));
+            assert_eq!(id, expect);
+        }
+        // Coordinators.
+        for (i, &expect) in coord_ids.iter().enumerate() {
+            let actor = CoordActor::new(
+                Coordinator::new(cfg.storage_nodes as u32),
+                storage_ids.clone(),
+                cfg.charge_cpu,
+            );
+            let id = engine.add_node(&format!("coord{i}"), Box::new(actor));
+            assert_eq!(id, expect);
+        }
+        for &c in &coord_ids {
+            engine.kick(c);
+        }
+        for (i, &c) in client_ids.iter().enumerate() {
+            let _ = i;
+            engine
+                .actor_mut::<ClientActor>(c)
+                .set_dir_table_source(dir_ids[0]);
+        }
+        SliceEnsemble {
+            engine,
+            plan,
+            clients: client_ids,
+            dirs: dir_ids,
+            sfs: sf_ids,
+            storage: storage_ids,
+            coords: coord_ids,
+        }
+    }
+
+    /// Starts every client's workload.
+    pub fn start(&mut self) {
+        for &c in &self.clients.clone() {
+            self.engine.kick(c);
+        }
+    }
+
+    /// Runs until every client's workload reports finished, the event
+    /// queue drains, or `deadline` passes. Returns the finish time.
+    pub fn run_to_completion(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            let before = self.engine.now();
+            self.engine.run_until_idle(100_000);
+            let done = self
+                .clients
+                .iter()
+                .all(|&c| self.engine.actor::<ClientActor>(c).finished());
+            if done || self.engine.now() >= deadline || self.engine.now() == before {
+                return self.engine.now();
+            }
+        }
+    }
+
+    /// Client actor access.
+    pub fn client(&self, i: usize) -> &ClientActor {
+        self.engine.actor::<ClientActor>(self.clients[i])
+    }
+
+    /// Mutable client actor access.
+    pub fn client_mut(&mut self, i: usize) -> &mut ClientActor {
+        self.engine.actor_mut::<ClientActor>(self.clients[i])
+    }
+
+    /// Reconfigures the directory service onto a new logical-slot map
+    /// (paper §3.3.1): every site installs the map, entries whose slots
+    /// moved migrate to their new homes, and µproxies discover the change
+    /// lazily — their next misdirected request is bounced, triggering a
+    /// table refresh and an RPC retransmission through the fresh table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_map` does not cover all logical slots or names a
+    /// site outside the ensemble.
+    pub fn reconfigure_dir_servers(&mut self, new_map: Vec<u32>) {
+        assert!(new_map.iter().all(|&s| (s as usize) < self.dirs.len()));
+        let now = self.engine.now();
+        // Install the map everywhere, bumping each site's generation.
+        for &d in &self.dirs {
+            let actor = self.engine.actor_mut::<crate::actors::DirActor>(d);
+            actor.server.set_slot_map(new_map.clone());
+            actor.table_generation += 1;
+        }
+        // Migrate entries: export from every site, import at the owner.
+        let mut moving: Vec<(usize, Vec<(u64, slice_dirsvc::NameCell)>)> = Vec::new();
+        for &d in &self.dirs {
+            let actor = self.engine.actor_mut::<crate::actors::DirActor>(d);
+            let cells = actor.server.export_entries(now);
+            moving.push((0, cells));
+        }
+        let mut per_site: Vec<Vec<(u64, slice_dirsvc::NameCell)>> =
+            vec![Vec::new(); self.dirs.len()];
+        for (_, cells) in moving {
+            for (key, cell) in cells {
+                let site = new_map[slice_hashes::bucket_of(key, slice_hashes::LOGICAL_SLOTS)];
+                per_site[site as usize].push((key, cell));
+            }
+        }
+        for (site, cells) in per_site.into_iter().enumerate() {
+            if cells.is_empty() {
+                continue;
+            }
+            let actor = self
+                .engine
+                .actor_mut::<crate::actors::DirActor>(self.dirs[site]);
+            actor.server.import_entries(now, cells);
+        }
+    }
+}
+
+/// A baseline (single-server) deployment.
+pub struct BaselineEnsemble {
+    /// The simulation engine.
+    pub engine: Engine<Wire>,
+    /// Client node ids.
+    pub clients: Vec<NodeId>,
+    /// The server node.
+    pub server: NodeId,
+}
+
+impl BaselineEnsemble {
+    /// Builds a baseline deployment of `kind` with one server of `disks`
+    /// arms and one client per workload.
+    pub fn build(
+        kind: BaselineKind,
+        disks: usize,
+        retain_data: bool,
+        charge_cpu: bool,
+        seed: u64,
+        workloads: Vec<Box<dyn Workload>>,
+    ) -> Self {
+        let n = workloads.len();
+        let plan = AddrPlan::new(n, 1, 0, 0);
+        let server_addr = plan.dirs[0];
+        let mut engine: Engine<Wire> = Engine::new(NetConfig::gigabit(), seed);
+        let client_ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let server_id = NodeId(n as u32);
+        let mut router = Router::new();
+        for (i, &id) in client_ids.iter().enumerate() {
+            router.register(plan.clients[i], id);
+        }
+        router.register(server_addr, server_id);
+        for (i, workload) in workloads.into_iter().enumerate() {
+            let cfg = ClientConfig {
+                addr: plan.clients[i],
+                server_addr,
+                cred: AuthUnix {
+                    machine: format!("client{i}"),
+                    ..Default::default()
+                },
+                charge_cpu,
+            };
+            let actor = ClientActor::new(cfg, None, router.clone(), vec![], workload);
+            let id = engine.add_node(&format!("client{i}"), Box::new(actor));
+            assert_eq!(id, client_ids[i]);
+        }
+        let fs = MonoFs::new(kind, disks, retain_data);
+        let actor = BaselineActor::new(fs, server_addr, router, charge_cpu);
+        let id = engine.add_node("baseline", Box::new(actor));
+        assert_eq!(id, server_id);
+        BaselineEnsemble {
+            engine,
+            clients: client_ids,
+            server: server_id,
+        }
+    }
+
+    /// Starts every client's workload.
+    pub fn start(&mut self) {
+        for &c in &self.clients.clone() {
+            self.engine.kick(c);
+        }
+    }
+
+    /// Runs until every workload finishes or `deadline` passes.
+    pub fn run_to_completion(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            let before = self.engine.now();
+            self.engine.run_until_idle(100_000);
+            let done = self
+                .clients
+                .iter()
+                .all(|&c| self.engine.actor::<ClientActor>(c).finished());
+            if done || self.engine.now() >= deadline || self.engine.now() == before {
+                return self.engine.now();
+            }
+        }
+    }
+
+    /// Client actor access.
+    pub fn client(&self, i: usize) -> &ClientActor {
+        self.engine.actor::<ClientActor>(self.clients[i])
+    }
+}

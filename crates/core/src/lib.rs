@@ -1,0 +1,25 @@
+//! Slice core: ensemble assembly, the client/µproxy actor, server actors,
+//! baselines, and calibration.
+//!
+//! This crate glues the subsystem crates into runnable deployments inside
+//! the deterministic simulator:
+//!
+//! * [`calib`] — one shared set of testbed-derived model parameters;
+//! * [`wire`] — the unified message envelope and address plan;
+//! * [`client`] — the NFS client actor with embedded µproxy and the
+//!   [`client::Workload`] trait that drives it;
+//! * [`actors`] — storage, directory, small-file, and coordinator actors;
+//! * [`baseline`] — the monolithic NFS and MFS comparison servers;
+//! * [`ensemble`] — builders for Slice and baseline deployments.
+
+pub mod actors;
+pub mod baseline;
+pub mod calib;
+pub mod client;
+pub mod ensemble;
+pub mod wire;
+
+pub use baseline::{BaselineActor, BaselineKind, MonoFs};
+pub use client::{ClientActor, ClientConfig, ClientIo, ClientStats, Workload};
+pub use ensemble::{BaselineEnsemble, EnsemblePolicy, SliceConfig, SliceEnsemble};
+pub use wire::{AddrPlan, Router, Wire};

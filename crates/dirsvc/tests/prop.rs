@@ -1,0 +1,276 @@
+//! Model-based property test: a multi-site directory service, driven with
+//! random operation sequences under both distribution policies, must
+//! always agree with a flat in-memory model of the name space.
+
+use proptest::prelude::*;
+use slice_dirsvc::{DirAction, DirServer, DirServerConfig, NamePolicy};
+use slice_hashes::{default_site_of, name_fingerprint};
+use slice_nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3};
+use slice_sim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum ModelOp {
+    Create {
+        name_ix: prop::sample::Index,
+    },
+    Remove {
+        name_ix: prop::sample::Index,
+    },
+    Lookup {
+        name_ix: prop::sample::Index,
+    },
+    Rename {
+        from_ix: prop::sample::Index,
+        to_ix: prop::sample::Index,
+    },
+    Link {
+        from_ix: prop::sample::Index,
+        to_ix: prop::sample::Index,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = ModelOp> {
+    prop_oneof![
+        3 => any::<prop::sample::Index>().prop_map(|name_ix| ModelOp::Create { name_ix }),
+        2 => any::<prop::sample::Index>().prop_map(|name_ix| ModelOp::Remove { name_ix }),
+        3 => any::<prop::sample::Index>().prop_map(|name_ix| ModelOp::Lookup { name_ix }),
+        1 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(from_ix, to_ix)| ModelOp::Rename { from_ix, to_ix }),
+        1 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(from_ix, to_ix)| ModelOp::Link { from_ix, to_ix }),
+    ]
+}
+
+struct Cluster {
+    sites: Vec<DirServer>,
+    policy: NamePolicy,
+    replies: Vec<(u64, NfsReply)>,
+    next_token: u64,
+}
+
+impl Cluster {
+    fn new(n: u32, policy: NamePolicy) -> Self {
+        Cluster {
+            sites: (0..n)
+                .map(|site| {
+                    DirServer::new(DirServerConfig {
+                        site,
+                        sites: n,
+                        policy,
+                        clock_skew: SimDuration::ZERO,
+                        wal: Default::default(),
+                    })
+                })
+                .collect(),
+            policy,
+            replies: Vec::new(),
+            next_token: 1,
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, from: u32, actions: Vec<DirAction>) {
+        for a in actions {
+            match a {
+                DirAction::Reply { token, reply, .. } => self.replies.push((token, reply)),
+                DirAction::Peer { site, msg } => {
+                    let more = self.sites[site as usize].handle_peer(now, from, msg);
+                    self.dispatch(now, site, more);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn site_for(&self, dir: &Fhandle, name: &str) -> u32 {
+        match self.policy {
+            NamePolicy::MkdirSwitching => dir.home_site(),
+            NamePolicy::NameHashing => {
+                default_site_of(name_fingerprint(&dir.0, name.as_bytes()), self.sites.len()) as u32
+            }
+        }
+    }
+
+    fn run(&mut self, now: SimTime, req: NfsRequest) -> NfsReply {
+        let site = match &req {
+            NfsRequest::Lookup { dir, name }
+            | NfsRequest::Create { dir, name, .. }
+            | NfsRequest::Remove { dir, name }
+            | NfsRequest::Link { dir, name, .. } => self.site_for(dir, name),
+            NfsRequest::Rename {
+                from_dir,
+                from_name,
+                ..
+            } => self.site_for(from_dir, from_name),
+            _ => 0,
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        let actions = self.sites[site as usize].handle_nfs(now, token, &req);
+        self.dispatch(now, site, actions);
+        let pos = self
+            .replies
+            .iter()
+            .position(|(t, _)| *t == token)
+            .expect("reply must arrive synchronously in the test harness");
+        self.replies.remove(pos).1
+    }
+}
+
+fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), TestCaseError> {
+    let names: Vec<String> = (0..12).map(|i| format!("n{i}")).collect();
+    let mut cluster = Cluster::new(sites, policy);
+    // Model: name -> file id of the bound child.
+    let mut model: HashMap<String, u64> = HashMap::new();
+    let mut fh_of: HashMap<u64, Fhandle> = HashMap::new();
+    let root = Fhandle::root();
+    let mut now = SimTime::ZERO;
+    for op in ops {
+        now += SimDuration::from_millis(20);
+        match op {
+            ModelOp::Create { name_ix } => {
+                let name = &names[name_ix.index(names.len())];
+                let reply = cluster.run(
+                    now,
+                    NfsRequest::Create {
+                        dir: root,
+                        name: name.clone(),
+                        attr: Sattr3::default(),
+                    },
+                );
+                if model.contains_key(name) {
+                    prop_assert_eq!(reply.status, NfsStatus::Exist, "create {}", name);
+                } else {
+                    prop_assert_eq!(reply.status, NfsStatus::Ok, "create {}", name);
+                    if let ReplyBody::Create { fh: Some(fh) } = reply.body {
+                        model.insert(name.clone(), fh.file_id());
+                        fh_of.insert(fh.file_id(), fh);
+                    }
+                }
+            }
+            ModelOp::Remove { name_ix } => {
+                let name = &names[name_ix.index(names.len())];
+                let reply = cluster.run(
+                    now,
+                    NfsRequest::Remove {
+                        dir: root,
+                        name: name.clone(),
+                    },
+                );
+                if model.remove(name).is_some() {
+                    prop_assert_eq!(reply.status, NfsStatus::Ok, "remove {}", name);
+                } else {
+                    prop_assert_eq!(reply.status, NfsStatus::NoEnt, "remove {}", name);
+                }
+            }
+            ModelOp::Lookup { name_ix } => {
+                let name = &names[name_ix.index(names.len())];
+                let reply = cluster.run(
+                    now,
+                    NfsRequest::Lookup {
+                        dir: root,
+                        name: name.clone(),
+                    },
+                );
+                match model.get(name) {
+                    Some(&id) => {
+                        prop_assert_eq!(reply.status, NfsStatus::Ok, "lookup {}", name);
+                        if let ReplyBody::Lookup { fh, .. } = reply.body {
+                            prop_assert_eq!(fh.file_id(), id, "lookup {} id", name);
+                        }
+                    }
+                    None => prop_assert_eq!(reply.status, NfsStatus::NoEnt, "lookup {}", name),
+                }
+            }
+            ModelOp::Rename { from_ix, to_ix } => {
+                let from = &names[from_ix.index(names.len())];
+                let to = &names[to_ix.index(names.len())];
+                if from == to {
+                    continue;
+                }
+                let reply = cluster.run(
+                    now,
+                    NfsRequest::Rename {
+                        from_dir: root,
+                        from_name: from.clone(),
+                        to_dir: root,
+                        to_name: to.clone(),
+                    },
+                );
+                match model.remove(from) {
+                    Some(id) => {
+                        prop_assert_eq!(reply.status, NfsStatus::Ok, "rename {}->{}", from, to);
+                        model.insert(to.clone(), id);
+                    }
+                    None => {
+                        prop_assert_eq!(reply.status, NfsStatus::NoEnt, "rename {}->{}", from, to)
+                    }
+                }
+            }
+            ModelOp::Link { from_ix, to_ix } => {
+                let from = &names[from_ix.index(names.len())];
+                let to = &names[to_ix.index(names.len())];
+                let Some(&id) = model.get(from) else { continue };
+                let fh = fh_of[&id];
+                let reply = cluster.run(
+                    now,
+                    NfsRequest::Link {
+                        fh,
+                        dir: root,
+                        name: to.clone(),
+                    },
+                );
+                if model.contains_key(to) {
+                    prop_assert_eq!(reply.status, NfsStatus::Exist, "link {}", to);
+                } else {
+                    prop_assert_eq!(reply.status, NfsStatus::Ok, "link {}", to);
+                    model.insert(to.clone(), id);
+                }
+            }
+        }
+    }
+    // Final sweep: the distributed service agrees with the model on every
+    // name, and the root's live-entry count matches.
+    for name in &names {
+        now += SimDuration::from_millis(1);
+        let reply = cluster.run(
+            now,
+            NfsRequest::Lookup {
+                dir: root,
+                name: name.clone(),
+            },
+        );
+        match model.get(name) {
+            Some(&id) => {
+                prop_assert_eq!(reply.status, NfsStatus::Ok);
+                if let ReplyBody::Lookup { fh, .. } = reply.body {
+                    prop_assert_eq!(fh.file_id(), id);
+                }
+            }
+            None => prop_assert_eq!(reply.status, NfsStatus::NoEnt),
+        }
+    }
+    let total_cells: usize = cluster.sites.iter().map(|s| s.name_cells()).sum();
+    prop_assert_eq!(total_cells, model.len(), "cell count vs model");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn name_hashing_matches_model(
+        sites in 1u32..5,
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        check_model(NamePolicy::NameHashing, sites, ops)?;
+    }
+
+    #[test]
+    fn mkdir_switching_matches_model(
+        sites in 1u32..5,
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        check_model(NamePolicy::MkdirSwitching, sites, ops)?;
+    }
+}

@@ -1,0 +1,154 @@
+//! Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//!
+//! The µproxy rewrites addresses, ports, and occasionally attribute fields
+//! inside UDP packets, so it must restore the UDP checksum to match the new
+//! contents. The paper's prototype does this *incrementally*: the cost is
+//! proportional to the number of modified bytes and independent of packet
+//! size (§4.1, derived from FreeBSD's NAT code). This module implements both
+//! the full ones-complement checksum and the RFC 1624 differential update
+//! the µproxy uses on its fast path.
+
+/// Computes the 16-bit ones-complement Internet checksum of `data`.
+///
+/// A trailing odd byte is padded with a zero byte, per RFC 1071. The value
+/// returned is the checksum field value (i.e. the complement of the
+/// ones-complement sum).
+pub fn inet_checksum(data: &[u8]) -> u16 {
+    !fold(raw_sum(data))
+}
+
+/// Ones-complement sum of `data` as a 32-bit accumulator (not folded).
+fn raw_sum(data: &[u8]) -> u32 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for pair in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit accumulator into 16 bits of ones-complement.
+fn fold(mut sum: u32) -> u16 {
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Incrementally updates a checksum after a 16-bit field changed from
+/// `old` to `new` (RFC 1624 equation 3: `HC' = ~(~HC + ~m + m')`).
+pub fn incremental_update16(checksum: u16, old: u16, new: u16) -> u16 {
+    let sum = u32::from(!checksum) + u32::from(!old) + u32::from(new);
+    !fold(sum)
+}
+
+/// Incrementally updates a checksum after a 32-bit field changed.
+pub fn incremental_update32(checksum: u16, old: u32, new: u32) -> u16 {
+    let c = incremental_update16(checksum, (old >> 16) as u16, (new >> 16) as u16);
+    incremental_update16(c, old as u16, new as u16)
+}
+
+/// Incrementally updates a checksum after an even-aligned byte region
+/// changed from `old` to `new` (slices must be the same, even, length and
+/// start at an even offset within the checksummed data).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have odd length.
+pub fn incremental_update_bytes(mut checksum: u16, old: &[u8], new: &[u8]) -> u16 {
+    assert_eq!(old.len(), new.len(), "old/new regions must match in length");
+    assert_eq!(old.len() % 2, 0, "regions must be 16-bit aligned");
+    for (o, n) in old.chunks_exact(2).zip(new.chunks_exact(2)) {
+        checksum = incremental_update16(
+            checksum,
+            u16::from_be_bytes([o[0], o[1]]),
+            u16::from_be_bytes([n[0], n[1]]),
+        );
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // Classic RFC 1071 example: the sum of these words is 0xddf2,
+        // so the checksum field is !0xddf2 = 0x220d.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(inet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_zero() {
+        assert_eq!(inet_checksum(&[0xab]), inet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_property() {
+        // Appending the checksum to the data makes the total sum all-ones.
+        let data = b"slice interposed request routing";
+        let c = inet_checksum(data);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(fold(raw_sum(&with)), 0xffff);
+    }
+
+    #[test]
+    fn incremental16_matches_full() {
+        let mut data = vec![0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 31 % 256) as u8;
+        }
+        let before = inet_checksum(&data);
+        let old = u16::from_be_bytes([data[10], data[11]]);
+        data[10] = 0xde;
+        data[11] = 0xad;
+        let new = u16::from_be_bytes([data[10], data[11]]);
+        assert_eq!(incremental_update16(before, old, new), inet_checksum(&data));
+    }
+
+    #[test]
+    fn incremental32_matches_full() {
+        let mut data: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        let before = inet_checksum(&data);
+        let old = u32::from_be_bytes([data[20], data[21], data[22], data[23]]);
+        data[20..24].copy_from_slice(&0xc0a8_0101u32.to_be_bytes());
+        assert_eq!(
+            incremental_update32(before, old, 0xc0a8_0101),
+            inet_checksum(&data)
+        );
+    }
+
+    #[test]
+    fn incremental_bytes_matches_full() {
+        let mut data: Vec<u8> = (0..256).map(|i| (i ^ 0x5a) as u8).collect();
+        let before = inet_checksum(&data);
+        let old = data[32..48].to_vec();
+        let new: Vec<u8> = (0..16).map(|i| (i * 13 + 1) as u8).collect();
+        data[32..48].copy_from_slice(&new);
+        assert_eq!(
+            incremental_update_bytes(before, &old, &new),
+            inet_checksum(&data)
+        );
+    }
+
+    #[test]
+    fn incremental_update_chain() {
+        // Many successive field rewrites must stay consistent.
+        let mut data = vec![0x11u8; 128];
+        let mut c = inet_checksum(&data);
+        for step in 0..50u16 {
+            let off = (step as usize * 2) % 126;
+            let old = u16::from_be_bytes([data[off], data[off + 1]]);
+            let new = step.wrapping_mul(257) ^ 0xbeef;
+            data[off..off + 2].copy_from_slice(&new.to_be_bytes());
+            c = incremental_update16(c, old, new);
+            assert_eq!(c, inet_checksum(&data), "step {step}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! FNV-1a hash, the "competing hash function" foil for MD5.
+//!
+//! The paper reports choosing MD5 empirically over cheaper hashes for its
+//! balance (§4.1). We keep FNV-1a around both as the fast non-cryptographic
+//! alternative for the distribution-quality comparison in the bench suite
+//! and as an internal hash for hot in-memory tables where distribution
+//! quality across servers is not at stake.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a over `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Continues an FNV-1a hash from a prior value, enabling multi-field keys
+/// without concatenation buffers.
+pub fn fnv1a_continue(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn continuation_equals_concatenation() {
+        let h1 = fnv1a_continue(fnv1a(b"hello, "), b"world");
+        assert_eq!(h1, fnv1a(b"hello, world"));
+    }
+
+    #[test]
+    fn distinct_inputs_differ() {
+        assert_ne!(fnv1a(b"file-1"), fnv1a(b"file-2"));
+    }
+}

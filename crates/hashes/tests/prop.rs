@@ -1,0 +1,95 @@
+//! Property tests: checksum algebra and MD5 incrementality.
+
+use proptest::prelude::*;
+use slice_hashes::{incremental_update16, incremental_update_bytes, inet_checksum, md5, Md5};
+
+proptest! {
+    /// Incremental MD5 over arbitrary chunkings equals one-shot MD5.
+    #[test]
+    fn md5_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..8)
+    ) {
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        points.push(0);
+        points.push(data.len());
+        points.sort_unstable();
+        let mut ctx = Md5::new();
+        for w in points.windows(2) {
+            ctx.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(ctx.finish(), md5(&data));
+    }
+
+    /// RFC 1624 incremental update over any single 16-bit field change
+    /// matches a full recompute.
+    #[test]
+    fn checksum_incremental_equals_full(
+        mut data in proptest::collection::vec(any::<u8>(), 2..512),
+        word in any::<prop::sample::Index>(),
+        new in any::<u16>()
+    ) {
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let off = word.index(data.len() / 2) * 2;
+        let before = inet_checksum(&data);
+        let old = u16::from_be_bytes([data[off], data[off + 1]]);
+        data[off..off + 2].copy_from_slice(&new.to_be_bytes());
+        prop_assert_eq!(
+            incremental_update16(before, old, new),
+            inet_checksum(&data)
+        );
+    }
+
+    /// Region rewrites of arbitrary even-aligned spans stay consistent.
+    #[test]
+    fn checksum_region_rewrite(
+        mut data in proptest::collection::vec(any::<u8>(), 8..512),
+        start_ix in any::<prop::sample::Index>(),
+        new in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let mut new = new;
+        if new.len() % 2 == 1 {
+            new.push(0);
+        }
+        let max_start = data.len().saturating_sub(new.len());
+        let start = (start_ix.index(max_start + 1) / 2) * 2;
+        if start + new.len() > data.len() {
+            return Ok(());
+        }
+        let before = inet_checksum(&data);
+        let old = data[start..start + new.len()].to_vec();
+        data[start..start + new.len()].copy_from_slice(&new);
+        prop_assert_eq!(
+            incremental_update_bytes(before, &old, &new),
+            inet_checksum(&data)
+        );
+    }
+
+    /// The verification property: data plus its checksum sums to all-ones,
+    /// so corrupting any single byte is detected.
+    #[test]
+    fn checksum_detects_single_byte_corruption(
+        data in proptest::collection::vec(any::<u8>(), 2..256),
+        byte in any::<prop::sample::Index>(),
+        flip in 1u8..=255
+    ) {
+        let c = inet_checksum(&data);
+        let mut corrupted = data.clone();
+        let off = byte.index(corrupted.len());
+        corrupted[off] ^= flip;
+        prop_assert_ne!(c, inet_checksum(&corrupted));
+    }
+
+    /// Fingerprint bucketing is always in range and deterministic.
+    #[test]
+    fn bucket_in_range(fp in any::<u64>(), buckets in 1usize..64) {
+        let b = slice_hashes::bucket_of(fp, buckets);
+        prop_assert!(b < buckets);
+        prop_assert_eq!(b, slice_hashes::bucket_of(fp, buckets));
+    }
+}

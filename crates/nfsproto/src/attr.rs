@@ -1,0 +1,505 @@
+//! NFS V3 file attributes (`fattr3`), settable attributes (`sattr3`), and
+//! status codes, with fixed-layout XDR codecs.
+//!
+//! The attribute wire layout is deliberately fixed-size ([`ATTR_WIRE_SIZE`])
+//! with documented field offsets: the µproxy patches `size`, `atime` and
+//! `mtime` *in place* inside response packets and repairs the UDP checksum
+//! incrementally (paper §4.1), so the byte offsets here are part of the
+//! protocol contract between `slice-nfsproto` and `slice-uproxy`.
+
+use slice_xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// NFS V3 status codes (RFC 1813 `nfsstat3`), the subset Slice produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum NfsStatus {
+    /// Success.
+    Ok = 0,
+    /// Not owner.
+    Perm = 1,
+    /// No such file or directory.
+    NoEnt = 2,
+    /// Hard I/O error.
+    Io = 5,
+    /// Permission denied.
+    Access = 13,
+    /// File exists.
+    Exist = 17,
+    /// Cross-device link.
+    XDev = 18,
+    /// Not a directory.
+    NotDir = 20,
+    /// Is a directory.
+    IsDir = 21,
+    /// Invalid argument.
+    Inval = 22,
+    /// File too large.
+    FBig = 27,
+    /// No space left.
+    NoSpc = 28,
+    /// Directory not empty.
+    NotEmpty = 66,
+    /// Stale file handle.
+    Stale = 70,
+    /// Illegal file handle.
+    BadHandle = 10001,
+    /// Readdir cookie is stale.
+    BadCookie = 10003,
+    /// Operation not supported.
+    NotSupp = 10004,
+    /// Server fault.
+    ServerFault = 10006,
+    /// Retry later (server busy / recovering).
+    JukeBox = 10008,
+}
+
+impl NfsStatus {
+    /// Decodes from the wire value.
+    pub fn from_u32(v: u32) -> Result<Self, XdrError> {
+        use NfsStatus::*;
+        Result::Ok(match v {
+            0 => NfsStatus::Ok,
+            1 => Perm,
+            2 => NoEnt,
+            5 => Io,
+            13 => Access,
+            17 => Exist,
+            18 => XDev,
+            20 => NotDir,
+            21 => IsDir,
+            22 => Inval,
+            27 => FBig,
+            28 => NoSpc,
+            66 => NotEmpty,
+            70 => Stale,
+            10001 => BadHandle,
+            10003 => BadCookie,
+            10004 => NotSupp,
+            10006 => ServerFault,
+            10008 => JukeBox,
+            other => {
+                return Err(XdrError::InvalidValue {
+                    what: "nfsstat3",
+                    value: other,
+                })
+            }
+        })
+    }
+
+    /// True for `NFS3_OK`.
+    pub fn is_ok(self) -> bool {
+        self == NfsStatus::Ok
+    }
+}
+
+/// NFS V3 file types (`ftype3`), the subset Slice stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum FileType {
+    /// Regular file.
+    Regular = 1,
+    /// Directory.
+    Directory = 2,
+    /// Symbolic link.
+    Symlink = 5,
+}
+
+impl FileType {
+    fn from_u32(v: u32) -> Result<Self, XdrError> {
+        match v {
+            1 => Ok(FileType::Regular),
+            2 => Ok(FileType::Directory),
+            5 => Ok(FileType::Symlink),
+            other => Err(XdrError::InvalidValue {
+                what: "ftype3",
+                value: other,
+            }),
+        }
+    }
+}
+
+/// An NFS timestamp (`nfstime3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NfsTime {
+    /// Seconds since the epoch.
+    pub secs: u32,
+    /// Nanoseconds.
+    pub nsecs: u32,
+}
+
+impl NfsTime {
+    /// Builds from whole nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        NfsTime {
+            secs: (ns / 1_000_000_000) as u32,
+            nsecs: (ns % 1_000_000_000) as u32,
+        }
+    }
+
+    /// Whole nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        u64::from(self.secs) * 1_000_000_000 + u64::from(self.nsecs)
+    }
+}
+
+/// Wire size of an encoded [`Fattr3`] (fixed layout).
+pub const ATTR_WIRE_SIZE: usize = 84;
+/// Byte offset of the `size` field within an encoded [`Fattr3`].
+pub const ATTR_OFF_SIZE: usize = 20;
+/// Byte offset of the `atime` field within an encoded [`Fattr3`].
+pub const ATTR_OFF_ATIME: usize = 60;
+/// Byte offset of the `mtime` field within an encoded [`Fattr3`].
+pub const ATTR_OFF_MTIME: usize = 68;
+
+/// NFS V3 file attributes (`fattr3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fattr3 {
+    /// File type.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner.
+    pub uid: u32,
+    /// Group.
+    pub gid: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// Bytes of storage actually consumed.
+    pub used: u64,
+    /// Filesystem id.
+    pub fsid: u64,
+    /// File id (matches the handle's fileID).
+    pub fileid: u64,
+    /// Last access time.
+    pub atime: NfsTime,
+    /// Last modification time.
+    pub mtime: NfsTime,
+    /// Last attribute-change time.
+    pub ctime: NfsTime,
+}
+
+impl Fattr3 {
+    /// Fresh attributes for a newly created object.
+    pub fn new(ftype: FileType, fileid: u64, mode: u32, now: NfsTime) -> Self {
+        Fattr3 {
+            ftype,
+            mode,
+            nlink: if ftype == FileType::Directory { 2 } else { 1 },
+            uid: 0,
+            gid: 0,
+            size: 0,
+            used: 0,
+            fsid: 1,
+            fileid,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        }
+    }
+
+    /// Encodes with the fixed layout documented at the module level.
+    pub fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.ftype as u32);
+        enc.put_u32(self.mode);
+        enc.put_u32(self.nlink);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u64(self.size);
+        enc.put_u64(self.used);
+        // rdev (specdata3: two u32s) — always zero for Slice file types,
+        // kept for NFS wire fidelity and decode cost realism.
+        enc.put_u32(0);
+        enc.put_u32(0);
+        enc.put_u64(self.fsid);
+        enc.put_u64(self.fileid);
+        enc.put_u32(self.atime.secs);
+        enc.put_u32(self.atime.nsecs);
+        enc.put_u32(self.mtime.secs);
+        enc.put_u32(self.mtime.nsecs);
+        enc.put_u32(self.ctime.secs);
+        enc.put_u32(self.ctime.nsecs);
+    }
+
+    /// Decodes the fixed layout.
+    pub fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let ftype = FileType::from_u32(dec.get_u32()?)?;
+        let mode = dec.get_u32()?;
+        let nlink = dec.get_u32()?;
+        let uid = dec.get_u32()?;
+        let gid = dec.get_u32()?;
+        let size = dec.get_u64()?;
+        let used = dec.get_u64()?;
+        let _rdev1 = dec.get_u32()?;
+        let _rdev2 = dec.get_u32()?;
+        let fsid = dec.get_u64()?;
+        let fileid = dec.get_u64()?;
+        let atime = NfsTime {
+            secs: dec.get_u32()?,
+            nsecs: dec.get_u32()?,
+        };
+        let mtime = NfsTime {
+            secs: dec.get_u32()?,
+            nsecs: dec.get_u32()?,
+        };
+        let ctime = NfsTime {
+            secs: dec.get_u32()?,
+            nsecs: dec.get_u32()?,
+        };
+        Ok(Fattr3 {
+            ftype,
+            mode,
+            nlink,
+            uid,
+            gid,
+            size,
+            used,
+            fsid,
+            fileid,
+            atime,
+            mtime,
+            ctime,
+        })
+    }
+}
+
+/// How a SETATTR / CREATE names a new timestamp (`set_atime`/`set_mtime`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetTime {
+    /// Leave the timestamp alone.
+    #[default]
+    DontChange,
+    /// Stamp with the server's clock.
+    ServerTime,
+    /// Stamp with a client-supplied time.
+    Client(NfsTime),
+}
+
+/// Settable attributes (`sattr3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sattr3 {
+    /// New mode, if set.
+    pub mode: Option<u32>,
+    /// New owner, if set.
+    pub uid: Option<u32>,
+    /// New group, if set.
+    pub gid: Option<u32>,
+    /// New size (truncate/extend), if set.
+    pub size: Option<u64>,
+    /// Access-time disposition.
+    pub atime: SetTime,
+    /// Modify-time disposition.
+    pub mtime: SetTime,
+}
+
+impl Sattr3 {
+    fn put_opt_u32(enc: &mut XdrEncoder, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                enc.put_bool(true);
+                enc.put_u32(x);
+            }
+            None => enc.put_bool(false),
+        }
+    }
+
+    fn put_time(enc: &mut XdrEncoder, t: SetTime) {
+        match t {
+            SetTime::DontChange => enc.put_u32(0),
+            SetTime::ServerTime => enc.put_u32(1),
+            SetTime::Client(ts) => {
+                enc.put_u32(2);
+                enc.put_u32(ts.secs);
+                enc.put_u32(ts.nsecs);
+            }
+        }
+    }
+
+    fn get_time(dec: &mut XdrDecoder<'_>) -> Result<SetTime, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(SetTime::DontChange),
+            1 => Ok(SetTime::ServerTime),
+            2 => Ok(SetTime::Client(NfsTime {
+                secs: dec.get_u32()?,
+                nsecs: dec.get_u32()?,
+            })),
+            v => Err(XdrError::InvalidValue {
+                what: "set_time",
+                value: v,
+            }),
+        }
+    }
+
+    /// Encodes per RFC 1813 `sattr3` (discriminated unions per field).
+    pub fn encode(&self, enc: &mut XdrEncoder) {
+        Self::put_opt_u32(enc, self.mode);
+        Self::put_opt_u32(enc, self.uid);
+        Self::put_opt_u32(enc, self.gid);
+        match self.size {
+            Some(s) => {
+                enc.put_bool(true);
+                enc.put_u64(s);
+            }
+            None => enc.put_bool(false),
+        }
+        Self::put_time(enc, self.atime);
+        Self::put_time(enc, self.mtime);
+    }
+
+    /// Decodes per RFC 1813.
+    pub fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let mode = if dec.get_bool()? {
+            Some(dec.get_u32()?)
+        } else {
+            None
+        };
+        let uid = if dec.get_bool()? {
+            Some(dec.get_u32()?)
+        } else {
+            None
+        };
+        let gid = if dec.get_bool()? {
+            Some(dec.get_u32()?)
+        } else {
+            None
+        };
+        let size = if dec.get_bool()? {
+            Some(dec.get_u64()?)
+        } else {
+            None
+        };
+        let atime = Self::get_time(dec)?;
+        let mtime = Self::get_time(dec)?;
+        Ok(Sattr3 {
+            mode,
+            uid,
+            gid,
+            size,
+            atime,
+            mtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_attr() -> Fattr3 {
+        Fattr3 {
+            ftype: FileType::Regular,
+            mode: 0o644,
+            nlink: 2,
+            uid: 10,
+            gid: 20,
+            size: 8300,
+            used: 8320,
+            fsid: 1,
+            fileid: 77,
+            atime: NfsTime {
+                secs: 100,
+                nsecs: 1,
+            },
+            mtime: NfsTime {
+                secs: 200,
+                nsecs: 2,
+            },
+            ctime: NfsTime {
+                secs: 300,
+                nsecs: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn attr_roundtrip_and_size() {
+        let a = sample_attr();
+        let mut e = XdrEncoder::new();
+        a.encode(&mut e);
+        let b = e.into_bytes();
+        assert_eq!(b.len(), ATTR_WIRE_SIZE);
+        assert_eq!(Fattr3::decode(&mut XdrDecoder::new(&b)).unwrap(), a);
+    }
+
+    #[test]
+    fn documented_offsets_hold() {
+        let a = sample_attr();
+        let mut e = XdrEncoder::new();
+        a.encode(&mut e);
+        let b = e.into_bytes();
+        assert_eq!(
+            u64::from_be_bytes(b[ATTR_OFF_SIZE..ATTR_OFF_SIZE + 8].try_into().unwrap()),
+            8300
+        );
+        assert_eq!(
+            u32::from_be_bytes(b[ATTR_OFF_ATIME..ATTR_OFF_ATIME + 4].try_into().unwrap()),
+            100
+        );
+        assert_eq!(
+            u32::from_be_bytes(b[ATTR_OFF_MTIME..ATTR_OFF_MTIME + 4].try_into().unwrap()),
+            200
+        );
+    }
+
+    #[test]
+    fn sattr_roundtrip_all_shapes() {
+        let cases = [
+            Sattr3::default(),
+            Sattr3 {
+                mode: Some(0o755),
+                size: Some(0),
+                mtime: SetTime::ServerTime,
+                ..Default::default()
+            },
+            Sattr3 {
+                uid: Some(5),
+                gid: Some(6),
+                atime: SetTime::Client(NfsTime { secs: 9, nsecs: 8 }),
+                mtime: SetTime::Client(NfsTime { secs: 7, nsecs: 6 }),
+                ..Default::default()
+            },
+        ];
+        for s in cases {
+            let mut e = XdrEncoder::new();
+            s.encode(&mut e);
+            let b = e.into_bytes();
+            assert_eq!(Sattr3::decode(&mut XdrDecoder::new(&b)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn status_codec() {
+        for s in [
+            NfsStatus::Ok,
+            NfsStatus::NoEnt,
+            NfsStatus::Stale,
+            NfsStatus::JukeBox,
+        ] {
+            assert_eq!(NfsStatus::from_u32(s as u32).unwrap(), s);
+        }
+        assert!(NfsStatus::from_u32(12345).is_err());
+    }
+
+    #[test]
+    fn nfstime_nanos_roundtrip() {
+        let t = NfsTime::from_nanos(1_234_567_890_123);
+        assert_eq!(t.secs, 1234);
+        assert_eq!(t.nsecs, 567_890_123);
+        assert_eq!(t.as_nanos(), 1_234_567_890_123);
+    }
+
+    #[test]
+    fn bad_file_type_rejected() {
+        let mut e = XdrEncoder::new();
+        let mut a = sample_attr();
+        a.encode(&mut e);
+        let mut b = e.into_bytes();
+        b[3] = 9; // corrupt ftype
+        assert!(Fattr3::decode(&mut XdrDecoder::new(&b)).is_err());
+        a.ftype = FileType::Symlink;
+        let mut e = XdrEncoder::new();
+        a.encode(&mut e);
+        assert!(Fattr3::decode(&mut XdrDecoder::new(e.as_bytes())).is_ok());
+    }
+}

@@ -1,0 +1,221 @@
+//! Simulated UDP datagrams: the unit the µproxy intercepts and rewrites.
+//!
+//! A [`Packet`] carries a real XDR-encoded RPC payload plus the header
+//! fields the µproxy manipulates: source/destination address and port, and
+//! a UDP-style ones-complement checksum over a pseudo-header and the
+//! payload. Rewriting an address or port goes through
+//! [`Packet::rewrite_src`]/[`Packet::rewrite_dst`], which repair the
+//! checksum *incrementally* (RFC 1624), exactly as the paper's µproxy does
+//! with code derived from FreeBSD NAT (§4.1).
+
+use slice_hashes::checksum::{incremental_update16, incremental_update32, inet_checksum};
+use slice_sim::MessageSize;
+
+/// Simulated IPv4 + UDP header bytes added to every datagram on the wire.
+pub const UDP_IP_HEADER_BYTES: usize = 28;
+
+/// An IPv4-style socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockAddr {
+    /// Host address.
+    pub ip: u32,
+    /// UDP port.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Convenience constructor.
+    pub const fn new(ip: u32, port: u16) -> Self {
+        SockAddr { ip, port }
+    }
+}
+
+impl std::fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.ip.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}:{}", self.port)
+    }
+}
+
+/// A simulated UDP datagram with a live checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source endpoint.
+    pub src: SockAddr,
+    /// Destination endpoint.
+    pub dst: SockAddr,
+    /// RPC payload bytes.
+    pub payload: Vec<u8>,
+    /// Ones-complement checksum over the pseudo-header and payload.
+    pub checksum: u16,
+}
+
+impl Packet {
+    /// Builds a packet, computing the checksum in full.
+    pub fn new(src: SockAddr, dst: SockAddr, payload: Vec<u8>) -> Self {
+        let checksum = Self::full_checksum(src, dst, &payload);
+        Packet {
+            src,
+            dst,
+            payload,
+            checksum,
+        }
+    }
+
+    fn pseudo_header(src: SockAddr, dst: SockAddr, len: usize) -> [u8; 16] {
+        let mut h = [0u8; 16];
+        h[0..4].copy_from_slice(&src.ip.to_be_bytes());
+        h[4..8].copy_from_slice(&dst.ip.to_be_bytes());
+        h[8..10].copy_from_slice(&src.port.to_be_bytes());
+        h[10..12].copy_from_slice(&dst.port.to_be_bytes());
+        h[12..16].copy_from_slice(&(len as u32).to_be_bytes());
+        h
+    }
+
+    /// Computes the checksum from scratch (used on build and in tests; the
+    /// µproxy never does this on its fast path).
+    pub fn full_checksum(src: SockAddr, dst: SockAddr, payload: &[u8]) -> u16 {
+        let mut data = Vec::with_capacity(16 + payload.len());
+        data.extend_from_slice(&Self::pseudo_header(src, dst, payload.len()));
+        data.extend_from_slice(payload);
+        inet_checksum(&data)
+    }
+
+    /// True when the stored checksum matches the contents.
+    pub fn verify(&self) -> bool {
+        self.checksum == Self::full_checksum(self.src, self.dst, &self.payload)
+    }
+
+    /// Rewrites the destination endpoint, patching the checksum
+    /// incrementally.
+    pub fn rewrite_dst(&mut self, new: SockAddr) {
+        self.checksum = incremental_update32(self.checksum, self.dst.ip, new.ip);
+        self.checksum = incremental_update16(self.checksum, self.dst.port, new.port);
+        self.dst = new;
+    }
+
+    /// Rewrites the source endpoint, patching the checksum incrementally.
+    pub fn rewrite_src(&mut self, new: SockAddr) {
+        self.checksum = incremental_update32(self.checksum, self.src.ip, new.ip);
+        self.checksum = incremental_update16(self.checksum, self.src.port, new.port);
+        self.src = new;
+    }
+
+    /// Rewrites an even-aligned region of the payload in place, patching
+    /// the checksum incrementally. `offset` must be even and the
+    /// replacement must fit and have even length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is misaligned or out of bounds.
+    pub fn rewrite_payload(&mut self, offset: usize, new_bytes: &[u8]) {
+        assert!(
+            offset.is_multiple_of(2),
+            "payload rewrite must be 16-bit aligned"
+        );
+        assert!(
+            new_bytes.len().is_multiple_of(2),
+            "payload rewrite must have even length"
+        );
+        assert!(
+            offset + new_bytes.len() <= self.payload.len(),
+            "rewrite out of bounds"
+        );
+        let old = &self.payload[offset..offset + new_bytes.len()];
+        self.checksum =
+            slice_hashes::checksum::incremental_update_bytes(self.checksum, old, new_bytes);
+        self.payload[offset..offset + new_bytes.len()].copy_from_slice(new_bytes);
+    }
+
+    /// Total bytes on the wire including simulated headers.
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + UDP_IP_HEADER_BYTES
+    }
+}
+
+impl MessageSize for Packet {
+    fn wire_size(&self) -> usize {
+        Packet::wire_size(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(ip: u32, port: u16) -> SockAddr {
+        SockAddr::new(ip, port)
+    }
+
+    #[test]
+    fn checksum_verifies_on_build() {
+        let p = Packet::new(
+            addr(0x0a000001, 700),
+            addr(0x0a0000fe, 2049),
+            b"payload!".to_vec(),
+        );
+        assert!(p.verify());
+    }
+
+    #[test]
+    fn rewrite_dst_keeps_checksum_valid() {
+        let mut p = Packet::new(
+            addr(0x0a000001, 700),
+            addr(0x0a0000fe, 2049),
+            vec![7u8; 301],
+        );
+        p.rewrite_dst(addr(0x0a000042, 3049));
+        assert_eq!(p.dst, addr(0x0a000042, 3049));
+        assert!(p.verify(), "incremental dst rewrite broke checksum");
+    }
+
+    #[test]
+    fn rewrite_src_keeps_checksum_valid() {
+        let mut p = Packet::new(
+            addr(0x0a000001, 700),
+            addr(0x0a0000fe, 2049),
+            vec![0xffu8; 64],
+        );
+        p.rewrite_src(addr(0xc0a80101, 999));
+        assert!(p.verify(), "incremental src rewrite broke checksum");
+    }
+
+    #[test]
+    fn chained_rewrites_stay_valid() {
+        let mut p = Packet::new(addr(1, 1), addr(2, 2), (0..255u8).collect());
+        // Odd payload length exercises the padded final word.
+        for i in 0..20u32 {
+            p.rewrite_dst(addr(i * 7 + 3, (i * 13 + 1) as u16));
+            p.rewrite_src(addr(i * 11 + 5, (i * 17 + 2) as u16));
+            assert!(p.verify(), "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn payload_rewrite_keeps_checksum_valid() {
+        let mut p = Packet::new(addr(1, 1), addr(2, 2), vec![0x33u8; 128]);
+        p.rewrite_payload(40, &[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(&p.payload[40..44], &[0xde, 0xad, 0xbe, 0xef]);
+        assert!(p.verify());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn payload_rewrite_bounds_checked() {
+        let mut p = Packet::new(addr(1, 1), addr(2, 2), vec![0u8; 8]);
+        p.rewrite_payload(6, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut p = Packet::new(addr(1, 1), addr(2, 2), vec![9u8; 40]);
+        p.payload[17] ^= 0x40;
+        assert!(!p.verify());
+    }
+
+    #[test]
+    fn wire_size_includes_headers() {
+        let p = Packet::new(addr(1, 1), addr(2, 2), vec![0u8; 100]);
+        assert_eq!(MessageSize::wire_size(&p), 128);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests: NFS message roundtrips, packet rewriting invariants,
+//! and decoder totality.
+
+use proptest::prelude::*;
+use slice_nfsproto::{
+    decode_call, decode_reply, encode_call, encode_reply, AuthUnix, Fattr3, Fhandle, FileType,
+    NfsProc, NfsReply, NfsRequest, NfsStatus, NfsTime, Packet, ReplyBody, Sattr3, SockAddr,
+    StableHow,
+};
+
+fn fh_strategy() -> impl Strategy<Value = Fhandle> {
+    (
+        any::<u64>(),
+        0u32..16,
+        any::<u8>(),
+        any::<u64>(),
+        any::<u16>(),
+    )
+        .prop_map(|(id, site, flags, key, gen)| Fhandle::new(id, site, flags, key, gen))
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9._-]{1,48}"
+}
+
+fn req_strategy() -> impl Strategy<Value = NfsRequest> {
+    prop_oneof![
+        fh_strategy().prop_map(|fh| NfsRequest::Getattr { fh }),
+        (fh_strategy(), name_strategy()).prop_map(|(dir, name)| NfsRequest::Lookup { dir, name }),
+        (fh_strategy(), any::<u64>(), 0u32..100_000)
+            .prop_map(|(fh, offset, count)| NfsRequest::Read { fh, offset, count }),
+        (
+            fh_strategy(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(fh, offset, data)| NfsRequest::Write {
+                fh,
+                offset,
+                stable: StableHow::Unstable,
+                data
+            }),
+        (fh_strategy(), name_strategy()).prop_map(|(dir, name)| NfsRequest::Create {
+            dir,
+            name,
+            attr: Sattr3::default()
+        }),
+        (fh_strategy(), name_strategy()).prop_map(|(dir, name)| NfsRequest::Remove { dir, name }),
+        (
+            fh_strategy(),
+            name_strategy(),
+            fh_strategy(),
+            name_strategy()
+        )
+            .prop_map(|(f, fname, t, tname)| NfsRequest::Rename {
+                from_dir: f,
+                from_name: fname,
+                to_dir: t,
+                to_name: tname
+            }),
+        (fh_strategy(), any::<u64>(), any::<u64>(), 0u32..65536).prop_map(
+            |(dir, cookie, verf, count)| NfsRequest::Readdir {
+                dir,
+                cookie,
+                cookieverf: verf,
+                count
+            }
+        ),
+        (fh_strategy(), any::<u64>(), 0u32..100_000)
+            .prop_map(|(fh, offset, count)| NfsRequest::Commit { fh, offset, count }),
+    ]
+}
+
+fn attr_strategy() -> impl Strategy<Value = Fattr3> {
+    (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(id, size, secs, nsecs)| {
+        let mut a = Fattr3::new(
+            FileType::Regular,
+            id,
+            0o644,
+            NfsTime {
+                secs,
+                nsecs: nsecs % 1_000_000_000,
+            },
+        );
+        a.size = size;
+        a
+    })
+}
+
+proptest! {
+    /// Every generated call survives an encode/decode roundtrip.
+    #[test]
+    fn calls_roundtrip(req in req_strategy(), xid in any::<u32>()) {
+        let payload = encode_call(xid, &AuthUnix::default(), &req);
+        let (hdr, got) = decode_call(&payload).expect("decode");
+        prop_assert_eq!(hdr.xid, xid);
+        prop_assert_eq!(got, req);
+    }
+
+    /// Replies roundtrip, preserving the attribute block exactly.
+    #[test]
+    fn replies_roundtrip(attr in attr_strategy(), xid in any::<u32>(), data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let reply = NfsReply {
+            proc: NfsProc::Read,
+            status: NfsStatus::Ok,
+            attr: Some(attr),
+            body: ReplyBody::Read { data: data.clone(), eof: data.is_empty() },
+        };
+        let payload = encode_reply(xid, &reply);
+        let (got_xid, got) = decode_reply(&payload, NfsProc::Read).expect("decode");
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(got, reply);
+    }
+
+    /// The call decoder never panics on arbitrary bytes.
+    #[test]
+    fn call_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_call(&bytes);
+    }
+
+    /// The reply decoder never panics on arbitrary bytes for any proc.
+    #[test]
+    fn reply_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512), p in 0u32..22) {
+        if let Ok(proc) = NfsProc::from_u32(p) {
+            let _ = decode_reply(&bytes, proc);
+        }
+    }
+
+    /// Any chain of address/port rewrites preserves checksum validity —
+    /// the µproxy's core packet invariant.
+    #[test]
+    fn rewrite_chains_keep_checksums_valid(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        hops in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<bool>()), 0..12)
+    ) {
+        let mut pkt = Packet::new(SockAddr::new(1, 1), SockAddr::new(2, 2), payload);
+        prop_assert!(pkt.verify());
+        for (ip, port, is_src) in hops {
+            if is_src {
+                pkt.rewrite_src(SockAddr::new(ip, port));
+            } else {
+                pkt.rewrite_dst(SockAddr::new(ip, port));
+            }
+            prop_assert!(pkt.verify(), "checksum broke mid-chain");
+        }
+    }
+
+    /// In-place payload rewrites (the attribute patch) preserve validity.
+    #[test]
+    fn payload_patch_keeps_checksum_valid(
+        payload in proptest::collection::vec(any::<u8>(), 16..512),
+        patch in proptest::collection::vec(any::<u8>(), 1..8),
+        at in any::<prop::sample::Index>()
+    ) {
+        let mut patch = patch;
+        if patch.len() % 2 == 1 {
+            patch.push(0);
+        }
+        let mut pkt = Packet::new(SockAddr::new(1, 1), SockAddr::new(2, 2), payload);
+        let max_off = pkt.payload.len() - patch.len();
+        let off = (at.index(max_off + 1) / 2) * 2;
+        pkt.rewrite_payload(off, &patch);
+        prop_assert!(pkt.verify());
+        prop_assert_eq!(&pkt.payload[off..off + patch.len()], &patch[..]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Byte-budget LRU cache bookkeeping.
+//!
+//! Servers in the ensemble (storage nodes, small-file servers, the µproxy's
+//! attribute cache) are memory-limited; SPECsfs latency behaviour in the
+//! paper (Figure 6) hinges on the small-file servers overflowing their 1 GB
+//! of cache. This LRU tracks *which* items are resident and charges evictions
+//! to the caller; the cached payloads themselves live with the owning actor.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// An LRU set with a byte capacity.
+#[derive(Debug, Clone)]
+pub struct LruCache<K: Eq + Hash + Clone> {
+    capacity: u64,
+    used: u64,
+    seq: u64,
+    /// key -> (lru sequence, size)
+    map: HashMap<K, (u64, u64)>,
+    /// lru sequence -> key
+    order: BTreeMap<u64, K>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone> LruCache<K> {
+    /// Creates a cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            seq: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Bytes currently accounted resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some((old_seq, size)) = self.map.get(key).copied() {
+            self.order.remove(&old_seq);
+            let s = self.seq;
+            self.seq += 1;
+            self.order.insert(s, key.clone());
+            self.map.insert(key.clone(), (s, size));
+        }
+    }
+
+    /// Looks up `key`, refreshing recency; records a hit or miss.
+    pub fn get(&mut self, key: &K) -> bool {
+        if self.map.contains_key(key) {
+            self.hits += 1;
+            self.touch(key);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks residency without recency or statistics side effects.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts (or resizes) `key` at `size` bytes, returning the keys
+    /// evicted to make room. An entry larger than the whole capacity is
+    /// admitted alone (matching a buffer cache that must stage the block).
+    pub fn insert(&mut self, key: K, size: u64) -> Vec<K> {
+        if let Some((old_seq, old_size)) = self.map.remove(&key) {
+            self.order.remove(&old_seq);
+            self.used -= old_size;
+        }
+        let s = self.seq;
+        self.seq += 1;
+        self.order.insert(s, key.clone());
+        self.map.insert(key, (s, size));
+        self.used += size;
+        let mut evicted = Vec::new();
+        while self.used > self.capacity && self.map.len() > 1 {
+            let (&victim_seq, _) = self.order.iter().next().expect("nonempty");
+            let victim = self.order.remove(&victim_seq).expect("victim key");
+            let (_, vsize) = self.map.remove(&victim).expect("victim entry");
+            self.used -= vsize;
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Removes `key` if resident; returns its size.
+    pub fn remove(&mut self, key: &K) -> Option<u64> {
+        let (seq, size) = self.map.remove(key)?;
+        self.order.remove(&seq);
+        self.used -= size;
+        Some(size)
+    }
+
+    /// (hits, misses, evictions) since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Hit ratio in [0, 1]; zero before any lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c = LruCache::new(100);
+        assert!(!c.get(&1));
+        c.insert(1, 10);
+        assert!(c.get(&1));
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recent_first() {
+        let mut c = LruCache::new(30);
+        c.insert("a", 10);
+        c.insert("b", 10);
+        c.insert("c", 10);
+        assert!(c.get(&"a")); // refresh a; b is now coldest
+        let evicted = c.insert("d", 10);
+        assert_eq!(evicted, vec!["b"]);
+        assert!(c.contains(&"a") && c.contains(&"c") && c.contains(&"d"));
+    }
+
+    #[test]
+    fn resize_updates_accounting() {
+        let mut c = LruCache::new(100);
+        c.insert(1, 40);
+        c.insert(1, 70);
+        assert_eq!(c.used(), 70);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_admitted_alone() {
+        let mut c = LruCache::new(10);
+        c.insert(1, 5);
+        let evicted = c.insert(2, 50);
+        assert_eq!(evicted, vec![1]);
+        assert!(c.contains(&2));
+        assert_eq!(c.used(), 50);
+    }
+
+    #[test]
+    fn remove_frees_budget() {
+        let mut c = LruCache::new(20);
+        c.insert(1, 15);
+        assert_eq!(c.remove(&1), Some(15));
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.remove(&1), None);
+        assert!(c.insert(2, 20).is_empty());
+    }
+
+    #[test]
+    fn many_insertions_stay_within_budget() {
+        let mut c = LruCache::new(1000);
+        for i in 0..10_000u64 {
+            c.insert(i, 7);
+        }
+        assert!(c.used() <= 1000);
+        let (_, _, ev) = c.stats();
+        assert!(ev > 9_000);
+    }
+}

@@ -1,0 +1,823 @@
+//! Discrete-event engine: nodes, CPU service queues, timers, and the
+//! switched-LAN network model.
+//!
+//! Every Slice component (client + embedded µproxy, storage node, directory
+//! server, small-file server, baseline NFS/MFS servers) is an [`Actor`]
+//! attached to a node. Nodes exchange messages through a star-topology
+//! switched network (§ [`crate::net`] parameters) and serialize their message
+//! handling on a single simulated CPU: a handler declares how much CPU time
+//! the work consumed via [`Ctx::use_cpu`], and subsequent messages queue
+//! behind it. This is what makes the paper's saturation behaviours — an MFS
+//! server pegging its CPU, a client NFS stack topping out below 40 MB/s —
+//! emerge from the model rather than being painted on.
+//!
+//! The engine is deterministic: ties in the event queue break on insertion
+//! order and all randomness flows from one seeded RNG.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::net::NetConfig;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node (one actor) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a pending timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// Messages must report their wire size so the network model can charge
+/// serialization time.
+pub trait MessageSize {
+    /// Size in bytes as transmitted on the wire (payload; framing overhead
+    /// is added by the network model).
+    fn wire_size(&self) -> usize;
+}
+
+impl MessageSize for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A simulation participant.
+///
+/// Handlers run to completion at a single instant; the CPU time they declare
+/// with [`Ctx::use_cpu`] delays their *outputs* and any queued work behind
+/// them. Implementors must also provide `Any` access so test and experiment
+/// harnesses can inspect actor state after a run.
+pub trait Actor<M>: 'static {
+    /// Handles a message delivered from `from`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// Handles a timer previously set with [`Ctx::set_timer`].
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// Invoked when the engine fails this node (crash injection); volatile
+    /// state should be discarded here. `now` is the crash instant (e.g.
+    /// the cut-off for write-ahead-log durability).
+    fn on_fail(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Invoked when the engine brings this node back up.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// `Any` access for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable `Any` access for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Timer tag delivered by [`Engine::kick`]; actors treat it as "start".
+pub const START_TAG: u64 = u64::MAX;
+
+enum QueueItem<M> {
+    Message { from: NodeId, msg: M },
+    Timer { tag: u64 },
+    Restart,
+}
+
+enum Event<M> {
+    /// A message finishes its network journey and joins the node's queue.
+    Arrive { to: NodeId, from: NodeId, msg: M },
+    /// The node's CPU is free to process the next queued item.
+    Process { node: NodeId },
+    /// A timer fires (checked against the cancelled set).
+    TimerFire { node: NodeId, tag: u64, id: TimerId },
+}
+
+struct EventEntry<M> {
+    time: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for EventEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for EventEntry<M> {}
+impl<M> PartialOrd for EventEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for EventEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeState<M> {
+    name: String,
+    queue: VecDeque<QueueItem<M>>,
+    /// True when a `Process` event is in flight for this node.
+    process_scheduled: bool,
+    /// CPU is busy (serving) until this instant.
+    busy_until: SimTime,
+    /// Egress link occupied until this instant.
+    egress_free: SimTime,
+    up: bool,
+    /// Total CPU busy time, for utilization reporting.
+    cpu_busy: SimDuration,
+    messages_handled: u64,
+}
+
+/// Per-node runtime statistics exposed after a run.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Node name given at creation.
+    pub name: String,
+    /// Accumulated CPU service time.
+    pub cpu_busy: SimDuration,
+    /// Messages and timers handled.
+    pub messages_handled: u64,
+}
+
+struct Core<M> {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventEntry<M>>>,
+    nodes: Vec<NodeState<M>>,
+    /// Switch egress port towards each node occupied until this instant.
+    switch_egress_free: Vec<SimTime>,
+    net: NetConfig,
+    rng: StdRng,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    packets_sent: u64,
+    packets_dropped: u64,
+    bytes_sent: u64,
+}
+
+impl<M: MessageSize> Core<M> {
+    fn push(&mut self, time: SimTime, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry { time, seq, event }));
+    }
+
+    /// Models the two-hop (host link, switch port) path and schedules the
+    /// arrival. `depart` is when the first bit may leave the source NIC.
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: M, depart: SimTime) {
+        self.packets_sent += 1;
+        let size = msg.wire_size();
+        self.bytes_sent += size as u64;
+        if self.net.loss_prob > 0.0 && self.rng.gen::<f64>() < self.net.loss_prob {
+            self.packets_dropped += 1;
+            return;
+        }
+        let tx = self.net.tx_time(size);
+        // Source NIC serialization.
+        let src_start = self.nodes[from.idx()].egress_free.max(depart);
+        let src_done = src_start + tx;
+        self.nodes[from.idx()].egress_free = src_done;
+        // Store-and-forward at the switch, then serialization on the egress
+        // port toward the destination.
+        let at_switch = src_done + self.net.prop_delay + self.net.switch_latency;
+        let port_start = self.switch_egress_free[to.idx()].max(at_switch);
+        let port_done = port_start + tx;
+        self.switch_egress_free[to.idx()] = port_done;
+        let arrive = port_done + self.net.prop_delay;
+        self.push(arrive, Event::Arrive { to, from, msg });
+    }
+
+    fn enqueue_local(&mut self, to: NodeId, item: QueueItem<M>, at: SimTime) {
+        let node = &mut self.nodes[to.idx()];
+        if !node.up {
+            return;
+        }
+        node.queue.push_back(item);
+        if !node.process_scheduled {
+            node.process_scheduled = true;
+            let when = node.busy_until.max(at);
+            self.push(when, Event::Process { node: to });
+        }
+    }
+}
+
+/// Buffered side effect of a handler invocation.
+enum Output<M> {
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    SendLocal {
+        to: NodeId,
+        msg: M,
+    },
+    Timer {
+        delay: SimDuration,
+        tag: u64,
+        id: TimerId,
+    },
+}
+
+/// Handler-side view of the engine: clock, RNG, sends, timers, CPU charge.
+pub struct Ctx<'a, M> {
+    core: &'a mut Core<M>,
+    node: NodeId,
+    cpu_used: SimDuration,
+    outputs: Vec<Output<M>>,
+}
+
+impl<'a, M: MessageSize> Ctx<'a, M> {
+    /// Current simulated time (the instant this handler runs).
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The node this handler is running on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Charges `d` of CPU time to this node; outputs of this handler and
+    /// any queued work are delayed accordingly.
+    pub fn use_cpu(&mut self, d: SimDuration) {
+        self.cpu_used += d;
+    }
+
+    /// Sends `msg` to `to` through the network model.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outputs.push(Output::Send { to, msg });
+    }
+
+    /// Delivers `msg` to `to` bypassing the network (host-internal path,
+    /// e.g. a coordinator co-located with a storage node).
+    pub fn send_local(&mut self, to: NodeId, msg: M) {
+        self.outputs.push(Output::SendLocal { to, msg });
+    }
+
+    /// Schedules `on_timer(tag)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        self.outputs.push(Output::Timer { delay, tag, id });
+        id
+    }
+
+    /// Cancels a pending timer; firing a cancelled timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancelled.insert(id.0);
+    }
+
+    /// The simulation's seeded RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Engine<M> {
+    core: Core<M>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+}
+
+impl<M: MessageSize + 'static> Engine<M> {
+    /// Creates an engine with the given network model and RNG seed.
+    pub fn new(net: NetConfig, seed: u64) -> Self {
+        Engine {
+            core: Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                nodes: Vec::new(),
+                switch_egress_free: Vec::new(),
+                net,
+                rng: StdRng::seed_from_u64(seed),
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                packets_sent: 0,
+                packets_dropped: 0,
+                bytes_sent: 0,
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Adds a node running `actor`; returns its id.
+    pub fn add_node(&mut self, name: &str, actor: Box<dyn Actor<M>>) -> NodeId {
+        let id = NodeId(self.core.nodes.len() as u32);
+        self.core.nodes.push(NodeState {
+            name: name.to_string(),
+            queue: VecDeque::new(),
+            process_scheduled: false,
+            busy_until: SimTime::ZERO,
+            egress_free: SimTime::ZERO,
+            up: true,
+            cpu_busy: SimDuration::ZERO,
+            messages_handled: 0,
+        });
+        self.core.switch_egress_free.push(SimTime::ZERO);
+        self.actors.push(Some(actor));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Network loss probability control (failure injection).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        self.core.net.loss_prob = p;
+    }
+
+    /// Delivers `on_timer(START_TAG)` to `node` at the current time;
+    /// conventionally starts workload generators.
+    pub fn kick(&mut self, node: NodeId) {
+        let id = TimerId(self.core.next_timer);
+        self.core.next_timer += 1;
+        let now = self.core.now;
+        self.core.push(
+            now,
+            Event::TimerFire {
+                node,
+                tag: START_TAG,
+                id,
+            },
+        );
+    }
+
+    /// Injects a message from outside the simulation.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let now = self.core.now;
+        self.core.transmit(from, to, msg, now);
+    }
+
+    /// Crashes `node`: volatile state is dropped via [`Actor::on_fail`],
+    /// queued and in-flight work addressed to it is lost.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let now = self.core.now;
+        let n = &mut self.core.nodes[node.idx()];
+        n.up = false;
+        n.queue.clear();
+        if let Some(actor) = self.actors[node.idx()].as_mut() {
+            actor.on_fail(now);
+        }
+    }
+
+    /// Restarts a failed node; the actor's [`Actor::on_restart`] hook runs
+    /// (as a queued item) so it can begin recovery.
+    pub fn recover_node(&mut self, node: NodeId) {
+        let now = self.core.now;
+        {
+            let n = &mut self.core.nodes[node.idx()];
+            n.up = true;
+            n.busy_until = now;
+        }
+        self.core.enqueue_local(node, QueueItem::Restart, now);
+    }
+
+    /// True if the node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.core.nodes[node.idx()].up
+    }
+
+    /// Runs a single event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.core.events.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.core.now, "time went backwards");
+        self.core.now = entry.time;
+        match entry.event {
+            Event::Arrive { to, from, msg } => {
+                let now = self.core.now;
+                self.core
+                    .enqueue_local(to, QueueItem::Message { from, msg }, now);
+            }
+            Event::TimerFire { node, tag, id } => {
+                if self.core.cancelled.remove(&id.0) {
+                    return true;
+                }
+                let now = self.core.now;
+                self.core.enqueue_local(node, QueueItem::Timer { tag }, now);
+            }
+            Event::Process { node } => {
+                self.process(node);
+            }
+        }
+        true
+    }
+
+    fn process(&mut self, node: NodeId) {
+        let item = {
+            let n = &mut self.core.nodes[node.idx()];
+            n.process_scheduled = false;
+            if !n.up {
+                n.queue.clear();
+                return;
+            }
+            match n.queue.pop_front() {
+                Some(item) => item,
+                None => return,
+            }
+        };
+        let mut actor = self.actors[node.idx()].take().expect("actor reentrancy");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+            cpu_used: SimDuration::ZERO,
+            outputs: Vec::new(),
+        };
+        match item {
+            QueueItem::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
+            QueueItem::Timer { tag } => actor.on_timer(&mut ctx, tag),
+            QueueItem::Restart => actor.on_restart(&mut ctx),
+        }
+        let cpu = ctx.cpu_used;
+        let outputs = std::mem::take(&mut ctx.outputs);
+        drop(ctx);
+        self.actors[node.idx()] = Some(actor);
+
+        let done = self.core.now + cpu;
+        {
+            let n = &mut self.core.nodes[node.idx()];
+            n.busy_until = done;
+            n.cpu_busy += cpu;
+            n.messages_handled += 1;
+        }
+        for out in outputs {
+            match out {
+                Output::Send { to, msg } => self.core.transmit(node, to, msg, done),
+                Output::SendLocal { to, msg } => {
+                    self.core.push(
+                        done,
+                        Event::Arrive {
+                            to,
+                            from: node,
+                            msg,
+                        },
+                    );
+                }
+                Output::Timer { delay, tag, id } => {
+                    self.core
+                        .push(done + delay, Event::TimerFire { node, tag, id });
+                }
+            }
+        }
+        // Serve the next queued item once the CPU frees up.
+        let more = !self.core.nodes[node.idx()].queue.is_empty();
+        if more {
+            self.core.nodes[node.idx()].process_scheduled = true;
+            self.core.push(done, Event::Process { node });
+        }
+    }
+
+    /// Runs until the event queue drains or `limit` events execute.
+    ///
+    /// Returns the number of events executed.
+    pub fn run_until_idle(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until simulated time reaches `t` (events at exactly `t` run).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(e)) = self.core.events.peek() {
+            if e.time > t {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < t {
+            self.core.now = t;
+        }
+    }
+
+    /// Immutable access to an actor's concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range or the type does not match.
+    pub fn actor<T: Actor<M>>(&self, node: NodeId) -> &T {
+        self.actors[node.idx()]
+            .as_ref()
+            .expect("actor checked out")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("actor type mismatch")
+    }
+
+    /// Mutable access to an actor's concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range or the type does not match.
+    pub fn actor_mut<T: Actor<M>>(&mut self, node: NodeId) -> &mut T {
+        self.actors[node.idx()]
+            .as_mut()
+            .expect("actor checked out")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("actor type mismatch")
+    }
+
+    /// Per-node statistics.
+    pub fn node_stats(&self, node: NodeId) -> NodeStats {
+        let n = &self.core.nodes[node.idx()];
+        NodeStats {
+            name: n.name.clone(),
+            cpu_busy: n.cpu_busy,
+            messages_handled: n.messages_handled,
+        }
+    }
+
+    /// Total packets handed to the network model.
+    pub fn packets_sent(&self) -> u64 {
+        self.core.packets_sent
+    }
+
+    /// Packets dropped by loss injection.
+    pub fn packets_dropped(&self) -> u64 {
+        self.core.packets_dropped
+    }
+
+    /// Total payload bytes handed to the network model.
+    pub fn bytes_sent(&self) -> u64 {
+        self.core.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetConfig;
+    use std::any::Any;
+
+    /// Echoes every message back to its sender after `service` CPU time.
+    struct Echo {
+        service: SimDuration,
+        seen: Vec<(SimTime, Vec<u8>)>,
+    }
+
+    impl Actor<Vec<u8>> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, from: NodeId, msg: Vec<u8>) {
+            ctx.use_cpu(self.service);
+            self.seen.push((ctx.now(), msg.clone()));
+            ctx.send(from, msg);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `count` pings at start, records reply times.
+    struct Pinger {
+        peer: NodeId,
+        count: usize,
+        replies: Vec<SimTime>,
+    }
+
+    impl Actor<Vec<u8>> for Pinger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _from: NodeId, _msg: Vec<u8>) {
+            self.replies.push(ctx.now());
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, tag: u64) {
+            assert_eq!(tag, START_TAG);
+            for i in 0..self.count {
+                ctx.send(self.peer, vec![i as u8; 100]);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn net() -> NetConfig {
+        NetConfig::gigabit()
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut eng = Engine::new(net(), 1);
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::from_micros(10),
+                seen: vec![],
+            }),
+        );
+        let pinger = eng.add_node(
+            "pinger",
+            Box::new(Pinger {
+                peer: echo,
+                count: 3,
+                replies: vec![],
+            }),
+        );
+        eng.kick(pinger);
+        eng.run_until_idle(10_000);
+        let p: &Pinger = eng.actor(pinger);
+        assert_eq!(p.replies.len(), 3);
+        let e: &Echo = eng.actor(echo);
+        assert_eq!(e.seen.len(), 3);
+        // CPU serialization: consecutive handlings at least `service` apart.
+        for w in e.seen.windows(2) {
+            assert!(w[1].0 - w[0].0 >= SimDuration::from_micros(10));
+        }
+    }
+
+    #[test]
+    fn cpu_queueing_delays_followers() {
+        let mut eng = Engine::new(net(), 1);
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::from_millis(1),
+                seen: vec![],
+            }),
+        );
+        let pinger = eng.add_node(
+            "pinger",
+            Box::new(Pinger {
+                peer: echo,
+                count: 5,
+                replies: vec![],
+            }),
+        );
+        eng.kick(pinger);
+        eng.run_until_idle(10_000);
+        let p: &Pinger = eng.actor(pinger);
+        assert_eq!(p.replies.len(), 5);
+        // Replies spaced by the 1 ms service time (server is the bottleneck).
+        for w in p.replies.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(
+                gap >= SimDuration::from_micros(990),
+                "replies not serialized: gap {gap}"
+            );
+        }
+        let stats = eng.node_stats(echo);
+        assert_eq!(stats.cpu_busy, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut eng = Engine::new(net(), 42);
+            let echo = eng.add_node(
+                "echo",
+                Box::new(Echo {
+                    service: SimDuration::from_micros(7),
+                    seen: vec![],
+                }),
+            );
+            let pinger = eng.add_node(
+                "pinger",
+                Box::new(Pinger {
+                    peer: echo,
+                    count: 10,
+                    replies: vec![],
+                }),
+            );
+            eng.kick(pinger);
+            eng.run_until_idle(100_000);
+            let p: &Pinger = eng.actor(pinger);
+            (p.replies.clone(), eng.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn packet_loss_drops_messages() {
+        let mut cfg = net();
+        cfg.loss_prob = 1.0;
+        let mut eng = Engine::new(cfg, 1);
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::ZERO,
+                seen: vec![],
+            }),
+        );
+        let pinger = eng.add_node(
+            "pinger",
+            Box::new(Pinger {
+                peer: echo,
+                count: 4,
+                replies: vec![],
+            }),
+        );
+        eng.kick(pinger);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echo).seen.len(), 0);
+        assert_eq!(eng.packets_dropped(), 4);
+    }
+
+    #[test]
+    fn failed_node_drops_traffic_until_recovered() {
+        let mut eng = Engine::new(net(), 1);
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::ZERO,
+                seen: vec![],
+            }),
+        );
+        let pinger = eng.add_node(
+            "pinger",
+            Box::new(Pinger {
+                peer: echo,
+                count: 2,
+                replies: vec![],
+            }),
+        );
+        eng.fail_node(echo);
+        eng.kick(pinger);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Pinger>(pinger).replies.len(), 0);
+        eng.recover_node(echo);
+        eng.inject(pinger, echo, vec![9]);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echo).seen.len(), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut eng: Engine<Vec<u8>> = Engine::new(net(), 1);
+        eng.run_until(SimTime::from_nanos(500));
+        assert_eq!(eng.now(), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        // 100 x 100 KB messages over a 1 Gb/s link must take at least
+        // 10 MB / 125 MB/s = 80 ms of serialization time.
+        struct Sink {
+            last: SimTime,
+            n: usize,
+        }
+        impl Actor<Vec<u8>> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _f: NodeId, _m: Vec<u8>) {
+                self.last = ctx.now();
+                self.n += 1;
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut eng = Engine::new(net(), 1);
+        let sink = eng.add_node(
+            "sink",
+            Box::new(Sink {
+                last: SimTime::ZERO,
+                n: 0,
+            }),
+        );
+        let pinger = eng.add_node(
+            "pinger",
+            Box::new(Pinger {
+                peer: sink,
+                count: 100,
+                replies: vec![],
+            }),
+        );
+        // Pinger sends 100-byte messages; replace with large ones via inject.
+        let _ = pinger;
+        for _ in 0..100 {
+            eng.inject(pinger, sink, vec![0u8; 100 * 1024]);
+        }
+        eng.run_until_idle(100_000);
+        let s: &Sink = eng.actor(sink);
+        assert_eq!(s.n, 100);
+        assert!(
+            s.last >= SimTime::ZERO + SimDuration::from_millis(80),
+            "arrived too fast: {}",
+            s.last
+        );
+    }
+}

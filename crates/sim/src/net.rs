@@ -1,0 +1,83 @@
+//! Network model parameters: a star-topology switched LAN.
+//!
+//! The paper's testbed is a 32-port Extreme Summit-7i Gigabit Ethernet
+//! switch with Alteon ACEnic adapters running 9 KB jumbo frames. The model
+//! charges per-frame serialization on the sender's NIC and again on the
+//! switch egress port (store-and-forward), plus propagation and switch
+//! forwarding latency. That reproduces the two effects the paper depends
+//! on: links saturate at wire speed under bulk I/O, and small-RPC latency
+//! is microseconds, not milliseconds.
+
+use crate::time::SimDuration;
+
+/// Parameters of the simulated switched LAN.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Link rate in bytes per second (both NIC and switch ports).
+    pub bandwidth_bps: f64,
+    /// Maximum frame payload (jumbo frames: 9000 bytes).
+    pub frame_payload: usize,
+    /// Per-frame framing overhead in bytes (Ethernet + IP + UDP headers,
+    /// preamble, inter-frame gap).
+    pub frame_overhead: usize,
+    /// One-way propagation delay per hop.
+    pub prop_delay: SimDuration,
+    /// Switch forwarding decision latency.
+    pub switch_latency: SimDuration,
+    /// Probability that any given packet is dropped (loss injection).
+    pub loss_prob: f64,
+}
+
+impl NetConfig {
+    /// Gigabit Ethernet with 9 KB jumbo frames, matching the testbed.
+    pub fn gigabit() -> Self {
+        NetConfig {
+            bandwidth_bps: 125_000_000.0, // 1 Gb/s
+            frame_payload: 9000,
+            frame_overhead: 70,
+            prop_delay: SimDuration::from_micros(1),
+            switch_latency: SimDuration::from_micros(4),
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Serialization time for a `size`-byte message on one link.
+    pub fn tx_time(&self, size: usize) -> SimDuration {
+        let frames = size.div_ceil(self.frame_payload).max(1);
+        let wire_bytes = size + frames * self.frame_overhead;
+        SimDuration::from_secs_f64(wire_bytes as f64 / self.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_rates() {
+        let net = NetConfig::gigabit();
+        // A full jumbo frame: (9000 + 70) bytes at 125 MB/s = 72.56 µs.
+        let t = net.tx_time(9000);
+        assert!(t >= SimDuration::from_micros(72) && t <= SimDuration::from_micros(73));
+        // An empty message still occupies one frame of overhead.
+        assert!(net.tx_time(0) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn large_transfers_scale_linearly() {
+        let net = NetConfig::gigabit();
+        let one = net.tx_time(9000).as_nanos();
+        let ten = net.tx_time(90_000).as_nanos();
+        assert!((ten as i64 - 10 * one as i64).unsigned_abs() < one);
+    }
+
+    #[test]
+    fn fragmentation_adds_overhead() {
+        let net = NetConfig::gigabit();
+        // 32 KB needs four frames; overhead must exceed a single frame's.
+        let t32k = net.tx_time(32 * 1024);
+        let ideal = SimDuration::from_secs_f64(32.0 * 1024.0 / net.bandwidth_bps);
+        assert!(t32k > ideal);
+        assert!(t32k < ideal + SimDuration::from_micros(4));
+    }
+}

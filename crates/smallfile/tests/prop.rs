@@ -1,0 +1,78 @@
+//! Property tests: the zone allocator never double-allocates, and
+//! physical regions never overlap — the core safety invariant of the
+//! small-file layout.
+
+use proptest::prelude::*;
+use slice_smallfile::{frag_size, Region, ZoneAllocator};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Alloc(u32),
+    FreeNth(prop::sample::Index),
+}
+
+fn op_strategy() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        (1u32..8192).prop_map(AllocOp::Alloc),
+        any::<prop::sample::Index>().prop_map(AllocOp::FreeNth),
+    ]
+}
+
+fn overlaps(a: &Region, b: &Region) -> bool {
+    a.zone == b.zone
+        && a.offset < b.offset + u64::from(b.frag)
+        && b.offset < a.offset + u64::from(a.frag)
+}
+
+proptest! {
+    /// Live regions never overlap, fragments are correctly sized, and the
+    /// byte accounting balances, across arbitrary alloc/free interleavings.
+    #[test]
+    fn no_overlap_and_balanced_accounting(
+        zones in 1u32..5,
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let mut alloc = ZoneAllocator::new(zones);
+        let mut live: Vec<(Region, u32)> = Vec::new();
+        let mut live_bytes = 0u64;
+        for op in ops {
+            match op {
+                AllocOp::Alloc(bytes) => {
+                    let r = alloc.alloc(bytes);
+                    prop_assert_eq!(r.frag, frag_size(bytes));
+                    prop_assert!(r.zone < zones);
+                    for (other, _) in &live {
+                        prop_assert!(!overlaps(&r, other), "overlap: {:?} vs {:?}", r, other);
+                    }
+                    live_bytes += u64::from(r.frag);
+                    live.push((r, bytes));
+                }
+                AllocOp::FreeNth(ix) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (r, _) = live.swap_remove(ix.index(live.len()));
+                    live_bytes -= u64::from(r.frag);
+                    alloc.free(r);
+                }
+            }
+            prop_assert_eq!(alloc.allocated_bytes(), live_bytes);
+        }
+        // Freed space is reusable: draining everything and reallocating
+        // the same sizes must not grow any zone tail.
+        let tails: Vec<u64> = (0..zones).map(|z| alloc.zone_tail(z)).collect();
+        let sizes: Vec<u32> = live.iter().map(|(_, b)| *b).collect();
+        for (r, _) in live.drain(..) {
+            alloc.free(r);
+        }
+        let mut seen = HashSet::new();
+        for b in sizes {
+            let r = alloc.alloc(b);
+            prop_assert!(seen.insert((r.zone, r.offset)), "double allocation");
+        }
+        for z in 0..zones {
+            prop_assert!(alloc.zone_tail(z) <= tails[z as usize], "tail grew on reuse");
+        }
+    }
+}

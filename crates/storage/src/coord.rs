@@ -1,0 +1,875 @@
+//! The block-service coordinator: per-file block maps and multisite
+//! atomicity via intention logging.
+//!
+//! "The Slice block service includes a coordinator module for files that
+//! span multiple storage nodes. The coordinator manages optional block maps
+//! and preserves atomicity of multisite operations" (§2.2). The protocol is
+//! the paper's §3.3.2: the µproxy sends an *intention* before a multisite
+//! operation; the coordinator logs it to stable storage; a *completion*
+//! message clears it asynchronously; if no completion arrives within a time
+//! bound the coordinator probes the participants and completes or aborts
+//! the operation. A failed coordinator recovers by scanning its intentions
+//! log.
+//!
+//! The coordinator is a pure state machine: incoming messages produce a
+//! reply time (log durability) and a list of [`CoordAction`]s that the
+//! hosting actor dispatches. Requesters are identified by opaque tokens the
+//! host supplies.
+
+use std::collections::HashMap;
+
+use slice_sim::time::{SimDuration, SimTime};
+
+use crate::node::{StorageCtl, StorageCtlReply};
+use crate::wal::{Wal, WalParams};
+
+/// Placement policy recorded per file in the coordinator's maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Stripe blocks round-robin over all storage sites, starting at a
+    /// file-derived site.
+    Striped,
+    /// Replicate every block on `copies` sites.
+    Mirrored {
+        /// Replication degree.
+        copies: u32,
+    },
+}
+
+/// The kind of multisite operation an intention covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentKind {
+    /// A mirrored write to several replicas.
+    MirroredWrite {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u32,
+    },
+    /// A commit spanning several storage sites.
+    Commit {
+        /// Object id.
+        obj: u64,
+    },
+    /// Removal of an object from all sites.
+    Remove {
+        /// Object id.
+        obj: u64,
+    },
+    /// Truncation of an object on all sites.
+    Truncate {
+        /// Object id.
+        obj: u64,
+        /// New size.
+        size: u64,
+    },
+}
+
+/// How an intention was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentOutcome {
+    /// Completion message arrived (common case).
+    Completed,
+    /// Probe found every participant finished; completed on their behalf.
+    ProbedComplete,
+    /// Probe found no participant finished; the operation never happened.
+    Aborted,
+    /// Probe found partial completion; the coordinator re-issued the
+    /// operation (remove/truncate) or discarded the uncommitted data
+    /// (writes, permitted by NFS V3 for uncommitted writes).
+    Repaired,
+}
+
+/// A durable intention record (what the WAL stores).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentRecord {
+    /// Intention id.
+    pub id: u64,
+    /// Operation.
+    pub kind: IntentKind,
+    /// Participant logical storage sites.
+    pub participants: Vec<u32>,
+    /// True for completion records (clearing the intention).
+    pub is_completion: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingIntent {
+    kind: IntentKind,
+    participants: Vec<u32>,
+    logged_at: SimTime,
+    /// Probes outstanding, with completion flags gathered so far.
+    probe_results: HashMap<u32, bool>,
+    probing: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFanout {
+    requester: u64,
+    req_id: u64,
+    waiting: Vec<u32>,
+    intent: u64,
+    is_remove: bool,
+}
+
+/// Messages addressed to the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordMsg {
+    /// Declare an intention before a multisite operation.
+    BeginIntent {
+        /// Caller-chosen correlation id.
+        op_id: u64,
+        /// Operation.
+        kind: IntentKind,
+        /// Participant sites.
+        participants: Vec<u32>,
+    },
+    /// Clear an intention after the operation completed.
+    CompleteIntent {
+        /// Intention id from the ack.
+        intent: u64,
+    },
+    /// Fetch (and assign, if absent) a block-map fragment.
+    MapGet {
+        /// File / object id.
+        file: u64,
+        /// First logical block of the fragment.
+        first_block: u64,
+        /// Number of blocks requested.
+        count: u32,
+    },
+    /// Set a file's placement policy (at create time).
+    SetPlacement {
+        /// File / object id.
+        file: u64,
+        /// Policy to apply.
+        placement: Placement,
+    },
+    /// Remove a file's data from all storage sites atomically.
+    RemoveFile {
+        /// Caller-chosen correlation id.
+        req_id: u64,
+        /// File / object id.
+        file: u64,
+    },
+    /// Truncate a file's data on all storage sites atomically.
+    TruncateFile {
+        /// Caller-chosen correlation id.
+        req_id: u64,
+        /// File / object id.
+        file: u64,
+        /// New size.
+        size: u64,
+    },
+}
+
+/// Replies the coordinator sends to requesters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordReply {
+    /// Intention is durable; proceed with the operation.
+    IntentAck {
+        /// Echo of the caller's op id.
+        op_id: u64,
+        /// Assigned intention id (for the completion message).
+        intent: u64,
+    },
+    /// A block-map fragment.
+    MapFragment {
+        /// File id.
+        file: u64,
+        /// First block covered.
+        first_block: u64,
+        /// Per-block replica site lists.
+        sites: Vec<Vec<u32>>,
+    },
+    /// Placement recorded.
+    PlacementSet {
+        /// File id.
+        file: u64,
+    },
+    /// Remove finished on all sites.
+    RemoveDone {
+        /// Echo of the caller's request id.
+        req_id: u64,
+    },
+    /// Truncate finished on all sites.
+    TruncateDone {
+        /// Echo of the caller's request id.
+        req_id: u64,
+    },
+}
+
+/// Actions for the hosting actor to dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordAction {
+    /// Send `reply` to the requester identified by `to`.
+    Reply {
+        /// Requester token (supplied by the host with the request).
+        to: u64,
+        /// The reply.
+        reply: CoordReply,
+        /// Earliest send time (log durability for acks).
+        at: SimTime,
+    },
+    /// Send a control message to a logical storage site.
+    SendCtl {
+        /// Logical storage site.
+        site: u32,
+        /// The control message.
+        ctl: StorageCtl,
+    },
+}
+
+/// The coordinator state machine.
+#[derive(Debug)]
+pub struct Coordinator {
+    wal: Wal<IntentRecord>,
+    next_intent: u64,
+    pending: HashMap<u64, PendingIntent>,
+    fanouts: HashMap<u64, PendingFanout>,
+    maps: HashMap<u64, (Placement, HashMap<u64, Vec<u32>>)>,
+    storage_sites: u32,
+    /// Probe intentions older than this.
+    pub intent_timeout: SimDuration,
+    resolved: Vec<(u64, IntentOutcome)>,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over `storage_sites` logical storage sites.
+    pub fn new(storage_sites: u32) -> Self {
+        Coordinator {
+            wal: Wal::new(WalParams::default()),
+            next_intent: 1,
+            pending: HashMap::new(),
+            fanouts: HashMap::new(),
+            maps: HashMap::new(),
+            storage_sites,
+            intent_timeout: SimDuration::from_secs(5),
+            resolved: Vec::new(),
+        }
+    }
+
+    /// Intentions currently open (logged, not completed).
+    pub fn open_intents(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The resolution history `(intent, outcome)`.
+    pub fn resolutions(&self) -> &[(u64, IntentOutcome)] {
+        &self.resolved
+    }
+
+    /// WAL statistics (appends, batches, bytes).
+    pub fn wal_stats(&self) -> (u64, u64, u64) {
+        self.wal.stats()
+    }
+
+    fn assign_blocks(
+        placement: Placement,
+        storage_sites: u32,
+        file: u64,
+        blocks: std::ops::Range<u64>,
+        map: &mut HashMap<u64, Vec<u32>>,
+    ) -> Vec<Vec<u32>> {
+        let base = (slice_hashes::fnv1a(&file.to_le_bytes()) % u64::from(storage_sites)) as u32;
+        blocks
+            .map(|b| {
+                map.entry(b)
+                    .or_insert_with(|| match placement {
+                        Placement::Striped => {
+                            vec![(base + (b % u64::from(storage_sites)) as u32) % storage_sites]
+                        }
+                        Placement::Mirrored { copies } => (0..copies.min(storage_sites))
+                            .map(|c| {
+                                (base + (b % u64::from(storage_sites)) as u32 + c) % storage_sites
+                            })
+                            .collect(),
+                    })
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Handles a request from `requester` (an opaque host token); returns
+    /// dispatch actions.
+    pub fn handle(&mut self, now: SimTime, requester: u64, msg: CoordMsg) -> Vec<CoordAction> {
+        match msg {
+            CoordMsg::BeginIntent {
+                op_id,
+                kind,
+                participants,
+            } => {
+                let id = self.next_intent;
+                self.next_intent += 1;
+                let durable = self.wal.append(
+                    now,
+                    IntentRecord {
+                        id,
+                        kind: kind.clone(),
+                        participants: participants.clone(),
+                        is_completion: false,
+                    },
+                    64,
+                );
+                self.pending.insert(
+                    id,
+                    PendingIntent {
+                        kind,
+                        participants,
+                        logged_at: now,
+                        probe_results: HashMap::new(),
+                        probing: false,
+                    },
+                );
+                vec![CoordAction::Reply {
+                    to: requester,
+                    reply: CoordReply::IntentAck { op_id, intent: id },
+                    at: durable,
+                }]
+            }
+            CoordMsg::CompleteIntent { intent } => {
+                if let Some(p) = self.pending.remove(&intent) {
+                    // Completion records are logged asynchronously; their
+                    // durability does not gate anything.
+                    self.wal.append(
+                        now,
+                        IntentRecord {
+                            id: intent,
+                            kind: p.kind,
+                            participants: p.participants,
+                            is_completion: true,
+                        },
+                        32,
+                    );
+                    self.resolved.push((intent, IntentOutcome::Completed));
+                }
+                vec![]
+            }
+            CoordMsg::MapGet {
+                file,
+                first_block,
+                count,
+            } => {
+                let (placement, map) = self
+                    .maps
+                    .entry(file)
+                    .or_insert_with(|| (Placement::Striped, HashMap::new()));
+                let sites = Self::assign_blocks(
+                    *placement,
+                    self.storage_sites,
+                    file,
+                    first_block..first_block + u64::from(count),
+                    map,
+                );
+                vec![CoordAction::Reply {
+                    to: requester,
+                    reply: CoordReply::MapFragment {
+                        file,
+                        first_block,
+                        sites,
+                    },
+                    at: now,
+                }]
+            }
+            CoordMsg::SetPlacement { file, placement } => {
+                self.maps
+                    .entry(file)
+                    .or_insert_with(|| (placement, HashMap::new()))
+                    .0 = placement;
+                vec![CoordAction::Reply {
+                    to: requester,
+                    reply: CoordReply::PlacementSet { file },
+                    at: now,
+                }]
+            }
+            CoordMsg::RemoveFile { req_id, file } => {
+                self.fanout(now, requester, req_id, file, true, None)
+            }
+            CoordMsg::TruncateFile { req_id, file, size } => {
+                self.fanout(now, requester, req_id, file, false, Some(size))
+            }
+        }
+    }
+
+    fn fanout(
+        &mut self,
+        now: SimTime,
+        requester: u64,
+        req_id: u64,
+        file: u64,
+        is_remove: bool,
+        size: Option<u64>,
+    ) -> Vec<CoordAction> {
+        let id = self.next_intent;
+        self.next_intent += 1;
+        let participants: Vec<u32> = (0..self.storage_sites).collect();
+        let kind = if is_remove {
+            IntentKind::Remove { obj: file }
+        } else {
+            IntentKind::Truncate {
+                obj: file,
+                size: size.unwrap_or(0),
+            }
+        };
+        self.wal.append(
+            now,
+            IntentRecord {
+                id,
+                kind: kind.clone(),
+                participants: participants.clone(),
+                is_completion: false,
+            },
+            64,
+        );
+        self.pending.insert(
+            id,
+            PendingIntent {
+                kind,
+                participants: participants.clone(),
+                logged_at: now,
+                probe_results: HashMap::new(),
+                probing: false,
+            },
+        );
+        self.fanouts.insert(
+            id,
+            PendingFanout {
+                requester,
+                req_id,
+                waiting: participants.clone(),
+                intent: id,
+                is_remove,
+            },
+        );
+        self.maps.remove(&file);
+        participants
+            .into_iter()
+            .map(|site| CoordAction::SendCtl {
+                site,
+                ctl: if is_remove {
+                    StorageCtl::Remove { obj: file }
+                } else {
+                    StorageCtl::Truncate {
+                        obj: file,
+                        size: size.unwrap_or(0),
+                    }
+                },
+            })
+            .collect()
+    }
+
+    /// Handles a control reply from storage site `site`.
+    pub fn handle_ctl_reply(
+        &mut self,
+        now: SimTime,
+        site: u32,
+        reply: StorageCtlReply,
+    ) -> Vec<CoordAction> {
+        match reply {
+            StorageCtlReply::Done => {
+                // Match against fan-out operations awaiting this site, in
+                // intent order (oldest first) for determinism.
+                let mut ids: Vec<u64> = self.fanouts.keys().copied().collect();
+                ids.sort_unstable();
+                let mut finished = None;
+                for id in ids {
+                    let f = self.fanouts.get_mut(&id).expect("listed fanout");
+                    if let Some(pos) = f.waiting.iter().position(|&s| s == site) {
+                        f.waiting.swap_remove(pos);
+                        if f.waiting.is_empty() {
+                            finished = Some(id);
+                        }
+                        break;
+                    }
+                }
+                if let Some(id) = finished {
+                    let f = self.fanouts.remove(&id).expect("finished fanout");
+                    let mut actions =
+                        self.handle(now, 0, CoordMsg::CompleteIntent { intent: f.intent });
+                    actions.push(CoordAction::Reply {
+                        to: f.requester,
+                        reply: if f.is_remove {
+                            CoordReply::RemoveDone { req_id: f.req_id }
+                        } else {
+                            CoordReply::TruncateDone { req_id: f.req_id }
+                        },
+                        at: now,
+                    });
+                    return actions;
+                }
+                vec![]
+            }
+            StorageCtlReply::ProbeResult { intent, completed } => {
+                let Some(p) = self.pending.get_mut(&intent) else {
+                    return vec![];
+                };
+                p.probe_results.insert(site, completed);
+                if p.probe_results.len() == p.participants.len() {
+                    let p = self.pending.remove(&intent).expect("probed intent");
+                    let done = p.probe_results.values().filter(|&&c| c).count();
+                    let outcome = if done == p.participants.len() {
+                        IntentOutcome::ProbedComplete
+                    } else if done == 0 {
+                        IntentOutcome::Aborted
+                    } else {
+                        IntentOutcome::Repaired
+                    };
+                    self.resolved.push((intent, outcome));
+                    self.wal.append(
+                        now,
+                        IntentRecord {
+                            id: intent,
+                            kind: p.kind.clone(),
+                            participants: p.participants.clone(),
+                            is_completion: true,
+                        },
+                        32,
+                    );
+                    // Repair for remove/truncate: re-issue to every site
+                    // (idempotent); writes are resolved by NFS V3
+                    // uncommitted-write semantics.
+                    if outcome == IntentOutcome::Repaired {
+                        match &p.kind {
+                            IntentKind::Remove { obj } => {
+                                return p
+                                    .participants
+                                    .iter()
+                                    .map(|&site| CoordAction::SendCtl {
+                                        site,
+                                        ctl: StorageCtl::Remove { obj: *obj },
+                                    })
+                                    .collect();
+                            }
+                            IntentKind::Truncate { obj, size } => {
+                                return p
+                                    .participants
+                                    .iter()
+                                    .map(|&site| CoordAction::SendCtl {
+                                        site,
+                                        ctl: StorageCtl::Truncate {
+                                            obj: *obj,
+                                            size: *size,
+                                        },
+                                    })
+                                    .collect();
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                vec![]
+            }
+        }
+    }
+
+    /// Scans for intentions older than the timeout and launches probes.
+    /// The host calls this from a periodic timer.
+    pub fn check_timeouts(&mut self, now: SimTime) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
+        for (&id, p) in self.pending.iter_mut() {
+            if !p.probing && now - p.logged_at >= self.intent_timeout {
+                p.probing = true;
+                for &site in &p.participants {
+                    actions.push(CoordAction::SendCtl {
+                        site,
+                        ctl: StorageCtl::Probe { intent: id },
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    /// Simulates a coordinator crash: volatile state is lost; the WAL (in
+    /// shared network storage) survives.
+    pub fn crash(&mut self) -> Wal<IntentRecord> {
+        self.pending.clear();
+        self.fanouts.clear();
+        self.maps.clear();
+        std::mem::replace(&mut self.wal, Wal::new(WalParams::default()))
+    }
+
+    /// Recovers from a WAL: open intentions (logged, never completed by
+    /// `crash_time`) are re-instated and immediately probed.
+    pub fn recover(
+        &mut self,
+        now: SimTime,
+        wal: Wal<IntentRecord>,
+        crash_time: SimTime,
+    ) -> Vec<CoordAction> {
+        let records = wal.recover(crash_time);
+        self.wal = wal;
+        let mut open: HashMap<u64, IntentRecord> = HashMap::new();
+        for r in records {
+            if r.is_completion {
+                open.remove(&r.id);
+            } else {
+                self.next_intent = self.next_intent.max(r.id + 1);
+                open.insert(r.id, r);
+            }
+        }
+        let mut actions = Vec::new();
+        for (id, r) in open {
+            self.pending.insert(
+                id,
+                PendingIntent {
+                    kind: r.kind,
+                    participants: r.participants.clone(),
+                    logged_at: now,
+                    probe_results: HashMap::new(),
+                    probing: true,
+                },
+            );
+            for site in r.participants {
+                actions.push(CoordAction::SendCtl {
+                    site,
+                    ctl: StorageCtl::Probe { intent: id },
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn begin(c: &mut Coordinator, now: SimTime) -> u64 {
+        let actions = c.handle(
+            now,
+            7,
+            CoordMsg::BeginIntent {
+                op_id: 1,
+                kind: IntentKind::MirroredWrite {
+                    obj: 5,
+                    offset: 0,
+                    len: 8192,
+                },
+                participants: vec![0, 1],
+            },
+        );
+        match &actions[0] {
+            CoordAction::Reply {
+                reply: CoordReply::IntentAck { intent, .. },
+                at,
+                ..
+            } => {
+                assert!(*at > now, "ack must wait for log durability");
+                *intent
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intent_complete_cycle() {
+        let mut c = Coordinator::new(4);
+        let id = begin(&mut c, t(0));
+        assert_eq!(c.open_intents(), 1);
+        c.handle(t(1), 7, CoordMsg::CompleteIntent { intent: id });
+        assert_eq!(c.open_intents(), 0);
+        assert_eq!(c.resolutions(), &[(id, IntentOutcome::Completed)]);
+    }
+
+    #[test]
+    fn timeout_probes_participants() {
+        let mut c = Coordinator::new(4);
+        let id = begin(&mut c, t(0));
+        assert!(c.check_timeouts(t(100)).is_empty(), "too early to probe");
+        let probes = c.check_timeouts(t(6000));
+        assert_eq!(probes.len(), 2);
+        assert!(probes.iter().all(|a| matches!(
+            a,
+            CoordAction::SendCtl { ctl: StorageCtl::Probe { intent }, .. } if *intent == id
+        )));
+        // Probes are not re-sent.
+        assert!(c.check_timeouts(t(7000)).is_empty());
+    }
+
+    #[test]
+    fn probe_all_complete_resolves_completed() {
+        let mut c = Coordinator::new(2);
+        let id = begin(&mut c, t(0));
+        c.check_timeouts(t(6000));
+        c.handle_ctl_reply(
+            t(6001),
+            0,
+            StorageCtlReply::ProbeResult {
+                intent: id,
+                completed: true,
+            },
+        );
+        c.handle_ctl_reply(
+            t(6002),
+            1,
+            StorageCtlReply::ProbeResult {
+                intent: id,
+                completed: true,
+            },
+        );
+        assert_eq!(c.resolutions(), &[(id, IntentOutcome::ProbedComplete)]);
+    }
+
+    #[test]
+    fn probe_none_complete_aborts() {
+        let mut c = Coordinator::new(2);
+        let id = begin(&mut c, t(0));
+        c.check_timeouts(t(6000));
+        c.handle_ctl_reply(
+            t(6001),
+            0,
+            StorageCtlReply::ProbeResult {
+                intent: id,
+                completed: false,
+            },
+        );
+        c.handle_ctl_reply(
+            t(6002),
+            1,
+            StorageCtlReply::ProbeResult {
+                intent: id,
+                completed: false,
+            },
+        );
+        assert_eq!(c.resolutions(), &[(id, IntentOutcome::Aborted)]);
+    }
+
+    #[test]
+    fn remove_fanout_completes_when_all_sites_ack() {
+        let mut c = Coordinator::new(3);
+        let actions = c.handle(
+            t(0),
+            42,
+            CoordMsg::RemoveFile {
+                req_id: 9,
+                file: 77,
+            },
+        );
+        assert_eq!(actions.len(), 3);
+        assert!(c
+            .handle_ctl_reply(t(1), 0, StorageCtlReply::Done)
+            .is_empty());
+        assert!(c
+            .handle_ctl_reply(t(2), 1, StorageCtlReply::Done)
+            .is_empty());
+        let done = c.handle_ctl_reply(t(3), 2, StorageCtlReply::Done);
+        assert!(done.iter().any(|a| matches!(
+            a,
+            CoordAction::Reply {
+                to: 42,
+                reply: CoordReply::RemoveDone { req_id: 9 },
+                ..
+            }
+        )));
+        assert_eq!(c.open_intents(), 0);
+    }
+
+    #[test]
+    fn map_fragments_are_stable_and_striped() {
+        let mut c = Coordinator::new(4);
+        let a1 = c.handle(
+            t(0),
+            1,
+            CoordMsg::MapGet {
+                file: 10,
+                first_block: 0,
+                count: 8,
+            },
+        );
+        let a2 = c.handle(
+            t(1),
+            1,
+            CoordMsg::MapGet {
+                file: 10,
+                first_block: 0,
+                count: 8,
+            },
+        );
+        let get = |a: &Vec<CoordAction>| match &a[0] {
+            CoordAction::Reply {
+                reply: CoordReply::MapFragment { sites, .. },
+                ..
+            } => sites.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let s1 = get(&a1);
+        assert_eq!(s1, get(&a2), "map assignment must be stable");
+        // Striped: 8 consecutive blocks cover all 4 sites twice.
+        let mut counts = [0; 4];
+        for s in &s1 {
+            assert_eq!(s.len(), 1);
+            counts[s[0] as usize] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn mirrored_placement_yields_replicas() {
+        let mut c = Coordinator::new(4);
+        c.handle(
+            t(0),
+            1,
+            CoordMsg::SetPlacement {
+                file: 3,
+                placement: Placement::Mirrored { copies: 2 },
+            },
+        );
+        let a = c.handle(
+            t(1),
+            1,
+            CoordMsg::MapGet {
+                file: 3,
+                first_block: 0,
+                count: 4,
+            },
+        );
+        match &a[0] {
+            CoordAction::Reply {
+                reply: CoordReply::MapFragment { sites, .. },
+                ..
+            } => {
+                for s in sites {
+                    assert_eq!(s.len(), 2);
+                    assert_ne!(s[0], s[1]);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_reinstates_open_intents() {
+        let mut c = Coordinator::new(2);
+        let id_open = begin(&mut c, t(0));
+        let id_closed = begin(&mut c, t(10));
+        c.handle(t(20), 7, CoordMsg::CompleteIntent { intent: id_closed });
+        let crash_time = t(1000);
+        let wal = c.crash();
+        assert_eq!(c.open_intents(), 0);
+        let actions = c.recover(t(2000), wal, crash_time);
+        assert_eq!(c.open_intents(), 1);
+        assert!(actions.iter().all(|a| matches!(
+            a,
+            CoordAction::SendCtl { ctl: StorageCtl::Probe { intent }, .. } if *intent == id_open
+        )));
+        assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn recovery_loses_nondurable_intents() {
+        let mut c = Coordinator::new(2);
+        let _id = begin(&mut c, t(0));
+        // Crash before the log write completed: nothing to recover.
+        let wal = c.crash();
+        let actions = c.recover(t(10), wal, t(0));
+        assert!(actions.is_empty());
+        assert_eq!(c.open_intents(), 0);
+    }
+}

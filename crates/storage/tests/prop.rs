@@ -1,0 +1,108 @@
+//! Property tests: object-store consistency against a flat model, WAL
+//! recovery invariants, and cache accounting.
+
+use proptest::prelude::*;
+use slice_sim::time::{SimDuration, SimTime};
+use slice_storage::{ObjectStore, Wal, WalParams};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset: u16, data: Vec<u8> },
+    Truncate { size: u16 },
+    Read { offset: u16, len: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 1..128)).prop_map(
+            |(offset, data)| Op::Write {
+                offset: offset % 4096,
+                data
+            }
+        ),
+        any::<u16>().prop_map(|size| Op::Truncate { size: size % 5000 }),
+        (any::<u16>(), any::<u16>()).prop_map(|(o, l)| Op::Read {
+            offset: o % 5000,
+            len: l % 512
+        }),
+    ]
+}
+
+proptest! {
+    /// The sparse extent store always agrees with a flat byte-array model.
+    #[test]
+    fn object_store_matches_flat_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut store = ObjectStore::new();
+        let mut model = vec![0u8; 1 << 16];
+        let mut size = 0usize;
+        for op in ops {
+            match op {
+                Op::Write { offset, data } => {
+                    let off = offset as usize;
+                    store.write(1, off as u64, &data);
+                    model[off..off + data.len()].copy_from_slice(&data);
+                    size = size.max(off + data.len());
+                }
+                Op::Truncate { size: s } => {
+                    let s = s as usize;
+                    store.truncate(1, s as u64);
+                    if s < size {
+                        model[s..size].fill(0);
+                    }
+                    size = s;
+                }
+                Op::Read { offset, len } => {
+                    let (data, _) = store.read(1, u64::from(offset), len as usize);
+                    for (i, b) in data.iter().enumerate() {
+                        let pos = offset as usize + i;
+                        let want = if pos < size { model[pos] } else { 0 };
+                        prop_assert_eq!(*b, want, "mismatch at {}", pos);
+                    }
+                }
+            }
+            prop_assert_eq!(store.size(1), size as u64);
+        }
+    }
+
+    /// WAL recovery returns exactly the durable prefix, in order.
+    #[test]
+    fn wal_recovery_is_a_prefix(
+        gaps in proptest::collection::vec(0u64..2000, 1..40),
+        crash_ms in 0u64..20_000
+    ) {
+        let mut wal: Wal<usize> = Wal::new(WalParams::default());
+        let mut now = SimTime::ZERO;
+        let mut durable_times = Vec::new();
+        for (i, gap) in gaps.iter().enumerate() {
+            now += SimDuration::from_millis(*gap);
+            durable_times.push(wal.append(now, i, 64));
+        }
+        let crash = SimTime::ZERO + SimDuration::from_millis(crash_ms);
+        let recovered = wal.recover(crash);
+        // Durable times are monotone, so recovery yields 0..k.
+        let expect: Vec<usize> = durable_times
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d <= crash)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(recovered, expect);
+    }
+
+    /// LRU cache accounting never exceeds capacity with multi-entry
+    /// contents, and get() reflects insertions.
+    #[test]
+    fn lru_budget_invariant(ops in proptest::collection::vec((any::<u8>(), 1u64..64), 1..200)) {
+        let mut cache = slice_sim::LruCache::new(256);
+        for (key, sz) in ops {
+            cache.insert(u64::from(key), sz);
+            prop_assert!(
+                cache.used() <= 256 || cache.len() == 1,
+                "budget exceeded with {} entries ({} bytes)",
+                cache.len(),
+                cache.used()
+            );
+            prop_assert!(cache.contains(&u64::from(key)), "just-inserted key evicted");
+        }
+    }
+}

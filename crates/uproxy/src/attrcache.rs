@@ -1,0 +1,381 @@
+//! The µproxy attribute cache.
+//!
+//! "The µproxy also maintains a cache over file attribute blocks returned
+//! in NFS responses from the servers. Directory servers maintain the
+//! authoritative attributes for files; the system must keep these
+//! attributes current to reflect I/O traffic to the block storage nodes
+//! ... The µproxy updates these attributes in its cache as each operation
+//! completes, and returns a complete set of attributes to the client in
+//! each response ... The µproxy generates an NFS setattr operation to push
+//! modified attributes back to the directory server when it evicts
+//! attributes from its cache, or when it intercepts an NFS V3 write commit
+//! request from the client" (paper §4.1). A periodic write-back bounds
+//! timestamp drift.
+
+use std::collections::HashMap;
+
+use slice_nfsproto::{Fattr3, Fhandle, NfsTime};
+use slice_sim::{LruCache, SimDuration, SimTime};
+
+/// One cached attribute block.
+#[derive(Debug, Clone)]
+pub struct CachedAttr {
+    /// The handle (needed to address write-backs to the home site).
+    pub fh: Fhandle,
+    /// The attributes, as merged from server responses and local I/O.
+    pub attr: Fattr3,
+    /// True when local I/O modified fields the directory server has not
+    /// seen yet.
+    pub dirty: bool,
+    /// When the entry last became dirty (for periodic write-back).
+    pub dirty_since: SimTime,
+    /// Bumped on every local modification; a write-back only cleans the
+    /// entry if no newer modification raced with it.
+    pub version: u64,
+}
+
+/// The attribute cache with dirty tracking and write-back extraction.
+#[derive(Debug)]
+pub struct AttrCache {
+    entries: HashMap<u64, CachedAttr>,
+    lru: LruCache<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AttrCache {
+    /// Creates a cache holding at most `capacity` attribute blocks.
+    pub fn new(capacity: usize) -> Self {
+        AttrCache {
+            entries: HashMap::new(),
+            lru: LruCache::new(capacity as u64),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up current attributes for a file.
+    pub fn get(&mut self, file: u64) -> Option<Fattr3> {
+        if let Some(e) = self.entries.get(&file) {
+            self.hits += 1;
+            self.lru.get(&file);
+            Some(e.attr)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Installs authoritative attributes from a directory-server response.
+    /// Local dirty deltas (size growth from direct storage writes) are
+    /// preserved by taking the maximum size and latest times. Returns any
+    /// evicted dirty entries that must be pushed back.
+    pub fn store_authoritative(
+        &mut self,
+        now: SimTime,
+        fh: &Fhandle,
+        attr: Fattr3,
+    ) -> Vec<CachedAttr> {
+        let file = fh.file_id();
+        let merged = match self.entries.get(&file) {
+            Some(old) if old.dirty => {
+                let mut a = attr;
+                a.size = a.size.max(old.attr.size);
+                a.used = a.used.max(old.attr.used);
+                a.mtime = a.mtime.max(old.attr.mtime);
+                a.atime = a.atime.max(old.attr.atime);
+                a
+            }
+            _ => attr,
+        };
+        let dirty = self.entries.get(&file).map(|e| e.dirty).unwrap_or(false);
+        let dirty_since = self
+            .entries
+            .get(&file)
+            .map(|e| e.dirty_since)
+            .unwrap_or(now);
+        let version = self.entries.get(&file).map(|e| e.version).unwrap_or(0);
+        self.entries.insert(
+            file,
+            CachedAttr {
+                fh: *fh,
+                attr: merged,
+                dirty,
+                dirty_since,
+                version,
+            },
+        );
+        let victims = self.lru.insert(file, 1);
+        self.evict_from(victims)
+    }
+
+    /// Applies a completed read: bumps the access time. Returns evictions.
+    pub fn apply_read(&mut self, now: SimTime, fh: &Fhandle, t: NfsTime) -> Vec<CachedAttr> {
+        let file = fh.file_id();
+        if let Some(e) = self.entries.get_mut(&file) {
+            e.attr.atime = e.attr.atime.max(t);
+            e.version += 1;
+            if !e.dirty {
+                e.dirty = true;
+                e.dirty_since = now;
+            }
+            self.lru.get(&file);
+            Vec::new()
+        } else {
+            // First sighting through an I/O path: synthesize from the fh.
+            let mut attr = Fattr3::new(slice_nfsproto::FileType::Regular, file, 0o644, t);
+            attr.atime = t;
+            self.entries.insert(
+                file,
+                CachedAttr {
+                    fh: *fh,
+                    attr,
+                    dirty: true,
+                    dirty_since: now,
+                    version: 1,
+                },
+            );
+            let victims = self.lru.insert(file, 1);
+            self.evict_from(victims)
+        }
+    }
+
+    /// Applies a completed write: grows the size to `end` and stamps the
+    /// modify time. Returns evictions.
+    pub fn apply_write(
+        &mut self,
+        now: SimTime,
+        fh: &Fhandle,
+        end: u64,
+        t: NfsTime,
+    ) -> Vec<CachedAttr> {
+        let file = fh.file_id();
+        if let Some(e) = self.entries.get_mut(&file) {
+            e.attr.size = e.attr.size.max(end);
+            e.attr.used = e.attr.used.max(end);
+            e.attr.mtime = e.attr.mtime.max(t);
+            e.version += 1;
+            if !e.dirty {
+                e.dirty = true;
+                e.dirty_since = now;
+            }
+            self.lru.get(&file);
+            Vec::new()
+        } else {
+            let mut attr = Fattr3::new(slice_nfsproto::FileType::Regular, file, 0o644, t);
+            attr.size = end;
+            attr.used = end;
+            attr.mtime = t;
+            self.entries.insert(
+                file,
+                CachedAttr {
+                    fh: *fh,
+                    attr,
+                    dirty: true,
+                    dirty_since: now,
+                    version: 1,
+                },
+            );
+            let victims = self.lru.insert(file, 1);
+            self.evict_from(victims)
+        }
+    }
+
+    /// Installs authoritative attributes *replacing* any local dirty
+    /// deltas — used for SETATTR replies, where the server's state already
+    /// reflects everything the client (or the µproxy write-back) asked
+    /// for, including explicit truncations that must not be re-grown by
+    /// the max-merge rule.
+    pub fn store_replacing(&mut self, now: SimTime, fh: &Fhandle, attr: Fattr3) -> Vec<CachedAttr> {
+        let file = fh.file_id();
+        let version = self.entries.get(&file).map(|e| e.version).unwrap_or(0);
+        self.entries.insert(
+            file,
+            CachedAttr {
+                fh: *fh,
+                attr,
+                dirty: false,
+                dirty_since: now,
+                version,
+            },
+        );
+        let victims = self.lru.insert(file, 1);
+        self.evict_from(victims)
+    }
+
+    fn evict_from(&mut self, victims: Vec<u64>) -> Vec<CachedAttr> {
+        victims
+            .into_iter()
+            .filter_map(|v| self.entries.remove(&v))
+            .filter(|e| e.dirty)
+            .collect()
+    }
+
+    /// Takes the dirty entry for `file` (commit-triggered push-back).
+    /// The entry stays dirty until the push is acknowledged via
+    /// [`AttrCache::mark_clean`] — a push lost to a crashed server must
+    /// not silently discard the update.
+    pub fn take_dirty(&mut self, file: u64) -> Option<CachedAttr> {
+        let e = self.entries.get_mut(&file)?;
+        if !e.dirty {
+            return None;
+        }
+        Some(e.clone())
+    }
+
+    /// Takes every entry dirty since before `now - interval` (periodic
+    /// write-back bounding timestamp drift). Entries stay dirty until
+    /// acknowledged; `dirty_since` is reset so each is pushed at most once
+    /// per interval.
+    pub fn take_stale_dirty(&mut self, now: SimTime, interval: SimDuration) -> Vec<CachedAttr> {
+        let mut out = Vec::new();
+        for e in self.entries.values_mut() {
+            if e.dirty && now - e.dirty_since >= interval {
+                e.dirty_since = now;
+                out.push(e.clone());
+            }
+        }
+        out.sort_by_key(|e| e.fh.file_id());
+        out
+    }
+
+    /// Acknowledges a write-back: cleans the entry unless a newer local
+    /// modification raced with the push.
+    pub fn mark_clean(&mut self, file: u64, version: u64) {
+        if let Some(e) = self.entries.get_mut(&file) {
+            if e.version == version {
+                e.dirty = false;
+            }
+        }
+    }
+
+    /// Drops everything (µproxy state loss: permitted, end-to-end
+    /// protocols recover).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lru = LruCache::new(self.lru.capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slice_nfsproto::FileType;
+
+    fn fh(id: u64) -> Fhandle {
+        Fhandle::new(id, 0, 0, 0, 0)
+    }
+
+    fn attr(id: u64, size: u64) -> Fattr3 {
+        let mut a = Fattr3::new(FileType::Regular, id, 0o644, NfsTime { secs: 1, nsecs: 0 });
+        a.size = size;
+        a
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn store_and_get() {
+        let mut c = AttrCache::new(10);
+        c.store_authoritative(t(0), &fh(1), attr(1, 100));
+        assert_eq!(c.get(1).unwrap().size, 100);
+        assert!(c.get(2).is_none());
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn writes_grow_size_and_dirty() {
+        let mut c = AttrCache::new(10);
+        c.store_authoritative(t(0), &fh(1), attr(1, 100));
+        c.apply_write(t(1), &fh(1), 5000, NfsTime { secs: 2, nsecs: 0 });
+        let a = c.get(1).unwrap();
+        assert_eq!(a.size, 5000);
+        assert_eq!(a.mtime, NfsTime { secs: 2, nsecs: 0 });
+        // Commit pushes it back; the entry stays dirty until the push is
+        // acknowledged at the entry's version.
+        let d = c.take_dirty(1).unwrap();
+        assert_eq!(d.attr.size, 5000);
+        assert!(
+            c.take_dirty(1).is_some(),
+            "unacknowledged entry stays dirty"
+        );
+        c.mark_clean(1, d.version);
+        assert!(c.take_dirty(1).is_none(), "acknowledged entry is clean");
+        // A stale ack (older version) must not clean newer changes.
+        c.apply_write(t(2), &fh(1), 6000, NfsTime { secs: 3, nsecs: 0 });
+        let d2 = c.take_dirty(1).unwrap();
+        c.mark_clean(1, d.version);
+        assert!(c.take_dirty(1).is_some(), "stale ack ignored");
+        c.mark_clean(1, d2.version);
+        assert!(c.take_dirty(1).is_none());
+    }
+
+    #[test]
+    fn authoritative_store_keeps_local_growth() {
+        let mut c = AttrCache::new(10);
+        c.apply_write(t(0), &fh(1), 9000, NfsTime { secs: 5, nsecs: 0 });
+        // A stale dir-server response (size 0) must not clobber the local
+        // size growth.
+        c.store_authoritative(t(1), &fh(1), attr(1, 0));
+        assert_eq!(c.get(1).unwrap().size, 9000);
+    }
+
+    #[test]
+    fn eviction_returns_dirty_entries() {
+        let mut c = AttrCache::new(2);
+        c.apply_write(t(0), &fh(1), 10, NfsTime::default());
+        c.apply_write(t(0), &fh(2), 20, NfsTime::default());
+        let evicted = c.apply_write(t(0), &fh(3), 30, NfsTime::default());
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].fh.file_id(), 1);
+        assert!(evicted[0].dirty);
+    }
+
+    #[test]
+    fn periodic_writeback_takes_only_stale() {
+        let mut c = AttrCache::new(10);
+        c.apply_write(t(0), &fh(1), 10, NfsTime::default());
+        c.apply_write(t(900), &fh(2), 20, NfsTime::default());
+        let wb = c.take_stale_dirty(t(1000), SimDuration::from_millis(500));
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].fh.file_id(), 1);
+        // Entry 2 becomes stale later; entry 1 is re-pushed too because
+        // its earlier push was never acknowledged.
+        let mut wb = c.take_stale_dirty(t(2000), SimDuration::from_millis(500));
+        wb.sort_by_key(|e| e.fh.file_id());
+        assert_eq!(wb.len(), 2);
+        assert_eq!(wb[1].fh.file_id(), 2);
+        // Acknowledge both; nothing further to push.
+        for e in wb {
+            c.mark_clean(e.fh.file_id(), e.version);
+        }
+        assert!(c
+            .take_stale_dirty(t(5000), SimDuration::from_millis(500))
+            .is_empty());
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = AttrCache::new(10);
+        c.store_authoritative(t(0), &fh(1), attr(1, 1));
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

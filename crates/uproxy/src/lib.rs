@@ -1,0 +1,26 @@
+//! The Slice µproxy: interposed request routing for NFS.
+//!
+//! This crate is the paper's central contribution — a small packet filter
+//! interposed on each client's network path that virtualizes the NFS
+//! protocol: it decodes intercepted request packets, applies configurable
+//! routing policies (threshold-split I/O, static and map-driven striping,
+//! mirrored striping, mkdir switching, name hashing), rewrites addresses
+//! and selected payload fields with incremental checksum repair, and keeps
+//! bounded soft state (pending-request records, routing tables, a block-map
+//! cache, and an attribute cache with write-back).
+//!
+//! * [`tables`] — compact logical→physical routing tables;
+//! * [`attrcache`] — the attribute cache (§4.1);
+//! * [`proxy`] — the packet filter state machine with per-phase cost
+//!   accounting (Table 3).
+
+pub mod attrcache;
+pub mod proxy;
+pub mod tables;
+
+pub use attrcache::{AttrCache, CachedAttr};
+pub use proxy::{PhaseStats, ProxyConfig, ProxyNamePolicy, ProxyOut, Uproxy};
+pub use tables::RoutingTable;
+
+#[cfg(test)]
+mod tests;

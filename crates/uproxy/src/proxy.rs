@@ -1,0 +1,1183 @@
+//! The µproxy: an interposed request-routing packet filter.
+//!
+//! The µproxy "intercepts NFS requests addressed to virtual NFS servers,
+//! and routes the request to a physical server by applying a function to
+//! the request type and arguments. It then rewrites the IP address and
+//! port to redirect the request to the selected server. When a response
+//! arrives, the µproxy rewrites the source address and port before
+//! forwarding it to the client" (paper §3). It is a nonblocking state
+//! machine whose soft state consists of pending-request records, routing
+//! tables, a block-map cache, and an attribute cache; it may initiate and
+//! absorb packets (attribute write-backs, coordinator intentions) and is
+//! free to lose its state — end-to-end RPC retransmission recovers.
+//!
+//! Per-packet work is accounted in four phases matching the paper's
+//! Table 3: interception, decode, redirect/rewrite, and soft-state
+//! maintenance; [`Uproxy::phase_stats`] reports real measured CPU
+//! nanoseconds per phase.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use slice_hashes::{fnv1a, name_fingerprint};
+use slice_nfsproto::{
+    decode_call, decode_reply, encode_call, AuthUnix, Fhandle, NfsProc, NfsRequest, NfsTime,
+    Packet, Sattr3, SetTime, SockAddr, REPLY_ATTR_OFFSET,
+};
+use slice_sim::{SimDuration, SimTime};
+use slice_storage::{CoordMsg, CoordReply, IntentKind};
+use slice_xdr::XdrEncoder;
+
+use crate::attrcache::AttrCache;
+use crate::tables::RoutingTable;
+
+/// Name-space routing policy at the µproxy (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyNamePolicy {
+    /// Route to the parent's home site; redirect mkdirs with probability
+    /// `redirect_millis / 1000`.
+    MkdirSwitching {
+        /// Redirect probability in thousandths (p × 1000).
+        redirect_millis: u32,
+    },
+    /// Route every name operation by the MD5 fingerprint of
+    /// `(parent fh, name)`.
+    NameHashing,
+}
+
+/// µproxy configuration: the ensemble map and the routing policies.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// The virtual NFS server address clients mount.
+    pub virtual_addr: SockAddr,
+    /// This client's address (source for µproxy-initiated packets).
+    pub client_addr: SockAddr,
+    /// Directory server addresses by physical index.
+    pub dir_sites: Vec<SockAddr>,
+    /// Small-file server addresses (empty disables the threshold split).
+    pub sf_sites: Vec<SockAddr>,
+    /// Storage node addresses by physical index.
+    pub storage_sites: Vec<SockAddr>,
+    /// Number of block-service coordinators (typed channel, not packets).
+    pub coord_sites: u32,
+    /// Name-space policy.
+    pub name_policy: ProxyNamePolicy,
+    /// The threshold offset (64 KB in the prototype).
+    pub threshold: u64,
+    /// Stripe unit for static placement.
+    pub stripe_unit: u64,
+    /// Replication degree for mirrored files.
+    pub mirror_copies: u32,
+    /// Route bulk I/O through coordinator block maps instead of the
+    /// static placement function.
+    pub use_block_maps: bool,
+    /// Wrap multisite commits in coordinator intentions.
+    pub use_intents: bool,
+    /// Attribute cache capacity (entries).
+    pub attr_cache_entries: usize,
+    /// Dirty attributes older than this are pushed back on
+    /// [`Uproxy::tick`].
+    pub writeback_interval: SimDuration,
+}
+
+impl ProxyConfig {
+    /// A small single-client test configuration.
+    pub fn test_default() -> Self {
+        ProxyConfig {
+            virtual_addr: SockAddr::new(0x0a00_00ff, 2049),
+            client_addr: SockAddr::new(0x0a00_0001, 700),
+            dir_sites: vec![SockAddr::new(0x0a00_1000, 2049)],
+            sf_sites: vec![SockAddr::new(0x0a00_2000, 2049)],
+            storage_sites: vec![
+                SockAddr::new(0x0a00_3000, 2049),
+                SockAddr::new(0x0a00_3001, 2049),
+            ],
+            coord_sites: 1,
+            name_policy: ProxyNamePolicy::MkdirSwitching { redirect_millis: 0 },
+            threshold: 64 * 1024,
+            stripe_unit: 64 * 1024,
+            mirror_copies: 2,
+            use_block_maps: false,
+            use_intents: true,
+            attr_cache_entries: 4096,
+            writeback_interval: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Outputs of a µproxy step, dispatched by the host.
+#[derive(Debug, Clone)]
+pub enum ProxyOut {
+    /// Forward a (rewritten) packet into the network.
+    Net(Packet),
+    /// Deliver a (rewritten) packet up to the local client stack.
+    Client(Packet),
+    /// Send a typed message to a block-service coordinator.
+    Coord {
+        /// Coordinator index.
+        site: u32,
+        /// The message.
+        msg: CoordMsg,
+    },
+    /// A directory server bounced a request as misdirected: the routing
+    /// table is stale and must be refreshed from an external source
+    /// (paper §3.3.1 — tables are hints loaded lazily).
+    NeedDirTable,
+}
+
+/// Which server class a pending request was routed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Dir,
+    SmallFile,
+    Storage,
+}
+
+/// Reassembly state for requests the µproxy split at the threshold
+/// offset (one part served below the threshold, one above).
+#[derive(Debug, Clone)]
+enum MergeState {
+    /// A split write: the merged reply must report the full byte count.
+    Write { total: u32 },
+    /// A split read: data halves arrive separately and are reassembled.
+    Read {
+        split: u64,
+        low: Option<Vec<u8>>,
+        high: Option<Vec<u8>>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PendingReq {
+    proc: NfsProc,
+    fh: Option<Fhandle>,
+    offset: u64,
+    len: u32,
+    class: Class,
+    remaining: u32,
+    absorb: bool,
+    client_src: SockAddr,
+    intent: Option<(u32, u64)>,
+    merge: Option<MergeState>,
+    /// (file, attr version) for µproxy-initiated attribute write-backs:
+    /// the entry is cleaned only when this push is acknowledged.
+    push: Option<(u64, u64)>,
+}
+
+/// Real-time cost accounting for the four µproxy phases (Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// Packet interception nanoseconds.
+    pub intercept_ns: u64,
+    /// Packet decode nanoseconds.
+    pub decode_ns: u64,
+    /// Redirection/rewriting nanoseconds.
+    pub rewrite_ns: u64,
+    /// Soft-state maintenance nanoseconds.
+    pub soft_ns: u64,
+    /// Packets processed (requests + responses).
+    pub packets: u64,
+}
+
+/// The µproxy state machine.
+#[derive(Debug)]
+pub struct Uproxy {
+    cfg: ProxyConfig,
+    dir_table: RoutingTable,
+    sf_table: RoutingTable,
+    pending: HashMap<u32, PendingReq>,
+    attrs: AttrCache,
+    /// Cached block-map fragments: (file, block) -> replica sites.
+    map_cache: HashMap<(u64, u64), Vec<u32>>,
+    /// Requests parked on a block-map fetch, keyed by (file, block).
+    map_waiters: HashMap<(u64, u64), Vec<Packet>>,
+    /// Commit packets parked on an intent ack, keyed by xid.
+    intent_waiters: HashMap<u64, Packet>,
+    mirror_rr: u64,
+    next_own_xid: u32,
+    cred: AuthUnix,
+    phases: PhaseStats,
+    stale_table_bounces: u64,
+    requests_routed: u64,
+    replies_routed: u64,
+    absorbed: u64,
+    initiated: u64,
+}
+
+impl Uproxy {
+    /// Creates a µproxy from `cfg`.
+    pub fn new(cfg: ProxyConfig) -> Self {
+        let dirs = cfg.dir_sites.len().max(1) as u32;
+        let sfs = cfg.sf_sites.len().max(1) as u32;
+        Uproxy {
+            dir_table: RoutingTable::balanced(64, dirs),
+            sf_table: RoutingTable::balanced(64, sfs),
+            pending: HashMap::new(),
+            attrs: AttrCache::new(cfg.attr_cache_entries),
+            map_cache: HashMap::new(),
+            map_waiters: HashMap::new(),
+            intent_waiters: HashMap::new(),
+            mirror_rr: 0,
+            next_own_xid: 0x8000_0000,
+            cred: AuthUnix {
+                machine: "uproxy".into(),
+                ..Default::default()
+            },
+            phases: PhaseStats::default(),
+            stale_table_bounces: 0,
+            requests_routed: 0,
+            replies_routed: 0,
+            absorbed: 0,
+            initiated: 0,
+            cfg,
+        }
+    }
+
+    /// Measured per-phase CPU cost (Table 3).
+    pub fn phase_stats(&self) -> PhaseStats {
+        self.phases
+    }
+
+    /// (requests routed, replies routed, absorbed, initiated).
+    pub fn traffic_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.requests_routed,
+            self.replies_routed,
+            self.absorbed,
+            self.initiated,
+        )
+    }
+
+    /// Current attributes the µproxy would report for `file`.
+    pub fn cached_attr(&mut self, file: u64) -> Option<slice_nfsproto::Fattr3> {
+        self.attrs.get(file)
+    }
+
+    /// Replaces the directory routing table (reconfiguration, §3.3.1).
+    pub fn load_dir_table(&mut self, table: RoutingTable) {
+        self.dir_table = table;
+    }
+
+    /// Misdirected-request bounces observed (stale-table detections).
+    pub fn stale_table_bounces(&self) -> u64 {
+        self.stale_table_bounces
+    }
+
+    /// The directory table's current generation.
+    pub fn dir_table_generation(&self) -> u64 {
+        self.dir_table.generation()
+    }
+
+    /// Replaces the small-file routing table.
+    pub fn load_sf_table(&mut self, table: RoutingTable) {
+        self.sf_table = table;
+    }
+
+    /// Drops all soft state (the µproxy is "free to discard its state ...
+    /// without compromising correctness").
+    pub fn lose_state(&mut self) {
+        self.pending.clear();
+        self.attrs.clear();
+        self.map_cache.clear();
+        self.map_waiters.clear();
+        self.intent_waiters.clear();
+    }
+
+    fn dir_dest(&self, logical: u32) -> SockAddr {
+        self.cfg.dir_sites
+            [self.dir_table.route_logical(logical) as usize % self.cfg.dir_sites.len()]
+    }
+
+    fn dir_dest_key(&self, key: u64) -> SockAddr {
+        self.cfg.dir_sites[self.dir_table.route(key) as usize % self.cfg.dir_sites.len()]
+    }
+
+    fn sf_dest(&self, file: u64) -> SockAddr {
+        let key = fnv1a(&file.to_le_bytes());
+        self.cfg.sf_sites[self.sf_table.route(key) as usize % self.cfg.sf_sites.len()]
+    }
+
+    /// Static striping/placement function: replica site list for one
+    /// stripe of a file (must agree with the coordinator's map policy).
+    fn static_sites(&self, file: u64, offset: u64, mirrored: bool) -> Vec<u32> {
+        let n = self.cfg.storage_sites.len() as u64;
+        let base = fnv1a(&file.to_le_bytes()) % n;
+        let stripe = offset / self.cfg.stripe_unit;
+        let first = ((base + stripe % n) % n) as u32;
+        if mirrored {
+            (0..self.cfg.mirror_copies.min(n as u32))
+                .map(|c| (first + c) % n as u32)
+                .collect()
+        } else {
+            vec![first]
+        }
+    }
+
+    /// Resolves the storage sites for a bulk I/O request, consulting the
+    /// block-map cache when dynamic placement is enabled. `None` means the
+    /// request must wait for a map fragment (a `MapGet` was emitted).
+    fn storage_sites_for(
+        &mut self,
+        out: &mut Vec<ProxyOut>,
+        fh: &Fhandle,
+        offset: u64,
+    ) -> Option<Vec<u32>> {
+        let file = fh.file_id();
+        if self.cfg.use_block_maps && fh.is_mapped() {
+            let block = offset / self.cfg.stripe_unit;
+            if let Some(sites) = self.map_cache.get(&(file, block)) {
+                return Some(sites.clone());
+            }
+            // Fetch a fragment of 16 blocks around the miss.
+            let first = block - block % 16;
+            out.push(ProxyOut::Coord {
+                site: (fnv1a(&file.to_le_bytes()) % u64::from(self.cfg.coord_sites.max(1))) as u32,
+                msg: CoordMsg::MapGet {
+                    file,
+                    first_block: first,
+                    count: 16,
+                },
+            });
+            return None;
+        }
+        Some(self.static_sites(file, offset, fh.is_mirrored()))
+    }
+
+    fn coord_site(&self, file: u64) -> u32 {
+        (fnv1a(&file.to_le_bytes()) % u64::from(self.cfg.coord_sites.max(1))) as u32
+    }
+
+    fn nfs_time(now: SimTime) -> NfsTime {
+        NfsTime::from_nanos(now.as_nanos())
+    }
+
+    /// Generates an attribute write-back: a µproxy-initiated SETATTR to
+    /// the directory server (absorbed on reply).
+    fn push_attrs(&mut self, out: &mut Vec<ProxyOut>, entry: &crate::attrcache::CachedAttr) {
+        let req = NfsRequest::Setattr {
+            fh: entry.fh,
+            attr: Sattr3 {
+                size: Some(entry.attr.size),
+                atime: SetTime::Client(entry.attr.atime),
+                mtime: SetTime::Client(entry.attr.mtime),
+                ..Default::default()
+            },
+        };
+        let xid = self.next_own_xid;
+        self.next_own_xid = self.next_own_xid.wrapping_add(1);
+        let payload = encode_call(xid, &self.cred, &req);
+        let dest = self.dir_dest(entry.fh.home_site());
+        let pkt = Packet::new(self.cfg.client_addr, dest, payload);
+        self.pending.insert(
+            xid,
+            PendingReq {
+                proc: NfsProc::Setattr,
+                fh: Some(entry.fh),
+                offset: 0,
+                len: 0,
+                class: Class::Dir,
+                remaining: 1,
+                absorb: true,
+                client_src: self.cfg.client_addr,
+                intent: None,
+                merge: None,
+                push: Some((entry.fh.file_id(), entry.version)),
+            },
+        );
+        self.initiated += 1;
+        out.push(ProxyOut::Net(pkt));
+    }
+
+    /// Processes a client-to-server packet.
+    pub fn outbound(&mut self, now: SimTime, pkt: Packet) -> Vec<ProxyOut> {
+        let mut out = Vec::new();
+        // Phase 1: interception.
+        let t0 = Instant::now();
+        self.phases.packets += 1;
+        if pkt.dst != self.cfg.virtual_addr {
+            self.phases.intercept_ns += t0.elapsed().as_nanos() as u64;
+            out.push(ProxyOut::Net(pkt));
+            return out;
+        }
+        let t1 = Instant::now();
+        self.phases.intercept_ns += (t1 - t0).as_nanos() as u64;
+        // Phase 2: decode.
+        let decoded = decode_call(&pkt.payload);
+        let t2 = Instant::now();
+        self.phases.decode_ns += (t2 - t1).as_nanos() as u64;
+        let Ok((hdr, req)) = decoded else {
+            // Undecodable packet: drop; RPC retransmission recovers.
+            return out;
+        };
+        self.route_call(now, &mut out, pkt, hdr.xid, req);
+        out
+    }
+
+    fn route_call(
+        &mut self,
+        _now: SimTime,
+        out: &mut Vec<ProxyOut>,
+        pkt: Packet,
+        xid: u32,
+        req: NfsRequest,
+    ) {
+        self.requests_routed += 1;
+        let client_src = pkt.src;
+        // Phase 4 pieces are timed inside; phase 3 around the rewrites.
+        match &req {
+            // I/O that straddles the threshold offset is split: the head
+            // belongs to a small-file server, the tail to the storage
+            // array. The halves share the xid; replies are reassembled.
+            NfsRequest::Read { fh, offset, count }
+                if self.straddles(fh, *offset, u64::from(*count)) =>
+            {
+                let split = self.cfg.threshold;
+                let low = NfsRequest::Read {
+                    fh: *fh,
+                    offset: *offset,
+                    count: (split - offset) as u32,
+                };
+                let high_len = (offset + u64::from(*count) - split) as u32;
+                let high = NfsRequest::Read {
+                    fh: *fh,
+                    offset: split,
+                    count: high_len,
+                };
+                let t_soft = Instant::now();
+                let sites = self.storage_sites_for(out, fh, split);
+                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                let Some(sites) = sites else {
+                    let block = split / self.cfg.stripe_unit;
+                    self.map_waiters
+                        .entry((fh.file_id(), block))
+                        .or_default()
+                        .push(pkt);
+                    return;
+                };
+                let site = self.pick_read_site(&sites, split);
+                let t3 = Instant::now();
+                let low_pkt = Packet::new(
+                    client_src,
+                    self.sf_dest(fh.file_id()),
+                    encode_call(xid, &self.cred, &low),
+                );
+                let high_pkt = Packet::new(
+                    client_src,
+                    self.cfg.storage_sites[site as usize],
+                    encode_call(xid, &self.cred, &high),
+                );
+                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                self.initiated += 2;
+                out.push(ProxyOut::Net(low_pkt));
+                out.push(ProxyOut::Net(high_pkt));
+                let t4 = Instant::now();
+                self.pending.insert(
+                    xid,
+                    PendingReq {
+                        proc: NfsProc::Read,
+                        fh: Some(*fh),
+                        offset: *offset,
+                        len: *count,
+                        class: Class::Storage,
+                        remaining: 2,
+                        absorb: false,
+                        client_src,
+                        intent: None,
+                        merge: Some(MergeState::Read {
+                            split,
+                            low: None,
+                            high: None,
+                        }),
+                        push: None,
+                    },
+                );
+                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+            }
+            NfsRequest::Write {
+                fh,
+                offset,
+                data,
+                stable,
+            } if self.straddles(fh, *offset, data.len() as u64) => {
+                let split = self.cfg.threshold;
+                let cut = (split - offset) as usize;
+                let low = NfsRequest::Write {
+                    fh: *fh,
+                    offset: *offset,
+                    stable: *stable,
+                    data: data[..cut].to_vec(),
+                };
+                let high = NfsRequest::Write {
+                    fh: *fh,
+                    offset: split,
+                    stable: *stable,
+                    data: data[cut..].to_vec(),
+                };
+                let t_soft = Instant::now();
+                let sites = self.storage_sites_for(out, fh, split);
+                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                let Some(sites) = sites else {
+                    let block = split / self.cfg.stripe_unit;
+                    self.map_waiters
+                        .entry((fh.file_id(), block))
+                        .or_default()
+                        .push(pkt);
+                    return;
+                };
+                let t3 = Instant::now();
+                let low_pkt = Packet::new(
+                    client_src,
+                    self.sf_dest(fh.file_id()),
+                    encode_call(xid, &self.cred, &low),
+                );
+                out.push(ProxyOut::Net(low_pkt));
+                for site in &sites {
+                    let p = Packet::new(
+                        client_src,
+                        self.cfg.storage_sites[*site as usize],
+                        encode_call(xid, &self.cred, &high),
+                    );
+                    out.push(ProxyOut::Net(p));
+                }
+                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                self.initiated += 1 + sites.len() as u64;
+                let t4 = Instant::now();
+                self.pending.insert(
+                    xid,
+                    PendingReq {
+                        proc: NfsProc::Write,
+                        fh: Some(*fh),
+                        offset: *offset,
+                        len: data.len() as u32,
+                        class: Class::Storage,
+                        remaining: 1 + sites.len() as u32,
+                        absorb: false,
+                        client_src,
+                        intent: None,
+                        merge: Some(MergeState::Write {
+                            total: data.len() as u32,
+                        }),
+                        push: None,
+                    },
+                );
+                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+            }
+            NfsRequest::Read { fh, offset, count } if self.is_bulk(fh, *offset) => {
+                let t_soft = Instant::now();
+                let sites = self.storage_sites_for(out, fh, *offset);
+                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                let Some(sites) = sites else {
+                    let block = *offset / self.cfg.stripe_unit;
+                    self.map_waiters
+                        .entry((fh.file_id(), block))
+                        .or_default()
+                        .push(pkt);
+                    return;
+                };
+                // Mirrored reads alternate between the mirrors to balance
+                // load: replica choice flips every full placement rotation,
+                // so each node serves half of the blocks it stores and the
+                // rest of its prefetched data goes unused (Table 2).
+                let site = self.pick_read_site(&sites, *offset);
+                let t3 = Instant::now();
+                let mut p = pkt;
+                p.rewrite_dst(self.cfg.storage_sites[site as usize]);
+                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                let t4 = Instant::now();
+                self.pending.insert(
+                    xid,
+                    PendingReq {
+                        proc: NfsProc::Read,
+                        fh: Some(*fh),
+                        offset: *offset,
+                        len: *count,
+                        class: Class::Storage,
+                        remaining: 1,
+                        absorb: false,
+                        client_src,
+                        intent: None,
+                        merge: None,
+                        push: None,
+                    },
+                );
+                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                out.push(ProxyOut::Net(p));
+            }
+            NfsRequest::Write {
+                fh, offset, data, ..
+            } if self.is_bulk(fh, *offset) => {
+                let t_soft = Instant::now();
+                let sites = self.storage_sites_for(out, fh, *offset);
+                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                let Some(sites) = sites else {
+                    let block = *offset / self.cfg.stripe_unit;
+                    self.map_waiters
+                        .entry((fh.file_id(), block))
+                        .or_default()
+                        .push(pkt);
+                    return;
+                };
+                let t3 = Instant::now();
+                // Mirrored writes go to every replica (µproxy duplicates
+                // the packet).
+                for site in &sites {
+                    let mut p = pkt.clone();
+                    p.rewrite_dst(self.cfg.storage_sites[*site as usize]);
+                    out.push(ProxyOut::Net(p));
+                }
+                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                let t4 = Instant::now();
+                self.pending.insert(
+                    xid,
+                    PendingReq {
+                        proc: NfsProc::Write,
+                        fh: Some(*fh),
+                        offset: *offset,
+                        len: data.len() as u32,
+                        class: Class::Storage,
+                        remaining: sites.len() as u32,
+                        absorb: false,
+                        client_src,
+                        intent: None,
+                        merge: None,
+                        push: None,
+                    },
+                );
+                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+            }
+            NfsRequest::Commit { fh, .. } if self.commit_is_multisite(fh) => {
+                // Push modified attributes back on commit (paper §4.1).
+                let t4 = Instant::now();
+                let dirty = self.attrs.take_dirty(fh.file_id());
+                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                if let Some(e) = dirty {
+                    self.push_attrs(out, &e);
+                }
+                if self.cfg.use_intents && self.cfg.coord_sites > 0 {
+                    // Intention first; the commit fans out on the ack.
+                    let site = self.coord_site(fh.file_id());
+                    self.intent_waiters.insert(u64::from(xid), pkt);
+                    out.push(ProxyOut::Coord {
+                        site,
+                        msg: CoordMsg::BeginIntent {
+                            op_id: u64::from(xid),
+                            kind: IntentKind::Commit { obj: fh.file_id() },
+                            participants: (0..self.cfg.storage_sites.len() as u32).collect(),
+                        },
+                    });
+                } else {
+                    self.fanout_commit(out, pkt, xid, *fh, None);
+                }
+            }
+            other => {
+                // Name-space, attribute, and small-file traffic.
+                let dest = self.name_dest(other);
+                let (class, fh, offset, len) = match other {
+                    NfsRequest::Read { fh, offset, count } => {
+                        (Class::SmallFile, Some(*fh), *offset, *count)
+                    }
+                    NfsRequest::Write {
+                        fh, offset, data, ..
+                    } => (Class::SmallFile, Some(*fh), *offset, data.len() as u32),
+                    NfsRequest::Commit { fh, .. } => (Class::SmallFile, Some(*fh), 0, 0),
+                    req => (Class::Dir, req.primary_fh().copied(), 0, 0),
+                };
+                // Commit below threshold still flushes cached attributes.
+                if matches!(other, NfsRequest::Commit { .. }) {
+                    let t4 = Instant::now();
+                    let dirty = fh.and_then(|f| self.attrs.take_dirty(f.file_id()));
+                    self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                    if let Some(e) = dirty {
+                        self.push_attrs(out, &e);
+                    }
+                }
+                let t3 = Instant::now();
+                let mut p = pkt;
+                p.rewrite_dst(dest);
+                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                let t4 = Instant::now();
+                self.pending.insert(
+                    xid,
+                    PendingReq {
+                        proc: other.proc(),
+                        fh,
+                        offset,
+                        len,
+                        class,
+                        remaining: 1,
+                        absorb: false,
+                        client_src,
+                        intent: None,
+                        merge: None,
+                        push: None,
+                    },
+                );
+                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                out.push(ProxyOut::Net(p));
+            }
+        }
+    }
+
+    fn is_bulk(&self, fh: &Fhandle, offset: u64) -> bool {
+        if fh.is_dir() || fh.is_symlink() {
+            return false;
+        }
+        self.cfg.sf_sites.is_empty() || offset >= self.cfg.threshold
+    }
+
+    /// True when an I/O range crosses the threshold offset and therefore
+    /// spans the small-file/bulk split.
+    fn straddles(&self, fh: &Fhandle, offset: u64, len: u64) -> bool {
+        !self.cfg.sf_sites.is_empty()
+            && !fh.is_dir()
+            && !fh.is_symlink()
+            && offset < self.cfg.threshold
+            && offset + len > self.cfg.threshold
+    }
+
+    /// Replica choice for a mirrored read: alternate between the mirrors
+    /// by placement rotation (each node serves half of what it stores).
+    fn pick_read_site(&mut self, sites: &[u32], offset: u64) -> u32 {
+        if sites.len() > 1 {
+            let stripe = offset / self.cfg.stripe_unit;
+            let rotation = stripe / self.cfg.storage_sites.len() as u64;
+            self.mirror_rr += 1;
+            sites[(rotation % sites.len() as u64) as usize]
+        } else {
+            sites[0]
+        }
+    }
+
+    /// A commit is multisite when the file plausibly has data on storage
+    /// nodes (cached size above the threshold, or no small-file servers).
+    fn commit_is_multisite(&mut self, fh: &Fhandle) -> bool {
+        if self.cfg.sf_sites.is_empty() {
+            return true;
+        }
+        match self.attrs.get(fh.file_id()) {
+            Some(a) => a.size > self.cfg.threshold,
+            None => false,
+        }
+    }
+
+    fn fanout_commit(
+        &mut self,
+        out: &mut Vec<ProxyOut>,
+        pkt: Packet,
+        xid: u32,
+        fh: Fhandle,
+        intent: Option<(u32, u64)>,
+    ) {
+        let client_src = pkt.src;
+        let mut n = 0;
+        for site in &self.cfg.storage_sites {
+            let mut p = pkt.clone();
+            p.rewrite_dst(*site);
+            out.push(ProxyOut::Net(p));
+            n += 1;
+        }
+        // The below-threshold region commits at its small-file server.
+        if !self.cfg.sf_sites.is_empty() {
+            let mut p = pkt.clone();
+            p.rewrite_dst(self.sf_dest(fh.file_id()));
+            out.push(ProxyOut::Net(p));
+            n += 1;
+        }
+        self.pending.insert(
+            xid,
+            PendingReq {
+                proc: NfsProc::Commit,
+                fh: Some(fh),
+                offset: 0,
+                len: 0,
+                class: Class::Storage,
+                remaining: n,
+                absorb: false,
+                client_src,
+                intent,
+                merge: None,
+                push: None,
+            },
+        );
+    }
+
+    /// Destination for non-bulk requests per the name-space policy.
+    fn name_dest(&self, req: &NfsRequest) -> SockAddr {
+        match req {
+            NfsRequest::Read { fh, .. }
+            | NfsRequest::Write { fh, .. }
+            | NfsRequest::Commit { fh, .. } => self.sf_dest(fh.file_id()),
+            NfsRequest::Getattr { fh }
+            | NfsRequest::Setattr { fh, .. }
+            | NfsRequest::Access { fh, .. }
+            | NfsRequest::Readlink { fh }
+            | NfsRequest::Fsstat { fh } => self.dir_dest(fh.home_site()),
+            NfsRequest::Lookup { dir, name }
+            | NfsRequest::Create { dir, name, .. }
+            | NfsRequest::Symlink { dir, name, .. }
+            | NfsRequest::Remove { dir, name }
+            | NfsRequest::Rmdir { dir, name }
+            | NfsRequest::Link { dir, name, .. } => self.name_pair_dest(dir, name),
+            NfsRequest::Mkdir { dir, name, .. } => match self.cfg.name_policy {
+                ProxyNamePolicy::MkdirSwitching { redirect_millis } => {
+                    let fp = name_fingerprint(&dir.0, name.as_bytes());
+                    // Deterministic pseudo-random redirect decision drawn
+                    // from fingerprint bits.
+                    if ((fp >> 48) % 1000) < u64::from(redirect_millis) {
+                        self.cfg.dir_sites
+                            [self.dir_table.route(fp) as usize % self.cfg.dir_sites.len()]
+                    } else {
+                        self.dir_dest(dir.home_site())
+                    }
+                }
+                ProxyNamePolicy::NameHashing => self.name_pair_dest(dir, name),
+            },
+            NfsRequest::Rename {
+                from_dir,
+                from_name,
+                ..
+            } => self.name_pair_dest(from_dir, from_name),
+            NfsRequest::Readdir { dir, cookie, .. }
+            | NfsRequest::Readdirplus { dir, cookie, .. } => match self.cfg.name_policy {
+                ProxyNamePolicy::MkdirSwitching { .. } => self.dir_dest(dir.home_site()),
+                ProxyNamePolicy::NameHashing => self.dir_dest_site_index((cookie >> 56) as u32),
+            },
+            NfsRequest::Null => self.cfg.dir_sites[0],
+        }
+    }
+
+    fn dir_dest_site_index(&self, idx: u32) -> SockAddr {
+        self.cfg.dir_sites[idx as usize % self.cfg.dir_sites.len()]
+    }
+
+    fn name_pair_dest(&self, dir: &Fhandle, name: &str) -> SockAddr {
+        match self.cfg.name_policy {
+            ProxyNamePolicy::MkdirSwitching { .. } => self.dir_dest(dir.home_site()),
+            ProxyNamePolicy::NameHashing => {
+                self.dir_dest_key(name_fingerprint(&dir.0, name.as_bytes()))
+            }
+        }
+    }
+
+    /// Processes a server-to-client packet.
+    pub fn inbound(&mut self, now: SimTime, pkt: Packet) -> Vec<ProxyOut> {
+        let mut out = Vec::new();
+        // Phase 1: interception — pair the reply with its pending record.
+        let t0 = Instant::now();
+        self.phases.packets += 1;
+        let xid = slice_nfsproto::peek_xid_type(&pkt.payload)
+            .map(|(x, _)| x)
+            .ok();
+        let pending = xid.and_then(|x| self.pending.get(&x).cloned());
+        let t1 = Instant::now();
+        self.phases.intercept_ns += (t1 - t0).as_nanos() as u64;
+        let Some(xid) = xid else {
+            out.push(ProxyOut::Client(pkt));
+            return out;
+        };
+        let Some(rec) = pending else {
+            // Lost soft state: restore the virtual source so the client's
+            // RPC layer can still match (it will usually have timed out
+            // and retransmitted already).
+            let mut p = pkt;
+            let t3 = Instant::now();
+            p.rewrite_src(self.cfg.virtual_addr);
+            self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+            out.push(ProxyOut::Client(p));
+            return out;
+        };
+        // Phase 2: decode the reply.
+        let t2 = Instant::now();
+        let reply = decode_reply(&pkt.payload, rec.proc).ok().map(|(_, r)| r);
+        self.phases.decode_ns += t2.elapsed().as_nanos() as u64;
+        // Phase 4: soft state — multi-reply bookkeeping + attribute cache.
+        let t4 = Instant::now();
+        let remaining = {
+            let r = self.pending.get_mut(&xid).expect("checked pending");
+            r.remaining = r.remaining.saturating_sub(1);
+            // Split reads: stash this half's data for reassembly. The
+            // source address says which half answered.
+            if let Some(MergeState::Read { low, high, .. }) = &mut r.merge {
+                if let Some(slice_nfsproto::ReplyBody::Read { data, .. }) =
+                    reply.as_ref().map(|rp| &rp.body)
+                {
+                    if self.cfg.sf_sites.contains(&pkt.src) {
+                        low.get_or_insert_with(|| data.clone());
+                    } else {
+                        high.get_or_insert_with(|| data.clone());
+                    }
+                }
+            }
+            r.remaining
+        };
+        if remaining > 0 {
+            self.absorbed += 1;
+            self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+            return out; // merge: forward only the final reply
+        }
+        let rec = self.pending.remove(&xid).expect("checked pending");
+        // A JUKEBOX bounce from a directory server marks this µproxy's
+        // routing table stale: ask the host to refresh it and absorb the
+        // reply — the client's RPC retransmission will re-route the
+        // request through the fresh table.
+        if rec.class == Class::Dir && !rec.absorb {
+            if let Some(r) = &reply {
+                if r.status == slice_nfsproto::NfsStatus::JukeBox {
+                    self.stale_table_bounces += 1;
+                    out.push(ProxyOut::NeedDirTable);
+                    self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                    return out;
+                }
+            }
+        }
+        let mut evicted = Vec::new();
+        // The file whose attribute block rides in this reply (for lookup
+        // and create replies that is the *child*, not the request target).
+        let mut attr_file = rec.fh;
+        if let Some(reply) = &reply {
+            if reply.status.is_ok() {
+                match rec.class {
+                    Class::Dir => {
+                        // Authoritative attributes; also harvest handles
+                        // from lookup/create bodies.
+                        if let Some(attr) = reply.attr {
+                            let fh = match &reply.body {
+                                slice_nfsproto::ReplyBody::Lookup { fh, .. } => Some(*fh),
+                                slice_nfsproto::ReplyBody::Create { fh: Some(fh) } => Some(*fh),
+                                _ => rec.fh,
+                            };
+                            if let Some(fh) = fh {
+                                attr_file = Some(fh);
+                                if rec.proc == NfsProc::Setattr {
+                                    // SETATTR replies replace local deltas:
+                                    // an explicit truncate must not be
+                                    // re-grown by the merge rule.
+                                    evicted.extend(self.attrs.store_replacing(now, &fh, attr));
+                                } else {
+                                    evicted.extend(self.attrs.store_authoritative(now, &fh, attr));
+                                }
+                            }
+                        }
+                    }
+                    Class::Storage | Class::SmallFile => {
+                        if let Some(fh) = rec.fh {
+                            let t = Self::nfs_time(now);
+                            match rec.proc {
+                                NfsProc::Read => {
+                                    evicted.extend(self.attrs.apply_read(now, &fh, t));
+                                }
+                                NfsProc::Write => {
+                                    evicted.extend(self.attrs.apply_write(
+                                        now,
+                                        &fh,
+                                        rec.offset + u64::from(rec.len),
+                                        t,
+                                    ));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Completion of an intent-guarded fan-out clears the intention.
+        if let Some((site, intent)) = rec.intent {
+            out.push(ProxyOut::Coord {
+                site,
+                msg: CoordMsg::CompleteIntent { intent },
+            });
+        }
+        self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+        for e in evicted {
+            self.push_attrs(&mut out, &e);
+        }
+        if rec.absorb {
+            self.absorbed += 1;
+            // A confirmed attribute write-back cleans the cache entry
+            // (unless a newer local modification raced with the push).
+            if let Some((file, version)) = rec.push {
+                if reply.as_ref().map(|r| r.status.is_ok()).unwrap_or(false) {
+                    self.attrs.mark_clean(file, version);
+                }
+            }
+            return out;
+        }
+        // Finalize split requests by re-initiating a merged reply.
+        if let Some(merge) = &rec.merge {
+            if let (Some(reply), Some(fh)) = (&reply, rec.fh) {
+                let t3 = Instant::now();
+                let mut merged = reply.clone();
+                if let Some(attr) = self.attrs.get(fh.file_id()) {
+                    merged.attr = Some(attr);
+                }
+                match merge {
+                    MergeState::Write { total } => {
+                        if let slice_nfsproto::ReplyBody::Write { count, .. } = &mut merged.body {
+                            *count = *total;
+                        }
+                    }
+                    MergeState::Read { split, low, high } => {
+                        let size = merged
+                            .attr
+                            .map(|a| a.size)
+                            .unwrap_or(rec.offset + u64::from(rec.len));
+                        let expected =
+                            size.saturating_sub(rec.offset).min(u64::from(rec.len)) as usize;
+                        let mut data = vec![0u8; expected];
+                        if let Some(lo) = low {
+                            let n = lo.len().min(expected);
+                            data[..n].copy_from_slice(&lo[..n]);
+                        }
+                        if let Some(hi) = high {
+                            let start = (*split - rec.offset) as usize;
+                            if start < expected {
+                                let n = hi.len().min(expected - start);
+                                data[start..start + n].copy_from_slice(&hi[..n]);
+                            }
+                        }
+                        let eof = rec.offset + expected as u64 >= size;
+                        merged.body = slice_nfsproto::ReplyBody::Read { data, eof };
+                    }
+                }
+                let p = Packet::new(
+                    self.cfg.virtual_addr,
+                    rec.client_src,
+                    slice_nfsproto::encode_reply(xid, &merged),
+                );
+                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                self.replies_routed += 1;
+                out.push(ProxyOut::Client(p));
+                return out;
+            }
+        }
+        // Reads must reflect the *global* file size the µproxy tracks:
+        // storage and small-file servers only know their local extent, so
+        // a read in a hole (or past local data) comes back short and is
+        // zero-extended here, and a read past EOF is truncated. This is a
+        // reply the µproxy re-initiates rather than rewrites in place.
+        if rec.proc == NfsProc::Read {
+            if let (Some(reply), Some(fh)) = (&reply, rec.fh) {
+                if reply.status.is_ok() {
+                    if let (Some(attr), slice_nfsproto::ReplyBody::Read { data, .. }) =
+                        (self.attrs.get(fh.file_id()), &reply.body)
+                    {
+                        let expected =
+                            attr.size.saturating_sub(rec.offset).min(u64::from(rec.len)) as usize;
+                        if data.len() != expected {
+                            let t3 = Instant::now();
+                            let mut fixed = reply.clone();
+                            fixed.attr = Some(attr);
+                            if let slice_nfsproto::ReplyBody::Read { data, eof } = &mut fixed.body {
+                                data.resize(expected, 0);
+                                *eof = rec.offset + expected as u64 >= attr.size;
+                            }
+                            let p = Packet::new(
+                                self.cfg.virtual_addr,
+                                rec.client_src,
+                                slice_nfsproto::encode_reply(xid, &fixed),
+                            );
+                            self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                            self.replies_routed += 1;
+                            out.push(ProxyOut::Client(p));
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 3: rewrite — restore the virtual source and patch the
+        // attribute block with the authoritative cached attributes.
+        let t3 = Instant::now();
+        let mut p = pkt;
+        p.rewrite_src(self.cfg.virtual_addr);
+        {
+            // Return a complete, current set of attributes in every
+            // response (paper §4.1): overwrite the reply's attribute block
+            // with the merged cached attributes.
+            if let Some(fh) = attr_file {
+                if let Some(attr) = self.attrs.get(fh.file_id()) {
+                    // Patch in place when the reply carries an attr block.
+                    let flag_off = REPLY_ATTR_OFFSET;
+                    if p.payload.len() >= flag_off + 4 + 84 {
+                        let flag = u32::from_be_bytes(
+                            p.payload[flag_off..flag_off + 4].try_into().expect("fixed"),
+                        );
+                        if flag == 1 {
+                            let mut enc = XdrEncoder::with_capacity(84);
+                            attr.encode(&mut enc);
+                            p.rewrite_payload(flag_off + 4, enc.as_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+        self.replies_routed += 1;
+        // Restore the original client destination.
+        let t3b = Instant::now();
+        p.rewrite_dst(rec.client_src);
+        self.phases.rewrite_ns += t3b.elapsed().as_nanos() as u64;
+        out.push(ProxyOut::Client(p));
+        out
+    }
+
+    /// Handles a coordinator reply (intent acks and map fragments).
+    pub fn coord_reply(&mut self, now: SimTime, reply: CoordReply) -> Vec<ProxyOut> {
+        let mut out = Vec::new();
+        match reply {
+            CoordReply::IntentAck { op_id, intent } => {
+                if let Some(pkt) = self.intent_waiters.remove(&op_id) {
+                    let xid = op_id as u32;
+                    let fh = decode_call(&pkt.payload)
+                        .ok()
+                        .and_then(|(_, req)| req.primary_fh().copied());
+                    if let Some(fh) = fh {
+                        let site = self.coord_site(fh.file_id());
+                        self.fanout_commit(&mut out, pkt, xid, fh, Some((site, intent)));
+                    }
+                }
+            }
+            CoordReply::MapFragment {
+                file,
+                first_block,
+                sites,
+            } => {
+                for (i, s) in sites.iter().enumerate() {
+                    self.map_cache
+                        .insert((file, first_block + i as u64), s.clone());
+                }
+                // Release parked requests covered by the fragment.
+                let keys: Vec<(u64, u64)> = self
+                    .map_waiters
+                    .keys()
+                    .filter(|(f, b)| {
+                        *f == file && *b >= first_block && *b < first_block + sites.len() as u64
+                    })
+                    .copied()
+                    .collect();
+                for k in keys {
+                    for pkt in self.map_waiters.remove(&k).unwrap_or_default() {
+                        let mut more = self.outbound(now, pkt);
+                        out.append(&mut more);
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Periodic maintenance: pushes back dirty attributes older than the
+    /// write-back interval (bounds timestamp drift, §4.1).
+    pub fn tick(&mut self, now: SimTime) -> Vec<ProxyOut> {
+        let mut out = Vec::new();
+        let stale = self
+            .attrs
+            .take_stale_dirty(now, self.cfg.writeback_interval);
+        for e in stale {
+            self.push_attrs(&mut out, &e);
+        }
+        out
+    }
+}

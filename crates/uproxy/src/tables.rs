@@ -1,0 +1,155 @@
+//! µproxy routing tables: compact logical-to-physical indirection.
+//!
+//! "The µproxy directs most requests by extracting relevant fields from
+//! the request, perhaps hashing to combine multiple fields, and
+//! interpreting the result as a logical server site ID ... It then looks
+//! up the corresponding physical server in a compact routing table.
+//! Multiple logical sites may map to the same physical server, leaving
+//! flexibility for reconfiguration. The routing tables constitute soft
+//! state; the mapping is determined externally" (paper §3).
+
+use slice_hashes::bucket_of;
+
+/// A compact routing table mapping logical server slots to physical
+/// server indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    slots: Vec<u32>,
+    generation: u64,
+}
+
+impl RoutingTable {
+    /// An identity-ish table: `logical_slots` slots spread round-robin
+    /// over `physical` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn balanced(logical_slots: usize, physical: u32) -> Self {
+        assert!(logical_slots > 0, "need at least one logical slot");
+        assert!(physical > 0, "need at least one physical server");
+        RoutingTable {
+            slots: (0..logical_slots).map(|i| i as u32 % physical).collect(),
+            generation: 1,
+        }
+    }
+
+    /// Builds a table from explicit slot assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty.
+    pub fn from_slots(slots: Vec<u32>, generation: u64) -> Self {
+        assert!(!slots.is_empty(), "need at least one logical slot");
+        RoutingTable { slots, generation }
+    }
+
+    /// Number of logical slots (the rebalancing granularity).
+    pub fn logical_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Table generation, bumped on reconfiguration.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Routes a 64-bit key: hash to a logical slot, then indirect to the
+    /// physical server.
+    pub fn route(&self, key: u64) -> u32 {
+        self.slots[bucket_of(key, self.slots.len())]
+    }
+
+    /// Routes an already-known logical slot id (e.g. a home-site id
+    /// stamped in a file handle).
+    pub fn route_logical(&self, logical: u32) -> u32 {
+        self.slots[logical as usize % self.slots.len()]
+    }
+
+    /// Rebalances the logical slots over `new_physical` servers moving as
+    /// few slots as possible (the 1/N data movement of paper §3.3.1):
+    /// slots are taken only from servers above their fair share and handed
+    /// to servers below it. Returns the slots moved.
+    pub fn rebalance(&mut self, new_physical: u32) -> Vec<usize> {
+        let n = self.slots.len();
+        let base = n / new_physical as usize;
+        let extra = n % new_physical as usize;
+        let target = |p: u32| base + usize::from((p as usize) < extra);
+        let mut counts = vec![0usize; new_physical as usize];
+        for slot in &mut self.slots {
+            if *slot >= new_physical {
+                *slot = u32::MAX; // server departed: must move
+            } else {
+                counts[*slot as usize] += 1;
+            }
+        }
+        let mut moved = Vec::new();
+        for i in 0..n {
+            let s = self.slots[i];
+            let over = s == u32::MAX || counts[s as usize] > target(s);
+            if !over {
+                continue;
+            }
+            // Find an underloaded destination.
+            if let Some(dest) = (0..new_physical).find(|&p| counts[p as usize] < target(p)) {
+                if s != u32::MAX {
+                    counts[s as usize] -= 1;
+                }
+                counts[dest as usize] += 1;
+                self.slots[i] = dest;
+                moved.push(i);
+            }
+        }
+        self.generation += 1;
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_covers_all_physical() {
+        let t = RoutingTable::balanced(64, 4);
+        let mut seen = [false; 4];
+        for k in 0..1000u64 {
+            seen[t.route(k.wrapping_mul(0x9e3779b97f4a7c15)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn route_is_stable() {
+        let t = RoutingTable::balanced(64, 4);
+        assert_eq!(t.route(12345), t.route(12345));
+    }
+
+    #[test]
+    fn rebalance_moves_bounded_fraction() {
+        // Growing 4 -> 5 servers should move roughly 1/5 of the slots.
+        let mut t = RoutingTable::balanced(100, 4);
+        let moved = t.rebalance(5);
+        assert!(!moved.is_empty());
+        assert!(moved.len() <= 45, "moved {} slots of 100", moved.len());
+        assert_eq!(t.generation(), 2);
+        // All five servers now receive traffic.
+        let mut seen = [false; 5];
+        for k in 0..2000u64 {
+            seen[t.route(k.wrapping_mul(0x2545f4914f6cdd1d)) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn route_logical_wraps() {
+        let t = RoutingTable::balanced(8, 3);
+        assert_eq!(t.route_logical(9), t.route_logical(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one logical slot")]
+    fn empty_table_rejected() {
+        RoutingTable::from_slots(vec![], 1);
+    }
+}

@@ -1,0 +1,843 @@
+//! µproxy tests: drive real packets through the filter and inspect the
+//! rewritten outputs.
+
+use slice_nfsproto::{
+    decode_reply, encode_call, encode_reply, AuthUnix, Fattr3, Fhandle, FileType, NfsProc,
+    NfsReply, NfsRequest, NfsStatus, NfsTime, Packet, ReplyBody, Sattr3, SockAddr, StableHow,
+    FH_FLAG_MIRRORED,
+};
+use slice_sim::{SimDuration, SimTime};
+use slice_storage::{CoordMsg, CoordReply};
+
+use crate::proxy::{ProxyConfig, ProxyNamePolicy, ProxyOut, Uproxy};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn cfg() -> ProxyConfig {
+    let mut c = ProxyConfig::test_default();
+    c.dir_sites = vec![
+        SockAddr::new(0x0a001000, 2049),
+        SockAddr::new(0x0a001001, 2049),
+    ];
+    c.storage_sites = (0..4)
+        .map(|i| SockAddr::new(0x0a003000 + i, 2049))
+        .collect();
+    c
+}
+
+fn call_pkt(p: &ProxyConfig, xid: u32, req: &NfsRequest) -> Packet {
+    Packet::new(
+        p.client_addr,
+        p.virtual_addr,
+        encode_call(xid, &AuthUnix::default(), req),
+    )
+}
+
+fn reply_pkt(from: SockAddr, to: SockAddr, xid: u32, reply: &NfsReply) -> Packet {
+    Packet::new(from, to, encode_reply(xid, reply))
+}
+
+fn fh(id: u64, flags: u8) -> Fhandle {
+    Fhandle::new(id, 0, flags, 0, 0)
+}
+
+fn net_pkts(out: &[ProxyOut]) -> Vec<&Packet> {
+    out.iter()
+        .filter_map(|o| match o {
+            ProxyOut::Net(p) => Some(p),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn non_virtual_traffic_passes_through() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let other = SockAddr::new(0x01020304, 80);
+    let pkt = Packet::new(c.client_addr, other, vec![1, 2, 3]);
+    let out = u.outbound(t(0), pkt.clone());
+    assert_eq!(out.len(), 1);
+    match &out[0] {
+        ProxyOut::Net(p) => assert_eq!(*p, pkt),
+        o => panic!("unexpected {o:?}"),
+    }
+}
+
+#[test]
+fn bulk_read_routes_to_storage_with_valid_checksum() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let req = NfsRequest::Read {
+        fh: fh(10, 0),
+        offset: 128 * 1024,
+        count: 32768,
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 1, &req));
+    let pkts = net_pkts(&out);
+    assert_eq!(pkts.len(), 1);
+    let p = pkts[0];
+    assert!(
+        c.storage_sites.contains(&p.dst),
+        "must target a storage node, got {}",
+        p.dst
+    );
+    assert!(p.verify(), "rewrite must leave a valid checksum");
+    // Same offset routes to the same node; next stripe to a different one.
+    let out2 = u.outbound(t(1), call_pkt(&c, 2, &req));
+    assert_eq!(net_pkts(&out2)[0].dst, p.dst);
+    let req3 = NfsRequest::Read {
+        fh: fh(10, 0),
+        offset: 192 * 1024,
+        count: 32768,
+    };
+    let out3 = u.outbound(t(2), call_pkt(&c, 3, &req3));
+    assert_ne!(net_pkts(&out3)[0].dst, p.dst, "striping must rotate sites");
+}
+
+#[test]
+fn small_io_routes_to_smallfile_server() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let req = NfsRequest::Read {
+        fh: fh(10, 0),
+        offset: 0,
+        count: 8192,
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 1, &req));
+    assert_eq!(net_pkts(&out)[0].dst, c.sf_sites[0]);
+    // Below-threshold I/O on a *large* file still goes to the small-file
+    // server (the threshold is on offset, not size).
+    let req = NfsRequest::Write {
+        fh: fh(11, 0),
+        offset: 32768,
+        stable: StableHow::Unstable,
+        data: vec![0u8; 1000],
+    };
+    let out = u.outbound(t(1), call_pkt(&c, 2, &req));
+    assert_eq!(net_pkts(&out)[0].dst, c.sf_sites[0]);
+}
+
+#[test]
+fn no_smallfile_servers_sends_everything_to_storage() {
+    let mut c = cfg();
+    c.sf_sites.clear();
+    let mut u = Uproxy::new(c.clone());
+    let req = NfsRequest::Read {
+        fh: fh(10, 0),
+        offset: 0,
+        count: 8192,
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 1, &req));
+    assert!(c.storage_sites.contains(&net_pkts(&out)[0].dst));
+}
+
+#[test]
+fn mirrored_write_duplicates_to_replicas() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let req = NfsRequest::Write {
+        fh: fh(20, FH_FLAG_MIRRORED),
+        offset: 128 * 1024,
+        stable: StableHow::Unstable,
+        data: vec![7u8; 4096],
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 5, &req));
+    let pkts = net_pkts(&out);
+    assert_eq!(pkts.len(), 2, "two replicas");
+    assert_ne!(pkts[0].dst, pkts[1].dst);
+    assert!(pkts.iter().all(|p| p.verify()));
+    // Only one merged reply reaches the client.
+    let reply = NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            20,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Write {
+            count: 4096,
+            committed: StableHow::Unstable,
+            verf: 1,
+        },
+    };
+    let r1 = u.inbound(t(1), reply_pkt(pkts[0].dst, c.client_addr, 5, &reply));
+    assert!(
+        r1.iter().all(|o| !matches!(o, ProxyOut::Client(_))),
+        "first reply absorbed"
+    );
+    let r2 = u.inbound(t(2), reply_pkt(pkts[1].dst, c.client_addr, 5, &reply));
+    assert!(
+        r2.iter().any(|o| matches!(o, ProxyOut::Client(_))),
+        "second reply forwarded to client"
+    );
+}
+
+#[test]
+fn mirrored_reads_balance_across_all_nodes() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    // Reading a long mirrored file must touch every storage node (load-
+    // balanced mirrors), the same stripe must always hit the same replica,
+    // and each node must serve only about half the stripes it stores.
+    let r_at = |u: &mut Uproxy, xid: u32, offset: u64| {
+        let req = NfsRequest::Read {
+            fh: fh(21, FH_FLAG_MIRRORED),
+            offset,
+            count: 65536,
+        };
+        net_pkts(&u.outbound(t(u64::from(xid)), call_pkt(&c, xid, &req)))[0].dst
+    };
+    let mut counts = std::collections::HashMap::new();
+    let stripes = 64u64;
+    // Stripe 0 sits below the threshold offset and would route to the
+    // small-file server; bulk striping starts at stripe 1.
+    for s in 1..=stripes {
+        let dst = r_at(&mut u, s as u32 + 1, s * 65536);
+        *counts.entry(dst).or_insert(0u64) += 1;
+        // Re-read of the same stripe is deterministic.
+        assert_eq!(dst, r_at(&mut u, 1000 + s as u32, s * 65536));
+    }
+    assert_eq!(counts.len(), c.storage_sites.len(), "all nodes serve reads");
+    for (&node, &n) in &counts {
+        let share = n as f64 / stripes as f64;
+        assert!(share > 0.15 && share < 0.35, "node {node} share {share}");
+    }
+}
+
+#[test]
+fn reply_src_is_rewritten_to_virtual_addr() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let req = NfsRequest::Getattr { fh: fh(30, 0) };
+    let out = u.outbound(t(0), call_pkt(&c, 9, &req));
+    let dest = net_pkts(&out)[0].dst;
+    let reply = NfsReply::ok(
+        NfsProc::Getattr,
+        Fattr3::new(FileType::Regular, 30, 0o644, NfsTime::default()),
+    );
+    let back = u.inbound(t(1), reply_pkt(dest, c.client_addr, 9, &reply));
+    let client_pkt = back
+        .iter()
+        .find_map(|o| match o {
+            ProxyOut::Client(p) => Some(p),
+            _ => None,
+        })
+        .expect("reply to client");
+    assert_eq!(
+        client_pkt.src, c.virtual_addr,
+        "client must see the virtual server"
+    );
+    assert!(client_pkt.verify());
+}
+
+#[test]
+fn attr_cache_patches_storage_replies() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    // Seed authoritative attrs via a getattr reply from the dir server.
+    let f = fh(40, 0);
+    let out = u.outbound(t(0), call_pkt(&c, 1, &NfsRequest::Getattr { fh: f }));
+    let dir_dst = net_pkts(&out)[0].dst;
+    let mut auth = Fattr3::new(FileType::Regular, 40, 0o640, NfsTime { secs: 10, nsecs: 0 });
+    auth.nlink = 3;
+    auth.uid = 42;
+    u.inbound(
+        t(1),
+        reply_pkt(
+            dir_dst,
+            c.client_addr,
+            1,
+            &NfsReply::ok(NfsProc::Getattr, auth),
+        ),
+    );
+    // Bulk write: reply from the storage node carries placeholder attrs;
+    // the µproxy must patch in the authoritative ones, with size grown.
+    let req = NfsRequest::Write {
+        fh: f,
+        offset: 100 * 1024,
+        stable: StableHow::Unstable,
+        data: vec![1u8; 32768],
+    };
+    let out = u.outbound(t(2), call_pkt(&c, 2, &req));
+    let storage_dst = net_pkts(&out)[0].dst;
+    let placeholder = Fattr3::new(FileType::Regular, 40, 0o644, NfsTime::default());
+    let reply = NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(placeholder),
+        body: ReplyBody::Write {
+            count: 32768,
+            committed: StableHow::Unstable,
+            verf: 9,
+        },
+    };
+    let back = u.inbound(t(3), reply_pkt(storage_dst, c.client_addr, 2, &reply));
+    let client_pkt = back
+        .iter()
+        .find_map(|o| match o {
+            ProxyOut::Client(p) => Some(p),
+            _ => None,
+        })
+        .expect("reply to client");
+    assert!(
+        client_pkt.verify(),
+        "in-place attr patch must fix the checksum"
+    );
+    let (_, patched) = decode_reply(&client_pkt.payload, NfsProc::Write).unwrap();
+    let a = patched.attr.expect("attrs present");
+    assert_eq!(a.uid, 42, "authoritative uid patched in");
+    assert_eq!(a.nlink, 3);
+    assert_eq!(a.size, 100 * 1024 + 32768, "size reflects the write");
+}
+
+#[test]
+fn commit_pushes_dirty_attrs_to_dir_server() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let f = fh(50, 0);
+    // A bulk write marks attrs dirty.
+    let out = u.outbound(
+        t(0),
+        call_pkt(
+            &c,
+            1,
+            &NfsRequest::Write {
+                fh: f,
+                offset: 80 * 1024,
+                stable: StableHow::Unstable,
+                data: vec![0u8; 8192],
+            },
+        ),
+    );
+    let storage_dst = net_pkts(&out)[0].dst;
+    let reply = NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            50,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Write {
+            count: 8192,
+            committed: StableHow::Unstable,
+            verf: 1,
+        },
+    };
+    u.inbound(t(1), reply_pkt(storage_dst, c.client_addr, 1, &reply));
+    // Commit: the µproxy initiates a SETATTR to the dir server.
+    let out = u.outbound(
+        t(2),
+        call_pkt(
+            &c,
+            2,
+            &NfsRequest::Commit {
+                fh: f,
+                offset: 0,
+                count: 0,
+            },
+        ),
+    );
+    let setattrs: Vec<&Packet> = net_pkts(&out)
+        .into_iter()
+        .filter(|p| c.dir_sites.contains(&p.dst))
+        .collect();
+    assert_eq!(setattrs.len(), 1, "one attribute push-back expected");
+    let (hdr, req) = slice_nfsproto::decode_call(&setattrs[0].payload).unwrap();
+    assert!(hdr.xid >= 0x8000_0000, "µproxy-initiated xid namespace");
+    match req {
+        NfsRequest::Setattr { fh: got, attr } => {
+            assert_eq!(got.file_id(), 50);
+            assert_eq!(attr.size, Some(80 * 1024 + 8192));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Commit itself goes through the intent path (coordinator first).
+    assert!(out.iter().any(|o| matches!(
+        o,
+        ProxyOut::Coord {
+            msg: CoordMsg::BeginIntent { .. },
+            ..
+        }
+    )));
+}
+
+#[test]
+fn intent_ack_releases_commit_fanout() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let f = fh(60, 0);
+    // Make the file "large" in the attr cache so commit is multisite.
+    let out = u.outbound(
+        t(0),
+        call_pkt(
+            &c,
+            1,
+            &NfsRequest::Write {
+                fh: f,
+                offset: 256 * 1024,
+                stable: StableHow::Unstable,
+                data: vec![0u8; 8192],
+            },
+        ),
+    );
+    let sdst = net_pkts(&out)[0].dst;
+    let wreply = NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            60,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Write {
+            count: 8192,
+            committed: StableHow::Unstable,
+            verf: 1,
+        },
+    };
+    u.inbound(t(1), reply_pkt(sdst, c.client_addr, 1, &wreply));
+    let out = u.outbound(
+        t(2),
+        call_pkt(
+            &c,
+            7,
+            &NfsRequest::Commit {
+                fh: f,
+                offset: 0,
+                count: 0,
+            },
+        ),
+    );
+    assert!(
+        net_pkts(&out)
+            .iter()
+            .all(|p| !c.storage_sites.contains(&p.dst)),
+        "commit must wait for the intent ack"
+    );
+    let out = u.coord_reply(
+        t(3),
+        CoordReply::IntentAck {
+            op_id: 7,
+            intent: 99,
+        },
+    );
+    let pkts: Vec<Packet> = net_pkts(&out).into_iter().cloned().collect();
+    // Fanned out to all storage sites plus the small-file server.
+    assert_eq!(pkts.len(), c.storage_sites.len() + 1);
+    // Completion of all replies emits CompleteIntent and one client reply.
+    let creply = NfsReply {
+        proc: NfsProc::Commit,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            60,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Commit { verf: 4 },
+    };
+    let mut client_replies = 0;
+    let mut completes = 0;
+    for p in &pkts {
+        let back = u.inbound(t(4), reply_pkt(p.dst, c.client_addr, 7, &creply));
+        for o in back {
+            match o {
+                ProxyOut::Client(_) => client_replies += 1,
+                ProxyOut::Coord {
+                    msg: CoordMsg::CompleteIntent { intent },
+                    ..
+                } => {
+                    assert_eq!(intent, 99);
+                    completes += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(client_replies, 1, "exactly one merged commit reply");
+    assert_eq!(completes, 1);
+}
+
+#[test]
+fn name_hashing_spreads_creates_across_dir_sites() {
+    let mut c = cfg();
+    c.name_policy = ProxyNamePolicy::NameHashing;
+    let mut u = Uproxy::new(c.clone());
+    let root = Fhandle::root();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..32 {
+        let req = NfsRequest::Create {
+            dir: root,
+            name: format!("file{i}"),
+            attr: Sattr3::default(),
+        };
+        let out = u.outbound(t(i), call_pkt(&c, 100 + i as u32, &req));
+        seen.insert(net_pkts(&out)[0].dst);
+    }
+    assert_eq!(
+        seen.len(),
+        c.dir_sites.len(),
+        "hashing must use every dir site"
+    );
+}
+
+#[test]
+fn mkdir_switching_routes_by_home_and_redirects() {
+    let mut c = cfg();
+    c.name_policy = ProxyNamePolicy::MkdirSwitching { redirect_millis: 0 };
+    let mut u = Uproxy::new(c.clone());
+    let root = Fhandle::root();
+    // p = 0: every mkdir goes to the parent home site.
+    for i in 0..16 {
+        let req = NfsRequest::Mkdir {
+            dir: root,
+            name: format!("d{i}"),
+            attr: Sattr3::default(),
+        };
+        let out = u.outbound(t(i), call_pkt(&c, i as u32, &req));
+        assert_eq!(net_pkts(&out)[0].dst, c.dir_sites[0]);
+    }
+    // p = 1: every mkdir is redirected by hash — both sites appear.
+    c.name_policy = ProxyNamePolicy::MkdirSwitching {
+        redirect_millis: 1000,
+    };
+    let mut u = Uproxy::new(c.clone());
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..32 {
+        let req = NfsRequest::Mkdir {
+            dir: root,
+            name: format!("r{i}"),
+            attr: Sattr3::default(),
+        };
+        let out = u.outbound(t(i), call_pkt(&c, i as u32, &req));
+        seen.insert(net_pkts(&out)[0].dst);
+    }
+    assert_eq!(seen.len(), 2, "full redirect must spread mkdirs");
+}
+
+#[test]
+fn lookup_routes_by_policy() {
+    // Mkdir switching: lookups follow the parent's home site.
+    let mut c = cfg();
+    c.name_policy = ProxyNamePolicy::MkdirSwitching { redirect_millis: 0 };
+    let mut u = Uproxy::new(c.clone());
+    let dir_on_1 = Fhandle::new(77, 1, slice_nfsproto::FH_FLAG_DIR, 0, 0);
+    let req = NfsRequest::Lookup {
+        dir: dir_on_1,
+        name: "x".into(),
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 1, &req));
+    assert_eq!(net_pkts(&out)[0].dst, c.dir_sites[1]);
+}
+
+#[test]
+fn state_loss_is_tolerated() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let req = NfsRequest::Getattr { fh: fh(1, 0) };
+    let out = u.outbound(t(0), call_pkt(&c, 77, &req));
+    let dest = net_pkts(&out)[0].dst;
+    u.lose_state();
+    // The reply still reaches the client with the virtual source, so the
+    // client's RPC layer can pair it after retransmission.
+    let reply = NfsReply::ok(
+        NfsProc::Getattr,
+        Fattr3::new(FileType::Regular, 1, 0o644, NfsTime::default()),
+    );
+    let back = u.inbound(t(1), reply_pkt(dest, c.client_addr, 77, &reply));
+    match &back[0] {
+        ProxyOut::Client(p) => {
+            assert_eq!(p.src, c.virtual_addr);
+            assert!(p.verify());
+        }
+        o => panic!("unexpected {o:?}"),
+    }
+}
+
+#[test]
+fn block_map_routing_parks_and_releases() {
+    let mut c = cfg();
+    c.use_block_maps = true;
+    let mut u = Uproxy::new(c.clone());
+    let mapped = Fhandle::new(90, 0, slice_nfsproto::FH_FLAG_MAPPED, 0, 0);
+    let req = NfsRequest::Read {
+        fh: mapped,
+        offset: 128 * 1024,
+        count: 32768,
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 3, &req));
+    assert!(net_pkts(&out).is_empty(), "request parks on the map fetch");
+    let mapget = out.iter().find_map(|o| match o {
+        ProxyOut::Coord {
+            msg:
+                CoordMsg::MapGet {
+                    file,
+                    first_block,
+                    count,
+                },
+            ..
+        } => Some((*file, *first_block, *count)),
+        _ => None,
+    });
+    let (file, first, count) = mapget.expect("MapGet emitted");
+    assert_eq!(file, 90);
+    // Fragment arrives: the parked read is released to the mapped site.
+    let sites = (0..count).map(|_| vec![2u32]).collect();
+    let out = u.coord_reply(
+        t(1),
+        CoordReply::MapFragment {
+            file,
+            first_block: first,
+            sites,
+        },
+    );
+    let pkts = net_pkts(&out);
+    assert_eq!(pkts.len(), 1);
+    assert_eq!(pkts[0].dst, c.storage_sites[2]);
+    // Next read on a covered block routes immediately.
+    let req = NfsRequest::Read {
+        fh: mapped,
+        offset: 192 * 1024,
+        count: 32768,
+    };
+    let out = u.outbound(t(2), call_pkt(&c, 4, &req));
+    assert_eq!(net_pkts(&out).len(), 1);
+}
+
+#[test]
+fn tick_writes_back_stale_attrs() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let f = fh(70, 0);
+    let out = u.outbound(
+        t(0),
+        call_pkt(
+            &c,
+            1,
+            &NfsRequest::Write {
+                fh: f,
+                offset: 100 * 1024,
+                stable: StableHow::Unstable,
+                data: vec![0u8; 1024],
+            },
+        ),
+    );
+    let sdst = net_pkts(&out)[0].dst;
+    let reply = NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            70,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Write {
+            count: 1024,
+            committed: StableHow::Unstable,
+            verf: 1,
+        },
+    };
+    u.inbound(t(1), reply_pkt(sdst, c.client_addr, 1, &reply));
+    assert!(u.tick(t(100)).is_empty(), "too early for write-back");
+    let out = u.tick(t(10_000));
+    assert_eq!(net_pkts(&out).len(), 1, "stale dirty attrs pushed back");
+    assert!(c.dir_sites.contains(&net_pkts(&out)[0].dst));
+}
+
+#[test]
+fn phase_stats_accumulate() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    for i in 0..50u32 {
+        let req = NfsRequest::Lookup {
+            dir: Fhandle::root(),
+            name: format!("n{i}"),
+        };
+        u.outbound(t(u64::from(i)), call_pkt(&c, i, &req));
+    }
+    let ph = u.phase_stats();
+    assert_eq!(ph.packets, 50);
+    assert!(ph.decode_ns > 0, "decode must be measured");
+}
+
+#[test]
+fn straddling_write_splits_and_merges() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    // 32 KB write at 48 KB: 16 KB belongs below the threshold, 16 KB above.
+    let req = NfsRequest::Write {
+        fh: fh(80, 0),
+        offset: 48 * 1024,
+        stable: StableHow::FileSync,
+        data: vec![0x9u8; 32 * 1024],
+    };
+    let out = u.outbound(t(0), call_pkt(&c, 11, &req));
+    let pkts: Vec<Packet> = net_pkts(&out).into_iter().cloned().collect();
+    assert_eq!(pkts.len(), 2, "one half per side of the threshold");
+    let low = pkts
+        .iter()
+        .find(|p| c.sf_sites.contains(&p.dst))
+        .expect("sf half");
+    let high = pkts
+        .iter()
+        .find(|p| c.storage_sites.contains(&p.dst))
+        .expect("storage half");
+    let (_, low_req) = slice_nfsproto::decode_call(&low.payload).unwrap();
+    let (_, high_req) = slice_nfsproto::decode_call(&high.payload).unwrap();
+    match (low_req, high_req) {
+        (
+            NfsRequest::Write {
+                offset: lo,
+                data: ld,
+                ..
+            },
+            NfsRequest::Write {
+                offset: ho,
+                data: hd,
+                ..
+            },
+        ) => {
+            assert_eq!(lo, 48 * 1024);
+            assert_eq!(ld.len(), 16 * 1024);
+            assert_eq!(ho, 64 * 1024);
+            assert_eq!(hd.len(), 16 * 1024);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Replies from both halves merge into one write reply with the full
+    // byte count.
+    let half_reply = |count| NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            80,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Write {
+            count,
+            committed: StableHow::FileSync,
+            verf: 3,
+        },
+    };
+    let r1 = u.inbound(
+        t(1),
+        reply_pkt(low.dst, c.client_addr, 11, &half_reply(16 * 1024)),
+    );
+    assert!(r1.iter().all(|o| !matches!(o, ProxyOut::Client(_))));
+    let r2 = u.inbound(
+        t(2),
+        reply_pkt(high.dst, c.client_addr, 11, &half_reply(16 * 1024)),
+    );
+    let merged = r2
+        .iter()
+        .find_map(|o| match o {
+            ProxyOut::Client(p) => Some(p),
+            _ => None,
+        })
+        .expect("merged reply");
+    assert!(merged.verify());
+    let (_, reply) = decode_reply(&merged.payload, NfsProc::Write).unwrap();
+    match reply.body {
+        ReplyBody::Write { count, .. } => assert_eq!(count, 32 * 1024, "full count reported"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn straddling_read_splits_and_reassembles() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    let f = fh(81, 0);
+    // Teach the attr cache the file size via a write covering the range.
+    let w = NfsRequest::Write {
+        fh: f,
+        offset: 48 * 1024,
+        stable: StableHow::FileSync,
+        data: vec![0u8; 32 * 1024],
+    };
+    let wout = u.outbound(t(0), call_pkt(&c, 20, &w));
+    let wpkts: Vec<Packet> = net_pkts(&wout).into_iter().cloned().collect();
+    let half_wreply = NfsReply {
+        proc: NfsProc::Write,
+        status: NfsStatus::Ok,
+        attr: Some(Fattr3::new(
+            FileType::Regular,
+            81,
+            0o644,
+            NfsTime::default(),
+        )),
+        body: ReplyBody::Write {
+            count: 16 * 1024,
+            committed: StableHow::FileSync,
+            verf: 1,
+        },
+    };
+    for p in &wpkts {
+        u.inbound(t(1), reply_pkt(p.dst, c.client_addr, 20, &half_wreply));
+    }
+    // Now a straddling read: the halves return distinct patterns and the
+    // client must see them joined in order.
+    let r = NfsRequest::Read {
+        fh: f,
+        offset: 48 * 1024,
+        count: 32 * 1024,
+    };
+    let out = u.outbound(t(2), call_pkt(&c, 21, &r));
+    let pkts: Vec<Packet> = net_pkts(&out).into_iter().cloned().collect();
+    assert_eq!(pkts.len(), 2);
+    let mut final_out = Vec::new();
+    for p in &pkts {
+        let is_low = c.sf_sites.contains(&p.dst);
+        let data = if is_low {
+            vec![0xAA; 16 * 1024]
+        } else {
+            vec![0xBB; 16 * 1024]
+        };
+        let reply = NfsReply {
+            proc: NfsProc::Read,
+            status: NfsStatus::Ok,
+            attr: Some(Fattr3::new(
+                FileType::Regular,
+                81,
+                0o644,
+                NfsTime::default(),
+            )),
+            body: ReplyBody::Read { data, eof: false },
+        };
+        final_out = u.inbound(t(3), reply_pkt(p.dst, c.client_addr, 21, &reply));
+    }
+    let merged = final_out
+        .iter()
+        .find_map(|o| match o {
+            ProxyOut::Client(p) => Some(p),
+            _ => None,
+        })
+        .expect("merged read");
+    assert!(merged.verify());
+    let (_, reply) = decode_reply(&merged.payload, NfsProc::Read).unwrap();
+    match reply.body {
+        ReplyBody::Read { data, .. } => {
+            assert_eq!(data.len(), 32 * 1024);
+            assert!(
+                data[..16 * 1024].iter().all(|&b| b == 0xAA),
+                "low half first"
+            );
+            assert!(
+                data[16 * 1024..].iter().all(|&b| b == 0xBB),
+                "high half second"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

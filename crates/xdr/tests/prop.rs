@@ -1,0 +1,89 @@
+//! Property tests: XDR roundtrips and decoder robustness.
+
+use proptest::prelude::*;
+use slice_xdr::{XdrDecoder, XdrEncoder};
+
+/// One encodable item for roundtrip scripts.
+#[derive(Debug, Clone)]
+enum Item {
+    U32(u32),
+    I32(i32),
+    U64(u64),
+    Bool(bool),
+    Opaque(Vec<u8>),
+    Str(String),
+}
+
+fn item_strategy() -> impl Strategy<Value = Item> {
+    prop_oneof![
+        any::<u32>().prop_map(Item::U32),
+        any::<i32>().prop_map(Item::I32),
+        any::<u64>().prop_map(Item::U64),
+        any::<bool>().prop_map(Item::Bool),
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Item::Opaque),
+        "[a-zA-Z0-9/._-]{0,64}".prop_map(Item::Str),
+    ]
+}
+
+proptest! {
+    /// Any sequence of items encodes and decodes back identically.
+    #[test]
+    fn roundtrip_sequences(items in proptest::collection::vec(item_strategy(), 0..32)) {
+        let mut enc = XdrEncoder::new();
+        for item in &items {
+            match item {
+                Item::U32(v) => enc.put_u32(*v),
+                Item::I32(v) => enc.put_i32(*v),
+                Item::U64(v) => enc.put_u64(*v),
+                Item::Bool(v) => enc.put_bool(*v),
+                Item::Opaque(v) => enc.put_opaque(v),
+                Item::Str(s) => enc.put_string(s),
+            }
+        }
+        let bytes = enc.into_bytes();
+        prop_assert_eq!(bytes.len() % 4, 0, "xdr output is 4-byte aligned");
+        let mut dec = XdrDecoder::new(&bytes);
+        for item in &items {
+            match item {
+                Item::U32(v) => prop_assert_eq!(dec.get_u32().unwrap(), *v),
+                Item::I32(v) => prop_assert_eq!(dec.get_i32().unwrap(), *v),
+                Item::U64(v) => prop_assert_eq!(dec.get_u64().unwrap(), *v),
+                Item::Bool(v) => prop_assert_eq!(dec.get_bool().unwrap(), *v),
+                Item::Opaque(v) => prop_assert_eq!(dec.get_opaque().unwrap(), &v[..]),
+                Item::Str(s) => prop_assert_eq!(dec.get_string().unwrap(), s.as_str()),
+            }
+        }
+        prop_assert!(dec.is_empty());
+    }
+
+    /// The decoder never panics or over-reads on arbitrary input.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = XdrDecoder::new(&bytes);
+        // Exercise every accessor; all must return Ok or Err, never panic.
+        let _ = dec.get_u32();
+        let _ = dec.get_bool();
+        let _ = dec.get_opaque();
+        let _ = dec.get_string();
+        let _ = dec.skip_opaque();
+        let _ = dec.get_u64();
+        prop_assert!(dec.position() <= bytes.len());
+    }
+
+    /// Truncating an encoding at any point yields an error, not a panic.
+    #[test]
+    fn truncation_always_errors_cleanly(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let mut enc = XdrEncoder::new();
+        enc.put_opaque(&data);
+        enc.put_u64(0xdead_beef_0000_0001);
+        let bytes = enc.into_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let mut dec = XdrDecoder::new(&bytes[..cut]);
+        let a = dec.get_opaque().map(|s| s.to_vec());
+        let b = dec.get_u64();
+        prop_assert!(a.is_err() || b.is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! Failure injection and recovery: dataless file managers recover from
+//! their write-ahead logs in shared network storage (paper §2.3, §3.3.2),
+//! and the µproxy may lose its soft state without compromising
+//! correctness (§2.1).
+
+mod common;
+
+use common::{assert_errors, deadline};
+use slice::core::{SliceConfig, SliceEnsemble};
+use slice::nfsproto::StableHow;
+use slice::sim::SimDuration;
+use slice::workloads::{ScriptWorkload, Step};
+
+/// Builds, runs phase one to completion, applies `fault`, then runs phase
+/// two on the same client and asserts it passes.
+fn two_phase(
+    cfg: &SliceConfig,
+    phase1: Vec<Step>,
+    slots1: usize,
+    fault: impl FnOnce(&mut SliceEnsemble),
+    phase2: Vec<Step>,
+    slots2: usize,
+) -> SliceEnsemble {
+    let mut ens = SliceEnsemble::build(cfg, vec![Box::new(ScriptWorkload::new(phase1, slots1))]);
+    ens.start();
+    ens.run_to_completion(deadline());
+    assert_errors(&ens, 0);
+    fault(&mut ens);
+    ens.client_mut(0)
+        .set_workload(Box::new(ScriptWorkload::new(phase2, slots2)));
+    let c0 = ens.clients[0];
+    ens.engine.kick(c0);
+    ens.run_to_completion(deadline());
+    assert_errors(&ens, 0);
+    ens
+}
+
+#[test]
+fn directory_server_recovers_from_wal() {
+    let cfg = SliceConfig::default();
+    let phase1 = vec![
+        Step::Mkdir {
+            parent: 0,
+            name: "stable".into(),
+            save: 1,
+        },
+        Step::Create {
+            parent: 1,
+            name: "kept".into(),
+            save: 2,
+            mode_extra: 0,
+        },
+        Step::Write {
+            fh: 2,
+            offset: 0,
+            len: 3000,
+            pattern: 0x42,
+            stable: StableHow::FileSync,
+        },
+    ];
+    let phase2 = vec![
+        Step::Lookup {
+            parent: 0,
+            name: "stable".into(),
+            save: 1,
+            expect_ok: true,
+        },
+        Step::Lookup {
+            parent: 1,
+            name: "kept".into(),
+            save: 2,
+            expect_ok: true,
+        },
+        Step::Read {
+            fh: 2,
+            offset: 0,
+            len: 3000,
+            verify: Some(0x42),
+        },
+        // The volume is fully writable again after failover.
+        Step::Create {
+            parent: 1,
+            name: "after".into(),
+            save: 3,
+            mode_extra: 0,
+        },
+    ];
+    two_phase(
+        &cfg,
+        phase1,
+        3,
+        |ens| {
+            // Crash and restart the (only) directory server: volatile
+            // cells are lost, the WAL in shared storage survives.
+            let dir = ens.dirs[0];
+            ens.engine.fail_node(dir);
+            ens.engine
+                .run_until(ens.engine.now() + SimDuration::from_secs(2));
+            ens.engine.recover_node(dir);
+        },
+        phase2,
+        4,
+    );
+}
+
+#[test]
+fn smallfile_server_recovers_from_wal() {
+    let cfg = SliceConfig {
+        sf_servers: 1,
+        ..Default::default()
+    };
+    let phase1 = vec![
+        Step::Create {
+            parent: 0,
+            name: "small".into(),
+            save: 1,
+            mode_extra: 0,
+        },
+        Step::Write {
+            fh: 1,
+            offset: 0,
+            len: 10_000,
+            pattern: 0x66,
+            stable: StableHow::FileSync,
+        },
+    ];
+    let phase2 = vec![
+        Step::Lookup {
+            parent: 0,
+            name: "small".into(),
+            save: 1,
+            expect_ok: true,
+        },
+        // The data was stable in the backing storage objects before the
+        // crash; recovery rebuilds the map records and re-fetches it.
+        Step::Read {
+            fh: 1,
+            offset: 0,
+            len: 10_000,
+            verify: Some(0x66),
+        },
+    ];
+    two_phase(
+        &cfg,
+        phase1,
+        2,
+        |ens| {
+            let sf = ens.sfs[0];
+            ens.engine.fail_node(sf);
+            ens.engine
+                .run_until(ens.engine.now() + SimDuration::from_secs(2));
+            ens.engine.recover_node(sf);
+        },
+        phase2,
+        2,
+    );
+}
+
+#[test]
+fn storage_node_restart_changes_verifier_but_keeps_stable_data() {
+    let cfg = SliceConfig::default();
+    let phase1 = vec![
+        Step::Create {
+            parent: 0,
+            name: "bulk".into(),
+            save: 1,
+            mode_extra: 0,
+        },
+        Step::Write {
+            fh: 1,
+            offset: 128 * 1024,
+            len: 32768,
+            pattern: 0x11,
+            stable: StableHow::FileSync,
+        },
+    ];
+    let phase2 = vec![
+        Step::Lookup {
+            parent: 0,
+            name: "bulk".into(),
+            save: 1,
+            expect_ok: true,
+        },
+        Step::Read {
+            fh: 1,
+            offset: 128 * 1024,
+            len: 32768,
+            verify: Some(0x11),
+        },
+    ];
+    let ens = two_phase(
+        &cfg,
+        phase1,
+        2,
+        |ens| {
+            for &s in &ens.storage.clone() {
+                ens.engine.fail_node(s);
+            }
+            ens.engine
+                .run_until(ens.engine.now() + SimDuration::from_secs(1));
+            for &s in &ens.storage.clone() {
+                ens.engine.recover_node(s);
+            }
+        },
+        phase2,
+        2,
+    );
+    for &s in &ens.storage {
+        let actor = ens.engine.actor::<slice::core::actors::StorageActor>(s);
+        assert!(
+            actor.node.verifier() > 1,
+            "restart must change the write verifier"
+        );
+    }
+}
+
+#[test]
+fn uproxy_state_loss_is_transparent() {
+    // Drop the µproxy's entire soft state between phases: the paper
+    // requires this to be safe ("free to discard its state ... without
+    // compromising correctness").
+    let cfg = SliceConfig::default();
+    let phase1 = vec![
+        Step::Create {
+            parent: 0,
+            name: "f".into(),
+            save: 1,
+            mode_extra: 0,
+        },
+        Step::Write {
+            fh: 1,
+            offset: 0,
+            len: 5000,
+            pattern: 0x33,
+            stable: StableHow::FileSync,
+        },
+    ];
+    let phase2 = vec![
+        Step::Lookup {
+            parent: 0,
+            name: "f".into(),
+            save: 1,
+            expect_ok: true,
+        },
+        Step::Read {
+            fh: 1,
+            offset: 0,
+            len: 5000,
+            verify: Some(0x33),
+        },
+        Step::Write {
+            fh: 1,
+            offset: 0,
+            len: 100,
+            pattern: 0x44,
+            stable: StableHow::FileSync,
+        },
+        Step::Read {
+            fh: 1,
+            offset: 0,
+            len: 100,
+            verify: Some(0x44),
+        },
+    ];
+    two_phase(
+        &cfg,
+        phase1,
+        2,
+        |ens| {
+            ens.client_mut(0)
+                .proxy_mut()
+                .expect("slice client")
+                .lose_state();
+        },
+        phase2,
+        2,
+    );
+}
+
+#[test]
+fn coordinator_recovers_open_intents() {
+    // Crash the coordinator right after work that opened intents; its
+    // recovery scan must resolve them (probe, then complete or abort) and
+    // the service must keep working.
+    let cfg = SliceConfig::default();
+    let phase1 = vec![
+        Step::Create {
+            parent: 0,
+            name: "c".into(),
+            save: 1,
+            mode_extra: 0,
+        },
+        Step::Write {
+            fh: 1,
+            offset: 128 * 1024,
+            len: 32768,
+            pattern: 0x21,
+            stable: StableHow::Unstable,
+        },
+        Step::Commit { fh: 1 },
+    ];
+    let phase2 = vec![
+        Step::Lookup {
+            parent: 0,
+            name: "c".into(),
+            save: 1,
+            expect_ok: true,
+        },
+        Step::Write {
+            fh: 1,
+            offset: 192 * 1024,
+            len: 32768,
+            pattern: 0x22,
+            stable: StableHow::Unstable,
+        },
+        Step::Commit { fh: 1 },
+        Step::Read {
+            fh: 1,
+            offset: 192 * 1024,
+            len: 32768,
+            verify: Some(0x22),
+        },
+    ];
+    let ens = two_phase(
+        &cfg,
+        phase1,
+        2,
+        |ens| {
+            let coord = ens.coords[0];
+            ens.engine.fail_node(coord);
+            ens.engine
+                .run_until(ens.engine.now() + SimDuration::from_secs(1));
+            ens.engine.recover_node(coord);
+        },
+        phase2,
+        2,
+    );
+    let coord = ens
+        .engine
+        .actor::<slice::core::actors::CoordActor>(ens.coords[0]);
+    assert_eq!(
+        coord.coord.open_intents(),
+        0,
+        "no intents may dangle after recovery"
+    );
+}
+
+#[test]
+fn sustained_packet_loss_with_bulk_transfer() {
+    // 2% loss under a multi-block transfer: the end-to-end retransmission
+    // machinery must deliver a fully intact file.
+    let cfg = SliceConfig {
+        seed: 99,
+        ..Default::default()
+    };
+    let mut steps = vec![Step::Create {
+        parent: 0,
+        name: "lossy".into(),
+        save: 1,
+        mode_extra: 0,
+    }];
+    for i in 0..6u64 {
+        steps.push(Step::Write {
+            fh: 1,
+            offset: i * 32768,
+            len: 32768,
+            pattern: 0x80 + i as u8,
+            stable: StableHow::FileSync,
+        });
+    }
+    for i in 0..6u64 {
+        steps.push(Step::Read {
+            fh: 1,
+            offset: i * 32768,
+            len: 32768,
+            verify: Some(0x80 + i as u8),
+        });
+    }
+    let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(ScriptWorkload::new(steps, 2))]);
+    ens.engine.set_loss_prob(0.02);
+    ens.start();
+    ens.run_to_completion(deadline());
+    assert_errors(&ens, 0);
+}
+
+#[test]
+fn run_is_deterministic() {
+    let run = |seed: u64| {
+        let cfg = SliceConfig {
+            seed,
+            ..Default::default()
+        };
+        let untar = slice::workloads::Untar::new(0, 120);
+        let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(untar)]);
+        ens.start();
+        ens.run_to_completion(deadline());
+        let u = ens
+            .client(0)
+            .workload()
+            .unwrap()
+            .as_any()
+            .downcast_ref::<slice::workloads::Untar>()
+            .unwrap()
+            .elapsed()
+            .expect("finished");
+        (u, ens.engine.packets_sent())
+    };
+    assert_eq!(run(5), run(5), "same seed, same trace");
+}

@@ -1,45 +1,75 @@
-//! Criterion micro-benchmarks of the µproxy fast path and its building
-//! blocks: the real per-packet costs behind Table 3.
+//! Micro-benchmarks of the µproxy fast path and its building blocks: the
+//! real per-packet costs behind Table 3.
+//!
+//! Self-contained timing harness (no criterion — the workspace builds
+//! with no registry access): each benchmark warms up, then reports the
+//! best-of-N mean nanoseconds per iteration. Run with
+//! `cargo bench -p slice-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use slice_hashes::{incremental_update16, inet_checksum, md5, name_fingerprint};
 use slice_nfsproto::{decode_call, encode_call, AuthUnix, Fhandle, NfsRequest, Packet, SockAddr};
 use slice_sim::SimTime;
 use slice_uproxy::{ProxyConfig, Uproxy};
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hashes");
-    let fh = Fhandle::root();
-    g.bench_function("md5_64B", |b| {
-        let data = [0xa5u8; 64];
-        b.iter(|| md5(black_box(&data)))
-    });
-    g.bench_function("name_fingerprint", |b| {
-        b.iter(|| name_fingerprint(black_box(&fh.0), black_box(b"src/kern_exec.c")))
-    });
-    g.bench_function("inet_checksum_8KB", |b| {
-        let data = vec![0x3cu8; 8192];
-        b.iter(|| inet_checksum(black_box(&data)))
-    });
-    g.bench_function("incremental_checksum_update", |b| {
-        b.iter(|| incremental_update16(black_box(0x1234), black_box(0xaaaa), black_box(0xbbbb)))
-    });
-    g.finish();
+/// Times `f` and prints mean ns/iter: warmup, then best of 5 batches.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let mut iters = 8u64;
+    // Grow the batch until it runs at least ~2 ms, so timer noise drowns.
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if t.elapsed().as_millis() >= 2 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per = t.elapsed().as_nanos() as f64 / iters as f64;
+        if per < best {
+            best = per;
+        }
+    }
+    println!("{name:<32} {best:>12.1} ns/iter  ({iters} iters/batch)");
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nfs_codec");
+fn bench_hashes() {
+    let fh = Fhandle::root();
+    let data64 = [0xa5u8; 64];
+    bench("hashes/md5_64B", || md5(black_box(&data64)));
+    bench("hashes/name_fingerprint", || {
+        name_fingerprint(black_box(&fh.0), black_box(b"src/kern_exec.c"))
+    });
+    let data8k = vec![0x3cu8; 8192];
+    bench("hashes/inet_checksum_8KB", || {
+        inet_checksum(black_box(&data8k))
+    });
+    bench("hashes/incremental_checksum", || {
+        incremental_update16(black_box(0x1234), black_box(0xaaaa), black_box(0xbbbb))
+    });
+}
+
+fn bench_codec() {
     let cred = AuthUnix::default();
     let req = NfsRequest::Lookup {
         dir: Fhandle::root(),
         name: "kern_exec.c".into(),
     };
     let payload = encode_call(7, &cred, &req);
-    g.bench_function("encode_lookup_call", |b| {
-        b.iter(|| encode_call(black_box(7), black_box(&cred), black_box(&req)))
+    bench("nfs_codec/encode_lookup_call", || {
+        encode_call(black_box(7), black_box(&cred), black_box(&req))
     });
-    g.bench_function("decode_lookup_call", |b| {
-        b.iter(|| decode_call(black_box(&payload)).unwrap())
+    bench("nfs_codec/decode_lookup_call", || {
+        decode_call(black_box(&payload)).unwrap()
     });
     let write = NfsRequest::Write {
         fh: Fhandle::root(),
@@ -48,33 +78,26 @@ fn bench_codec(c: &mut Criterion) {
         data: vec![0u8; 32768],
     };
     let wpayload = encode_call(9, &cred, &write);
-    g.bench_function("decode_32K_write_call", |b| {
-        b.iter(|| decode_call(black_box(&wpayload)).unwrap())
+    bench("nfs_codec/decode_32K_write_call", || {
+        decode_call(black_box(&wpayload)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_packet_rewrite(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packet");
+fn bench_packet_rewrite() {
     let src = SockAddr::new(0x0a000001, 700);
     let dst = SockAddr::new(0x0a00ffff, 2049);
-    g.bench_function("rewrite_dst_incremental", |b| {
-        let pkt = Packet::new(src, dst, vec![0x42u8; 8192]);
-        b.iter(|| {
-            let mut p = pkt.clone();
-            p.rewrite_dst(black_box(SockAddr::new(0x0a003000, 2049)));
-            p
-        })
+    let pkt = Packet::new(src, dst, vec![0x42u8; 8192]);
+    bench("packet/rewrite_dst_incremental", || {
+        let mut p = pkt.clone();
+        p.rewrite_dst(black_box(SockAddr::new(0x0a003000, 2049)));
+        p
     });
-    g.bench_function("full_checksum_8KB_packet", |b| {
-        let pkt = Packet::new(src, dst, vec![0x42u8; 8192]);
-        b.iter(|| Packet::full_checksum(black_box(pkt.src), black_box(pkt.dst), &pkt.payload))
+    bench("packet/full_checksum_8KB", || {
+        Packet::full_checksum(black_box(pkt.src), black_box(pkt.dst), &pkt.payload)
     });
-    g.finish();
 }
 
-fn bench_uproxy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uproxy");
+fn bench_uproxy() {
     let cfg = ProxyConfig::test_default();
     let cred = AuthUnix::default();
     let lookup = NfsRequest::Lookup {
@@ -86,10 +109,10 @@ fn bench_uproxy(c: &mut Criterion) {
         offset: 1 << 20,
         count: 32768,
     };
-    g.bench_function("route_lookup", |b| {
+    {
         let mut proxy = Uproxy::new(cfg.clone());
         let mut xid = 0u32;
-        b.iter(|| {
+        bench("uproxy/route_lookup", || {
             xid = xid.wrapping_add(1);
             let pkt = Packet::new(
                 cfg.client_addr,
@@ -97,12 +120,12 @@ fn bench_uproxy(c: &mut Criterion) {
                 encode_call(xid, &cred, &lookup),
             );
             proxy.outbound(SimTime::ZERO, black_box(pkt))
-        })
-    });
-    g.bench_function("route_bulk_read", |b| {
+        });
+    }
+    {
         let mut proxy = Uproxy::new(cfg.clone());
         let mut xid = 0u32;
-        b.iter(|| {
+        bench("uproxy/route_bulk_read", || {
             xid = xid.wrapping_add(1);
             let pkt = Packet::new(
                 cfg.client_addr,
@@ -110,16 +133,13 @@ fn bench_uproxy(c: &mut Criterion) {
                 encode_call(xid, &cred, &read),
             );
             proxy.outbound(SimTime::ZERO, black_box(pkt))
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_hashes,
-    bench_codec,
-    bench_packet_rewrite,
-    bench_uproxy
-);
-criterion_main!(benches);
+fn main() {
+    bench_hashes();
+    bench_codec();
+    bench_packet_rewrite();
+    bench_uproxy();
+}

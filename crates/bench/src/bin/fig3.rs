@@ -48,4 +48,6 @@ fn main() {
     slice_bench::print_series("processes", "latency s", &all);
     println!("Paper shape: MFS fastest lightly loaded, saturating first; Slice-N");
     println!("lines flatten with more directory servers (each ~6000 ops/s).");
+    // Machine-readable output: the slice-obs JSON snapshot of the figure.
+    println!("{}", slice_bench::series_obs_json("fig3", &all));
 }

@@ -52,4 +52,6 @@ fn main() {
         "100.0",
         "100.0 (=6.1% CPU)"
     );
+    // Machine-readable output: the slice-obs JSON snapshot of the table.
+    println!("{}", slice_bench::phases_obs_json("table3", &ph));
 }

@@ -117,6 +117,7 @@ pub fn run_uproxy_phases(pairs: usize) -> PhaseStats {
         storage_sites: (0..8)
             .map(|i| SockAddr::new(0x0a00_3000 + i, 2049))
             .collect(),
+        measure_phases: true,
         ..ProxyConfig::test_default()
     };
     let mut proxy = Uproxy::new(cfg.clone());
@@ -353,4 +354,32 @@ fn collect_sfs(offered: f64, parts: impl Iterator<Item = (f64, f64, usize)>) -> 
 /// Renders a labelled series list for terminal output.
 pub fn print_series(x_label: &str, y_label: &str, series: &[Series]) {
     println!("{}", slice_sim::render_table(x_label, y_label, series));
+}
+
+/// Folds result series into a slice-obs registry and returns the exported
+/// JSON document — the canonical machine-readable output of the figure
+/// binaries. Gauge names are `<figure>.<series label>.<x>`.
+pub fn series_obs_json(figure: &str, series: &[Series]) -> String {
+    let mut obs = slice_obs::Obs::with_trace_capacity(1);
+    for s in series {
+        for &(x, y) in &s.points {
+            obs.registry
+                .set_gauge(&format!("{figure}.{}.{x}", s.label), y);
+        }
+    }
+    obs.export_json(0)
+}
+
+/// Folds measured µproxy phase costs into a slice-obs registry and
+/// returns the exported JSON document — the canonical machine-readable
+/// output of the Table 3 binary.
+pub fn phases_obs_json(table: &str, ph: &PhaseStats) -> String {
+    let mut obs = slice_obs::Obs::with_trace_capacity(1);
+    let reg = &mut obs.registry;
+    reg.set(&format!("{table}.packets"), ph.packets);
+    reg.set(&format!("{table}.intercept_ns"), ph.intercept_ns);
+    reg.set(&format!("{table}.decode_ns"), ph.decode_ns);
+    reg.set(&format!("{table}.rewrite_ns"), ph.rewrite_ns);
+    reg.set(&format!("{table}.soft_ns"), ph.soft_ns);
+    obs.export_json(0)
 }

@@ -14,7 +14,7 @@ use slice_nfsproto::{
     decode_call, decode_reply, encode_reply, Fhandle, NfsProc, NfsRequest, Packet, ReplyBody,
     SockAddr, StableHow,
 };
-use slice_sim::{Actor, Ctx, NodeId, SimDuration, SimTime, START_TAG};
+use slice_sim::{Actor, Ctx, EventKind, NodeId, SimDuration, SimTime, Subsystem, START_TAG};
 use slice_smallfile::{SfAction, SfCtl, SmallFileServer};
 use slice_storage::{CoordAction, Coordinator, StorageNode};
 
@@ -158,7 +158,18 @@ impl Actor<Wire> for StorageActor {
                         calib::STORAGE_REQ_CPU + payload_cpu(bytes, calib::STORAGE_CPU_PER_4K),
                     );
                 }
+                let seeks_before = self.node.disk_seeks();
                 let (done, reply) = self.node.handle_nfs(ctx.now(), &req);
+                let (seeks, seek_ns) = self.node.disk_seeks();
+                if seeks > seeks_before.0 {
+                    ctx.trace(
+                        Subsystem::Disk,
+                        EventKind::DiskSeek {
+                            node: ctx.node().0 as usize,
+                            nanos: seek_ns - seeks_before.1,
+                        },
+                    );
+                }
                 let out = Packet::new(self.addr, pkt.src, encode_reply(hdr.xid, &reply));
                 if let Some(node) = self.router.try_node_of(pkt.src) {
                     self.deferred.send_at(ctx, done, node, Wire::Udp(out));
@@ -615,6 +626,10 @@ pub struct CoordActor {
     charge_cpu: bool,
     last_seen: SimTime,
     crashed_wal: Option<(slice_storage::Wal<slice_storage::IntentRecord>, SimTime)>,
+    /// True while the timeout sweep timer is pending. The sweep only runs
+    /// while intentions are open — an idle coordinator must not keep the
+    /// event queue alive forever.
+    sweep_armed: bool,
 }
 
 impl CoordActor {
@@ -627,6 +642,14 @@ impl CoordActor {
             charge_cpu,
             last_seen: SimTime::ZERO,
             crashed_wal: None,
+            sweep_armed: false,
+        }
+    }
+
+    fn arm_sweep_if_busy(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if !self.sweep_armed && self.coord.open_intents() > 0 {
+            ctx.set_timer(COORD_SWEEP_INTERVAL, COORD_SWEEP_TAG);
+            self.sweep_armed = true;
         }
     }
 
@@ -656,6 +679,7 @@ impl Actor<Wire> for CoordActor {
                 }
                 let actions = self.coord.handle(ctx.now(), u64::from(from.0), m);
                 self.dispatch(ctx, actions);
+                self.arm_sweep_if_busy(ctx);
             }
             Wire::CtlReply(reply) => {
                 if self.charge_cpu {
@@ -669,16 +693,22 @@ impl Actor<Wire> for CoordActor {
                     .unwrap_or(0);
                 let actions = self.coord.handle_ctl_reply(ctx.now(), site, reply);
                 self.dispatch(ctx, actions);
+                self.arm_sweep_if_busy(ctx);
             }
             _ => {}
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64) {
-        if tag == START_TAG || tag == COORD_SWEEP_TAG {
-            ctx.set_timer(COORD_SWEEP_INTERVAL, COORD_SWEEP_TAG);
+        if tag == COORD_SWEEP_TAG {
+            self.sweep_armed = false;
             let actions = self.coord.check_timeouts(ctx.now());
             self.dispatch(ctx, actions);
+            self.arm_sweep_if_busy(ctx);
+            return;
+        }
+        if tag == START_TAG {
+            self.arm_sweep_if_busy(ctx);
             return;
         }
         self.deferred.on_timer(ctx, tag);
@@ -698,7 +728,8 @@ impl Actor<Wire> for CoordActor {
             let actions = self.coord.recover(ctx.now(), wal, crash_time);
             self.dispatch(ctx, actions);
         }
-        ctx.set_timer(COORD_SWEEP_INTERVAL, COORD_SWEEP_TAG);
+        self.sweep_armed = false;
+        self.arm_sweep_if_busy(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

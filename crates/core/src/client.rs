@@ -20,7 +20,10 @@ use std::collections::HashMap;
 use slice_nfsproto::{
     decode_reply, encode_call, AuthUnix, NfsProc, NfsReply, NfsRequest, Packet, SockAddr,
 };
-use slice_sim::{Actor, Ctx, LatencyStats, NodeId, SimDuration, SimTime, TimerId, START_TAG};
+use slice_sim::{
+    Actor, Ctx, EventKind, LatencyStats, NodeId, SimDuration, SimTime, Subsystem, TimerId,
+    START_TAG,
+};
 use slice_uproxy::{ProxyOut, Uproxy};
 
 use crate::calib;
@@ -79,7 +82,9 @@ pub struct ClientStats {
     pub bytes_read: u64,
     /// Payload bytes written.
     pub bytes_written: u64,
-    /// RPC retransmissions.
+    /// Retransmissions: client RPCs resent on timeout, plus attribute
+    /// write-backs the embedded µproxy re-pushed because an earlier push
+    /// of the same version went unacknowledged.
     pub retransmits: u64,
 }
 
@@ -105,6 +110,13 @@ pub struct ClientInner {
     pending: HashMap<u32, PendingRpc>,
     next_xid: u32,
     stats: ClientStats,
+    /// Last observed value of the µproxy's push-retry counter, so each
+    /// interposed-layer retransmission is folded into the stats once.
+    seen_push_retries: u64,
+    /// Last observed µproxy attribute-cache hit/miss counts, so each
+    /// hit/miss becomes exactly one trace event.
+    seen_attr_hits: u64,
+    seen_attr_misses: u64,
 }
 
 impl ClientInner {
@@ -114,6 +126,14 @@ impl ClientInner {
             match o {
                 ProxyOut::Net(p) => {
                     if let Some(node) = self.router.try_node_of(p.dst) {
+                        ctx.trace(
+                            Subsystem::Uproxy,
+                            EventKind::PacketRouted {
+                                from: ctx.node().0 as usize,
+                                to: node.0 as usize,
+                                bytes: p.payload.len(),
+                            },
+                        );
                         ctx.send(node, Wire::Udp(p));
                     }
                 }
@@ -153,6 +173,13 @@ impl ClientInner {
         self.next_xid = self.next_xid.wrapping_add(1);
         let payload = encode_call(xid, &self.cfg.cred, req);
         let pkt = Packet::new(self.cfg.addr, self.cfg.server_addr, payload);
+        ctx.trace(
+            Subsystem::Client,
+            EventKind::OpStart {
+                op: req.proc().name(),
+                xid: u64::from(xid),
+            },
+        );
         let timer = ctx.set_timer(calib::RPC_TIMEOUT, TAG_RPC | u64::from(xid));
         self.pending.insert(
             xid,
@@ -203,6 +230,7 @@ impl ClientInner {
                     leftover.is_empty(),
                     "outbound packets cannot target the client"
                 );
+                self.sync_proxy_obs(ctx);
             }
             None => {
                 if let Some(node) = self.router.try_node_of(pkt.dst) {
@@ -210,6 +238,37 @@ impl ClientInner {
                 }
             }
         }
+    }
+
+    /// Folds µproxy-side observability into the client's stats and the
+    /// engine trace: retransmissions performed by the interposed layer
+    /// (attribute pushes re-issued after an unacknowledged push) count
+    /// into [`ClientStats::retransmits`] once each, and attribute-cache
+    /// hit/miss deltas become one trace event apiece.
+    fn sync_proxy_obs(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let Some(p) = &self.proxy else {
+            return;
+        };
+        let pr = p.push_retries();
+        let (hits, misses) = p.attr_cache_stats();
+        for _ in self.seen_push_retries..pr {
+            // The re-pushed SETATTR carries a µproxy-owned xid the client
+            // RPC layer never sees; 0 marks it as interposed-initiated.
+            ctx.trace(
+                Subsystem::Uproxy,
+                EventKind::Retransmit { xid: 0, retries: 1 },
+            );
+        }
+        for _ in self.seen_attr_hits..hits {
+            ctx.trace(Subsystem::Uproxy, EventKind::CacheHit { cache: "attr" });
+        }
+        for _ in self.seen_attr_misses..misses {
+            ctx.trace(Subsystem::Uproxy, EventKind::CacheMiss { cache: "attr" });
+        }
+        self.stats.retransmits += pr - self.seen_push_retries;
+        self.seen_push_retries = pr;
+        self.seen_attr_hits = hits;
+        self.seen_attr_misses = misses;
     }
 }
 
@@ -231,7 +290,7 @@ impl ClientIo<'_, '_> {
     }
 
     /// The simulation RNG.
-    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+    pub fn rng(&mut self) -> &mut slice_sim::Rng {
         self.ctx.rng()
     }
 
@@ -273,6 +332,9 @@ impl ClientActor {
                 pending: HashMap::new(),
                 next_xid: 1,
                 stats: ClientStats::default(),
+                seen_push_retries: 0,
+                seen_attr_hits: 0,
+                seen_attr_misses: 0,
             },
             workload: Some(workload),
         }
@@ -349,10 +411,19 @@ impl ClientActor {
             ctx.use_cpu(cpu);
         }
         self.inner.stats.ops += 1;
-        self.inner
-            .stats
-            .latency
-            .record(ctx.now() - rec.first_sent_at);
+        let latency = ctx.now() - rec.first_sent_at;
+        self.inner.stats.latency.record(latency);
+        ctx.trace(
+            Subsystem::Client,
+            EventKind::OpComplete {
+                op: rec.proc.name(),
+                xid: u64::from(xid),
+                latency_ns: latency.as_nanos(),
+            },
+        );
+        ctx.obs()
+            .registry
+            .observe("client.op_latency_ns", latency.as_nanos());
         self.inner.stats.bytes_written += rec.write_bytes;
         if let slice_nfsproto::ReplyBody::Read { data, .. } = &reply.body {
             self.inner.stats.bytes_read += data.len() as u64;
@@ -376,7 +447,9 @@ impl Actor<Wire> for ClientActor {
                         .as_mut()
                         .expect("checked")
                         .inbound(ctx.now(), pkt);
-                    self.inner.dispatch_proxy_out(ctx, outs)
+                    let replies = self.inner.dispatch_proxy_out(ctx, outs);
+                    self.inner.sync_proxy_obs(ctx);
+                    replies
                 } else {
                     vec![pkt]
                 };
@@ -422,11 +495,30 @@ impl Actor<Wire> for ClientActor {
             return;
         }
         if tag == TAG_TICK {
-            ctx.set_timer(TICK_INTERVAL, TAG_TICK);
             if self.inner.proxy.is_some() {
                 let outs = self.inner.proxy.as_mut().expect("checked").tick(ctx.now());
                 let leftover = self.inner.dispatch_proxy_out(ctx, outs);
                 debug_assert!(leftover.is_empty());
+                self.inner.sync_proxy_obs(ctx);
+            }
+            // The tick keeps running while anything is outstanding: an
+            // unfinished workload, an unanswered RPC, or a dirty attribute
+            // awaiting write-back acknowledgement. Once fully quiescent it
+            // stops rearming so the event queue can drain — otherwise a
+            // finished ensemble ticks (and pushes write-backs) forever and
+            // `run_to_completion` burns events long past the workload.
+            // Quiescence is decided *after* the proxy tick above, so dirt
+            // created by a just-delivered reply is always pushed first.
+            let quiescent = self.finished()
+                && self.inner.pending.is_empty()
+                && self
+                    .inner
+                    .proxy
+                    .as_ref()
+                    .map(|p| !p.has_dirty_attrs())
+                    .unwrap_or(true);
+            if !quiescent {
+                ctx.set_timer(TICK_INTERVAL, TAG_TICK);
             }
             return;
         }
@@ -447,7 +539,15 @@ impl Actor<Wire> for ClientActor {
             let backoff = calib::RPC_TIMEOUT.mul_f64(f64::from(rec.retries.min(4)));
             rec.timer = ctx.set_timer(backoff, TAG_RPC | u64::from(xid));
             let pkt = rec.original.clone();
+            let retries = rec.retries;
             self.inner.stats.retransmits += 1;
+            ctx.trace(
+                Subsystem::Client,
+                EventKind::Retransmit {
+                    xid: u64::from(xid),
+                    retries,
+                },
+            );
             self.inner.transmit(ctx, pkt);
         }
     }

@@ -181,6 +181,10 @@ impl SliceEnsemble {
                 use_intents: cfg.use_intents,
                 attr_cache_entries: 4096,
                 writeback_interval: calib::ATTR_WRITEBACK,
+                // Wall-clock phase timing would inject nondeterminism
+                // into the seeded simulation; Table 3 measures it in a
+                // standalone harness instead.
+                measure_phases: false,
             };
             let client_cfg = ClientConfig {
                 addr: plan.clients[i],
@@ -318,6 +322,101 @@ impl SliceEnsemble {
     /// Mutable client actor access.
     pub fn client_mut(&mut self, i: usize) -> &mut ClientActor {
         self.engine.actor_mut::<ClientActor>(self.clients[i])
+    }
+
+    /// Folds every component's statistics into the engine's slice-obs
+    /// registry. Every value is written with absolute (`set`) semantics,
+    /// so collecting repeatedly — e.g. once mid-run and once at the end —
+    /// never double-counts.
+    pub fn collect_obs(&mut self) {
+        // Harvest component stats first (immutable borrows), then write.
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut gauges: Vec<(String, f64)> = Vec::new();
+
+        for (i, &c) in self.clients.iter().enumerate() {
+            let actor = self.engine.actor::<ClientActor>(c);
+            let s = actor.stats();
+            let p = format!("client.{i}");
+            counters.push((format!("{p}.ops"), s.ops));
+            counters.push((format!("{p}.bytes_read"), s.bytes_read));
+            counters.push((format!("{p}.bytes_written"), s.bytes_written));
+            counters.push((format!("{p}.retransmits"), s.retransmits));
+        }
+        for (i, &d) in self.dirs.iter().enumerate() {
+            let srv = &self.engine.actor::<crate::actors::DirActor>(d).server;
+            let p = format!("dirsvc.{i}");
+            counters.push((format!("{p}.ops_served"), srv.ops_served()));
+            counters.push((format!("{p}.peer_ops"), srv.peer_ops()));
+            counters.push((format!("{p}.multisite_ops"), srv.multisite_ops()));
+            counters.push((format!("{p}.misdirected"), srv.misdirected()));
+            counters.push((format!("{p}.name_cells"), srv.name_cells() as u64));
+            let (appends, bytes, syncs) = srv.wal_stats();
+            counters.push((format!("{p}.wal.appends"), appends));
+            counters.push((format!("{p}.wal.bytes"), bytes));
+            counters.push((format!("{p}.wal.syncs"), syncs));
+        }
+        for (i, &s) in self.sfs.iter().enumerate() {
+            let srv = &self.engine.actor::<crate::actors::SmallFileActor>(s).server;
+            let p = format!("smallfile.{i}");
+            counters.push((format!("{p}.served"), srv.served()));
+            gauges.push((format!("{p}.cache_hit_ratio"), srv.cache_hit_ratio()));
+            let (zones, spills) = srv.alloc_stats();
+            counters.push((format!("{p}.alloc.zones"), zones));
+            counters.push((format!("{p}.alloc.spills"), spills));
+        }
+        for (i, &s) in self.storage.iter().enumerate() {
+            let node = &self.engine.actor::<crate::actors::StorageActor>(s).node;
+            let p = format!("storage.{i}");
+            let (reads, writes) = node.op_counts();
+            counters.push((format!("{p}.reads"), reads));
+            counters.push((format!("{p}.writes"), writes));
+            gauges.push((format!("{p}.cache_hit_ratio"), node.cache_hit_ratio()));
+            let (dr, dw, db, dseq) = node.disk_stats();
+            counters.push((format!("{p}.disk.reads"), dr));
+            counters.push((format!("{p}.disk.writes"), dw));
+            counters.push((format!("{p}.disk.bytes"), db));
+            counters.push((format!("{p}.disk.seq_hits"), dseq));
+            let (seeks, seek_ns) = node.disk_seeks();
+            counters.push((format!("{p}.disk.seeks"), seeks));
+            counters.push((format!("{p}.disk.seek_ns"), seek_ns));
+        }
+        for (i, &c) in self.coords.iter().enumerate() {
+            let coord = &self.engine.actor::<crate::actors::CoordActor>(c).coord;
+            let p = format!("coord.{i}");
+            counters.push((format!("{p}.open_intents"), coord.open_intents() as u64));
+            counters.push((format!("{p}.resolutions"), coord.resolutions().len() as u64));
+            let (appends, bytes, syncs) = coord.wal_stats();
+            counters.push((format!("{p}.wal.appends"), appends));
+            counters.push((format!("{p}.wal.bytes"), bytes));
+            counters.push((format!("{p}.wal.syncs"), syncs));
+        }
+
+        // µproxies fold themselves (they own their own counter names).
+        // The registry is taken out of the engine for the duration so the
+        // actor borrow and the registry borrow do not overlap.
+        for (i, &c) in self.clients.iter().enumerate() {
+            let mut reg = std::mem::take(&mut self.engine.obs_mut().registry);
+            if let Some(proxy) = self.engine.actor::<ClientActor>(c).proxy() {
+                proxy.export_metrics(&format!("client.{i}.uproxy"), &mut reg);
+            }
+            self.engine.obs_mut().registry = reg;
+        }
+
+        let reg = &mut self.engine.obs_mut().registry;
+        for (k, v) in counters {
+            reg.set(&k, v);
+        }
+        for (k, v) in gauges {
+            reg.set_gauge(&k, v);
+        }
+        self.engine.fold_engine_metrics();
+    }
+
+    /// Collects all component statistics and exports the observability
+    /// snapshot as deterministic JSON, stamped with the current sim time.
+    pub fn obs_json(&mut self) -> String {
+        self.collect_obs();
+        self.engine.export_obs_json()
     }
 
     /// Reconfigures the directory service onto a new logical-slot map

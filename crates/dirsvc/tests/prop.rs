@@ -1,45 +1,45 @@
-//! Model-based property test: a multi-site directory service, driven with
-//! random operation sequences under both distribution policies, must
+//! Model-based randomized test: a multi-site directory service, driven
+//! with random operation sequences under both distribution policies, must
 //! always agree with a flat in-memory model of the name space.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
 use slice_dirsvc::{DirAction, DirServer, DirServerConfig, NamePolicy};
 use slice_hashes::{default_site_of, name_fingerprint};
 use slice_nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3};
 use slice_sim::time::{SimDuration, SimTime};
+use slice_sim::Rng;
 use std::collections::HashMap;
+
+const CASES: usize = 64;
 
 #[derive(Debug, Clone)]
 enum ModelOp {
-    Create {
-        name_ix: prop::sample::Index,
-    },
-    Remove {
-        name_ix: prop::sample::Index,
-    },
-    Lookup {
-        name_ix: prop::sample::Index,
-    },
-    Rename {
-        from_ix: prop::sample::Index,
-        to_ix: prop::sample::Index,
-    },
-    Link {
-        from_ix: prop::sample::Index,
-        to_ix: prop::sample::Index,
-    },
+    Create { name_ix: usize },
+    Remove { name_ix: usize },
+    Lookup { name_ix: usize },
+    Rename { from_ix: usize, to_ix: usize },
+    Link { from_ix: usize, to_ix: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = ModelOp> {
-    prop_oneof![
-        3 => any::<prop::sample::Index>().prop_map(|name_ix| ModelOp::Create { name_ix }),
-        2 => any::<prop::sample::Index>().prop_map(|name_ix| ModelOp::Remove { name_ix }),
-        3 => any::<prop::sample::Index>().prop_map(|name_ix| ModelOp::Lookup { name_ix }),
-        1 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(from_ix, to_ix)| ModelOp::Rename { from_ix, to_ix }),
-        1 => (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(from_ix, to_ix)| ModelOp::Link { from_ix, to_ix }),
-    ]
+/// Weighted op choice matching the original strategy (3:2:3:1:1).
+fn random_op(rng: &mut Rng, names: usize) -> ModelOp {
+    let ix = |rng: &mut Rng| rng.gen_range(0..names);
+    match rng.gen_range(0u32..10) {
+        0..=2 => ModelOp::Create { name_ix: ix(rng) },
+        3..=4 => ModelOp::Remove { name_ix: ix(rng) },
+        5..=7 => ModelOp::Lookup { name_ix: ix(rng) },
+        8 => ModelOp::Rename {
+            from_ix: ix(rng),
+            to_ix: ix(rng),
+        },
+        _ => ModelOp::Link {
+            from_ix: ix(rng),
+            to_ix: ix(rng),
+        },
+    }
 }
 
 struct Cluster {
@@ -117,7 +117,7 @@ impl Cluster {
     }
 }
 
-fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), TestCaseError> {
+fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) {
     let names: Vec<String> = (0..12).map(|i| format!("n{i}")).collect();
     let mut cluster = Cluster::new(sites, policy);
     // Model: name -> file id of the bound child.
@@ -129,7 +129,7 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
         now += SimDuration::from_millis(20);
         match op {
             ModelOp::Create { name_ix } => {
-                let name = &names[name_ix.index(names.len())];
+                let name = &names[name_ix];
                 let reply = cluster.run(
                     now,
                     NfsRequest::Create {
@@ -139,9 +139,9 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
                     },
                 );
                 if model.contains_key(name) {
-                    prop_assert_eq!(reply.status, NfsStatus::Exist, "create {}", name);
+                    assert_eq!(reply.status, NfsStatus::Exist, "create {}", name);
                 } else {
-                    prop_assert_eq!(reply.status, NfsStatus::Ok, "create {}", name);
+                    assert_eq!(reply.status, NfsStatus::Ok, "create {}", name);
                     if let ReplyBody::Create { fh: Some(fh) } = reply.body {
                         model.insert(name.clone(), fh.file_id());
                         fh_of.insert(fh.file_id(), fh);
@@ -149,7 +149,7 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
                 }
             }
             ModelOp::Remove { name_ix } => {
-                let name = &names[name_ix.index(names.len())];
+                let name = &names[name_ix];
                 let reply = cluster.run(
                     now,
                     NfsRequest::Remove {
@@ -158,13 +158,13 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
                     },
                 );
                 if model.remove(name).is_some() {
-                    prop_assert_eq!(reply.status, NfsStatus::Ok, "remove {}", name);
+                    assert_eq!(reply.status, NfsStatus::Ok, "remove {}", name);
                 } else {
-                    prop_assert_eq!(reply.status, NfsStatus::NoEnt, "remove {}", name);
+                    assert_eq!(reply.status, NfsStatus::NoEnt, "remove {}", name);
                 }
             }
             ModelOp::Lookup { name_ix } => {
-                let name = &names[name_ix.index(names.len())];
+                let name = &names[name_ix];
                 let reply = cluster.run(
                     now,
                     NfsRequest::Lookup {
@@ -174,17 +174,17 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
                 );
                 match model.get(name) {
                     Some(&id) => {
-                        prop_assert_eq!(reply.status, NfsStatus::Ok, "lookup {}", name);
+                        assert_eq!(reply.status, NfsStatus::Ok, "lookup {}", name);
                         if let ReplyBody::Lookup { fh, .. } = reply.body {
-                            prop_assert_eq!(fh.file_id(), id, "lookup {} id", name);
+                            assert_eq!(fh.file_id(), id, "lookup {} id", name);
                         }
                     }
-                    None => prop_assert_eq!(reply.status, NfsStatus::NoEnt, "lookup {}", name),
+                    None => assert_eq!(reply.status, NfsStatus::NoEnt, "lookup {}", name),
                 }
             }
             ModelOp::Rename { from_ix, to_ix } => {
-                let from = &names[from_ix.index(names.len())];
-                let to = &names[to_ix.index(names.len())];
+                let from = &names[from_ix];
+                let to = &names[to_ix];
                 if from == to {
                     continue;
                 }
@@ -199,17 +199,17 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
                 );
                 match model.remove(from) {
                     Some(id) => {
-                        prop_assert_eq!(reply.status, NfsStatus::Ok, "rename {}->{}", from, to);
+                        assert_eq!(reply.status, NfsStatus::Ok, "rename {}->{}", from, to);
                         model.insert(to.clone(), id);
                     }
                     None => {
-                        prop_assert_eq!(reply.status, NfsStatus::NoEnt, "rename {}->{}", from, to)
+                        assert_eq!(reply.status, NfsStatus::NoEnt, "rename {}->{}", from, to)
                     }
                 }
             }
             ModelOp::Link { from_ix, to_ix } => {
-                let from = &names[from_ix.index(names.len())];
-                let to = &names[to_ix.index(names.len())];
+                let from = &names[from_ix];
+                let to = &names[to_ix];
                 let Some(&id) = model.get(from) else { continue };
                 let fh = fh_of[&id];
                 let reply = cluster.run(
@@ -221,9 +221,9 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
                     },
                 );
                 if model.contains_key(to) {
-                    prop_assert_eq!(reply.status, NfsStatus::Exist, "link {}", to);
+                    assert_eq!(reply.status, NfsStatus::Exist, "link {}", to);
                 } else {
-                    prop_assert_eq!(reply.status, NfsStatus::Ok, "link {}", to);
+                    assert_eq!(reply.status, NfsStatus::Ok, "link {}", to);
                     model.insert(to.clone(), id);
                 }
             }
@@ -242,35 +242,34 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) -> Result<(), 
         );
         match model.get(name) {
             Some(&id) => {
-                prop_assert_eq!(reply.status, NfsStatus::Ok);
+                assert_eq!(reply.status, NfsStatus::Ok);
                 if let ReplyBody::Lookup { fh, .. } = reply.body {
-                    prop_assert_eq!(fh.file_id(), id);
+                    assert_eq!(fh.file_id(), id);
                 }
             }
-            None => prop_assert_eq!(reply.status, NfsStatus::NoEnt),
+            None => assert_eq!(reply.status, NfsStatus::NoEnt),
         }
     }
     let total_cells: usize = cluster.sites.iter().map(|s| s.name_cells()).sum();
-    prop_assert_eq!(total_cells, model.len(), "cell count vs model");
-    Ok(())
+    assert_eq!(total_cells, model.len(), "cell count vs model");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn name_hashing_matches_model(
-        sites in 1u32..5,
-        ops in proptest::collection::vec(op_strategy(), 1..80)
-    ) {
-        check_model(NamePolicy::NameHashing, sites, ops)?;
+fn run_policy(policy: NamePolicy, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        let sites = rng.gen_range(1u32..5);
+        let nops = rng.gen_range(1usize..80);
+        let ops: Vec<ModelOp> = (0..nops).map(|_| random_op(&mut rng, 12)).collect();
+        check_model(policy, sites, ops);
     }
+}
 
-    #[test]
-    fn mkdir_switching_matches_model(
-        sites in 1u32..5,
-        ops in proptest::collection::vec(op_strategy(), 1..80)
-    ) {
-        check_model(NamePolicy::MkdirSwitching, sites, ops)?;
-    }
+#[test]
+fn name_hashing_matches_model() {
+    run_policy(NamePolicy::NameHashing, 0x4449_5201);
+}
+
+#[test]
+fn mkdir_switching_matches_model() {
+    run_policy(NamePolicy::MkdirSwitching, 0x4449_5202);
 }

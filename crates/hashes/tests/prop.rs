@@ -1,16 +1,29 @@
-//! Property tests: checksum algebra and MD5 incrementality.
+//! Randomized property tests: checksum algebra and MD5 incrementality.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
 use slice_hashes::{incremental_update16, incremental_update_bytes, inet_checksum, md5, Md5};
+use slice_sim::Rng;
 
-proptest! {
-    /// Incremental MD5 over arbitrary chunkings equals one-shot MD5.
-    #[test]
-    fn md5_chunking_invariance(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..8)
-    ) {
-        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+const CASES: usize = 256;
+
+fn bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// Incremental MD5 over arbitrary chunkings equals one-shot MD5.
+#[test]
+fn md5_chunking_invariance() {
+    let mut rng = Rng::seed_from_u64(0x4d44_3501);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 2048);
+        let ncuts = rng.gen_range(0usize..8);
+        let mut points: Vec<usize> = (0..ncuts)
+            .map(|_| rng.gen_range(0..data.len() + 1))
+            .collect();
         points.push(0);
         points.push(data.len());
         points.sort_unstable();
@@ -18,78 +31,91 @@ proptest! {
         for w in points.windows(2) {
             ctx.update(&data[w[0]..w[1]]);
         }
-        prop_assert_eq!(ctx.finish(), md5(&data));
+        assert_eq!(ctx.finish(), md5(&data));
     }
+}
 
-    /// RFC 1624 incremental update over any single 16-bit field change
-    /// matches a full recompute.
-    #[test]
-    fn checksum_incremental_equals_full(
-        mut data in proptest::collection::vec(any::<u8>(), 2..512),
-        word in any::<prop::sample::Index>(),
-        new in any::<u16>()
-    ) {
+/// RFC 1624 incremental update over any single 16-bit field change
+/// matches a full recompute.
+#[test]
+fn checksum_incremental_equals_full() {
+    let mut rng = Rng::seed_from_u64(0x1624_0002);
+    for _ in 0..CASES {
+        let mut data = {
+            let len = rng.gen_range(2usize..512);
+            (0..len).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>()
+        };
         if data.len() % 2 == 1 {
             data.push(0);
         }
-        let off = word.index(data.len() / 2) * 2;
+        let off = rng.gen_range(0..data.len() / 2) * 2;
+        let new: u16 = rng.gen_range(0..=u16::MAX);
         let before = inet_checksum(&data);
         let old = u16::from_be_bytes([data[off], data[off + 1]]);
         data[off..off + 2].copy_from_slice(&new.to_be_bytes());
-        prop_assert_eq!(
-            incremental_update16(before, old, new),
-            inet_checksum(&data)
-        );
+        assert_eq!(incremental_update16(before, old, new), inet_checksum(&data));
     }
+}
 
-    /// Region rewrites of arbitrary even-aligned spans stay consistent.
-    #[test]
-    fn checksum_region_rewrite(
-        mut data in proptest::collection::vec(any::<u8>(), 8..512),
-        start_ix in any::<prop::sample::Index>(),
-        new in proptest::collection::vec(any::<u8>(), 0..64)
-    ) {
+/// Region rewrites of arbitrary even-aligned spans stay consistent.
+#[test]
+fn checksum_region_rewrite() {
+    let mut rng = Rng::seed_from_u64(0x1624_0003);
+    for _ in 0..CASES {
+        let mut data = {
+            let len = rng.gen_range(8usize..512);
+            (0..len).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>()
+        };
         if data.len() % 2 == 1 {
             data.push(0);
         }
-        let mut new = new;
+        let mut new = bytes(&mut rng, 64);
         if new.len() % 2 == 1 {
             new.push(0);
         }
         let max_start = data.len().saturating_sub(new.len());
-        let start = (start_ix.index(max_start + 1) / 2) * 2;
+        let start = (rng.gen_range(0..max_start + 1) / 2) * 2;
         if start + new.len() > data.len() {
-            return Ok(());
+            continue;
         }
         let before = inet_checksum(&data);
         let old = data[start..start + new.len()].to_vec();
         data[start..start + new.len()].copy_from_slice(&new);
-        prop_assert_eq!(
+        assert_eq!(
             incremental_update_bytes(before, &old, &new),
             inet_checksum(&data)
         );
     }
+}
 
-    /// The verification property: data plus its checksum sums to all-ones,
-    /// so corrupting any single byte is detected.
-    #[test]
-    fn checksum_detects_single_byte_corruption(
-        data in proptest::collection::vec(any::<u8>(), 2..256),
-        byte in any::<prop::sample::Index>(),
-        flip in 1u8..=255
-    ) {
+/// The verification property: data plus its checksum sums to all-ones,
+/// so corrupting any single byte is detected.
+#[test]
+fn checksum_detects_single_byte_corruption() {
+    let mut rng = Rng::seed_from_u64(0x1624_0004);
+    for _ in 0..CASES {
+        let data = {
+            let len = rng.gen_range(2usize..256);
+            (0..len).map(|_| rng.gen::<u8>()).collect::<Vec<u8>>()
+        };
         let c = inet_checksum(&data);
         let mut corrupted = data.clone();
-        let off = byte.index(corrupted.len());
+        let off = rng.gen_range(0..corrupted.len());
+        let flip = rng.gen_range(1..=255u8);
         corrupted[off] ^= flip;
-        prop_assert_ne!(c, inet_checksum(&corrupted));
+        assert_ne!(c, inet_checksum(&corrupted));
     }
+}
 
-    /// Fingerprint bucketing is always in range and deterministic.
-    #[test]
-    fn bucket_in_range(fp in any::<u64>(), buckets in 1usize..64) {
+/// Fingerprint bucketing is always in range and deterministic.
+#[test]
+fn bucket_in_range() {
+    let mut rng = Rng::seed_from_u64(0x1624_0005);
+    for _ in 0..CASES {
+        let fp: u64 = rng.gen();
+        let buckets = rng.gen_range(1usize..64);
         let b = slice_hashes::bucket_of(fp, buckets);
-        prop_assert!(b < buckets);
-        prop_assert_eq!(b, slice_hashes::bucket_of(fp, buckets));
+        assert!(b < buckets);
+        assert_eq!(b, slice_hashes::bucket_of(fp, buckets));
     }
 }

@@ -98,6 +98,31 @@ impl NfsProc {
             }
         })
     }
+
+    /// Stable lowercase procedure name (for tracing and reporting).
+    pub fn name(self) -> &'static str {
+        match self {
+            NfsProc::Null => "null",
+            NfsProc::Getattr => "getattr",
+            NfsProc::Setattr => "setattr",
+            NfsProc::Lookup => "lookup",
+            NfsProc::Access => "access",
+            NfsProc::Readlink => "readlink",
+            NfsProc::Read => "read",
+            NfsProc::Write => "write",
+            NfsProc::Create => "create",
+            NfsProc::Mkdir => "mkdir",
+            NfsProc::Symlink => "symlink",
+            NfsProc::Remove => "remove",
+            NfsProc::Rmdir => "rmdir",
+            NfsProc::Rename => "rename",
+            NfsProc::Link => "link",
+            NfsProc::Readdir => "readdir",
+            NfsProc::Readdirplus => "readdirplus",
+            NfsProc::Fsstat => "fsstat",
+            NfsProc::Commit => "commit",
+        }
+    }
 }
 
 /// Write stability levels (`stable_how`).

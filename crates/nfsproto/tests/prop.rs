@@ -1,166 +1,203 @@
-//! Property tests: NFS message roundtrips, packet rewriting invariants,
-//! and decoder totality.
+//! Randomized property tests: NFS message roundtrips, packet rewriting
+//! invariants, and decoder totality.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
 use slice_nfsproto::{
     decode_call, decode_reply, encode_call, encode_reply, AuthUnix, Fattr3, Fhandle, FileType,
     NfsProc, NfsReply, NfsRequest, NfsStatus, NfsTime, Packet, ReplyBody, Sattr3, SockAddr,
     StableHow,
 };
+use slice_sim::Rng;
 
-fn fh_strategy() -> impl Strategy<Value = Fhandle> {
-    (
-        any::<u64>(),
-        0u32..16,
-        any::<u8>(),
-        any::<u64>(),
-        any::<u16>(),
+const CASES: usize = 256;
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-";
+
+fn random_fh(rng: &mut Rng) -> Fhandle {
+    Fhandle::new(
+        rng.gen(),
+        rng.gen_range(0u32..16),
+        rng.gen(),
+        rng.gen(),
+        rng.gen_range(0..=u16::MAX),
     )
-        .prop_map(|(id, site, flags, key, gen)| Fhandle::new(id, site, flags, key, gen))
 }
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9._-]{1,48}"
+fn random_name(rng: &mut Rng) -> String {
+    let len = rng.gen_range(1usize..48);
+    (0..len)
+        .map(|_| NAME_CHARS[rng.gen_range(0..NAME_CHARS.len())] as char)
+        .collect()
 }
 
-fn req_strategy() -> impl Strategy<Value = NfsRequest> {
-    prop_oneof![
-        fh_strategy().prop_map(|fh| NfsRequest::Getattr { fh }),
-        (fh_strategy(), name_strategy()).prop_map(|(dir, name)| NfsRequest::Lookup { dir, name }),
-        (fh_strategy(), any::<u64>(), 0u32..100_000)
-            .prop_map(|(fh, offset, count)| NfsRequest::Read { fh, offset, count }),
-        (
-            fh_strategy(),
-            any::<u64>(),
-            proptest::collection::vec(any::<u8>(), 0..2048)
-        )
-            .prop_map(|(fh, offset, data)| NfsRequest::Write {
-                fh,
-                offset,
-                stable: StableHow::Unstable,
-                data
-            }),
-        (fh_strategy(), name_strategy()).prop_map(|(dir, name)| NfsRequest::Create {
-            dir,
-            name,
-            attr: Sattr3::default()
-        }),
-        (fh_strategy(), name_strategy()).prop_map(|(dir, name)| NfsRequest::Remove { dir, name }),
-        (
-            fh_strategy(),
-            name_strategy(),
-            fh_strategy(),
-            name_strategy()
-        )
-            .prop_map(|(f, fname, t, tname)| NfsRequest::Rename {
-                from_dir: f,
-                from_name: fname,
-                to_dir: t,
-                to_name: tname
-            }),
-        (fh_strategy(), any::<u64>(), any::<u64>(), 0u32..65536).prop_map(
-            |(dir, cookie, verf, count)| NfsRequest::Readdir {
-                dir,
-                cookie,
-                cookieverf: verf,
-                count
-            }
-        ),
-        (fh_strategy(), any::<u64>(), 0u32..100_000)
-            .prop_map(|(fh, offset, count)| NfsRequest::Commit { fh, offset, count }),
-    ]
+fn random_bytes(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
 }
 
-fn attr_strategy() -> impl Strategy<Value = Fattr3> {
-    (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(id, size, secs, nsecs)| {
-        let mut a = Fattr3::new(
-            FileType::Regular,
-            id,
-            0o644,
-            NfsTime {
-                secs,
-                nsecs: nsecs % 1_000_000_000,
-            },
-        );
-        a.size = size;
-        a
-    })
+fn random_req(rng: &mut Rng) -> NfsRequest {
+    match rng.gen_range(0u32..9) {
+        0 => NfsRequest::Getattr { fh: random_fh(rng) },
+        1 => NfsRequest::Lookup {
+            dir: random_fh(rng),
+            name: random_name(rng),
+        },
+        2 => NfsRequest::Read {
+            fh: random_fh(rng),
+            offset: rng.gen(),
+            count: rng.gen_range(0u32..100_000),
+        },
+        3 => NfsRequest::Write {
+            fh: random_fh(rng),
+            offset: rng.gen(),
+            stable: StableHow::Unstable,
+            data: random_bytes(rng, 0, 2048),
+        },
+        4 => NfsRequest::Create {
+            dir: random_fh(rng),
+            name: random_name(rng),
+            attr: Sattr3::default(),
+        },
+        5 => NfsRequest::Remove {
+            dir: random_fh(rng),
+            name: random_name(rng),
+        },
+        6 => NfsRequest::Rename {
+            from_dir: random_fh(rng),
+            from_name: random_name(rng),
+            to_dir: random_fh(rng),
+            to_name: random_name(rng),
+        },
+        7 => NfsRequest::Readdir {
+            dir: random_fh(rng),
+            cookie: rng.gen(),
+            cookieverf: rng.gen(),
+            count: rng.gen_range(0u32..65536),
+        },
+        _ => NfsRequest::Commit {
+            fh: random_fh(rng),
+            offset: rng.gen(),
+            count: rng.gen_range(0u32..100_000),
+        },
+    }
 }
 
-proptest! {
-    /// Every generated call survives an encode/decode roundtrip.
-    #[test]
-    fn calls_roundtrip(req in req_strategy(), xid in any::<u32>()) {
+fn random_attr(rng: &mut Rng) -> Fattr3 {
+    let mut a = Fattr3::new(
+        FileType::Regular,
+        rng.gen(),
+        0o644,
+        NfsTime {
+            secs: rng.gen(),
+            nsecs: rng.gen_range(0u32..1_000_000_000),
+        },
+    );
+    a.size = rng.gen();
+    a
+}
+
+/// Every generated call survives an encode/decode roundtrip.
+#[test]
+fn calls_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x4e46_5301);
+    for _ in 0..CASES {
+        let req = random_req(&mut rng);
+        let xid: u32 = rng.gen();
         let payload = encode_call(xid, &AuthUnix::default(), &req);
         let (hdr, got) = decode_call(&payload).expect("decode");
-        prop_assert_eq!(hdr.xid, xid);
-        prop_assert_eq!(got, req);
+        assert_eq!(hdr.xid, xid);
+        assert_eq!(got, req);
     }
+}
 
-    /// Replies roundtrip, preserving the attribute block exactly.
-    #[test]
-    fn replies_roundtrip(attr in attr_strategy(), xid in any::<u32>(), data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+/// Replies roundtrip, preserving the attribute block exactly.
+#[test]
+fn replies_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x4e46_5302);
+    for _ in 0..CASES {
+        let attr = random_attr(&mut rng);
+        let xid: u32 = rng.gen();
+        let data = random_bytes(&mut rng, 0, 1024);
         let reply = NfsReply {
             proc: NfsProc::Read,
             status: NfsStatus::Ok,
             attr: Some(attr),
-            body: ReplyBody::Read { data: data.clone(), eof: data.is_empty() },
+            body: ReplyBody::Read {
+                data: data.clone(),
+                eof: data.is_empty(),
+            },
         };
         let payload = encode_reply(xid, &reply);
         let (got_xid, got) = decode_reply(&payload, NfsProc::Read).expect("decode");
-        prop_assert_eq!(got_xid, xid);
-        prop_assert_eq!(got, reply);
+        assert_eq!(got_xid, xid);
+        assert_eq!(got, reply);
     }
+}
 
-    /// The call decoder never panics on arbitrary bytes.
-    #[test]
-    fn call_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// The call decoder never panics on arbitrary bytes.
+#[test]
+fn call_decoder_total() {
+    let mut rng = Rng::seed_from_u64(0x4e46_5303);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 0, 512);
         let _ = decode_call(&bytes);
     }
+}
 
-    /// The reply decoder never panics on arbitrary bytes for any proc.
-    #[test]
-    fn reply_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512), p in 0u32..22) {
+/// The reply decoder never panics on arbitrary bytes for any proc.
+#[test]
+fn reply_decoder_total() {
+    let mut rng = Rng::seed_from_u64(0x4e46_5304);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 0, 512);
+        let p = rng.gen_range(0u32..22);
         if let Ok(proc) = NfsProc::from_u32(p) {
             let _ = decode_reply(&bytes, proc);
         }
     }
+}
 
-    /// Any chain of address/port rewrites preserves checksum validity —
-    /// the µproxy's core packet invariant.
-    #[test]
-    fn rewrite_chains_keep_checksums_valid(
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        hops in proptest::collection::vec((any::<u32>(), any::<u16>(), any::<bool>()), 0..12)
-    ) {
+/// Any chain of address/port rewrites preserves checksum validity —
+/// the µproxy's core packet invariant.
+#[test]
+fn rewrite_chains_keep_checksums_valid() {
+    let mut rng = Rng::seed_from_u64(0x4e46_5305);
+    for _ in 0..CASES {
+        let payload = random_bytes(&mut rng, 0, 512);
         let mut pkt = Packet::new(SockAddr::new(1, 1), SockAddr::new(2, 2), payload);
-        prop_assert!(pkt.verify());
-        for (ip, port, is_src) in hops {
-            if is_src {
+        assert!(pkt.verify());
+        let hops = rng.gen_range(0usize..12);
+        for _ in 0..hops {
+            let ip: u32 = rng.gen();
+            let port: u16 = rng.gen_range(0..=u16::MAX);
+            if rng.gen::<bool>() {
                 pkt.rewrite_src(SockAddr::new(ip, port));
             } else {
                 pkt.rewrite_dst(SockAddr::new(ip, port));
             }
-            prop_assert!(pkt.verify(), "checksum broke mid-chain");
+            assert!(pkt.verify(), "checksum broke mid-chain");
         }
     }
+}
 
-    /// In-place payload rewrites (the attribute patch) preserve validity.
-    #[test]
-    fn payload_patch_keeps_checksum_valid(
-        payload in proptest::collection::vec(any::<u8>(), 16..512),
-        patch in proptest::collection::vec(any::<u8>(), 1..8),
-        at in any::<prop::sample::Index>()
-    ) {
-        let mut patch = patch;
+/// In-place payload rewrites (the attribute patch) preserve validity.
+#[test]
+fn payload_patch_keeps_checksum_valid() {
+    let mut rng = Rng::seed_from_u64(0x4e46_5306);
+    for _ in 0..CASES {
+        let payload = random_bytes(&mut rng, 16, 512);
+        let mut patch = random_bytes(&mut rng, 1, 8);
         if patch.len() % 2 == 1 {
             patch.push(0);
         }
         let mut pkt = Packet::new(SockAddr::new(1, 1), SockAddr::new(2, 2), payload);
         let max_off = pkt.payload.len() - patch.len();
-        let off = (at.index(max_off + 1) / 2) * 2;
+        let off = (rng.gen_range(0..max_off + 1) / 2) * 2;
         pkt.rewrite_payload(off, &patch);
-        prop_assert!(pkt.verify());
-        prop_assert_eq!(&pkt.payload[off..off + patch.len()], &patch[..]);
+        assert!(pkt.verify());
+        assert_eq!(&pkt.payload[off..off + patch.len()], &patch[..]);
     }
 }

@@ -1,0 +1,221 @@
+//! Hand-rolled JSON serialization for the observability snapshot.
+//!
+//! No serde: the repo builds offline with zero external crates. Output
+//! is deterministic — map keys arrive pre-sorted from `BTreeMap`s, and
+//! floats go through Rust's `{}` formatting, which is stable shortest-
+//! round-trip. Two same-seed runs therefore export byte-identical
+//! documents, which the determinism regression test asserts.
+
+use crate::metrics::{Histogram, Registry};
+use crate::trace::{EventKind, Trace, TraceEvent};
+
+/// Escapes `s` into `out` as a JSON string literal (with quotes).
+pub fn escape_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Bare integers like `3` are valid JSON numbers, but emit `3.0`
+        // so consumers can tell gauges from counters by shape.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Inf; null is the least-surprising stand-in.
+        out.push_str("null");
+    }
+}
+
+fn push_u64_array(vals: impl Iterator<Item = u64>, out: &mut String) {
+    out.push('[');
+    for (i, v) in vals.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn write_histogram(h: &Histogram, out: &mut String) {
+    out.push_str("{\"bounds\":");
+    push_u64_array(h.bounds().iter().copied(), out);
+    out.push_str(",\"counts\":");
+    push_u64_array(h.counts().iter().copied(), out);
+    out.push_str(&format!(
+        ",\"count\":{},\"sum\":{},\"max\":{}}}",
+        h.count(),
+        h.sum(),
+        h.max()
+    ));
+}
+
+fn write_event(e: &TraceEvent, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"at_ns\":{},\"subsystem\":\"{}\",\"event\":\"{}\"",
+        e.at_ns,
+        e.subsystem.name(),
+        e.kind.tag()
+    ));
+    match &e.kind {
+        EventKind::PacketRouted { from, to, bytes }
+        | EventKind::PacketDropped { from, to, bytes } => {
+            out.push_str(&format!(",\"from\":{from},\"to\":{to},\"bytes\":{bytes}"));
+        }
+        EventKind::OpStart { op, xid } => {
+            out.push_str(&format!(",\"op\":\"{op}\",\"xid\":{xid}"));
+        }
+        EventKind::OpComplete {
+            op,
+            xid,
+            latency_ns,
+        } => {
+            out.push_str(&format!(
+                ",\"op\":\"{op}\",\"xid\":{xid},\"latency_ns\":{latency_ns}"
+            ));
+        }
+        EventKind::Retransmit { xid, retries } => {
+            out.push_str(&format!(",\"xid\":{xid},\"retries\":{retries}"));
+        }
+        EventKind::CacheHit { cache } | EventKind::CacheMiss { cache } => {
+            out.push_str(&format!(",\"cache\":\"{cache}\""));
+        }
+        EventKind::DiskSeek { node, nanos } => {
+            out.push_str(&format!(",\"node\":{node},\"nanos\":{nanos}"));
+        }
+        EventKind::Crash { node } | EventKind::Recover { node } => {
+            out.push_str(&format!(",\"node\":{node}"));
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes a registry + trace snapshot taken at sim time `now_ns`.
+pub fn export(now_ns: u64, registry: &Registry, trace: &Trace) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!("{{\"now_ns\":{now_ns},\"counters\":{{"));
+    for (i, (name, v)) in registry.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_str(name, &mut out);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in registry.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_str(name, &mut out);
+        out.push(':');
+        push_f64(v, &mut out);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in registry.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_str(name, &mut out);
+        out.push(':');
+        write_histogram(h, &mut out);
+    }
+    out.push_str(&format!(
+        "}},\"trace\":{{\"recorded\":{},\"evicted\":{},\"events\":[",
+        trace.recorded(),
+        trace.evicted()
+    ));
+    for (i, e) in trace.events().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(e, &mut out);
+    }
+    out.push_str("]}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Subsystem;
+
+    #[test]
+    fn empty_snapshot_shape() {
+        let out = export(0, &Registry::new(), &Trace::with_capacity(4));
+        assert_eq!(
+            out,
+            "{\"now_ns\":0,\"counters\":{},\"gauges\":{},\"histograms\":{},\
+             \"trace\":{\"recorded\":0,\"evicted\":0,\"events\":[]}}"
+        );
+    }
+
+    #[test]
+    fn keys_are_sorted_and_escaped() {
+        let mut r = Registry::new();
+        r.set("z.last", 1);
+        r.set("a\"quote", 2);
+        let out = export(5, &r, &Trace::with_capacity(4));
+        let a = out.find("a\\\"quote").unwrap();
+        let z = out.find("z.last").unwrap();
+        assert!(a < z);
+    }
+
+    #[test]
+    fn gauges_render_with_decimal_point() {
+        let mut r = Registry::new();
+        r.set_gauge("whole", 3.0);
+        r.set_gauge("frac", 0.25);
+        r.set_gauge("nan", f64::NAN);
+        let out = export(0, &r, &Trace::with_capacity(1));
+        assert!(out.contains("\"whole\":3.0"));
+        assert!(out.contains("\"frac\":0.25"));
+        assert!(out.contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn events_serialize_with_payload_fields() {
+        let mut t = Trace::with_capacity(4);
+        t.record(
+            7,
+            Subsystem::Net,
+            EventKind::PacketRouted {
+                from: 1,
+                to: 2,
+                bytes: 128,
+            },
+        );
+        t.record(
+            9,
+            Subsystem::Client,
+            EventKind::OpComplete {
+                op: "read",
+                xid: 42,
+                latency_ns: 1_000,
+            },
+        );
+        let out = export(10, &Registry::new(), &t);
+        assert!(out.contains(
+            "{\"at_ns\":7,\"subsystem\":\"net\",\"event\":\"packet_routed\",\
+             \"from\":1,\"to\":2,\"bytes\":128}"
+        ));
+        assert!(out.contains("\"latency_ns\":1000"));
+    }
+}

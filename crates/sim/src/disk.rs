@@ -64,6 +64,8 @@ pub struct DiskArray {
     writes: u64,
     bytes: u64,
     seq_hits: u64,
+    seeks: u64,
+    seek_ns: u64,
 }
 
 impl DiskArray {
@@ -91,6 +93,8 @@ impl DiskArray {
             writes: 0,
             bytes: 0,
             seq_hits: 0,
+            seeks: 0,
+            seek_ns: 0,
         }
     }
 
@@ -147,7 +151,10 @@ impl DiskArray {
                     (offset - arm.next_offset) as f64 / self.params.transfer_bps,
                 )
             } else {
-                self.params.seek + self.params.rotation
+                self.seeks += 1;
+                let cost = self.params.seek + self.params.rotation;
+                self.seek_ns += cost.as_nanos();
+                cost
             }
         };
         let service = self.params.overhead + position + media;
@@ -168,6 +175,18 @@ impl DiskArray {
     /// (reads, writes, bytes, sequential hits) since creation.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (self.reads, self.writes, self.bytes, self.seq_hits)
+    }
+
+    /// Full-cost repositionings (seek + rotation) paid since creation.
+    /// Callers diff this across a `submit` to detect that the request
+    /// seeked and emit a `DiskSeek` trace event.
+    pub fn seeks(&self) -> u64 {
+        self.seeks
+    }
+
+    /// Total nanoseconds spent in full seeks since creation.
+    pub fn seek_ns(&self) -> u64 {
+        self.seek_ns
     }
 
     /// Earliest instant at which every arm and the channel are idle.

@@ -18,10 +18,10 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use slice_obs::{EventKind, Obs, Subsystem};
 
 use crate::net::NetConfig;
+use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a node (one actor) in the simulation.
@@ -161,12 +161,14 @@ struct Core<M> {
     /// Switch egress port towards each node occupied until this instant.
     switch_egress_free: Vec<SimTime>,
     net: NetConfig,
-    rng: StdRng,
+    rng: Rng,
     next_timer: u64,
     cancelled: HashSet<u64>,
     packets_sent: u64,
     packets_dropped: u64,
     bytes_sent: u64,
+    events_executed: u64,
+    obs: Obs,
 }
 
 impl<M: MessageSize> Core<M> {
@@ -184,8 +186,26 @@ impl<M: MessageSize> Core<M> {
         self.bytes_sent += size as u64;
         if self.net.loss_prob > 0.0 && self.rng.gen::<f64>() < self.net.loss_prob {
             self.packets_dropped += 1;
+            self.obs.record(
+                self.now.as_nanos(),
+                Subsystem::Net,
+                EventKind::PacketDropped {
+                    from: from.idx(),
+                    to: to.idx(),
+                    bytes: size,
+                },
+            );
             return;
         }
+        self.obs.record(
+            self.now.as_nanos(),
+            Subsystem::Net,
+            EventKind::PacketRouted {
+                from: from.idx(),
+                to: to.idx(),
+                bytes: size,
+            },
+        );
         let tx = self.net.tx_time(size);
         // Source NIC serialization.
         let src_start = self.nodes[from.idx()].egress_free.max(depart);
@@ -282,8 +302,21 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
     }
 
     /// The simulation's seeded RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.core.rng
+    }
+
+    /// The engine-wide observability sink. Handlers record trace events
+    /// and registry updates here; timestamps are the simulated clock.
+    pub fn obs(&mut self) -> &mut Obs {
+        &mut self.core.obs
+    }
+
+    /// Records a trace event attributed to this handler at the current
+    /// simulated time.
+    pub fn trace(&mut self, subsystem: Subsystem, kind: EventKind) {
+        let now = self.core.now.as_nanos();
+        self.core.obs.record(now, subsystem, kind);
     }
 }
 
@@ -304,12 +337,14 @@ impl<M: MessageSize + 'static> Engine<M> {
                 nodes: Vec::new(),
                 switch_egress_free: Vec::new(),
                 net,
-                rng: StdRng::seed_from_u64(seed),
+                rng: Rng::seed_from_u64(seed),
                 next_timer: 0,
                 cancelled: HashSet::new(),
                 packets_sent: 0,
                 packets_dropped: 0,
                 bytes_sent: 0,
+                events_executed: 0,
+                obs: Obs::new(),
             },
             actors: Vec::new(),
         }
@@ -375,6 +410,11 @@ impl<M: MessageSize + 'static> Engine<M> {
         if let Some(actor) = self.actors[node.idx()].as_mut() {
             actor.on_fail(now);
         }
+        self.core.obs.record(
+            now.as_nanos(),
+            Subsystem::Engine,
+            EventKind::Crash { node: node.idx() },
+        );
     }
 
     /// Restarts a failed node; the actor's [`Actor::on_restart`] hook runs
@@ -387,6 +427,11 @@ impl<M: MessageSize + 'static> Engine<M> {
             n.busy_until = now;
         }
         self.core.enqueue_local(node, QueueItem::Restart, now);
+        self.core.obs.record(
+            now.as_nanos(),
+            Subsystem::Engine,
+            EventKind::Recover { node: node.idx() },
+        );
     }
 
     /// True if the node is currently up.
@@ -401,6 +446,7 @@ impl<M: MessageSize + 'static> Engine<M> {
         };
         debug_assert!(entry.time >= self.core.now, "time went backwards");
         self.core.now = entry.time;
+        self.core.events_executed += 1;
         match entry.event {
             Event::Arrive { to, from, msg } => {
                 let now = self.core.now;
@@ -560,6 +606,50 @@ impl<M: MessageSize + 'static> Engine<M> {
     /// Total payload bytes handed to the network model.
     pub fn bytes_sent(&self) -> u64 {
         self.core.bytes_sent
+    }
+
+    /// Events executed since creation.
+    pub fn events_executed(&self) -> u64 {
+        self.core.events_executed
+    }
+
+    /// The engine-wide observability sink.
+    pub fn obs(&self) -> &Obs {
+        &self.core.obs
+    }
+
+    /// Mutable access to the observability sink (for configuring trace
+    /// flags or folding external statistics before export).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.core.obs
+    }
+
+    /// Folds engine-level statistics into the registry with absolute
+    /// (`set`) semantics, so harvesting repeatedly never double-counts,
+    /// then returns the snapshot JSON stamped with the current sim time.
+    pub fn export_obs_json(&mut self) -> String {
+        self.fold_engine_metrics();
+        self.core.obs.export_json(self.core.now.as_nanos())
+    }
+
+    /// Folds engine counters (packets, bytes, events, per-node CPU) into
+    /// the registry without exporting.
+    pub fn fold_engine_metrics(&mut self) {
+        let reg = &mut self.core.obs.registry;
+        reg.set("engine.events_executed", self.core.events_executed);
+        reg.set("net.packets_sent", self.core.packets_sent);
+        reg.set("net.packets_dropped", self.core.packets_dropped);
+        reg.set("net.bytes_sent", self.core.bytes_sent);
+        let elapsed = self.core.now.as_secs_f64();
+        for (i, n) in self.core.nodes.iter().enumerate() {
+            let prefix = format!("node.{}.{}", i, n.name);
+            reg.set(&format!("{prefix}.messages_handled"), n.messages_handled);
+            reg.set(&format!("{prefix}.cpu_busy_ns"), n.cpu_busy.as_nanos());
+            if elapsed > 0.0 {
+                let util = n.cpu_busy.as_nanos() as f64 / 1e9 / elapsed;
+                reg.set_gauge(&format!("{prefix}.cpu_utilization"), util);
+            }
+        }
     }
 }
 

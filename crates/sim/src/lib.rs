@@ -23,12 +23,17 @@ pub mod cache;
 pub mod disk;
 pub mod engine;
 pub mod net;
+pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use cache::LruCache;
+// Observability vocabulary, re-exported so actor crates can emit trace
+// events without naming slice-obs directly.
 pub use disk::{DiskArray, DiskParams};
 pub use engine::{Actor, Ctx, Engine, MessageSize, NodeId, NodeStats, TimerId, START_TAG};
 pub use net::NetConfig;
+pub use rng::Rng;
+pub use slice_obs::{EventKind, Obs, Subsystem};
 pub use stats::{render_table, LatencyStats, RateCounter, Series};
 pub use time::{SimDuration, SimTime};

@@ -1,9 +1,15 @@
-//! Property tests for the simulation engine: message conservation, time
-//! monotonicity, and determinism across random topologies and traffic.
+//! Randomized property tests for the simulation engine: message
+//! conservation, time monotonicity, and determinism across random
+//! topologies and traffic.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
-use slice_sim::{Actor, Ctx, Engine, NetConfig, NodeId, SimDuration, SimTime, START_TAG};
+use slice_sim::{Actor, Ctx, Engine, NetConfig, NodeId, Rng, SimDuration, SimTime, START_TAG};
 use std::any::Any;
+
+const CASES: usize = 64;
 
 /// Forwards each received message along a route, recording receipt times.
 struct Hop {
@@ -86,19 +92,26 @@ fn build(
     (eng, ids, src)
 }
 
-proptest! {
-    /// Every injected message visits exactly `route length` hops: nothing
-    /// is lost, duplicated, or delivered out of causal order, and receipt
-    /// times are monotone per hop chain.
-    #[test]
-    fn message_conservation(
-        nodes in 2usize..8,
-        routes in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 1..10),
-            1..20
-        ),
-        service_us in 0u64..200
-    ) {
+fn random_routes(rng: &mut Rng, max_routes: usize, max_len: usize) -> Vec<Vec<u8>> {
+    let n = rng.gen_range(1..max_routes);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..max_len);
+            (0..len).map(|_| rng.gen::<u8>()).collect()
+        })
+        .collect()
+}
+
+/// Every injected message visits exactly `route length` hops: nothing
+/// is lost, duplicated, or delivered out of causal order, and receipt
+/// times are monotone per hop chain.
+#[test]
+fn message_conservation() {
+    let mut rng = Rng::seed_from_u64(0x5349_4d01);
+    for _ in 0..CASES {
+        let nodes = rng.gen_range(2usize..8);
+        let routes = random_routes(&mut rng, 20, 10);
+        let service_us = rng.gen_range(0u64..200);
         let expected_hops: usize = routes.iter().map(|r| r.len()).sum();
         let (mut eng, ids, _src) = build(nodes, service_us, &routes);
         eng.run_until_idle(1_000_000);
@@ -108,21 +121,20 @@ proptest! {
             total += hop.received.len();
             // Receipt times at a node are monotone (FIFO CPU queue).
             for w in hop.received.windows(2) {
-                prop_assert!(w[1].0 >= w[0].0);
+                assert!(w[1].0 >= w[0].0);
             }
         }
-        prop_assert_eq!(total, expected_hops, "hop count mismatch");
+        assert_eq!(total, expected_hops, "hop count mismatch");
     }
+}
 
-    /// The same seed and inputs produce the identical trace.
-    #[test]
-    fn runs_are_deterministic(
-        nodes in 2usize..6,
-        routes in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 1..8),
-            1..10
-        )
-    ) {
+/// The same seed and inputs produce the identical trace.
+#[test]
+fn runs_are_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x5349_4d02);
+    for _ in 0..CASES {
+        let nodes = rng.gen_range(2usize..6);
+        let routes = random_routes(&mut rng, 10, 8);
         let trace = |routes: &[Vec<u8>]| {
             let (mut eng, ids, _src) = build(nodes, 50, routes);
             eng.run_until_idle(1_000_000);
@@ -133,25 +145,24 @@ proptest! {
             }
             (out, eng.now().as_nanos(), eng.packets_sent())
         };
-        prop_assert_eq!(trace(&routes), trace(&routes));
+        assert_eq!(trace(&routes), trace(&routes));
     }
+}
 
-    /// Under total loss nothing is delivered beyond the first (local)
-    /// injection hop, and the engine still terminates.
-    #[test]
-    fn total_loss_terminates(
-        nodes in 2usize..6,
-        routes in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 1..8),
-            1..10
-        )
-    ) {
+/// Under total loss nothing is delivered beyond the first (local)
+/// injection hop, and the engine still terminates.
+#[test]
+fn total_loss_terminates() {
+    let mut rng = Rng::seed_from_u64(0x5349_4d03);
+    for _ in 0..CASES {
+        let nodes = rng.gen_range(2usize..6);
+        let routes = random_routes(&mut rng, 10, 8);
         let (mut eng, ids, _src) = build(nodes, 10, &routes);
         eng.set_loss_prob(1.0);
         eng.run_until_idle(1_000_000);
         for &id in &ids {
             let hop: &Hop = eng.actor(id);
-            prop_assert!(hop.received.is_empty());
+            assert!(hop.received.is_empty());
         }
     }
 }

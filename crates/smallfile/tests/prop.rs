@@ -1,23 +1,16 @@
-//! Property tests: the zone allocator never double-allocates, and
-//! physical regions never overlap — the core safety invariant of the
+//! Randomized property test: the zone allocator never double-allocates,
+//! and physical regions never overlap — the core safety invariant of the
 //! small-file layout.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
+use slice_sim::Rng;
 use slice_smallfile::{frag_size, Region, ZoneAllocator};
 use std::collections::HashSet;
 
-#[derive(Debug, Clone)]
-enum AllocOp {
-    Alloc(u32),
-    FreeNth(prop::sample::Index),
-}
-
-fn op_strategy() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        (1u32..8192).prop_map(AllocOp::Alloc),
-        any::<prop::sample::Index>().prop_map(AllocOp::FreeNth),
-    ]
-}
+const CASES: usize = 128;
 
 fn overlaps(a: &Region, b: &Region) -> bool {
     a.zone == b.zone
@@ -25,39 +18,38 @@ fn overlaps(a: &Region, b: &Region) -> bool {
         && b.offset < a.offset + u64::from(a.frag)
 }
 
-proptest! {
-    /// Live regions never overlap, fragments are correctly sized, and the
-    /// byte accounting balances, across arbitrary alloc/free interleavings.
-    #[test]
-    fn no_overlap_and_balanced_accounting(
-        zones in 1u32..5,
-        ops in proptest::collection::vec(op_strategy(), 1..200)
-    ) {
+/// Live regions never overlap, fragments are correctly sized, and the
+/// byte accounting balances, across arbitrary alloc/free interleavings.
+#[test]
+fn no_overlap_and_balanced_accounting() {
+    let mut rng = Rng::seed_from_u64(0x534d_4601);
+    for _ in 0..CASES {
+        let zones = rng.gen_range(1u32..5);
+        let nops = rng.gen_range(1usize..200);
         let mut alloc = ZoneAllocator::new(zones);
         let mut live: Vec<(Region, u32)> = Vec::new();
         let mut live_bytes = 0u64;
-        for op in ops {
-            match op {
-                AllocOp::Alloc(bytes) => {
-                    let r = alloc.alloc(bytes);
-                    prop_assert_eq!(r.frag, frag_size(bytes));
-                    prop_assert!(r.zone < zones);
-                    for (other, _) in &live {
-                        prop_assert!(!overlaps(&r, other), "overlap: {:?} vs {:?}", r, other);
-                    }
-                    live_bytes += u64::from(r.frag);
-                    live.push((r, bytes));
+        for _ in 0..nops {
+            if rng.gen_bool(0.5) {
+                let bytes = rng.gen_range(1u32..8192);
+                let r = alloc.alloc(bytes);
+                assert_eq!(r.frag, frag_size(bytes));
+                assert!(r.zone < zones);
+                for (other, _) in &live {
+                    assert!(!overlaps(&r, other), "overlap: {:?} vs {:?}", r, other);
                 }
-                AllocOp::FreeNth(ix) => {
-                    if live.is_empty() {
-                        continue;
-                    }
-                    let (r, _) = live.swap_remove(ix.index(live.len()));
-                    live_bytes -= u64::from(r.frag);
-                    alloc.free(r);
+                live_bytes += u64::from(r.frag);
+                live.push((r, bytes));
+            } else {
+                if live.is_empty() {
+                    continue;
                 }
+                let ix = rng.gen_range(0..live.len());
+                let (r, _) = live.swap_remove(ix);
+                live_bytes -= u64::from(r.frag);
+                alloc.free(r);
             }
-            prop_assert_eq!(alloc.allocated_bytes(), live_bytes);
+            assert_eq!(alloc.allocated_bytes(), live_bytes);
         }
         // Freed space is reusable: draining everything and reallocating
         // the same sizes must not grow any zone tail.
@@ -69,10 +61,13 @@ proptest! {
         let mut seen = HashSet::new();
         for b in sizes {
             let r = alloc.alloc(b);
-            prop_assert!(seen.insert((r.zone, r.offset)), "double allocation");
+            assert!(seen.insert((r.zone, r.offset)), "double allocation");
         }
         for z in 0..zones {
-            prop_assert!(alloc.zone_tail(z) <= tails[z as usize], "tail grew on reuse");
+            assert!(
+                alloc.zone_tail(z) <= tails[z as usize],
+                "tail grew on reuse"
+            );
         }
     }
 }

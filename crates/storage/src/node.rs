@@ -227,6 +227,13 @@ impl StorageNode {
         self.disks.stats()
     }
 
+    /// (full seeks paid, nanoseconds spent seeking) since creation. The
+    /// hosting actor diffs this across a request to emit seek trace
+    /// events.
+    pub fn disk_seeks(&self) -> (u64, u64) {
+        (self.disks.seeks(), self.disks.seek_ns())
+    }
+
     /// Simulates a crash: volatile state (cache, dirty buffers, streams)
     /// is lost; stable storage and a fresh verifier survive. Unstable
     /// writes that were never flushed are *discarded from the store*,

@@ -1,9 +1,15 @@
-//! Property tests: object-store consistency against a flat model, WAL
-//! recovery invariants, and cache accounting.
+//! Randomized property tests: object-store consistency against a flat
+//! model, WAL recovery invariants, and cache accounting.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
 use slice_sim::time::{SimDuration, SimTime};
+use slice_sim::Rng;
 use slice_storage::{ObjectStore, Wal, WalParams};
+
+const CASES: usize = 128;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,26 +18,32 @@ enum Op {
     Read { offset: u16, len: u16 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 1..128)).prop_map(
-            |(offset, data)| Op::Write {
-                offset: offset % 4096,
-                data
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0u32..3) {
+        0 => {
+            let len = rng.gen_range(1usize..128);
+            Op::Write {
+                offset: rng.gen_range(0..4096u16),
+                data: (0..len).map(|_| rng.gen::<u8>()).collect(),
             }
-        ),
-        any::<u16>().prop_map(|size| Op::Truncate { size: size % 5000 }),
-        (any::<u16>(), any::<u16>()).prop_map(|(o, l)| Op::Read {
-            offset: o % 5000,
-            len: l % 512
-        }),
-    ]
+        }
+        1 => Op::Truncate {
+            size: rng.gen_range(0..5000u16),
+        },
+        _ => Op::Read {
+            offset: rng.gen_range(0..5000u16),
+            len: rng.gen_range(0..512u16),
+        },
+    }
 }
 
-proptest! {
-    /// The sparse extent store always agrees with a flat byte-array model.
-    #[test]
-    fn object_store_matches_flat_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// The sparse extent store always agrees with a flat byte-array model.
+#[test]
+fn object_store_matches_flat_model() {
+    let mut rng = Rng::seed_from_u64(0x5354_4f01);
+    for _ in 0..CASES {
+        let nops = rng.gen_range(1usize..60);
+        let ops: Vec<Op> = (0..nops).map(|_| random_op(&mut rng)).collect();
         let mut store = ObjectStore::new();
         let mut model = vec![0u8; 1 << 16];
         let mut size = 0usize;
@@ -56,20 +68,23 @@ proptest! {
                     for (i, b) in data.iter().enumerate() {
                         let pos = offset as usize + i;
                         let want = if pos < size { model[pos] } else { 0 };
-                        prop_assert_eq!(*b, want, "mismatch at {}", pos);
+                        assert_eq!(*b, want, "mismatch at {}", pos);
                     }
                 }
             }
-            prop_assert_eq!(store.size(1), size as u64);
+            assert_eq!(store.size(1), size as u64);
         }
     }
+}
 
-    /// WAL recovery returns exactly the durable prefix, in order.
-    #[test]
-    fn wal_recovery_is_a_prefix(
-        gaps in proptest::collection::vec(0u64..2000, 1..40),
-        crash_ms in 0u64..20_000
-    ) {
+/// WAL recovery returns exactly the durable prefix, in order.
+#[test]
+fn wal_recovery_is_a_prefix() {
+    let mut rng = Rng::seed_from_u64(0x5354_4f02);
+    for _ in 0..CASES {
+        let ngaps = rng.gen_range(1usize..40);
+        let gaps: Vec<u64> = (0..ngaps).map(|_| rng.gen_range(0u64..2000)).collect();
+        let crash_ms = rng.gen_range(0u64..20_000);
         let mut wal: Wal<usize> = Wal::new(WalParams::default());
         let mut now = SimTime::ZERO;
         let mut durable_times = Vec::new();
@@ -86,23 +101,29 @@ proptest! {
             .filter(|(_, d)| **d <= crash)
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(recovered, expect);
+        assert_eq!(recovered, expect);
     }
+}
 
-    /// LRU cache accounting never exceeds capacity with multi-entry
-    /// contents, and get() reflects insertions.
-    #[test]
-    fn lru_budget_invariant(ops in proptest::collection::vec((any::<u8>(), 1u64..64), 1..200)) {
+/// LRU cache accounting never exceeds capacity with multi-entry
+/// contents, and get() reflects insertions.
+#[test]
+fn lru_budget_invariant() {
+    let mut rng = Rng::seed_from_u64(0x5354_4f03);
+    for _ in 0..CASES {
+        let nops = rng.gen_range(1usize..200);
         let mut cache = slice_sim::LruCache::new(256);
-        for (key, sz) in ops {
+        for _ in 0..nops {
+            let key: u8 = rng.gen();
+            let sz = rng.gen_range(1u64..64);
             cache.insert(u64::from(key), sz);
-            prop_assert!(
+            assert!(
                 cache.used() <= 256 || cache.len() == 1,
                 "budget exceeded with {} entries ({} bytes)",
                 cache.len(),
                 cache.used()
             );
-            prop_assert!(cache.contains(&u64::from(key)), "just-inserted key evicted");
+            assert!(cache.contains(&u64::from(key)), "just-inserted key evicted");
         }
     }
 }

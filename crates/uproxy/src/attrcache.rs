@@ -32,6 +32,10 @@ pub struct CachedAttr {
     /// Bumped on every local modification; a write-back only cleans the
     /// entry if no newer modification raced with it.
     pub version: u64,
+    /// Version last handed out for a push, if any. Taking the same
+    /// version again means the earlier push went unacknowledged — a
+    /// retransmission, counted in [`AttrCache::push_retries`].
+    last_pushed_version: Option<u64>,
 }
 
 /// The attribute cache with dirty tracking and write-back extraction.
@@ -41,6 +45,10 @@ pub struct AttrCache {
     lru: LruCache<u64>,
     hits: u64,
     misses: u64,
+    /// Pushes re-issued because an earlier push of the same version went
+    /// unacknowledged (lost packet or crashed server). Monotone across
+    /// [`AttrCache::clear`] — it instruments recovery, not cache state.
+    push_retries: u64,
 }
 
 impl AttrCache {
@@ -51,7 +59,14 @@ impl AttrCache {
             lru: LruCache::new(capacity as u64),
             hits: 0,
             misses: 0,
+            push_retries: 0,
         }
+    }
+
+    /// Number of write-back pushes that were retransmissions of an
+    /// unacknowledged earlier push.
+    pub fn push_retries(&self) -> u64 {
+        self.push_retries
     }
 
     /// Number of resident entries.
@@ -110,6 +125,7 @@ impl AttrCache {
             .map(|e| e.dirty_since)
             .unwrap_or(now);
         let version = self.entries.get(&file).map(|e| e.version).unwrap_or(0);
+        let last_pushed_version = self.entries.get(&file).and_then(|e| e.last_pushed_version);
         self.entries.insert(
             file,
             CachedAttr {
@@ -118,6 +134,7 @@ impl AttrCache {
                 dirty,
                 dirty_since,
                 version,
+                last_pushed_version,
             },
         );
         let victims = self.lru.insert(file, 1);
@@ -148,6 +165,7 @@ impl AttrCache {
                     dirty: true,
                     dirty_since: now,
                     version: 1,
+                    last_pushed_version: None,
                 },
             );
             let victims = self.lru.insert(file, 1);
@@ -189,6 +207,7 @@ impl AttrCache {
                     dirty: true,
                     dirty_since: now,
                     version: 1,
+                    last_pushed_version: None,
                 },
             );
             let victims = self.lru.insert(file, 1);
@@ -204,6 +223,7 @@ impl AttrCache {
     pub fn store_replacing(&mut self, now: SimTime, fh: &Fhandle, attr: Fattr3) -> Vec<CachedAttr> {
         let file = fh.file_id();
         let version = self.entries.get(&file).map(|e| e.version).unwrap_or(0);
+        let last_pushed_version = self.entries.get(&file).and_then(|e| e.last_pushed_version);
         self.entries.insert(
             file,
             CachedAttr {
@@ -212,6 +232,7 @@ impl AttrCache {
                 dirty: false,
                 dirty_since: now,
                 version,
+                last_pushed_version,
             },
         );
         let victims = self.lru.insert(file, 1);
@@ -235,7 +256,13 @@ impl AttrCache {
         if !e.dirty {
             return None;
         }
-        Some(e.clone())
+        let retry = e.last_pushed_version == Some(e.version);
+        e.last_pushed_version = Some(e.version);
+        let out = e.clone();
+        if retry {
+            self.push_retries += 1;
+        }
+        Some(out)
     }
 
     /// Takes every entry dirty since before `now - interval` (periodic
@@ -244,12 +271,18 @@ impl AttrCache {
     /// per interval.
     pub fn take_stale_dirty(&mut self, now: SimTime, interval: SimDuration) -> Vec<CachedAttr> {
         let mut out = Vec::new();
+        let mut retries = 0;
         for e in self.entries.values_mut() {
             if e.dirty && now - e.dirty_since >= interval {
                 e.dirty_since = now;
+                if e.last_pushed_version == Some(e.version) {
+                    retries += 1;
+                }
+                e.last_pushed_version = Some(e.version);
                 out.push(e.clone());
             }
         }
+        self.push_retries += retries;
         out.sort_by_key(|e| e.fh.file_id());
         out
     }
@@ -262,6 +295,24 @@ impl AttrCache {
                 e.dirty = false;
             }
         }
+    }
+
+    /// Drops an entry whose write-back failed permanently (the home site
+    /// no longer knows the file — removed or stale handle). Retrying such
+    /// a push can never succeed, so keeping the entry dirty would re-push
+    /// it every write-back interval forever. A newer local modification
+    /// (version mismatch) keeps the entry: it will be pushed again and
+    /// judged on its own reply.
+    pub fn discard(&mut self, file: u64, version: u64) {
+        if self.entries.get(&file).map(|e| e.version) == Some(version) {
+            self.entries.remove(&file);
+            self.lru.remove(&file);
+        }
+    }
+
+    /// True while any entry awaits a write-back acknowledgement.
+    pub fn has_dirty(&self) -> bool {
+        self.entries.values().any(|e| e.dirty)
     }
 
     /// Drops everything (µproxy state loss: permitted, end-to-end

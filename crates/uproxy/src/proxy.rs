@@ -21,8 +21,8 @@ use std::time::Instant;
 
 use slice_hashes::{fnv1a, name_fingerprint};
 use slice_nfsproto::{
-    decode_call, decode_reply, encode_call, AuthUnix, Fhandle, NfsProc, NfsRequest, NfsTime,
-    Packet, Sattr3, SetTime, SockAddr, REPLY_ATTR_OFFSET,
+    decode_call, decode_reply, encode_call, AuthUnix, Fhandle, NfsProc, NfsRequest, NfsStatus,
+    NfsTime, Packet, Sattr3, SetTime, SockAddr, REPLY_ATTR_OFFSET,
 };
 use slice_sim::{SimDuration, SimTime};
 use slice_storage::{CoordMsg, CoordReply, IntentKind};
@@ -78,6 +78,12 @@ pub struct ProxyConfig {
     /// Dirty attributes older than this are pushed back on
     /// [`Uproxy::tick`].
     pub writeback_interval: SimDuration,
+    /// Measure real per-phase CPU cost with `Instant::now` (Table 3
+    /// benchmarking). Off by default: wall-clock reads are nondeterminism
+    /// smuggled into an otherwise seeded simulation, and they cost two
+    /// syscall-ish timer reads per phase on the packet path. When off,
+    /// [`Uproxy::phase_stats`] reports zeros.
+    pub measure_phases: bool,
 }
 
 impl ProxyConfig {
@@ -101,6 +107,7 @@ impl ProxyConfig {
             use_intents: true,
             attr_cache_entries: 4096,
             writeback_interval: SimDuration::from_secs(3),
+            measure_phases: false,
         }
     }
 }
@@ -233,9 +240,32 @@ impl Uproxy {
         }
     }
 
-    /// Measured per-phase CPU cost (Table 3).
+    /// Measured per-phase CPU cost (Table 3). All-zero durations unless
+    /// [`ProxyConfig::measure_phases`] is set.
     pub fn phase_stats(&self) -> PhaseStats {
         self.phases
+    }
+
+    /// Starts a phase timer, or `None` when phase measurement is off.
+    #[inline]
+    fn phase_start(&self) -> Option<Instant> {
+        self.cfg.measure_phases.then(Instant::now)
+    }
+
+    /// Nanoseconds since a phase timer started (0 when measurement is
+    /// off).
+    #[inline]
+    fn elapsed_ns(t: Option<Instant>) -> u64 {
+        t.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// Nanoseconds between two phase marks (0 when measurement is off).
+    #[inline]
+    fn between_ns(a: Option<Instant>, b: Option<Instant>) -> u64 {
+        match (a, b) {
+            (Some(a), Some(b)) => (b - a).as_nanos() as u64,
+            _ => 0,
+        }
     }
 
     /// (requests routed, replies routed, absorbed, initiated).
@@ -248,9 +278,52 @@ impl Uproxy {
         )
     }
 
+    /// Folds this µproxy's counters into `reg` under `prefix` (e.g.
+    /// `"client.0.uproxy"`). Uses absolute (`set`) semantics so repeated
+    /// folds are idempotent. Phase nanoseconds are zeros unless
+    /// [`ProxyConfig::measure_phases`] is on.
+    pub fn export_metrics(&self, prefix: &str, reg: &mut slice_obs::Registry) {
+        let set = |reg: &mut slice_obs::Registry, k: &str, v: u64| {
+            reg.set(&format!("{prefix}.{k}"), v);
+        };
+        set(reg, "requests_routed", self.requests_routed);
+        set(reg, "replies_routed", self.replies_routed);
+        set(reg, "absorbed", self.absorbed);
+        set(reg, "initiated", self.initiated);
+        set(reg, "stale_table_bounces", self.stale_table_bounces);
+        let (hits, misses) = self.attrs.stats();
+        set(reg, "attr_cache.hits", hits);
+        set(reg, "attr_cache.misses", misses);
+        set(reg, "attr_cache.entries", self.attrs.len() as u64);
+        set(reg, "attr_cache.push_retries", self.attrs.push_retries());
+        set(reg, "phase.packets", self.phases.packets);
+        set(reg, "phase.intercept_ns", self.phases.intercept_ns);
+        set(reg, "phase.decode_ns", self.phases.decode_ns);
+        set(reg, "phase.rewrite_ns", self.phases.rewrite_ns);
+        set(reg, "phase.soft_ns", self.phases.soft_ns);
+    }
+
+    /// Attribute-cache (hits, misses) since creation.
+    pub fn attr_cache_stats(&self) -> (u64, u64) {
+        self.attrs.stats()
+    }
+
     /// Current attributes the µproxy would report for `file`.
     pub fn cached_attr(&mut self, file: u64) -> Option<slice_nfsproto::Fattr3> {
         self.attrs.get(file)
+    }
+
+    /// True while any cached attribute awaits a write-back
+    /// acknowledgement — the periodic tick must keep running.
+    pub fn has_dirty_attrs(&self) -> bool {
+        self.attrs.has_dirty()
+    }
+
+    /// Attribute pushes re-issued because an earlier push of the same
+    /// version went unacknowledged — retransmissions performed by the
+    /// interposed layer rather than the client's RPC machinery.
+    pub fn push_retries(&self) -> u64 {
+        self.attrs.push_retries()
     }
 
     /// Replaces the directory routing table (reconfiguration, §3.3.1).
@@ -392,19 +465,19 @@ impl Uproxy {
     pub fn outbound(&mut self, now: SimTime, pkt: Packet) -> Vec<ProxyOut> {
         let mut out = Vec::new();
         // Phase 1: interception.
-        let t0 = Instant::now();
+        let t0 = self.phase_start();
         self.phases.packets += 1;
         if pkt.dst != self.cfg.virtual_addr {
-            self.phases.intercept_ns += t0.elapsed().as_nanos() as u64;
+            self.phases.intercept_ns += Self::elapsed_ns(t0);
             out.push(ProxyOut::Net(pkt));
             return out;
         }
-        let t1 = Instant::now();
-        self.phases.intercept_ns += (t1 - t0).as_nanos() as u64;
+        let t1 = self.phase_start();
+        self.phases.intercept_ns += Self::between_ns(t0, t1);
         // Phase 2: decode.
         let decoded = decode_call(&pkt.payload);
-        let t2 = Instant::now();
-        self.phases.decode_ns += (t2 - t1).as_nanos() as u64;
+        let t2 = self.phase_start();
+        self.phases.decode_ns += Self::between_ns(t1, t2);
         let Ok((hdr, req)) = decoded else {
             // Undecodable packet: drop; RPC retransmission recovers.
             return out;
@@ -443,9 +516,9 @@ impl Uproxy {
                     offset: split,
                     count: high_len,
                 };
-                let t_soft = Instant::now();
+                let t_soft = self.phase_start();
                 let sites = self.storage_sites_for(out, fh, split);
-                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t_soft);
                 let Some(sites) = sites else {
                     let block = split / self.cfg.stripe_unit;
                     self.map_waiters
@@ -455,7 +528,7 @@ impl Uproxy {
                     return;
                 };
                 let site = self.pick_read_site(&sites, split);
-                let t3 = Instant::now();
+                let t3 = self.phase_start();
                 let low_pkt = Packet::new(
                     client_src,
                     self.sf_dest(fh.file_id()),
@@ -466,11 +539,11 @@ impl Uproxy {
                     self.cfg.storage_sites[site as usize],
                     encode_call(xid, &self.cred, &high),
                 );
-                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                self.phases.rewrite_ns += Self::elapsed_ns(t3);
                 self.initiated += 2;
                 out.push(ProxyOut::Net(low_pkt));
                 out.push(ProxyOut::Net(high_pkt));
-                let t4 = Instant::now();
+                let t4 = self.phase_start();
                 self.pending.insert(
                     xid,
                     PendingReq {
@@ -491,7 +564,7 @@ impl Uproxy {
                         push: None,
                     },
                 );
-                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t4);
             }
             NfsRequest::Write {
                 fh,
@@ -513,9 +586,9 @@ impl Uproxy {
                     stable: *stable,
                     data: data[cut..].to_vec(),
                 };
-                let t_soft = Instant::now();
+                let t_soft = self.phase_start();
                 let sites = self.storage_sites_for(out, fh, split);
-                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t_soft);
                 let Some(sites) = sites else {
                     let block = split / self.cfg.stripe_unit;
                     self.map_waiters
@@ -524,7 +597,7 @@ impl Uproxy {
                         .push(pkt);
                     return;
                 };
-                let t3 = Instant::now();
+                let t3 = self.phase_start();
                 let low_pkt = Packet::new(
                     client_src,
                     self.sf_dest(fh.file_id()),
@@ -539,9 +612,9 @@ impl Uproxy {
                     );
                     out.push(ProxyOut::Net(p));
                 }
-                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                self.phases.rewrite_ns += Self::elapsed_ns(t3);
                 self.initiated += 1 + sites.len() as u64;
-                let t4 = Instant::now();
+                let t4 = self.phase_start();
                 self.pending.insert(
                     xid,
                     PendingReq {
@@ -560,12 +633,12 @@ impl Uproxy {
                         push: None,
                     },
                 );
-                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t4);
             }
             NfsRequest::Read { fh, offset, count } if self.is_bulk(fh, *offset) => {
-                let t_soft = Instant::now();
+                let t_soft = self.phase_start();
                 let sites = self.storage_sites_for(out, fh, *offset);
-                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t_soft);
                 let Some(sites) = sites else {
                     let block = *offset / self.cfg.stripe_unit;
                     self.map_waiters
@@ -579,11 +652,11 @@ impl Uproxy {
                 // so each node serves half of the blocks it stores and the
                 // rest of its prefetched data goes unused (Table 2).
                 let site = self.pick_read_site(&sites, *offset);
-                let t3 = Instant::now();
+                let t3 = self.phase_start();
                 let mut p = pkt;
                 p.rewrite_dst(self.cfg.storage_sites[site as usize]);
-                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
-                let t4 = Instant::now();
+                self.phases.rewrite_ns += Self::elapsed_ns(t3);
+                let t4 = self.phase_start();
                 self.pending.insert(
                     xid,
                     PendingReq {
@@ -600,15 +673,15 @@ impl Uproxy {
                         push: None,
                     },
                 );
-                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t4);
                 out.push(ProxyOut::Net(p));
             }
             NfsRequest::Write {
                 fh, offset, data, ..
             } if self.is_bulk(fh, *offset) => {
-                let t_soft = Instant::now();
+                let t_soft = self.phase_start();
                 let sites = self.storage_sites_for(out, fh, *offset);
-                self.phases.soft_ns += t_soft.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t_soft);
                 let Some(sites) = sites else {
                     let block = *offset / self.cfg.stripe_unit;
                     self.map_waiters
@@ -617,7 +690,7 @@ impl Uproxy {
                         .push(pkt);
                     return;
                 };
-                let t3 = Instant::now();
+                let t3 = self.phase_start();
                 // Mirrored writes go to every replica (µproxy duplicates
                 // the packet).
                 for site in &sites {
@@ -625,8 +698,8 @@ impl Uproxy {
                     p.rewrite_dst(self.cfg.storage_sites[*site as usize]);
                     out.push(ProxyOut::Net(p));
                 }
-                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
-                let t4 = Instant::now();
+                self.phases.rewrite_ns += Self::elapsed_ns(t3);
+                let t4 = self.phase_start();
                 self.pending.insert(
                     xid,
                     PendingReq {
@@ -643,13 +716,13 @@ impl Uproxy {
                         push: None,
                     },
                 );
-                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t4);
             }
             NfsRequest::Commit { fh, .. } if self.commit_is_multisite(fh) => {
                 // Push modified attributes back on commit (paper §4.1).
-                let t4 = Instant::now();
+                let t4 = self.phase_start();
                 let dirty = self.attrs.take_dirty(fh.file_id());
-                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t4);
                 if let Some(e) = dirty {
                     self.push_attrs(out, &e);
                 }
@@ -684,18 +757,18 @@ impl Uproxy {
                 };
                 // Commit below threshold still flushes cached attributes.
                 if matches!(other, NfsRequest::Commit { .. }) {
-                    let t4 = Instant::now();
+                    let t4 = self.phase_start();
                     let dirty = fh.and_then(|f| self.attrs.take_dirty(f.file_id()));
-                    self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                    self.phases.soft_ns += Self::elapsed_ns(t4);
                     if let Some(e) = dirty {
                         self.push_attrs(out, &e);
                     }
                 }
-                let t3 = Instant::now();
+                let t3 = self.phase_start();
                 let mut p = pkt;
                 p.rewrite_dst(dest);
-                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
-                let t4 = Instant::now();
+                self.phases.rewrite_ns += Self::elapsed_ns(t3);
+                let t4 = self.phase_start();
                 self.pending.insert(
                     xid,
                     PendingReq {
@@ -712,7 +785,7 @@ impl Uproxy {
                         push: None,
                     },
                 );
-                self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                self.phases.soft_ns += Self::elapsed_ns(t4);
                 out.push(ProxyOut::Net(p));
             }
         }
@@ -863,14 +936,14 @@ impl Uproxy {
     pub fn inbound(&mut self, now: SimTime, pkt: Packet) -> Vec<ProxyOut> {
         let mut out = Vec::new();
         // Phase 1: interception — pair the reply with its pending record.
-        let t0 = Instant::now();
+        let t0 = self.phase_start();
         self.phases.packets += 1;
         let xid = slice_nfsproto::peek_xid_type(&pkt.payload)
             .map(|(x, _)| x)
             .ok();
         let pending = xid.and_then(|x| self.pending.get(&x).cloned());
-        let t1 = Instant::now();
-        self.phases.intercept_ns += (t1 - t0).as_nanos() as u64;
+        let t1 = self.phase_start();
+        self.phases.intercept_ns += Self::between_ns(t0, t1);
         let Some(xid) = xid else {
             out.push(ProxyOut::Client(pkt));
             return out;
@@ -880,18 +953,18 @@ impl Uproxy {
             // RPC layer can still match (it will usually have timed out
             // and retransmitted already).
             let mut p = pkt;
-            let t3 = Instant::now();
+            let t3 = self.phase_start();
             p.rewrite_src(self.cfg.virtual_addr);
-            self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+            self.phases.rewrite_ns += Self::elapsed_ns(t3);
             out.push(ProxyOut::Client(p));
             return out;
         };
         // Phase 2: decode the reply.
-        let t2 = Instant::now();
+        let t2 = self.phase_start();
         let reply = decode_reply(&pkt.payload, rec.proc).ok().map(|(_, r)| r);
-        self.phases.decode_ns += t2.elapsed().as_nanos() as u64;
+        self.phases.decode_ns += Self::elapsed_ns(t2);
         // Phase 4: soft state — multi-reply bookkeeping + attribute cache.
-        let t4 = Instant::now();
+        let t4 = self.phase_start();
         let remaining = {
             let r = self.pending.get_mut(&xid).expect("checked pending");
             r.remaining = r.remaining.saturating_sub(1);
@@ -912,7 +985,7 @@ impl Uproxy {
         };
         if remaining > 0 {
             self.absorbed += 1;
-            self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+            self.phases.soft_ns += Self::elapsed_ns(t4);
             return out; // merge: forward only the final reply
         }
         let rec = self.pending.remove(&xid).expect("checked pending");
@@ -925,7 +998,7 @@ impl Uproxy {
                 if r.status == slice_nfsproto::NfsStatus::JukeBox {
                     self.stale_table_bounces += 1;
                     out.push(ProxyOut::NeedDirTable);
-                    self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+                    self.phases.soft_ns += Self::elapsed_ns(t4);
                     return out;
                 }
             }
@@ -988,17 +1061,26 @@ impl Uproxy {
                 msg: CoordMsg::CompleteIntent { intent },
             });
         }
-        self.phases.soft_ns += t4.elapsed().as_nanos() as u64;
+        self.phases.soft_ns += Self::elapsed_ns(t4);
         for e in evicted {
             self.push_attrs(&mut out, &e);
         }
         if rec.absorb {
             self.absorbed += 1;
             // A confirmed attribute write-back cleans the cache entry
-            // (unless a newer local modification raced with the push).
+            // (unless a newer local modification raced with the push). A
+            // permanent failure — the home site no longer knows the file —
+            // drops the entry instead: the push can never succeed, and
+            // leaving it dirty would retry it every interval forever.
+            // Transient failures (JUKEBOX, server fault) keep the entry
+            // dirty so the next interval retries.
             if let Some((file, version)) = rec.push {
-                if reply.as_ref().map(|r| r.status.is_ok()).unwrap_or(false) {
-                    self.attrs.mark_clean(file, version);
+                match reply.as_ref().map(|r| r.status) {
+                    Some(NfsStatus::Ok) => self.attrs.mark_clean(file, version),
+                    Some(NfsStatus::NoEnt | NfsStatus::Stale | NfsStatus::BadHandle) => {
+                        self.attrs.discard(file, version)
+                    }
+                    _ => {}
                 }
             }
             return out;
@@ -1006,7 +1088,7 @@ impl Uproxy {
         // Finalize split requests by re-initiating a merged reply.
         if let Some(merge) = &rec.merge {
             if let (Some(reply), Some(fh)) = (&reply, rec.fh) {
-                let t3 = Instant::now();
+                let t3 = self.phase_start();
                 let mut merged = reply.clone();
                 if let Some(attr) = self.attrs.get(fh.file_id()) {
                     merged.attr = Some(attr);
@@ -1045,7 +1127,7 @@ impl Uproxy {
                     rec.client_src,
                     slice_nfsproto::encode_reply(xid, &merged),
                 );
-                self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                self.phases.rewrite_ns += Self::elapsed_ns(t3);
                 self.replies_routed += 1;
                 out.push(ProxyOut::Client(p));
                 return out;
@@ -1065,7 +1147,7 @@ impl Uproxy {
                         let expected =
                             attr.size.saturating_sub(rec.offset).min(u64::from(rec.len)) as usize;
                         if data.len() != expected {
-                            let t3 = Instant::now();
+                            let t3 = self.phase_start();
                             let mut fixed = reply.clone();
                             fixed.attr = Some(attr);
                             if let slice_nfsproto::ReplyBody::Read { data, eof } = &mut fixed.body {
@@ -1077,7 +1159,7 @@ impl Uproxy {
                                 rec.client_src,
                                 slice_nfsproto::encode_reply(xid, &fixed),
                             );
-                            self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+                            self.phases.rewrite_ns += Self::elapsed_ns(t3);
                             self.replies_routed += 1;
                             out.push(ProxyOut::Client(p));
                             return out;
@@ -1088,7 +1170,7 @@ impl Uproxy {
         }
         // Phase 3: rewrite — restore the virtual source and patch the
         // attribute block with the authoritative cached attributes.
-        let t3 = Instant::now();
+        let t3 = self.phase_start();
         let mut p = pkt;
         p.rewrite_src(self.cfg.virtual_addr);
         {
@@ -1112,12 +1194,12 @@ impl Uproxy {
                 }
             }
         }
-        self.phases.rewrite_ns += t3.elapsed().as_nanos() as u64;
+        self.phases.rewrite_ns += Self::elapsed_ns(t3);
         self.replies_routed += 1;
         // Restore the original client destination.
-        let t3b = Instant::now();
+        let t3b = self.phase_start();
         p.rewrite_dst(rec.client_src);
-        self.phases.rewrite_ns += t3b.elapsed().as_nanos() as u64;
+        self.phases.rewrite_ns += Self::elapsed_ns(t3b);
         out.push(ProxyOut::Client(p));
         out
     }

@@ -655,7 +655,8 @@ fn tick_writes_back_stale_attrs() {
 
 #[test]
 fn phase_stats_accumulate() {
-    let c = cfg();
+    let mut c = cfg();
+    c.measure_phases = true;
     let mut u = Uproxy::new(c.clone());
     for i in 0..50u32 {
         let req = NfsRequest::Lookup {

@@ -16,7 +16,6 @@
 //! cache-overflow behaviour that shapes Figure 6 at a simulation-friendly
 //! scale.
 
-use rand::Rng;
 use slice_core::{ClientIo, Workload};
 use slice_nfsproto::{Fhandle, NfsProc, NfsReply, NfsRequest, ReplyBody, Sattr3, StableHow};
 use slice_sim::{LatencyStats, SimDuration, SimTime};
@@ -466,7 +465,7 @@ impl SpecSfs {
 }
 
 /// Helper: a deterministic exponential sample (used in tests).
-pub fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+pub fn exp_sample(rng: &mut slice_sim::Rng, rate: f64) -> f64 {
     let u: f64 = rng.gen_range(1e-9..1.0);
     -u.ln() / rate
 }

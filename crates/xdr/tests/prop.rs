@@ -1,7 +1,13 @@
-//! Property tests: XDR roundtrips and decoder robustness.
+//! Randomized property tests: XDR roundtrips and decoder robustness.
+//!
+//! Driven by the in-tree seeded PRNG (`slice_sim::Rng`) instead of
+//! proptest so the workspace tests offline; each property runs a fixed
+//! number of cases from a pinned seed, so failures replay exactly.
 
-use proptest::prelude::*;
+use slice_sim::Rng;
 use slice_xdr::{XdrDecoder, XdrEncoder};
+
+const CASES: usize = 256;
 
 /// One encodable item for roundtrip scripts.
 #[derive(Debug, Clone)]
@@ -14,21 +20,36 @@ enum Item {
     Str(String),
 }
 
-fn item_strategy() -> impl Strategy<Value = Item> {
-    prop_oneof![
-        any::<u32>().prop_map(Item::U32),
-        any::<i32>().prop_map(Item::I32),
-        any::<u64>().prop_map(Item::U64),
-        any::<bool>().prop_map(Item::Bool),
-        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Item::Opaque),
-        "[a-zA-Z0-9/._-]{0,64}".prop_map(Item::Str),
-    ]
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/._-";
+
+fn random_item(rng: &mut Rng) -> Item {
+    match rng.gen_range(0u32..6) {
+        0 => Item::U32(rng.gen()),
+        1 => Item::I32(rng.gen::<u32>() as i32),
+        2 => Item::U64(rng.gen()),
+        3 => Item::Bool(rng.gen()),
+        4 => {
+            let len = rng.gen_range(0usize..200);
+            Item::Opaque((0..len).map(|_| rng.gen::<u8>()).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0usize..64);
+            Item::Str(
+                (0..len)
+                    .map(|_| NAME_CHARS[rng.gen_range(0..NAME_CHARS.len())] as char)
+                    .collect(),
+            )
+        }
+    }
 }
 
-proptest! {
-    /// Any sequence of items encodes and decodes back identically.
-    #[test]
-    fn roundtrip_sequences(items in proptest::collection::vec(item_strategy(), 0..32)) {
+/// Any sequence of items encodes and decodes back identically.
+#[test]
+fn roundtrip_sequences() {
+    let mut rng = Rng::seed_from_u64(0x7844_5201);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..32);
+        let items: Vec<Item> = (0..n).map(|_| random_item(&mut rng)).collect();
         let mut enc = XdrEncoder::new();
         for item in &items {
             match item {
@@ -41,24 +62,29 @@ proptest! {
             }
         }
         let bytes = enc.into_bytes();
-        prop_assert_eq!(bytes.len() % 4, 0, "xdr output is 4-byte aligned");
+        assert_eq!(bytes.len() % 4, 0, "xdr output is 4-byte aligned");
         let mut dec = XdrDecoder::new(&bytes);
         for item in &items {
             match item {
-                Item::U32(v) => prop_assert_eq!(dec.get_u32().unwrap(), *v),
-                Item::I32(v) => prop_assert_eq!(dec.get_i32().unwrap(), *v),
-                Item::U64(v) => prop_assert_eq!(dec.get_u64().unwrap(), *v),
-                Item::Bool(v) => prop_assert_eq!(dec.get_bool().unwrap(), *v),
-                Item::Opaque(v) => prop_assert_eq!(dec.get_opaque().unwrap(), &v[..]),
-                Item::Str(s) => prop_assert_eq!(dec.get_string().unwrap(), s.as_str()),
+                Item::U32(v) => assert_eq!(dec.get_u32().unwrap(), *v),
+                Item::I32(v) => assert_eq!(dec.get_i32().unwrap(), *v),
+                Item::U64(v) => assert_eq!(dec.get_u64().unwrap(), *v),
+                Item::Bool(v) => assert_eq!(dec.get_bool().unwrap(), *v),
+                Item::Opaque(v) => assert_eq!(dec.get_opaque().unwrap(), &v[..]),
+                Item::Str(s) => assert_eq!(dec.get_string().unwrap(), s.as_str()),
             }
         }
-        prop_assert!(dec.is_empty());
+        assert!(dec.is_empty());
     }
+}
 
-    /// The decoder never panics or over-reads on arbitrary input.
-    #[test]
-    fn decoder_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// The decoder never panics or over-reads on arbitrary input.
+#[test]
+fn decoder_is_total_on_garbage() {
+    let mut rng = Rng::seed_from_u64(0x7844_5202);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         let mut dec = XdrDecoder::new(&bytes);
         // Exercise every accessor; all must return Ok or Err, never panic.
         let _ = dec.get_u32();
@@ -67,15 +93,18 @@ proptest! {
         let _ = dec.get_string();
         let _ = dec.skip_opaque();
         let _ = dec.get_u64();
-        prop_assert!(dec.position() <= bytes.len());
+        assert!(dec.position() <= bytes.len());
     }
+}
 
-    /// Truncating an encoding at any point yields an error, not a panic.
-    #[test]
-    fn truncation_always_errors_cleanly(
-        data in proptest::collection::vec(any::<u8>(), 1..64),
-        cut_frac in 0.0f64..1.0
-    ) {
+/// Truncating an encoding at any point yields an error, not a panic.
+#[test]
+fn truncation_always_errors_cleanly() {
+    let mut rng = Rng::seed_from_u64(0x7844_5203);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..64);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let cut_frac: f64 = rng.gen();
         let mut enc = XdrEncoder::new();
         enc.put_opaque(&data);
         enc.put_u64(0xdead_beef_0000_0001);
@@ -84,6 +113,6 @@ proptest! {
         let mut dec = XdrDecoder::new(&bytes[..cut]);
         let a = dec.get_opaque().map(|s| s.to_vec());
         let b = dec.get_u64();
-        prop_assert!(a.is_err() || b.is_err());
+        assert!(a.is_err() || b.is_err());
     }
 }

@@ -41,6 +41,7 @@ pub use slice_core as core;
 pub use slice_dirsvc as dirsvc;
 pub use slice_hashes as hashes;
 pub use slice_nfsproto as nfsproto;
+pub use slice_obs as obs;
 pub use slice_sim as sim;
 pub use slice_smallfile as smallfile;
 pub use slice_storage as storage;

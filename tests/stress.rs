@@ -6,10 +6,9 @@
 mod common;
 
 use common::deadline;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use slice::core::{ClientIo, EnsemblePolicy, SliceConfig, SliceEnsemble, Workload};
 use slice::nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3, StableHow};
+use slice::sim::Rng;
 
 /// A model file: pattern byte per written 1 KB chunk (0 = hole).
 #[derive(Debug, Clone, Default)]
@@ -44,7 +43,7 @@ struct Model {
 /// The randomized workload: issues one op at a time, validating each
 /// reply against the model before issuing the next.
 struct Stress {
-    rng: StdRng,
+    rng: Rng,
     ops_left: u32,
     model: Model,
     pending: Option<PendingCheck>,
@@ -90,7 +89,7 @@ enum PendingCheck {
 impl Stress {
     fn new(seed: u64, ops: u32) -> Self {
         Stress {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             ops_left: ops,
             model: Model {
                 names: Default::default(),

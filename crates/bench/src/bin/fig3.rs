@@ -49,5 +49,7 @@ fn main() {
     println!("Paper shape: MFS fastest lightly loaded, saturating first; Slice-N");
     println!("lines flatten with more directory servers (each ~6000 ops/s).");
     // Machine-readable output: the slice-obs JSON snapshot of the figure.
-    println!("{}", slice_bench::series_obs_json("fig3", &all));
+    let json = slice_bench::series_obs_json("fig3", &all);
+    println!("{json}");
+    slice_bench::maybe_write_json("fig3", &json);
 }

@@ -53,5 +53,7 @@ fn main() {
         "100.0 (=6.1% CPU)"
     );
     // Machine-readable output: the slice-obs JSON snapshot of the table.
-    println!("{}", slice_bench::phases_obs_json("table3", &ph));
+    let json = slice_bench::phases_obs_json("table3", &ph);
+    println!("{json}");
+    slice_bench::maybe_write_json("table3", &json);
 }

@@ -356,30 +356,47 @@ pub fn print_series(x_label: &str, y_label: &str, series: &[Series]) {
     println!("{}", slice_sim::render_table(x_label, y_label, series));
 }
 
-/// Folds result series into a slice-obs registry and returns the exported
-/// JSON document — the canonical machine-readable output of the figure
-/// binaries. Gauge names are `<figure>.<series label>.<x>`.
-pub fn series_obs_json(figure: &str, series: &[Series]) -> String {
+/// Builds a one-off slice-obs document: `fill` populates the registry and
+/// the deterministic JSON export comes back — the canonical
+/// machine-readable output of every figure/table binary.
+pub fn obs_doc(fill: impl FnOnce(&mut slice_obs::Registry)) -> String {
     let mut obs = slice_obs::Obs::with_trace_capacity(1);
-    for s in series {
-        for &(x, y) in &s.points {
-            obs.registry
-                .set_gauge(&format!("{figure}.{}.{x}", s.label), y);
-        }
-    }
+    fill(&mut obs.registry);
     obs.export_json(0)
 }
 
-/// Folds measured µproxy phase costs into a slice-obs registry and
-/// returns the exported JSON document — the canonical machine-readable
-/// output of the Table 3 binary.
+/// Folds result series into a slice-obs document. Gauge names are
+/// `<figure>.<series label>.<x>`.
+pub fn series_obs_json(figure: &str, series: &[Series]) -> String {
+    obs_doc(|reg| {
+        for s in series {
+            for &(x, y) in &s.points {
+                reg.set_gauge(&format!("{figure}.{}.{x}", s.label), y);
+            }
+        }
+    })
+}
+
+/// Folds measured µproxy phase costs into a slice-obs document.
 pub fn phases_obs_json(table: &str, ph: &PhaseStats) -> String {
-    let mut obs = slice_obs::Obs::with_trace_capacity(1);
-    let reg = &mut obs.registry;
-    reg.set(&format!("{table}.packets"), ph.packets);
-    reg.set(&format!("{table}.intercept_ns"), ph.intercept_ns);
-    reg.set(&format!("{table}.decode_ns"), ph.decode_ns);
-    reg.set(&format!("{table}.rewrite_ns"), ph.rewrite_ns);
-    reg.set(&format!("{table}.soft_ns"), ph.soft_ns);
-    obs.export_json(0)
+    obs_doc(|reg| {
+        reg.set(&format!("{table}.packets"), ph.packets);
+        reg.set(&format!("{table}.intercept_ns"), ph.intercept_ns);
+        reg.set(&format!("{table}.decode_ns"), ph.decode_ns);
+        reg.set(&format!("{table}.rewrite_ns"), ph.rewrite_ns);
+        reg.set(&format!("{table}.soft_ns"), ph.soft_ns);
+    })
+}
+
+/// Writes `json` to `BENCH_<name>.json` at the repository root when the
+/// invoking binary was passed `--json-out`; otherwise does nothing. The
+/// snapshot files are gitignored run artifacts consumed by plotting and
+/// regression tooling.
+pub fn maybe_write_json(name: &str, json: &str) {
+    if !std::env::args().any(|a| a == "--json-out") {
+        return;
+    }
+    let file = format!("{}/../../BENCH_{name}.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&file, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    eprintln!("wrote {file}");
 }

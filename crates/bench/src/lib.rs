@@ -5,6 +5,7 @@
 pub mod experiments;
 
 pub use experiments::{
-    bench_config, phases_obs_json, print_series, run_bulk, run_sfs_baseline, run_sfs_slice,
-    run_untar_mfs, run_untar_slice, run_uproxy_phases, series_obs_json, BulkResult, SfsResult,
+    bench_config, maybe_write_json, obs_doc, phases_obs_json, print_series, run_bulk,
+    run_sfs_baseline, run_sfs_slice, run_untar_mfs, run_untar_slice, run_uproxy_phases,
+    series_obs_json, BulkResult, SfsResult,
 };

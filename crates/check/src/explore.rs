@@ -1,0 +1,929 @@
+//! Deterministic workload generation, crash-schedule exploration, and
+//! failing-schedule minimization.
+//!
+//! A [`Scenario`] is a seed-derived NFS operation sequence; a [`Schedule`]
+//! is a list of fault injections (node crashes with recovery, packet-loss
+//! windows) pinned to simulated times. [`run_schedule`] executes one
+//! (scenario, schedule) pair in a fresh ensemble and runs every oracle over
+//! the outcome; [`sweep`] fans that out over N seeds × M schedules and
+//! exports a deterministic slice-obs JSON report; [`minimize`] shrinks a
+//! failing schedule by bisection.
+//!
+//! Everything is a pure function of its seed: the same inputs replay the
+//! same packets, crashes, and oracle verdicts, byte for byte.
+
+use slice_core::ensemble::{SliceConfig, SliceEnsemble};
+use slice_core::{ClientIo, OpHistory, Workload, CHUNK_BYTES};
+use slice_nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3, StableHow};
+use slice_obs::Obs;
+use slice_sim::{NodeId, Rng, SimTime};
+
+use crate::oracle::{check_histories, OracleStats};
+use crate::state::{
+    check_structural, check_structural_strict, snapshot, snapshot_diff, VolumeSnapshot,
+};
+use crate::Violation;
+
+/// Ceiling on generated read/write transfer so epilogue reads stay sane.
+const MAX_IO_BYTES: u64 = 256 * 1024;
+/// Simulated-time budget for one schedule run.
+const RUN_DEADLINE_SECS: u64 = 600;
+
+/// One generated operation. `slot` values index the driver's handle table
+/// (slot 0 is the volume root); `LookupBind` is what binds a slot, so every
+/// `Create`/`Mkdir` is followed by one — a create acknowledged only on a
+/// retransmission answers `Exist` without a handle, and the bind must
+/// still succeed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenOp {
+    /// Make a directory `name` under the directory at `parent`.
+    Mkdir { parent: usize, name: String },
+    /// Create a regular file `name` under the directory at `parent`.
+    Create { parent: usize, name: String },
+    /// Look up `name` under `parent` and bind the resulting handle to
+    /// `slot`.
+    LookupBind {
+        slot: usize,
+        parent: usize,
+        name: String,
+    },
+    /// FileSync write of `len` bytes of `val` at `offset`.
+    Write {
+        slot: usize,
+        offset: u64,
+        len: u32,
+        val: u8,
+    },
+    /// Read `len` bytes at `offset`.
+    Read { slot: usize, offset: u64, len: u32 },
+    /// Truncate (or zero-extend) to `size` bytes via SETATTR.
+    Truncate { slot: usize, size: u64 },
+    /// Remove the file `name` under `parent`.
+    Remove { parent: usize, name: String },
+    /// Rename `from_name` under `from` to `to_name` under `to`.
+    Rename {
+        from: usize,
+        from_name: String,
+        to: usize,
+        to_name: String,
+    },
+    /// List the directory at `slot`.
+    Readdir { slot: usize },
+    /// Fetch attributes of the file at `slot`.
+    Getattr { slot: usize },
+    /// Commit unstable data of the file at `slot`.
+    Commit { slot: usize },
+}
+
+/// A seed-derived operation sequence plus the slot-table size it needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The seed this scenario was generated from.
+    pub seed: u64,
+    /// Operations in program order.
+    pub ops: Vec<GenOp>,
+    /// Handle slots referenced (slot 0 = root).
+    pub slots: usize,
+    /// Index of the first epilogue op (re-lookup + getattr + full read of
+    /// every surviving file), for reporting.
+    pub epilogue_start: usize,
+}
+
+struct FileModel {
+    slot: usize,
+    parent: usize,
+    name: String,
+    big: bool,
+    size: u64,
+}
+
+/// Generates a deterministic scenario of roughly `n_ops` operations:
+/// a mixed namespace/data workload over ≤ 8 directories and ≤ 24 files
+/// (one in five striped "big" files crossing the small-file threshold),
+/// all writes FileSync with 1 KiB-aligned uniform-byte payloads so the
+/// per-chunk register model sees every transfer, followed by an epilogue
+/// that re-looks-up, stats, and fully reads every surviving file.
+pub fn generate_scenario(seed: u64, n_ops: usize) -> Scenario {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut ops = Vec::new();
+    let mut next_slot = 1usize;
+    let mut next_name = 0u64;
+    let mut dirs: Vec<usize> = vec![0];
+    let mut files: Vec<FileModel> = Vec::new();
+
+    while ops.len() < n_ops {
+        let roll = rng.gen_range(0..100u32);
+        match roll {
+            // Create a file (falls through to a write when at capacity).
+            0..=17 if files.len() < 24 => {
+                let parent = dirs[rng.gen_range(0..dirs.len() as u64) as usize];
+                let name = format!("f{next_name}");
+                next_name += 1;
+                let slot = next_slot;
+                next_slot += 1;
+                ops.push(GenOp::Create {
+                    parent,
+                    name: name.clone(),
+                });
+                ops.push(GenOp::LookupBind {
+                    slot,
+                    parent,
+                    name: name.clone(),
+                });
+                files.push(FileModel {
+                    slot,
+                    parent,
+                    name,
+                    big: rng.gen_bool(0.2),
+                    size: 0,
+                });
+            }
+            18..=25 if dirs.len() < 8 => {
+                let parent = dirs[rng.gen_range(0..dirs.len() as u64) as usize];
+                let name = format!("d{next_name}");
+                next_name += 1;
+                let slot = next_slot;
+                next_slot += 1;
+                ops.push(GenOp::Mkdir {
+                    parent,
+                    name: name.clone(),
+                });
+                ops.push(GenOp::LookupBind { slot, parent, name });
+                dirs.push(slot);
+            }
+            _ if files.is_empty() => {
+                // Nothing to operate on yet; force a create next round.
+                continue;
+            }
+            // Data ops and the rest target a random live file.
+            _ => {
+                let fi = rng.gen_range(0..files.len() as u64) as usize;
+                match roll {
+                    26..=55 => {
+                        let f = &mut files[fi];
+                        let (offset, len) = if f.big {
+                            (
+                                16 * 1024 * rng.gen_range(0..8u64),
+                                16 * 1024 * rng.gen_range(1..=4u64),
+                            )
+                        } else {
+                            (
+                                CHUNK_BYTES * rng.gen_range(0..16u64),
+                                CHUNK_BYTES * rng.gen_range(1..=4u64),
+                            )
+                        };
+                        let val = rng.gen_range(1..=255u64) as u8;
+                        ops.push(GenOp::Write {
+                            slot: f.slot,
+                            offset,
+                            len: len as u32,
+                            val,
+                        });
+                        f.size = f.size.max(offset + len);
+                    }
+                    56..=73 => {
+                        let f = &files[fi];
+                        let span = if f.big { 16 * 1024 } else { CHUNK_BYTES };
+                        let offset = span * rng.gen_range(0..8u64);
+                        let len = span * rng.gen_range(1..=4u64);
+                        ops.push(GenOp::Read {
+                            slot: f.slot,
+                            offset,
+                            len: len as u32,
+                        });
+                    }
+                    74..=79 => {
+                        let f = &mut files[fi];
+                        let size = CHUNK_BYTES * rng.gen_range(0..=(f.size / CHUNK_BYTES) + 2);
+                        ops.push(GenOp::Truncate { slot: f.slot, size });
+                        f.size = size;
+                    }
+                    80..=84 if files.len() > 1 => {
+                        let f = files.remove(fi);
+                        ops.push(GenOp::Remove {
+                            parent: f.parent,
+                            name: f.name,
+                        });
+                    }
+                    85..=89 => {
+                        let to = dirs[rng.gen_range(0..dirs.len() as u64) as usize];
+                        let to_name = format!("f{next_name}");
+                        next_name += 1;
+                        let f = &mut files[fi];
+                        ops.push(GenOp::Rename {
+                            from: f.parent,
+                            from_name: f.name.clone(),
+                            to,
+                            to_name: to_name.clone(),
+                        });
+                        f.parent = to;
+                        f.name = to_name;
+                    }
+                    90..=93 => {
+                        let d = dirs[rng.gen_range(0..dirs.len() as u64) as usize];
+                        ops.push(GenOp::Readdir { slot: d });
+                    }
+                    94..=97 => ops.push(GenOp::Getattr {
+                        slot: files[fi].slot,
+                    }),
+                    _ => ops.push(GenOp::Commit {
+                        slot: files[fi].slot,
+                    }),
+                }
+            }
+        }
+    }
+
+    // Epilogue: verify every surviving file end-to-end.
+    let epilogue_start = ops.len();
+    for f in &files {
+        ops.push(GenOp::LookupBind {
+            slot: f.slot,
+            parent: f.parent,
+            name: f.name.clone(),
+        });
+        ops.push(GenOp::Getattr { slot: f.slot });
+        if f.size > 0 {
+            ops.push(GenOp::Read {
+                slot: f.slot,
+                offset: 0,
+                len: f.size.min(MAX_IO_BYTES) as u32,
+            });
+        }
+    }
+    for &d in &dirs[1..] {
+        ops.push(GenOp::Readdir { slot: d });
+    }
+
+    Scenario {
+        seed,
+        ops,
+        slots: next_slot,
+        epilogue_start,
+    }
+}
+
+/// Drives a [`Scenario`] one operation at a time: each op is issued only
+/// after the previous one completed, so program order equals real-time
+/// order and the recorded history is sequential per client. Ops whose
+/// handle slot never bound (the binding lookup failed) are skipped and
+/// counted. A JukeBox answer — a µproxy whose directory table was stale
+/// beyond its own bounce handling — re-issues the op with a fresh xid.
+pub struct DriverWorkload {
+    scenario: Scenario,
+    pc: usize,
+    slots: Vec<Option<Fhandle>>,
+    /// Scenario op index of each history record, in record order.
+    pub issued: Vec<usize>,
+    /// Scenario op indices skipped because a slot never bound.
+    pub skipped: Vec<usize>,
+    /// Ops re-issued after a JukeBox reply.
+    pub jukebox_reissues: u64,
+    done: bool,
+}
+
+impl DriverWorkload {
+    /// Builds a driver for `scenario`.
+    pub fn new(scenario: Scenario) -> Self {
+        let mut slots = vec![None; scenario.slots.max(1)];
+        slots[0] = Some(Fhandle::root());
+        DriverWorkload {
+            scenario,
+            pc: 0,
+            slots,
+            issued: Vec::new(),
+            skipped: Vec::new(),
+            jukebox_reissues: 0,
+            done: false,
+        }
+    }
+
+    /// The scenario being driven.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    fn request_for(&self, idx: usize) -> Option<NfsRequest> {
+        let fh = |slot: usize| self.slots[slot];
+        Some(match &self.scenario.ops[idx] {
+            GenOp::Mkdir { parent, name } => NfsRequest::Mkdir {
+                dir: fh(*parent)?,
+                name: name.clone(),
+                attr: Sattr3::default(),
+            },
+            GenOp::Create { parent, name } => NfsRequest::Create {
+                dir: fh(*parent)?,
+                name: name.clone(),
+                attr: Sattr3 {
+                    mode: Some(0o644),
+                    ..Default::default()
+                },
+            },
+            GenOp::LookupBind { parent, name, .. } => NfsRequest::Lookup {
+                dir: fh(*parent)?,
+                name: name.clone(),
+            },
+            GenOp::Write {
+                slot,
+                offset,
+                len,
+                val,
+            } => NfsRequest::Write {
+                fh: fh(*slot)?,
+                offset: *offset,
+                stable: StableHow::FileSync,
+                data: vec![*val; *len as usize],
+            },
+            GenOp::Read { slot, offset, len } => NfsRequest::Read {
+                fh: fh(*slot)?,
+                offset: *offset,
+                count: *len,
+            },
+            GenOp::Truncate { slot, size } => NfsRequest::Setattr {
+                fh: fh(*slot)?,
+                attr: Sattr3 {
+                    size: Some(*size),
+                    ..Default::default()
+                },
+            },
+            GenOp::Remove { parent, name } => NfsRequest::Remove {
+                dir: fh(*parent)?,
+                name: name.clone(),
+            },
+            GenOp::Rename {
+                from,
+                from_name,
+                to,
+                to_name,
+            } => NfsRequest::Rename {
+                from_dir: fh(*from)?,
+                from_name: from_name.clone(),
+                to_dir: fh(*to)?,
+                to_name: to_name.clone(),
+            },
+            GenOp::Readdir { slot } => NfsRequest::Readdir {
+                dir: fh(*slot)?,
+                cookie: 0,
+                cookieverf: 0,
+                count: 64 * 1024,
+            },
+            GenOp::Getattr { slot } => NfsRequest::Getattr { fh: fh(*slot)? },
+            GenOp::Commit { slot } => NfsRequest::Commit {
+                fh: fh(*slot)?,
+                offset: 0,
+                count: 0,
+            },
+        })
+    }
+
+    fn issue(&mut self, io: &mut ClientIo<'_, '_>) {
+        while self.pc < self.scenario.ops.len() {
+            match self.request_for(self.pc) {
+                Some(req) => {
+                    self.issued.push(self.pc);
+                    io.call(self.pc as u64, &req);
+                    return;
+                }
+                None => {
+                    self.skipped.push(self.pc);
+                    self.pc += 1;
+                }
+            }
+        }
+        self.done = true;
+    }
+}
+
+impl Workload for DriverWorkload {
+    fn start(&mut self, io: &mut ClientIo<'_, '_>) {
+        self.issue(io);
+    }
+
+    fn on_reply(&mut self, io: &mut ClientIo<'_, '_>, tag: u64, reply: &NfsReply) {
+        let idx = tag as usize;
+        if reply.status == NfsStatus::JukeBox {
+            // Not executed; retry the same op under a fresh xid.
+            if let Some(req) = self.request_for(idx) {
+                self.jukebox_reissues += 1;
+                self.issued.push(idx);
+                io.call(tag, &req);
+                return;
+            }
+        }
+        if let (GenOp::LookupBind { slot, .. }, ReplyBody::Lookup { fh, .. }) =
+            (&self.scenario.ops[idx], &reply.body)
+        {
+            if reply.status == NfsStatus::Ok {
+                self.slots[*slot] = Some(*fh);
+            }
+        }
+        self.pc = idx + 1;
+        self.issue(io);
+    }
+
+    fn finished(&self) -> bool {
+        self.done
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// One fault injection. Crashed nodes recover after `down_ms`; a loss
+/// window raises the network's drop probability for `dur_ms`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injection {
+    /// Crash directory server `site`.
+    CrashDir { site: usize, down_ms: u64 },
+    /// Crash small-file server `site`.
+    CrashSf { site: usize, down_ms: u64 },
+    /// Crash storage node `site`.
+    CrashStorage { site: usize, down_ms: u64 },
+    /// Crash coordinator `site`.
+    CrashCoord { site: usize, down_ms: u64 },
+    /// Drop `permille`/1000 of packets for `dur_ms`.
+    LossWindow { permille: u32, dur_ms: u64 },
+}
+
+/// An [`Injection`] pinned to a simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEvent {
+    /// Injection time in simulated milliseconds.
+    pub at_ms: u64,
+    /// What to inject.
+    pub inject: Injection,
+}
+
+/// A fault schedule; the empty schedule is the crash-free reference run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Events in any order; the runner sorts an expanded timeline.
+    pub events: Vec<ScheduleEvent>,
+}
+
+impl Schedule {
+    /// One-line description for reports.
+    pub fn describe(&self) -> String {
+        if self.events.is_empty() {
+            return "crash-free".to_string();
+        }
+        let parts: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| format!("{:?}@{}ms", e.inject, e.at_ms))
+            .collect();
+        parts.join(", ")
+    }
+}
+
+/// What one (scenario, schedule) run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Simulated completion time.
+    pub finish: SimTime,
+    /// The workload did not finish before the deadline.
+    pub stalled: bool,
+    /// History records that completed (reply reached the workload).
+    pub completed_ops: usize,
+    /// Scenario ops skipped because a handle slot never bound.
+    pub skipped_ops: usize,
+    /// Everything every oracle found (empty = run passed).
+    pub violations: Vec<Violation>,
+    /// Linearizability-search accounting.
+    pub oracle_stats: OracleStats,
+    /// Final namespace, for reference comparison.
+    pub snapshot: VolumeSnapshot,
+}
+
+enum Act {
+    Fail(NodeId),
+    Recover(NodeId),
+    LossOn(f64),
+    LossOff,
+}
+
+/// The ensemble every schedule runs against: one recorded client, two
+/// directory sites (so reconfig/multisite paths are live), the default
+/// four storage nodes with block maps on, and data retention for the
+/// structural oracles.
+fn explorer_config(seed: u64) -> SliceConfig {
+    SliceConfig {
+        clients: 1,
+        dir_servers: 2,
+        record_history: true,
+        retain_data: true,
+        use_block_maps: true,
+        seed,
+        ..SliceConfig::default()
+    }
+}
+
+/// Runs `scenario` under `schedule` in a fresh ensemble and applies every
+/// oracle: expected per-op status (with NFS retransmission tolerances),
+/// register-model linearizability, structural invariants (strict object
+/// backing on crash-free runs), and — when a crash-free `reference`
+/// snapshot is supplied — WAL-replay namespace equivalence.
+pub fn run_schedule(
+    seed: u64,
+    scenario: &Scenario,
+    schedule: &Schedule,
+    reference: Option<&VolumeSnapshot>,
+) -> RunOutcome {
+    let cfg = explorer_config(seed);
+    let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(DriverWorkload::new(scenario.clone()))]);
+    ens.start();
+
+    // Expand events into a sorted (time, action) timeline: each crash gets
+    // its recovery, each loss window its reset.
+    let mut timeline: Vec<(u64, usize, Act)> = Vec::new();
+    for (i, ev) in schedule.events.iter().enumerate() {
+        let node = |v: &Vec<NodeId>, site: usize| v[site % v.len()];
+        match ev.inject {
+            Injection::CrashDir { site, down_ms } => {
+                let n = node(&ens.dirs, site);
+                timeline.push((ev.at_ms, i, Act::Fail(n)));
+                timeline.push((ev.at_ms + down_ms, i, Act::Recover(n)));
+            }
+            Injection::CrashSf { site, down_ms } => {
+                let n = node(&ens.sfs, site);
+                timeline.push((ev.at_ms, i, Act::Fail(n)));
+                timeline.push((ev.at_ms + down_ms, i, Act::Recover(n)));
+            }
+            Injection::CrashStorage { site, down_ms } => {
+                let n = node(&ens.storage, site);
+                timeline.push((ev.at_ms, i, Act::Fail(n)));
+                timeline.push((ev.at_ms + down_ms, i, Act::Recover(n)));
+            }
+            Injection::CrashCoord { site, down_ms } => {
+                let n = node(&ens.coords, site);
+                timeline.push((ev.at_ms, i, Act::Fail(n)));
+                timeline.push((ev.at_ms + down_ms, i, Act::Recover(n)));
+            }
+            Injection::LossWindow { permille, dur_ms } => {
+                timeline.push((ev.at_ms, i, Act::LossOn(permille as f64 / 1000.0)));
+                timeline.push((ev.at_ms + dur_ms, i, Act::LossOff));
+            }
+        }
+    }
+    timeline.sort_by_key(|(ms, ord, _)| (*ms, *ord));
+
+    for (ms, _, act) in timeline {
+        ens.engine.run_until(SimTime::from_nanos(ms * 1_000_000));
+        match act {
+            Act::Fail(n) => ens.engine.fail_node(n),
+            Act::Recover(n) => ens.engine.recover_node(n),
+            Act::LossOn(p) => ens.engine.set_loss_prob(p),
+            Act::LossOff => ens.engine.set_loss_prob(0.0),
+        }
+    }
+    let finish = ens.run_to_completion(SimTime::from_nanos(RUN_DEADLINE_SECS * 1_000_000_000));
+
+    let stalled = !ens.client(0).finished();
+    let mut violations = Vec::new();
+    if stalled {
+        violations.push(Violation::new(
+            "stalled",
+            format!(
+                "workload did not finish by {}s simulated",
+                RUN_DEADLINE_SECS
+            ),
+        ));
+    }
+
+    let histories = ens.histories();
+    let driver = ens
+        .client(0)
+        .workload()
+        .and_then(|w| w.as_any().downcast_ref::<DriverWorkload>())
+        .expect("run_schedule drives a DriverWorkload");
+    violations.extend(check_expectations(scenario, driver, histories[0]));
+    let (hist_violations, oracle_stats) = check_histories(&histories);
+    violations.extend(hist_violations);
+    violations.extend(if schedule.events.is_empty() {
+        check_structural_strict(&ens)
+    } else {
+        check_structural(&ens)
+    });
+
+    let snap = snapshot(&ens);
+    if let Some(reference) = reference {
+        if !stalled {
+            for d in snapshot_diff(reference, &snap) {
+                violations.push(Violation::new("replay_equivalence", d));
+            }
+        }
+    }
+
+    RunOutcome {
+        finish,
+        stalled,
+        completed_ops: histories[0]
+            .records()
+            .iter()
+            .filter(|r| r.end.is_some())
+            .count(),
+        skipped_ops: driver.skipped.len(),
+        violations,
+        oracle_stats,
+        snapshot: snap,
+    }
+}
+
+/// Checks every completed op's status against the scenario's expectation.
+/// All generated ops expect `Ok`; per NFS retransmission semantics a
+/// re-executed non-idempotent op may legally answer `Exist`
+/// (create/mkdir) or `NoEnt` (remove/rename), but only when the RPC layer
+/// actually retransmitted or the op was re-issued after a JukeBox bounce.
+fn check_expectations(
+    scenario: &Scenario,
+    driver: &DriverWorkload,
+    hist: &OpHistory,
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let records = hist.records();
+    if records.len() != driver.issued.len() {
+        v.push(Violation::new(
+            "recorder",
+            format!(
+                "driver issued {} calls, history holds {} records",
+                driver.issued.len(),
+                records.len()
+            ),
+        ));
+        return v;
+    }
+    // Multiple records per op index are possible (JukeBox re-issue); the
+    // last one is the authoritative outcome.
+    let mut last: Vec<Option<usize>> = vec![None; scenario.ops.len()];
+    let mut reissued = vec![false; scenario.ops.len()];
+    for (ri, &oi) in driver.issued.iter().enumerate() {
+        if last[oi].is_some() {
+            reissued[oi] = true;
+        }
+        last[oi] = Some(ri);
+    }
+    for (oi, ri) in last.iter().enumerate() {
+        let Some(ri) = ri else { continue };
+        let rec = &records[*ri];
+        let Some(status) = rec.status else {
+            continue; // incomplete: the stalled check reports it
+        };
+        let retried = rec.retries > 0 || reissued[oi];
+        let tolerated = match (&scenario.ops[oi], status) {
+            (_, NfsStatus::Ok) => true,
+            (GenOp::Create { .. } | GenOp::Mkdir { .. }, NfsStatus::Exist) => retried,
+            (GenOp::Remove { .. } | GenOp::Rename { .. }, NfsStatus::NoEnt) => retried,
+            _ => false,
+        };
+        if !tolerated {
+            v.push(Violation::new(
+                "expected_status",
+                format!(
+                    "op {oi} {:?} answered {status:?} (retries {})",
+                    scenario.ops[oi], rec.retries
+                ),
+            ));
+        }
+    }
+    v
+}
+
+/// Generates `m` deterministic fault schedules for a seed, cycling over
+/// the four injection kinds (directory crash, storage crash, coordinator
+/// crash, 2% loss window) with times drawn inside `horizon_ms` — pass the
+/// reference run's finish time so injections land mid-workload. Every
+/// other schedule carries a second injection.
+pub fn standard_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x5c3d);
+    let horizon = horizon_ms.max(100);
+    let at = |rng: &mut Rng| horizon / 10 + rng.gen_range(0..horizon.max(2) * 8 / 10);
+    (0..m)
+        .map(|j| {
+            let mut events = Vec::new();
+            let n = 1 + (j % 2);
+            for k in 0..n {
+                let at_ms = at(&mut rng);
+                let down_ms = rng.gen_range(1500..2500u64);
+                let inject = match (j + k) % 4 {
+                    0 => Injection::CrashDir {
+                        site: rng.gen_range(0..2u64) as usize,
+                        down_ms,
+                    },
+                    1 => Injection::CrashStorage {
+                        site: rng.gen_range(0..4u64) as usize,
+                        down_ms,
+                    },
+                    2 => Injection::CrashCoord { site: 0, down_ms },
+                    _ => Injection::LossWindow {
+                        permille: 20,
+                        dur_ms: rng.gen_range(1000..3000u64),
+                    },
+                };
+                events.push(ScheduleEvent { at_ms, inject });
+            }
+            Schedule { events }
+        })
+        .collect()
+}
+
+/// One failing run inside a [`SweepReport`].
+#[derive(Debug)]
+pub struct SweepFailure {
+    /// Seed whose scenario failed.
+    pub seed: u64,
+    /// Schedule index, or `None` for the crash-free reference run.
+    pub schedule: Option<usize>,
+    /// Human-readable schedule.
+    pub schedule_desc: String,
+    /// What the oracles found.
+    pub violations: Vec<Violation>,
+}
+
+/// Result of an N-seed × M-schedule sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Total runs executed (references + schedules).
+    pub runs: usize,
+    /// Total history records checked across all runs.
+    pub ops_checked: usize,
+    /// Every failing run.
+    pub failures: Vec<SweepFailure>,
+    /// Deterministic slice-obs JSON: same seeds → byte-identical output.
+    pub json: String,
+}
+
+impl SweepReport {
+    /// True when every run passed every oracle.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Sweeps `seeds` × `schedules_per_seed`: for each seed, generate a
+/// scenario, run it crash-free to establish the reference namespace, then
+/// replay it under each fault schedule and compare. The report's JSON is
+/// a deterministic function of the inputs.
+pub fn sweep(seeds: &[u64], schedules_per_seed: usize) -> SweepReport {
+    let mut obs = Obs::new();
+    let mut failures = Vec::new();
+    let mut runs = 0usize;
+    let mut ops_checked = 0usize;
+
+    for &seed in seeds {
+        let scenario = generate_scenario(seed, 96);
+        let reference = run_schedule(seed, &scenario, &Schedule::default(), None);
+        runs += 1;
+        ops_checked += reference.completed_ops;
+        let tag = format!("checker.seed.{seed}");
+        obs.registry.add(&format!("{tag}.runs"), 1);
+        obs.registry
+            .add(&format!("{tag}.ops"), reference.completed_ops as u64);
+        obs.registry.add(
+            &format!("{tag}.violations"),
+            reference.violations.len() as u64,
+        );
+        if !reference.violations.is_empty() {
+            failures.push(SweepFailure {
+                seed,
+                schedule: None,
+                schedule_desc: "crash-free".to_string(),
+                violations: reference.violations,
+            });
+        }
+
+        let horizon_ms = reference.finish.as_nanos() / 1_000_000;
+        for (j, sched) in standard_schedules(seed, schedules_per_seed, horizon_ms)
+            .iter()
+            .enumerate()
+        {
+            let out = run_schedule(seed, &scenario, sched, Some(&reference.snapshot));
+            runs += 1;
+            ops_checked += out.completed_ops;
+            obs.registry.add(&format!("{tag}.runs"), 1);
+            obs.registry
+                .add(&format!("{tag}.ops"), out.completed_ops as u64);
+            obs.registry
+                .add(&format!("{tag}.violations"), out.violations.len() as u64);
+            if out.stalled {
+                obs.registry.add(&format!("{tag}.stalled"), 1);
+            }
+            if !out.violations.is_empty() {
+                failures.push(SweepFailure {
+                    seed,
+                    schedule: Some(j),
+                    schedule_desc: sched.describe(),
+                    violations: out.violations,
+                });
+            }
+        }
+    }
+
+    obs.registry.add("checker.runs", runs as u64);
+    obs.registry.add("checker.ops", ops_checked as u64);
+    obs.registry
+        .add("checker.failing_runs", failures.len() as u64);
+    let json = obs.export_json(0);
+
+    SweepReport {
+        runs,
+        ops_checked,
+        failures,
+        json,
+    }
+}
+
+/// Shrinks a failing schedule: first by halving (delta debugging's outer
+/// loop), then by dropping single events, re-running the oracles after
+/// each candidate. Returns the smallest schedule that still fails (or the
+/// input unchanged if it does not fail at all). Bounded at ~32 runs.
+pub fn minimize(
+    seed: u64,
+    scenario: &Scenario,
+    schedule: &Schedule,
+    reference: &VolumeSnapshot,
+) -> Schedule {
+    let fails = |s: &Schedule| {
+        !run_schedule(seed, scenario, s, Some(reference))
+            .violations
+            .is_empty()
+    };
+    if schedule.events.len() <= 1 || !fails(schedule) {
+        return schedule.clone();
+    }
+    let mut cur = schedule.clone();
+    let mut budget = 32usize;
+    while cur.events.len() > 1 && budget > 0 {
+        let mid = cur.events.len() / 2;
+        let first = Schedule {
+            events: cur.events[..mid].to_vec(),
+        };
+        budget -= 1;
+        if fails(&first) {
+            cur = first;
+            continue;
+        }
+        let second = Schedule {
+            events: cur.events[mid..].to_vec(),
+        };
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        if fails(&second) {
+            cur = second;
+            continue;
+        }
+        break;
+    }
+    let mut i = 0;
+    while i < cur.events.len() && cur.events.len() > 1 && budget > 0 {
+        let mut t = cur.clone();
+        t.events.remove(i);
+        budget -= 1;
+        if fails(&t) {
+            cur = t;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_generation_is_deterministic() {
+        let a = generate_scenario(7, 64);
+        let b = generate_scenario(7, 64);
+        assert_eq!(a, b);
+        assert!(a.ops.len() >= 64);
+        assert!(a.epilogue_start <= a.ops.len());
+        let c = generate_scenario(8, 64);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn standard_schedules_are_deterministic_and_sized() {
+        let a = standard_schedules(3, 8, 4000);
+        let b = standard_schedules(3, 8, 4000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|s| !s.events.is_empty()));
+    }
+
+    #[test]
+    fn clean_run_passes_all_oracles() {
+        let scenario = generate_scenario(11, 40);
+        let out = run_schedule(11, &scenario, &Schedule::default(), None);
+        assert!(!out.stalled);
+        assert!(
+            out.violations.is_empty(),
+            "clean run violated: {:?}",
+            out.violations
+        );
+        assert!(out.completed_ops >= 40);
+    }
+}

@@ -1,0 +1,398 @@
+//! Structural oracles over a quiesced ensemble's final state, and the
+//! namespace snapshot used for WAL-replay equivalence.
+//!
+//! These checks run after `run_to_completion` has drained the event
+//! queue — several of them (dirty attr-cache entries, open intents) are
+//! only invariants *at quiescence*.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use slice_core::actors::{CoordActor, DirActor, StorageActor};
+use slice_core::ensemble::SliceEnsemble;
+use slice_core::ClientActor;
+use slice_dirsvc::{AttrCell, ChildRef, NameCell};
+use slice_hashes::name_fingerprint;
+use slice_nfsproto::{Fhandle, FileType};
+use slice_storage::Placement;
+
+use crate::Violation;
+
+/// Runs every structural oracle: directory-service integrity, coordinator
+/// block maps (site validity), and attr-cache audit.
+pub fn check_structural(ens: &SliceEnsemble) -> Vec<Violation> {
+    let mut v = check_dirsvc(ens);
+    v.extend(check_block_maps(ens, false));
+    v.extend(check_attr_cache(ens));
+    v
+}
+
+/// Like [`check_structural`] but additionally requires every coordinator
+/// block map to be backed by storage objects. Only sound on crash-free
+/// runs: a crash between map assignment and the first write legitimately
+/// leaves a map without an object.
+pub fn check_structural_strict(ens: &SliceEnsemble) -> Vec<Violation> {
+    let mut v = check_dirsvc(ens);
+    v.extend(check_block_maps(ens, true));
+    v.extend(check_attr_cache(ens));
+    v
+}
+
+/// `(site, key, cell)` rows collected from every directory server.
+type SitedCells<C> = Vec<(usize, u64, C)>;
+
+fn dir_dumps(ens: &SliceEnsemble) -> (SitedCells<NameCell>, SitedCells<AttrCell>) {
+    let mut names = Vec::new();
+    let mut attrs = Vec::new();
+    for (i, &d) in ens.dirs.iter().enumerate() {
+        let srv = &ens.engine.actor::<DirActor>(d).server;
+        for (key, cell) in srv.dump_name_cells() {
+            names.push((i, key, cell));
+        }
+        for (file, cell) in srv.dump_attr_cells() {
+            attrs.push((i, file, cell));
+        }
+    }
+    (names, attrs)
+}
+
+/// Directory-service invariants: unique attribute cells, hash-chain
+/// integrity of name-cell keys, no orphans, link counts, and per-directory
+/// entry counts (paper §4.3: sites cooperate "to update link counts ...
+/// and to follow cross-site links").
+pub fn check_dirsvc(ens: &SliceEnsemble) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let (names, attrs) = dir_dumps(ens);
+    let root_file = Fhandle::root().file_id();
+
+    // One authoritative attribute cell per file, across all sites.
+    let mut attr_map: HashMap<u64, (usize, AttrCell)> = HashMap::new();
+    for (site, file, cell) in &attrs {
+        if let Some((other, _)) = attr_map.get(file) {
+            v.push(Violation::new(
+                "dirsvc_attr_unique",
+                format!("file {file} has attribute cells at sites {other} and {site}"),
+            ));
+        } else {
+            attr_map.insert(*file, (*site, cell.clone()));
+        }
+    }
+
+    // ChildRefs referencing the same file must agree on home and key
+    // (they mint the same handle bytes modulo flags/generation).
+    let mut child_of: HashMap<u64, ChildRef> = HashMap::new();
+    for (_, _, cell) in &names {
+        let c = cell.child;
+        match child_of.get(&c.file) {
+            Some(prev) if (prev.home, prev.key) != (c.home, c.key) => {
+                v.push(Violation::new(
+                    "dirsvc_childref",
+                    format!(
+                        "file {} referenced with (home {}, key {:#x}) and (home {}, key {:#x})",
+                        c.file, prev.home, prev.key, c.home, c.key
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                child_of.insert(c.file, c);
+            }
+        }
+    }
+
+    // Hash chain: every name cell's map key must equal the fingerprint of
+    // (parent handle bytes, name) — the same computation the µproxy's
+    // request router performs, so a broken chain means unroutable names.
+    for (site, key, cell) in &names {
+        let parent_fh = if cell.parent == root_file {
+            Fhandle::root()
+        } else if let Some(cr) = child_of.get(&cell.parent) {
+            cr.fhandle()
+        } else {
+            v.push(Violation::new(
+                "dirsvc_orphan",
+                format!(
+                    "site {site}: entry '{}' has parent {} with no name cell anywhere",
+                    cell.name, cell.parent
+                ),
+            ));
+            continue;
+        };
+        let want = name_fingerprint(&parent_fh.0, cell.name.as_bytes());
+        if want != *key {
+            v.push(Violation::new(
+                "dirsvc_hash_chain",
+                format!(
+                    "site {site}: entry '{}' under {} stored at key {key:#x}, fingerprint {want:#x}",
+                    cell.name, cell.parent
+                ),
+            ));
+        }
+        if let Some((_, pa)) = attr_map.get(&cell.parent) {
+            if pa.attr.ftype != FileType::Directory {
+                v.push(Violation::new(
+                    "dirsvc_parent_type",
+                    format!(
+                        "entry '{}' has non-directory parent {}",
+                        cell.name, cell.parent
+                    ),
+                ));
+            }
+        }
+        if !attr_map.contains_key(&cell.child.file) {
+            v.push(Violation::new(
+                "dirsvc_missing_attr",
+                format!(
+                    "entry '{}' references file {} with no attribute cell anywhere",
+                    cell.name, cell.child.file
+                ),
+            ));
+        }
+    }
+
+    // Link counts and entry counts against the actual name cells.
+    let mut refcount: HashMap<u64, u32> = HashMap::new();
+    let mut entries: HashMap<u64, u32> = HashMap::new();
+    for (_, _, cell) in &names {
+        *refcount.entry(cell.child.file).or_insert(0) += 1;
+        *entries.entry(cell.parent).or_insert(0) += 1;
+    }
+    for (file, (site, cell)) in &attr_map {
+        match cell.attr.ftype {
+            FileType::Directory => {
+                let have = entries.get(file).copied().unwrap_or(0);
+                if cell.entry_count != have {
+                    v.push(Violation::new(
+                        "dirsvc_entry_count",
+                        format!(
+                            "directory {file} (site {site}) records {} entries, {} name cells exist",
+                            cell.entry_count, have
+                        ),
+                    ));
+                }
+            }
+            FileType::Regular | FileType::Symlink => {
+                let have = refcount.get(file).copied().unwrap_or(0);
+                if cell.attr.nlink != have {
+                    v.push(Violation::new(
+                        "dirsvc_nlink",
+                        format!(
+                            "file {file} (site {site}) has nlink {}, {} referencing name cells",
+                            cell.attr.nlink, have
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    v
+}
+
+/// Coordinator block maps: replica site lists must be valid (in range,
+/// non-empty, distinct). With `strict`, every map for a file whose
+/// authoritative size reaches into the striped region must be backed by a
+/// storage object, and mirrored placements must hold a copy on every
+/// listed site. Files at or below the small-file threshold live entirely
+/// on the small-file servers, so a map assigned for them (e.g. by a
+/// truncate routed through the bulk path) legitimately has no object.
+pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let sites = ens.storage.len() as u32;
+    let holds = |site: u32, file: u64| -> bool {
+        let node = &ens
+            .engine
+            .actor::<StorageActor>(ens.storage[site as usize])
+            .node;
+        node.store().get(file).is_some()
+    };
+    let mut authoritative_size: HashMap<u64, u64> = HashMap::new();
+    for (_, file, cell) in dir_dumps(ens).1 {
+        authoritative_size.insert(file, cell.attr.size);
+    }
+    for (ci, &c) in ens.coords.iter().enumerate() {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for (file, placement, blocks) in coord.block_map_dump() {
+            let expect_backing = authoritative_size
+                .get(&file)
+                .is_some_and(|&sz| sz > slice_smallfile::SF_THRESHOLD);
+            let mut any_backed = false;
+            for (block, replica_sites) in &blocks {
+                if replica_sites.is_empty() {
+                    v.push(Violation::new(
+                        "block_map_sites",
+                        format!("coord {ci}: file {file} block {block} has no replica sites"),
+                    ));
+                    continue;
+                }
+                let mut seen = HashSet::new();
+                for &s in replica_sites {
+                    if s >= sites {
+                        v.push(Violation::new(
+                            "block_map_sites",
+                            format!(
+                                "coord {ci}: file {file} block {block} lists site {s} of {sites}"
+                            ),
+                        ));
+                    } else if !seen.insert(s) {
+                        v.push(Violation::new(
+                            "block_map_sites",
+                            format!("coord {ci}: file {file} block {block} lists site {s} twice"),
+                        ));
+                    } else if holds(s, file) {
+                        any_backed = true;
+                    } else if strict
+                        && expect_backing
+                        && matches!(placement, Placement::Mirrored { .. })
+                    {
+                        v.push(Violation::new(
+                            "block_map_object",
+                            format!(
+                                "coord {ci}: file {file} block {block} mirrored on site {s}, object missing there"
+                            ),
+                        ));
+                    }
+                }
+            }
+            if strict && expect_backing && !blocks.is_empty() && !any_backed {
+                v.push(Violation::new(
+                    "block_map_object",
+                    format!(
+                        "coord {ci}: file {file} has a {}-block map but no storage object on any listed site",
+                        blocks.len()
+                    ),
+                ));
+            }
+        }
+    }
+    v
+}
+
+/// Attr-cache audit: at quiescence no cached attribute may still be dirty
+/// (every write-back must have been pushed and acknowledged), and — for
+/// single-client runs, where no other writer can legitimately outdate the
+/// cache — clean cached sizes must be subsumed by the directory service's
+/// authoritative attributes.
+pub fn check_attr_cache(ens: &SliceEnsemble) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let (_, attrs) = dir_dumps(ens);
+    let mut server_size: HashMap<u64, u64> = HashMap::new();
+    for (_, file, cell) in attrs {
+        server_size.insert(file, cell.attr.size);
+    }
+    let single_client = ens.clients.len() == 1;
+    for (i, &c) in ens.clients.iter().enumerate() {
+        let client = ens.engine.actor::<ClientActor>(c);
+        let Some(proxy) = client.proxy() else {
+            continue;
+        };
+        for (file, dirty, size) in proxy.audit_attr_cache() {
+            if dirty {
+                v.push(Violation::new(
+                    "attr_cache_dirty",
+                    format!("client {i}: file {file} still dirty at quiescence"),
+                ));
+            } else if single_client {
+                if let Some(&srv) = server_size.get(&file) {
+                    if srv < size {
+                        v.push(Violation::new(
+                            "attr_cache_subsumed",
+                            format!(
+                                "client {i}: file {file} cached size {size}, server holds {srv}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    v
+}
+
+/// One namespace entry in a [`VolumeSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapEntry {
+    /// `"file"`, `"dir"`, or `"symlink"`.
+    pub kind: &'static str,
+    /// Size in bytes per the authoritative attribute cell.
+    pub size: u64,
+    /// Link count per the authoritative attribute cell.
+    pub nlink: u32,
+}
+
+/// A path-keyed snapshot of the whole distributed namespace, assembled by
+/// walking name cells from the root across every directory site. Two runs
+/// that performed the same client-visible operations must produce equal
+/// snapshots — the WAL-replay equivalence oracle compares a post-crash
+/// recovered run against a crash-free reference run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VolumeSnapshot {
+    /// Entries by absolute path.
+    pub entries: BTreeMap<String, SnapEntry>,
+}
+
+/// Builds the namespace snapshot of a quiesced ensemble.
+pub fn snapshot(ens: &SliceEnsemble) -> VolumeSnapshot {
+    let (names, attrs) = dir_dumps(ens);
+    let mut attr_map: HashMap<u64, AttrCell> = HashMap::new();
+    for (_, file, cell) in attrs {
+        attr_map.entry(file).or_insert(cell);
+    }
+    let mut children: HashMap<u64, Vec<(String, ChildRef)>> = HashMap::new();
+    for (_, _, cell) in names {
+        children
+            .entry(cell.parent)
+            .or_default()
+            .push((cell.name, cell.child));
+    }
+
+    let mut snap = VolumeSnapshot::default();
+    let root = Fhandle::root().file_id();
+    let mut queue: Vec<(u64, String)> = vec![(root, String::new())];
+    let mut visited = HashSet::new();
+    while let Some((dir, prefix)) = queue.pop() {
+        if !visited.insert(dir) {
+            continue; // corrupt cycle: the dirsvc oracles will report it
+        }
+        let Some(kids) = children.get(&dir) else {
+            continue;
+        };
+        for (name, child) in kids {
+            let path = format!("{prefix}/{name}");
+            let (kind, size, nlink) = match attr_map.get(&child.file) {
+                Some(cell) => (
+                    match cell.attr.ftype {
+                        FileType::Directory => "dir",
+                        FileType::Regular => "file",
+                        FileType::Symlink => "symlink",
+                    },
+                    cell.attr.size,
+                    cell.attr.nlink,
+                ),
+                None => ("file", 0, 0),
+            };
+            if kind == "dir" {
+                queue.push((child.file, path.clone()));
+            }
+            snap.entries.insert(path, SnapEntry { kind, size, nlink });
+        }
+    }
+    snap
+}
+
+/// Describes every difference between two snapshots (empty = equivalent).
+pub fn snapshot_diff(a: &VolumeSnapshot, b: &VolumeSnapshot) -> Vec<String> {
+    let mut out = Vec::new();
+    for (path, ea) in &a.entries {
+        match b.entries.get(path) {
+            None => out.push(format!("{path}: present in A only ({ea:?})")),
+            Some(eb) if ea != eb => out.push(format!("{path}: {ea:?} vs {eb:?}")),
+            Some(_) => {}
+        }
+    }
+    for (path, eb) in &b.entries {
+        if !a.entries.contains_key(path) {
+            out.push(format!("{path}: present in B only ({eb:?})"));
+        }
+    }
+    out
+}

@@ -64,6 +64,7 @@ impl MonoFs {
                 policy: NamePolicy::MkdirSwitching,
                 clock_skew: slice_sim::SimDuration::ZERO,
                 wal: Default::default(),
+                default_mapped: false,
             }),
             data: StorageNode::new(&storage_cfg),
             meta_disks: match kind {

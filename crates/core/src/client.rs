@@ -27,6 +27,7 @@ use slice_sim::{
 use slice_uproxy::{ProxyOut, Uproxy};
 
 use crate::calib;
+use crate::history::OpHistory;
 use crate::wire::{Router, Wire};
 
 const TAG_TICK: u64 = 1 << 40;
@@ -69,6 +70,9 @@ pub struct ClientConfig {
     pub cred: AuthUnix,
     /// Charge calibrated CPU costs (off for pure protocol tests).
     pub charge_cpu: bool,
+    /// Record an [`OpHistory`] of every call for the consistency oracles
+    /// (off by default: the big benchmarks should not pay for it).
+    pub record_history: bool,
 }
 
 /// Per-client statistics.
@@ -117,6 +121,9 @@ pub struct ClientInner {
     /// hit/miss becomes exactly one trace event.
     seen_attr_hits: u64,
     seen_attr_misses: u64,
+    /// Begin/end invocation records for the consistency oracles
+    /// (populated only when [`ClientConfig::record_history`] is set).
+    history: OpHistory,
 }
 
 impl ClientInner {
@@ -180,6 +187,9 @@ impl ClientInner {
                 xid: u64::from(xid),
             },
         );
+        if self.cfg.record_history {
+            self.history.begin(ctx.now(), xid, req);
+        }
         let timer = ctx.set_timer(calib::RPC_TIMEOUT, TAG_RPC | u64::from(xid));
         self.pending.insert(
             xid,
@@ -335,6 +345,7 @@ impl ClientActor {
                 seen_push_retries: 0,
                 seen_attr_hits: 0,
                 seen_attr_misses: 0,
+                history: OpHistory::new(),
             },
             workload: Some(workload),
         }
@@ -343,6 +354,11 @@ impl ClientActor {
     /// Statistics so far.
     pub fn stats(&self) -> &ClientStats {
         &self.inner.stats
+    }
+
+    /// The recorded op history (empty unless `record_history` was set).
+    pub fn history(&self) -> &OpHistory {
+        &self.inner.history
     }
 
     /// The embedded µproxy (for phase statistics and fault injection).
@@ -427,6 +443,11 @@ impl ClientActor {
         self.inner.stats.bytes_written += rec.write_bytes;
         if let slice_nfsproto::ReplyBody::Read { data, .. } = &reply.body {
             self.inner.stats.bytes_read += data.len() as u64;
+        }
+        if self.inner.cfg.record_history {
+            self.inner
+                .history
+                .complete(ctx.now(), xid, rec.retries, &reply);
         }
         let tag = rec.tag;
         self.with_workload(ctx, |w, io| w.on_reply(io, tag, &reply));

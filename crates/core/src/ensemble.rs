@@ -47,6 +47,8 @@ pub struct SliceConfig {
     pub retain_data: bool,
     /// Charge calibrated CPU costs (off for pure protocol tests).
     pub charge_cpu: bool,
+    /// Record per-client op histories for the `slice-check` oracles.
+    pub record_history: bool,
     /// Small-file server cache bytes.
     pub sf_cache_bytes: u64,
     /// Storage node cache bytes.
@@ -77,6 +79,7 @@ impl Default for SliceConfig {
             },
             retain_data: true,
             charge_cpu: true,
+            record_history: false,
             sf_cache_bytes: calib::SF_CACHE_BYTES,
             storage_cache_bytes: calib::STORAGE_CACHE_BYTES,
             use_intents: true,
@@ -194,6 +197,7 @@ impl SliceEnsemble {
                     ..Default::default()
                 },
                 charge_cpu: cfg.charge_cpu,
+                record_history: cfg.record_history,
             };
             let actor = ClientActor::new(
                 client_cfg,
@@ -216,6 +220,7 @@ impl SliceEnsemble {
                     batched: cfg.wal_group_commit,
                     ..Default::default()
                 },
+                default_mapped: cfg.use_block_maps,
             });
             let actor = DirActor::new(
                 ds,
@@ -322,6 +327,15 @@ impl SliceEnsemble {
     /// Mutable client actor access.
     pub fn client_mut(&mut self, i: usize) -> &mut ClientActor {
         self.engine.actor_mut::<ClientActor>(self.clients[i])
+    }
+
+    /// Every client's recorded op history, in client order (empty unless
+    /// the ensemble was built with `record_history`).
+    pub fn histories(&self) -> Vec<&crate::history::OpHistory> {
+        self.clients
+            .iter()
+            .map(|&c| self.engine.actor::<ClientActor>(c).history())
+            .collect()
     }
 
     /// Folds every component's statistics into the engine's slice-obs
@@ -506,6 +520,7 @@ impl BaselineEnsemble {
                     ..Default::default()
                 },
                 charge_cpu,
+                record_history: false,
             };
             let actor = ClientActor::new(cfg, None, router.clone(), vec![], workload);
             let id = engine.add_node(&format!("client{i}"), Box::new(actor));

@@ -17,9 +17,11 @@ pub mod baseline;
 pub mod calib;
 pub mod client;
 pub mod ensemble;
+pub mod history;
 pub mod wire;
 
 pub use baseline::{BaselineActor, BaselineKind, MonoFs};
 pub use client::{ClientActor, ClientConfig, ClientIo, ClientStats, Workload};
 pub use ensemble::{BaselineEnsemble, EnsemblePolicy, SliceConfig, SliceEnsemble};
+pub use history::{OpHistory, OpRecord, CHUNK_BYTES};
 pub use wire::{AddrPlan, Router, Wire};

@@ -43,6 +43,10 @@ pub struct DirServerConfig {
     pub clock_skew: SimDuration,
     /// Write-ahead-log device parameters.
     pub wal: WalParams,
+    /// Mint regular files with dynamically mapped placement (handles carry
+    /// `FH_FLAG_MAPPED`, so the µproxy routes bulk I/O through the
+    /// coordinator's block maps instead of static striping).
+    pub default_mapped: bool,
 }
 
 impl Default for DirServerConfig {
@@ -53,6 +57,7 @@ impl Default for DirServerConfig {
             policy: NamePolicy::MkdirSwitching,
             clock_skew: SimDuration::ZERO,
             wal: WalParams::default(),
+            default_mapped: false,
         }
     }
 }
@@ -102,8 +107,12 @@ enum PendingKind {
     FillAttr,
     /// Create/mkdir/symlink/link that inserted locally but awaits remote
     /// parent update / entry insert; on EXIST the local attr cell must be
-    /// retired.
-    Create { file: u64 },
+    /// retired and any optimistic parent update `(dir, home, nlink_delta)`
+    /// taken back.
+    Create {
+        file: u64,
+        undo: Option<(u64, u32, i32)>,
+    },
     /// Remove awaiting a remote LinkDelta; a zero nlink triggers data
     /// removal.
     Remove { file: u64, flags: u8 },
@@ -114,8 +123,13 @@ enum PendingKind {
         parent_update: Option<(u64, NfsTime)>,
     },
     /// Rename awaiting a remote InsertEntry; local source unbound on
-    /// success, displaced child unlinked.
-    Rename { from_key: u64 },
+    /// success, displaced child unlinked and the destination directory's
+    /// optimistic entry increment retracted.
+    Rename {
+        from_key: u64,
+        to_dir: u64,
+        to_home: u32,
+    },
     /// Nothing special; reply once acks arrive.
     Generic,
 }
@@ -227,6 +241,39 @@ impl DirServer {
     /// Attribute lookup (tests / host attr seeding).
     pub fn attr_of(&self, file: u64) -> Option<&Fattr3> {
         self.attrs.get(&file).map(|c| &c.attr)
+    }
+
+    /// A sorted snapshot of this site's name cells `(key, cell)` for
+    /// structural checking.
+    pub fn dump_name_cells(&self) -> Vec<(u64, NameCell)> {
+        let mut out: Vec<_> = self.names.iter().map(|(&k, c)| (k, c.clone())).collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// A sorted snapshot of this site's attribute cells `(file, cell)` for
+    /// structural checking.
+    pub fn dump_attr_cells(&self) -> Vec<(u64, AttrCell)> {
+        let mut out: Vec<_> = self.attrs.iter().map(|(&f, c)| (f, c.clone())).collect();
+        out.sort_unstable_by_key(|&(f, _)| f);
+        out
+    }
+
+    /// Fault injection for oracle mutation tests: silently drops a name
+    /// cell from the in-memory index (as if a WAL replay record had been
+    /// lost), returning whether the key was present. The directory's
+    /// entry count is deliberately left stale — this models corruption,
+    /// not a clean remove.
+    pub fn forget_name(&mut self, key: u64) -> bool {
+        match self.names.remove(&key) {
+            Some(cell) => {
+                if let Some(ix) = self.dir_index.get_mut(&cell.parent) {
+                    ix.remove(&key);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Applies the attribute effects of a data I/O (size growth, modify
@@ -479,7 +526,16 @@ impl DirServer {
                         let new_attr = cell.attr;
                         let durable = self.log_put_attr(now, file);
                         if let Some(sz) = attr.size {
-                            if sz < old_size {
+                            // µproxy attribute write-backs carry explicit
+                            // timestamps and may report a size smaller than
+                            // data another client already wrote — only a
+                            // genuine shrink may clamp the data plane. A
+                            // client truncate (no client mtime) must always
+                            // propagate: our own size here can lag behind
+                            // the data plane, so `sz == old_size` does not
+                            // mean the stored extents already agree.
+                            let push_back = matches!(attr.mtime, SetTime::Client(_));
+                            if !push_back || sz < old_size {
                                 actions.push(DirAction::DataTruncate {
                                     file,
                                     size: sz,
@@ -803,6 +859,13 @@ impl DirServer {
         if sattr.mode.unwrap_or(0) & (1 << 16) != 0 && ftype == FileType::Regular {
             flags |= slice_nfsproto::FH_FLAG_MIRRORED;
         }
+        // Bit 17 requests dynamic block-map placement; ensembles running
+        // with block maps enabled mint every regular file mapped.
+        if (self.config.default_mapped || sattr.mode.unwrap_or(0) & (1 << 17) != 0)
+            && ftype == FileType::Regular
+        {
+            flags |= slice_nfsproto::FH_FLAG_MAPPED;
+        }
         attr.mode &= 0o7777;
         let child = ChildRef {
             file,
@@ -823,6 +886,9 @@ impl DirServer {
         let mut durable = self.log_put_attr(now, file);
         let mut waits = HashSet::new();
         let nlink_delta = i32::from(ftype == FileType::Directory);
+        // Parent update applied before the remote insert is acknowledged;
+        // must be taken back if the insert answers EXIST.
+        let mut undo = None;
         if entry_site == self.config.site {
             durable = durable.max(self.log_put_name(
                 now,
@@ -869,6 +935,7 @@ impl DirServer {
             });
             if dir.home_site() == self.config.site {
                 self.apply_parent_update(now, dir.file_id(), 1, nlink_delta, t);
+                undo = Some((dir.file_id(), self.config.site, nlink_delta));
             } else if dir.home_site() != entry_site {
                 let op2 = self.fresh_op();
                 self.peer_ops += 1;
@@ -883,9 +950,11 @@ impl DirServer {
                         mtime: t,
                     },
                 });
+                undo = Some((dir.file_id(), dir.home_site(), nlink_delta));
             } else {
                 // Entry site doubles as the parent's home: fold the parent
-                // update into the insert (the peer applies both).
+                // update into the insert (the peer applies both only when
+                // the insert succeeds, so no undo is needed).
             }
         }
         let reply = NfsReply {
@@ -902,7 +971,7 @@ impl DirServer {
             reply,
             durable,
             waits,
-            PendingKind::Create { file },
+            PendingKind::Create { file, undo },
             now,
         );
     }
@@ -1198,8 +1267,19 @@ impl DirServer {
         } else if from_dir.home_site() == self.config.site {
             self.apply_parent_update(now, from_dir.file_id(), 0, 0, t);
         }
-        // A displaced local child loses a link.
+        // A displaced local child loses a link, and the destination
+        // directory's optimistic entry increment was one too many (the
+        // insert replaced a binding instead of adding one).
         if let Some(old) = replaced {
+            self.retract_dest_entry(
+                actions,
+                now,
+                &mut waits,
+                to_dir.file_id(),
+                to_dir.home_site(),
+                &old,
+                t,
+            );
             self.unlink_child(actions, now, &mut waits, &mut durable, old, t);
         }
         let reply = NfsReply {
@@ -1211,9 +1291,49 @@ impl DirServer {
         let kind = if dest_site == self.config.site {
             PendingKind::Generic
         } else {
-            PendingKind::Rename { from_key }
+            PendingKind::Rename {
+                from_key,
+                to_dir: to_dir.file_id(),
+                to_home: to_dir.home_site(),
+            }
         };
         self.finish(actions, token, reply, durable, waits, kind, now);
+    }
+
+    /// Takes back the optimistic destination entry-count increment of a
+    /// rename whose insert displaced an existing binding (the directory's
+    /// net entry change is zero), wherever the destination directory's
+    /// attribute cell lives. If the displaced child was a directory the
+    /// parent also loses its `..` link.
+    #[allow(clippy::too_many_arguments)]
+    fn retract_dest_entry(
+        &mut self,
+        actions: &mut Vec<DirAction>,
+        now: SimTime,
+        waits: &mut HashSet<u64>,
+        to_dir: u64,
+        to_home: u32,
+        old: &ChildRef,
+        t: NfsTime,
+    ) {
+        let nd = -i32::from(old.flags & FH_FLAG_DIR != 0);
+        if to_home == self.config.site {
+            self.apply_parent_update(now, to_dir, -1, nd, t);
+        } else {
+            let op = self.fresh_op();
+            self.peer_ops += 1;
+            waits.insert(op);
+            actions.push(DirAction::Peer {
+                site: to_home,
+                msg: PeerMsg::ParentUpdate {
+                    op,
+                    dir: to_dir,
+                    entry_delta: -1,
+                    nlink_delta: nd,
+                    mtime: t,
+                },
+            });
+        }
     }
 
     /// Drops one link from `child`, wherever its attribute cell lives.
@@ -1574,13 +1694,15 @@ impl DirServer {
                         },
                     );
                     // The entry site may double as the parent's home; apply
-                    // the parent update locally in that case.
-                    if self.attrs.contains_key(&parent) {
+                    // the parent update locally in that case. Renames
+                    // (`replace`) always send an explicit ParentUpdate, so
+                    // folding one in here would double-count the entry.
+                    if !replace && self.attrs.contains_key(&parent) {
                         self.apply_parent_update(
                             now,
                             parent,
                             1,
-                            i32::from(child.flags & FH_FLAG_DIR != 0 && !replace),
+                            i32::from(child.flags & FH_FLAG_DIR != 0),
                             t,
                         );
                     }
@@ -1673,13 +1795,35 @@ impl DirServer {
                 let p = self.pending.get_mut(&pid).expect("pending present");
                 p.reply = NfsReply::error(p.reply.proc, s);
             }
-            (PendingKind::Create { file }, _, NfsStatus::Exist) => {
+            (PendingKind::Create { file, undo }, _, NfsStatus::Exist) => {
                 let file = *file;
+                let undo = *undo;
                 {
                     let p = self.pending.get_mut(&pid).expect("pending present");
                     p.reply = NfsReply::error(p.reply.proc, NfsStatus::Exist);
                 }
                 self.log_del_attr(now, file);
+                // The optimistic parent update assumed the insert would
+                // succeed; take it back (fire-and-forget when remote — the
+                // reply need not wait on pure bookkeeping).
+                if let Some((dir, home, nd)) = undo {
+                    if home == self.config.site {
+                        self.apply_parent_update(now, dir, -1, -nd, t);
+                    } else {
+                        let op2 = self.fresh_op();
+                        self.peer_ops += 1;
+                        actions.push(DirAction::Peer {
+                            site: home,
+                            msg: PeerMsg::ParentUpdate {
+                                op: op2,
+                                dir,
+                                entry_delta: -1,
+                                nlink_delta: -nd,
+                                mtime: t,
+                            },
+                        });
+                    }
+                }
             }
             (PendingKind::Remove { file, flags }, PeerInfo::Attr { attr, .. }, NfsStatus::Ok)
                 if attr.nlink == 0 =>
@@ -1701,13 +1845,31 @@ impl DirServer {
                 let p = self.pending.get_mut(&pid).expect("pending present");
                 p.reply = NfsReply::error(p.reply.proc, s);
             }
-            (PendingKind::Rename { from_key, .. }, PeerInfo::Replaced { child }, NfsStatus::Ok) => {
+            (
+                PendingKind::Rename {
+                    from_key,
+                    to_dir,
+                    to_home,
+                },
+                PeerInfo::Replaced { child },
+                NfsStatus::Ok,
+            ) => {
                 let from_key = *from_key;
+                let (to_dir, to_home) = (*to_dir, *to_home);
                 let child = *child;
                 self.log_del_name(now, from_key);
                 if let Some(old) = child {
                     let mut extra_waits = HashSet::new();
                     let mut durable = now;
+                    self.retract_dest_entry(
+                        actions,
+                        now,
+                        &mut extra_waits,
+                        to_dir,
+                        to_home,
+                        &old,
+                        t,
+                    );
                     self.unlink_child(actions, now, &mut extra_waits, &mut durable, old, t);
                     if !extra_waits.is_empty() {
                         for &w in &extra_waits {

@@ -31,6 +31,7 @@ impl Cluster {
                         policy,
                         clock_skew: SimDuration::ZERO,
                         wal: Default::default(),
+                        default_mapped: false,
                     })
                 })
                 .collect(),
@@ -393,7 +394,8 @@ fn setattr_truncate_triggers_data_truncate() {
     let mut c = Cluster::new(1, NamePolicy::MkdirSwitching);
     let root = Fhandle::root();
     let f = c.create(t(1), &root, "grow");
-    // Grow via setattr (µproxy attribute write-back): no data action.
+    // Grow via a µproxy attribute write-back — these always carry explicit
+    // client timestamps — so no data action is required.
     let reply = c.auto(
         t(2),
         1,
@@ -401,6 +403,10 @@ fn setattr_truncate_triggers_data_truncate() {
             fh: f,
             attr: Sattr3 {
                 size: Some(100_000),
+                mtime: slice_nfsproto::SetTime::Client(slice_nfsproto::NfsTime {
+                    secs: 2,
+                    nsecs: 0,
+                }),
                 ..Default::default()
             },
         },

@@ -60,6 +60,7 @@ impl Cluster {
                         policy,
                         clock_skew: SimDuration::ZERO,
                         wal: Default::default(),
+                        default_mapped: false,
                     })
                 })
                 .collect(),

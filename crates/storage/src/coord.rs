@@ -36,6 +36,10 @@ pub enum Placement {
     },
 }
 
+/// One file's block map as dumped for structural checking:
+/// `(file, placement, [(block, replica sites)])` with blocks sorted.
+pub type BlockMapDump = Vec<(u64, Placement, Vec<(u64, Vec<u32>)>)>;
+
 /// The kind of multisite operation an intention covers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IntentKind {
@@ -264,6 +268,21 @@ impl Coordinator {
     /// WAL statistics (appends, batches, bytes).
     pub fn wal_stats(&self) -> (u64, u64, u64) {
         self.wal.stats()
+    }
+
+    /// A sorted snapshot of the block maps for structural checking.
+    pub fn block_map_dump(&self) -> BlockMapDump {
+        let mut out: Vec<_> = self
+            .maps
+            .iter()
+            .map(|(&file, (placement, map))| {
+                let mut blocks: Vec<_> = map.iter().map(|(&b, s)| (b, s.clone())).collect();
+                blocks.sort_unstable_by_key(|&(b, _)| b);
+                (file, *placement, blocks)
+            })
+            .collect();
+        out.sort_unstable_by_key(|&(f, _, _)| f);
+        out
     }
 
     fn assign_blocks(

@@ -192,6 +192,11 @@ impl StorageNode {
         &self.store
     }
 
+    /// Mutable store access (fault injection in oracle mutation tests).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
     /// Placeholder post-op attributes for `obj`: storage nodes know only
     /// the local object size and times; the µproxy patches the attribute
     /// block with its authoritative cached attributes in flight (§4.1).

@@ -84,6 +84,19 @@ impl AttrCache {
         (self.hits, self.misses)
     }
 
+    /// A sorted audit snapshot `(file, dirty, cached size)` for the
+    /// structural oracles: at quiescence no entry may be dirty, and clean
+    /// sizes must be subsumed by authoritative server state.
+    pub fn audit(&self) -> Vec<(u64, bool, u64)> {
+        let mut out: Vec<_> = self
+            .entries
+            .iter()
+            .map(|(&file, e)| (file, e.dirty, e.attr.size))
+            .collect();
+        out.sort_unstable_by_key(|&(f, _, _)| f);
+        out
+    }
+
     /// Looks up current attributes for a file.
     pub fn get(&mut self, file: u64) -> Option<Fattr3> {
         if let Some(e) = self.entries.get(&file) {

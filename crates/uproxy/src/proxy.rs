@@ -319,6 +319,12 @@ impl Uproxy {
         self.attrs.has_dirty()
     }
 
+    /// Audit snapshot of the attribute cache `(file, dirty, cached size)`
+    /// for the `slice-check` structural oracles.
+    pub fn audit_attr_cache(&self) -> Vec<(u64, bool, u64)> {
+        self.attrs.audit()
+    }
+
     /// Attribute pushes re-issued because an earlier push of the same
     /// version went unacknowledged — retransmissions performed by the
     /// interposed layer rather than the client's RPC machinery.

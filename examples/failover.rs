@@ -9,7 +9,10 @@ use slice::sim::{SimDuration, SimTime};
 use slice::workloads::{ScriptWorkload, Step};
 
 fn main() {
-    let cfg = SliceConfig::default();
+    let cfg = SliceConfig {
+        record_history: true,
+        ..SliceConfig::default()
+    };
     let phase1 = ScriptWorkload::new(
         vec![
             Step::Mkdir {
@@ -110,10 +113,19 @@ fn main() {
         "post-recovery errors: {:?}",
         script.errors
     );
-    let dir = ens.engine.actor::<DirActor>(dir_node);
-    println!(
-        "after recovery: {} name cells, {} attr cells — all data verified, new create succeeded",
-        dir.server.name_cells(),
-        dir.server.attr_cells()
-    );
+    {
+        let dir = ens.engine.actor::<DirActor>(dir_node);
+        println!(
+            "after recovery: {} name cells, {} attr cells — all data verified, new create succeeded",
+            dir.server.name_cells(),
+            dir.server.attr_cells()
+        );
+    }
+
+    // Final audit: the slice-check oracles vet the recorded op history and
+    // the quiesced server state.
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    println!("slice-check: structural + history oracles passed");
 }

@@ -24,6 +24,7 @@ fn main() {
     let cfg = SliceConfig {
         dir_servers: 3,
         policy: EnsemblePolicy::NameHashing,
+        record_history: true,
         ..Default::default()
     };
     // Phase 1: populate the volume.
@@ -99,4 +100,11 @@ fn main() {
         .map(|&d| ens.engine.actor::<DirActor>(d).server.misdirected())
         .sum();
     println!("servers bounced {bounced} misdirected request(s); all ops succeeded via retry");
+
+    // Final audit: the slice-check oracles vet the recorded op history and
+    // the rebalanced directory state (entry counts, hash chains, orphans).
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+    println!("slice-check: structural + history oracles passed");
 }

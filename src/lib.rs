@@ -37,6 +37,7 @@
 //! # let _ = wl;
 //! ```
 
+pub use slice_check as check;
 pub use slice_core as core;
 pub use slice_dirsvc as dirsvc;
 pub use slice_hashes as hashes;

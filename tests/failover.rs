@@ -12,7 +12,9 @@ use slice::sim::SimDuration;
 use slice::workloads::{ScriptWorkload, Step};
 
 /// Builds, runs phase one to completion, applies `fault`, then runs phase
-/// two on the same client and asserts it passes.
+/// two on the same client and asserts it passes. Every run also records
+/// the client-visible op history and is vetted by the slice-check
+/// consistency oracles after quiescing.
 fn two_phase(
     cfg: &SliceConfig,
     phase1: Vec<Step>,
@@ -21,7 +23,11 @@ fn two_phase(
     phase2: Vec<Step>,
     slots2: usize,
 ) -> SliceEnsemble {
-    let mut ens = SliceEnsemble::build(cfg, vec![Box::new(ScriptWorkload::new(phase1, slots1))]);
+    let cfg = SliceConfig {
+        record_history: true,
+        ..cfg.clone()
+    };
+    let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(ScriptWorkload::new(phase1, slots1))]);
     ens.start();
     ens.run_to_completion(deadline());
     assert_errors(&ens, 0);
@@ -32,6 +38,9 @@ fn two_phase(
     ens.engine.kick(c0);
     ens.run_to_completion(deadline());
     assert_errors(&ens, 0);
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
     ens
 }
 
@@ -351,6 +360,7 @@ fn sustained_packet_loss_with_bulk_transfer() {
     // machinery must deliver a fully intact file.
     let cfg = SliceConfig {
         seed: 99,
+        record_history: true,
         ..Default::default()
     };
     let mut steps = vec![Step::Create {
@@ -381,6 +391,9 @@ fn sustained_packet_loss_with_bulk_transfer() {
     ens.start();
     ens.run_to_completion(deadline());
     assert_errors(&ens, 0);
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
 }
 
 #[test]

@@ -391,6 +391,10 @@ impl Workload for Stress {
 }
 
 fn run_stress(cfg: SliceConfig, seed: u64, ops: u32) {
+    let cfg = SliceConfig {
+        record_history: true,
+        ..cfg
+    };
     let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(Stress::new(seed, ops))]);
     ens.start();
     ens.run_to_completion(deadline());
@@ -407,6 +411,11 @@ fn run_stress(cfg: SliceConfig, seed: u64, ops: u32) {
         "model divergence: {:?}",
         &s.errors[..s.errors.len().min(5)]
     );
+    // Independent of the model: the recorded history must linearize and
+    // the quiesced server state must satisfy every structural invariant.
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
 }
 
 #[test]
@@ -441,6 +450,7 @@ fn randomized_ops_match_model_name_hashing() {
 fn randomized_ops_match_model_under_packet_loss() {
     let cfg = SliceConfig {
         seed: 3003,
+        record_history: true,
         ..Default::default()
     };
     let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(Stress::new(77, 300))]);
@@ -460,6 +470,9 @@ fn randomized_ops_match_model_under_packet_loss() {
         "model divergence: {:?}",
         &s.errors[..s.errors.len().min(5)]
     );
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
 }
 
 #[test]

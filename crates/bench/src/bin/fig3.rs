@@ -6,16 +6,27 @@
 //! (no logging) but its single CPU saturates quickly; Slice-N scales with
 //! more directory servers, each saturating near 6000 ops/s.
 //!
-//! Usage: `fig3 [--full]` — default creates 3,600 files/dirs per process
-//! (a documented 1/10 scale of the paper's 36,000); `--full` runs the
-//! paper's size.
+//! Usage: `fig3 [--full | --files N]` — default creates 3,600 files/dirs
+//! per process (a documented 1/10 scale of the paper's 36,000); `--full`
+//! runs the paper's size, and `--files N` sets an explicit per-process
+//! count (used by the cross-process determinism test to keep runs short).
 
 use slice_core::EnsemblePolicy;
 use slice_sim::Series;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let files: u64 = if full { 36_000 } else { 3_600 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let full = argv.iter().any(|a| a == "--full");
+    let mut files: u64 = if full { 36_000 } else { 3_600 };
+    if let Some(i) = argv.iter().position(|a| a == "--files") {
+        files = argv
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("usage: fig3 [--full | --files N] [--json-out]");
+                std::process::exit(2);
+            });
+    }
     let process_counts = [1usize, 2, 4, 8, 16];
     let mut mfs = Series::new("N-MFS");
     let mut slice_n: Vec<Series> = [1usize, 2, 4]

@@ -1,0 +1,159 @@
+//! perf — wall-clock baseline of the simulator's hot path.
+//!
+//! Times the Figure 3 untar mix (the same grid the `fig3` binary sweeps)
+//! and a saturating mirrored bulk-I/O run end-to-end on the host, then
+//! emits `BENCH_perf.json` with wall-clock seconds, simulated packet and
+//! event throughput per host second, the event slab's high-water mark,
+//! and the payload copy counters from `ByteBuf`. Every PR gets a
+//! trajectory point; CI's `perf-smoke` job fails when the untar
+//! wall-clock regresses more than 25% against the committed reference
+//! (`ci/perf_reference.txt`).
+//!
+//! Usage: `perf [--full] [--check <reference-file>]`
+//!
+//! * `--full` — paper-scale untar (36,000 files/process) and 256 MB bulk
+//!   files instead of the 1/10-scale defaults.
+//! * `--check <file>` — exit nonzero if the untar wall-clock exceeds the
+//!   reference seconds stored in `<file>` (a bare decimal; `#` lines are
+//!   comments) by more than 25%.
+
+use slice_bench::EngineTotals;
+use slice_core::EnsemblePolicy;
+use std::time::Instant;
+
+/// Wall-clock regression tolerance for `--check`: fail above
+/// `reference * (1 + PERF_TOLERANCE)`.
+const PERF_TOLERANCE: f64 = 0.25;
+
+struct PhaseReport {
+    wall_s: f64,
+    totals: EngineTotals,
+}
+
+/// The fig3 grid: N-MFS plus Slice-{1,2,4} across the process sweep.
+fn untar_phase(files: u64) -> PhaseReport {
+    let start = Instant::now();
+    let mut totals = EngineTotals::default();
+    for &procs in &[1usize, 2, 4, 8, 16] {
+        totals.absorb(slice_bench::run_untar_mfs_stats(procs, files).1);
+        for &dirs in &[1usize, 2, 4] {
+            let p_millis = (1000 / dirs as u32).max(1);
+            let policy = EnsemblePolicy::MkdirSwitching {
+                redirect_millis: p_millis,
+            };
+            totals.absorb(slice_bench::run_untar_slice_stats(procs, dirs, files, policy).1);
+        }
+    }
+    PhaseReport {
+        wall_s: start.elapsed().as_secs_f64(),
+        totals,
+    }
+}
+
+/// Saturating mirrored bulk I/O: 16 writers then 16 readers, so the run
+/// exercises mirrored-write duplication (the payload-sharing fast path)
+/// at full load.
+fn bulk_phase(bytes_per_client: u64) -> PhaseReport {
+    let start = Instant::now();
+    let (_w, _r, totals) = slice_bench::run_bulk_stats(16, bytes_per_client, true);
+    PhaseReport {
+        wall_s: start.elapsed().as_secs_f64(),
+        totals,
+    }
+}
+
+fn fold_phase(reg: &mut slice_obs::Registry, name: &str, ph: &PhaseReport) {
+    reg.set_gauge(&format!("perf.{name}.wall_s"), ph.wall_s);
+    reg.set(&format!("perf.{name}.packets"), ph.totals.packets);
+    reg.set(&format!("perf.{name}.bytes"), ph.totals.bytes);
+    reg.set(&format!("perf.{name}.events"), ph.totals.events);
+    reg.set(
+        &format!("perf.{name}.peak_live_events"),
+        ph.totals.peak_live_events as u64,
+    );
+    if ph.wall_s > 0.0 {
+        reg.set_gauge(
+            &format!("perf.{name}.packets_per_host_s"),
+            ph.totals.packets as f64 / ph.wall_s,
+        );
+        reg.set_gauge(
+            &format!("perf.{name}.events_per_host_s"),
+            ph.totals.events as f64 / ph.wall_s,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let check_ref = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a file").clone());
+    let files: u64 = if full { 36_000 } else { 3_600 };
+    let bulk_bytes: u64 = if full { 256 << 20 } else { 32 << 20 };
+
+    slice_nfsproto::bytes::reset_clone_stats();
+    let untar = untar_phase(files);
+    let bulk = bulk_phase(bulk_bytes);
+    let (shallow, deep, deep_bytes) = slice_nfsproto::bytes::clone_stats();
+
+    println!(
+        "perf: hot-path wall-clock baseline ({})",
+        if full {
+            "full scale"
+        } else {
+            "default 1/10 scale"
+        }
+    );
+    for (name, ph) in [("untar", &untar), ("bulk", &bulk)] {
+        println!(
+            "  {name:>6}: {:>7.3}s wall | {:>12} packets ({:>9.0}/host-s) | {:>12} events | peak live {}",
+            ph.wall_s,
+            ph.totals.packets,
+            ph.totals.packets as f64 / ph.wall_s.max(1e-9),
+            ph.totals.events,
+            ph.totals.peak_live_events,
+        );
+    }
+    println!("  payload: {shallow} shallow clones, {deep} deep copies ({deep_bytes} bytes copied)");
+
+    let json = slice_bench::obs_doc(|reg| {
+        fold_phase(reg, "untar", &untar);
+        fold_phase(reg, "bulk", &bulk);
+        reg.set("perf.payload.shallow_clones", shallow);
+        reg.set("perf.payload.deep_copies", deep);
+        reg.set("perf.payload.deep_copy_bytes", deep_bytes);
+        reg.set_gauge("perf.total.wall_s", untar.wall_s + bulk.wall_s);
+    });
+    println!("{json}");
+    slice_bench::write_json("perf", &json);
+
+    if let Some(path) = check_ref {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read reference {path}: {e}"));
+        let value_line = text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("reference {path} has no value line"));
+        let reference: f64 = value_line
+            .parse()
+            .unwrap_or_else(|e| panic!("parse reference {path} ({value_line:?}): {e}"));
+        let limit = reference * (1.0 + PERF_TOLERANCE);
+        if untar.wall_s > limit {
+            eprintln!(
+                "perf: REGRESSION — untar wall {:.3}s exceeds reference {reference:.3}s by more \
+                 than {:.0}% (limit {limit:.3}s)",
+                untar.wall_s,
+                PERF_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf: untar wall {:.3}s within {:.0}% of reference {reference:.3}s",
+            untar.wall_s,
+            PERF_TOLERANCE * 100.0
+        );
+    }
+}

@@ -42,6 +42,16 @@ impl BulkResult {
 /// of `bytes_per_client`, mirrored or not. Returns (write, read) aggregate
 /// bandwidth.
 pub fn run_bulk(clients: usize, bytes_per_client: u64, mirrored: bool) -> (BulkResult, BulkResult) {
+    let (w, r, _) = run_bulk_stats(clients, bytes_per_client, mirrored);
+    (w, r)
+}
+
+/// [`run_bulk`] variant that also harvests engine totals.
+pub fn run_bulk_stats(
+    clients: usize,
+    bytes_per_client: u64,
+    mirrored: bool,
+) -> (BulkResult, BulkResult, EngineTotals) {
     let cfg = SliceConfig {
         clients,
         ..bench_config()
@@ -103,6 +113,7 @@ pub fn run_bulk(clients: usize, bytes_per_client: u64, mirrored: bool) -> (BulkR
         BulkResult {
             bandwidth_bps: read_bw,
         },
+        EngineTotals::harvest(&ens.engine),
     )
 }
 
@@ -191,6 +202,38 @@ pub fn run_uproxy_phases(pairs: usize) -> PhaseStats {
     proxy.phase_stats()
 }
 
+/// Engine-level totals harvested after a run, for the `perf` baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineTotals {
+    /// Packets handed to the network model.
+    pub packets: u64,
+    /// Payload bytes handed to the network model.
+    pub bytes: u64,
+    /// Events executed.
+    pub events: u64,
+    /// High-water mark of concurrently live events in the slab.
+    pub peak_live_events: usize,
+}
+
+impl EngineTotals {
+    fn harvest<M: slice_sim::MessageSize + 'static>(engine: &slice_sim::Engine<M>) -> Self {
+        EngineTotals {
+            packets: engine.packets_sent(),
+            bytes: engine.bytes_sent(),
+            events: engine.events_executed(),
+            peak_live_events: engine.peak_live_events(),
+        }
+    }
+
+    /// Accumulates another run's totals (peaks take the max).
+    pub fn absorb(&mut self, other: EngineTotals) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.events += other.events;
+        self.peak_live_events = self.peak_live_events.max(other.peak_live_events);
+    }
+}
+
 /// Figure 3 / Figure 4: untar latency per process.
 ///
 /// Returns the mean elapsed seconds per process.
@@ -200,6 +243,16 @@ pub fn run_untar_slice(
     files_per_process: u64,
     policy: EnsemblePolicy,
 ) -> f64 {
+    run_untar_slice_stats(processes, dir_servers, files_per_process, policy).0
+}
+
+/// [`run_untar_slice`] variant that also harvests engine totals.
+pub fn run_untar_slice_stats(
+    processes: usize,
+    dir_servers: usize,
+    files_per_process: u64,
+    policy: EnsemblePolicy,
+) -> (f64, EngineTotals) {
     let cfg = SliceConfig {
         clients: processes,
         dir_servers,
@@ -226,11 +279,16 @@ pub fn run_untar_slice(
             .unwrap_or_else(|| panic!("process {i} unfinished"))
             .as_secs_f64();
     }
-    total / processes as f64
+    (total / processes as f64, EngineTotals::harvest(&ens.engine))
 }
 
 /// Figure 3 baseline: untar against the MFS memory file server.
 pub fn run_untar_mfs(processes: usize, files_per_process: u64) -> f64 {
+    run_untar_mfs_stats(processes, files_per_process).0
+}
+
+/// [`run_untar_mfs`] variant that also harvests engine totals.
+pub fn run_untar_mfs_stats(processes: usize, files_per_process: u64) -> (f64, EngineTotals) {
     let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
         .map(|i| Box::new(Untar::new(i as u64, files_per_process)) as Box<dyn slice_core::Workload>)
         .collect();
@@ -251,7 +309,7 @@ pub fn run_untar_mfs(processes: usize, files_per_process: u64) -> f64 {
             .unwrap_or_else(|| panic!("process {i} unfinished"))
             .as_secs_f64();
     }
-    total / processes as f64
+    (total / processes as f64, EngineTotals::harvest(&ens.engine))
 }
 
 /// Result of one SPECsfs-like run.
@@ -388,6 +446,35 @@ pub fn phases_obs_json(table: &str, ph: &PhaseStats) -> String {
     })
 }
 
+/// Locates the repository root at runtime: the first ancestor of the
+/// current working directory (then of the binary's own path) containing a
+/// `Cargo.lock`. Compile-time `CARGO_MANIFEST_DIR` is wrong whenever the
+/// binary runs from a different checkout or a CI workspace; walking up at
+/// runtime finds the root of whichever tree actually invoked us. Falls
+/// back to `.` when no lockfile is found (bare binary outside any
+/// checkout).
+pub fn repo_root() -> std::path::PathBuf {
+    fn ascend(start: &std::path::Path) -> Option<std::path::PathBuf> {
+        let mut dir = start;
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return Some(dir.to_path_buf());
+            }
+            dir = dir.parent()?;
+        }
+    }
+    if let Some(root) = std::env::current_dir().ok().and_then(|d| ascend(&d)) {
+        return root;
+    }
+    if let Some(root) = std::env::current_exe()
+        .ok()
+        .and_then(|e| e.parent().and_then(ascend))
+    {
+        return root;
+    }
+    std::path::PathBuf::from(".")
+}
+
 /// Writes `json` to `BENCH_<name>.json` at the repository root when the
 /// invoking binary was passed `--json-out`; otherwise does nothing. The
 /// snapshot files are gitignored run artifacts consumed by plotting and
@@ -396,7 +483,13 @@ pub fn maybe_write_json(name: &str, json: &str) {
     if !std::env::args().any(|a| a == "--json-out") {
         return;
     }
-    let file = format!("{}/../../BENCH_{name}.json", env!("CARGO_MANIFEST_DIR"));
-    std::fs::write(&file, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
-    eprintln!("wrote {file}");
+    write_json(name, json);
+}
+
+/// Unconditionally writes `json` to `BENCH_<name>.json` at the repository
+/// root (resolved at runtime; see [`repo_root`]).
+pub fn write_json(name: &str, json: &str) {
+    let file = repo_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&file, json).unwrap_or_else(|e| panic!("write {}: {e}", file.display()));
+    eprintln!("wrote {}", file.display());
 }

@@ -1,0 +1,41 @@
+//! Cross-process determinism for experiment output.
+//!
+//! The byte-identical-replay guarantee (slice-check, DESIGN.md §9) only
+//! holds if nothing in the simulation keys behavior on per-process state.
+//! Before the fixed-seed hasher, `std::collections::HashMap`'s random
+//! seed made iteration order — and through it the attr-cache write-back
+//! sweep, retransmission scans, and storage-map walks — differ between
+//! two runs of the *same binary*. This test spawns `fig3` twice as real
+//! separate processes and requires every stdout byte, including the
+//! trailing obs JSON snapshot, to match exactly.
+
+use std::process::Command;
+
+fn run_fig3() -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .args(["--files", "100"])
+        .output()
+        .expect("spawn fig3");
+    assert!(
+        out.status.success(),
+        "fig3 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("fig3 stdout is UTF-8")
+}
+
+#[test]
+fn fig3_is_byte_identical_across_processes() {
+    let a = run_fig3();
+    let b = run_fig3();
+    assert!(
+        a == b,
+        "fig3 stdout differs between two separate processes:\n--- run 1\n{a}\n--- run 2\n{b}"
+    );
+    // The last line is the machine-readable obs JSON; assert it is present
+    // (so a future format change can't silently gut this test) and equal.
+    let ja = a.lines().rev().find(|l| l.starts_with('{'));
+    let jb = b.lines().rev().find(|l| l.starts_with('{'));
+    assert!(ja.is_some(), "fig3 stdout lost its obs JSON line");
+    assert_eq!(ja, jb, "obs JSON differs across processes");
+}

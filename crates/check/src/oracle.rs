@@ -28,7 +28,7 @@
 //! counted*, never silently dropped: [`OracleStats::registers_skipped`]
 //! reports them so a sweep can't claim coverage it didn't have.
 
-use std::collections::{HashMap, HashSet};
+use slice_sim::{FxHashMap, FxHashSet};
 
 use slice_core::history::{OpHistory, OpRecord, CHUNK_BYTES};
 use slice_nfsproto::{NfsStatus, StableHow};
@@ -139,11 +139,11 @@ pub fn check_histories(histories: &[&OpHistory]) -> (Vec<Violation>, OracleStats
     (violations, stats)
 }
 
-fn build_registers(histories: &[&OpHistory]) -> HashMap<(u64, u64), Vec<RegOp>> {
-    let mut regs: HashMap<(u64, u64), Vec<RegOp>> = HashMap::new();
+fn build_registers(histories: &[&OpHistory]) -> FxHashMap<(u64, u64), Vec<RegOp>> {
+    let mut regs: FxHashMap<(u64, u64), Vec<RegOp>> = FxHashMap::default();
     // Highest chunk index each file's history ever touched, so truncates
     // know how far to project their zeroing.
-    let mut max_chunk: HashMap<u64, u64> = HashMap::new();
+    let mut max_chunk: FxHashMap<u64, u64> = FxHashMap::default();
 
     let completed_ok = |r: &OpRecord| r.end.is_some() && r.status == Some(NfsStatus::Ok);
 
@@ -309,7 +309,7 @@ fn check_concurrent(file: u64, chunk: u64, sorted: &[RegOp]) -> RegisterVerdict 
             }
         }
         ops.sort_by_key(|o| (o.begin, o.end.unwrap_or(u64::MAX)));
-        let mut visited = HashSet::new();
+        let mut visited = FxHashSet::default();
         match linearize(&ops, (1u32 << ops.len()) - 1, 0, &mut visited, &mut budget) {
             SearchResult::Found => return RegisterVerdict::Ok,
             SearchResult::Exhausted => {}
@@ -335,7 +335,7 @@ fn linearize(
     ops: &[RegOp],
     remaining: u32,
     value: u8,
-    visited: &mut HashSet<(u32, u8)>,
+    visited: &mut FxHashSet<(u32, u8)>,
     budget: &mut usize,
 ) -> SearchResult {
     if remaining == 0 {

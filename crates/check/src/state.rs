@@ -5,7 +5,8 @@
 //! queue — several of them (dirty attr-cache entries, open intents) are
 //! only invariants *at quiescence*.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use slice_sim::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 
 use slice_core::actors::{CoordActor, DirActor, StorageActor};
 use slice_core::ensemble::SliceEnsemble;
@@ -65,7 +66,7 @@ pub fn check_dirsvc(ens: &SliceEnsemble) -> Vec<Violation> {
     let root_file = Fhandle::root().file_id();
 
     // One authoritative attribute cell per file, across all sites.
-    let mut attr_map: HashMap<u64, (usize, AttrCell)> = HashMap::new();
+    let mut attr_map: FxHashMap<u64, (usize, AttrCell)> = FxHashMap::default();
     for (site, file, cell) in &attrs {
         if let Some((other, _)) = attr_map.get(file) {
             v.push(Violation::new(
@@ -79,7 +80,7 @@ pub fn check_dirsvc(ens: &SliceEnsemble) -> Vec<Violation> {
 
     // ChildRefs referencing the same file must agree on home and key
     // (they mint the same handle bytes modulo flags/generation).
-    let mut child_of: HashMap<u64, ChildRef> = HashMap::new();
+    let mut child_of: FxHashMap<u64, ChildRef> = FxHashMap::default();
     for (_, _, cell) in &names {
         let c = cell.child;
         match child_of.get(&c.file) {
@@ -150,8 +151,8 @@ pub fn check_dirsvc(ens: &SliceEnsemble) -> Vec<Violation> {
     }
 
     // Link counts and entry counts against the actual name cells.
-    let mut refcount: HashMap<u64, u32> = HashMap::new();
-    let mut entries: HashMap<u64, u32> = HashMap::new();
+    let mut refcount: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut entries: FxHashMap<u64, u32> = FxHashMap::default();
     for (_, _, cell) in &names {
         *refcount.entry(cell.child.file).or_insert(0) += 1;
         *entries.entry(cell.parent).or_insert(0) += 1;
@@ -205,7 +206,7 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
             .node;
         node.store().get(file).is_some()
     };
-    let mut authoritative_size: HashMap<u64, u64> = HashMap::new();
+    let mut authoritative_size: FxHashMap<u64, u64> = FxHashMap::default();
     for (_, file, cell) in dir_dumps(ens).1 {
         authoritative_size.insert(file, cell.attr.size);
     }
@@ -224,7 +225,7 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
                     ));
                     continue;
                 }
-                let mut seen = HashSet::new();
+                let mut seen = FxHashSet::default();
                 for &s in replica_sites {
                     if s >= sites {
                         v.push(Violation::new(
@@ -275,7 +276,7 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
 pub fn check_attr_cache(ens: &SliceEnsemble) -> Vec<Violation> {
     let mut v = Vec::new();
     let (_, attrs) = dir_dumps(ens);
-    let mut server_size: HashMap<u64, u64> = HashMap::new();
+    let mut server_size: FxHashMap<u64, u64> = FxHashMap::default();
     for (_, file, cell) in attrs {
         server_size.insert(file, cell.attr.size);
     }
@@ -333,11 +334,11 @@ pub struct VolumeSnapshot {
 /// Builds the namespace snapshot of a quiesced ensemble.
 pub fn snapshot(ens: &SliceEnsemble) -> VolumeSnapshot {
     let (names, attrs) = dir_dumps(ens);
-    let mut attr_map: HashMap<u64, AttrCell> = HashMap::new();
+    let mut attr_map: FxHashMap<u64, AttrCell> = FxHashMap::default();
     for (_, file, cell) in attrs {
         attr_map.entry(file).or_insert(cell);
     }
-    let mut children: HashMap<u64, Vec<(String, ChildRef)>> = HashMap::new();
+    let mut children: FxHashMap<u64, Vec<(String, ChildRef)>> = FxHashMap::default();
     for (_, _, cell) in names {
         children
             .entry(cell.parent)
@@ -348,7 +349,7 @@ pub fn snapshot(ens: &SliceEnsemble) -> VolumeSnapshot {
     let mut snap = VolumeSnapshot::default();
     let root = Fhandle::root().file_id();
     let mut queue: Vec<(u64, String)> = vec![(root, String::new())];
-    let mut visited = HashSet::new();
+    let mut visited = FxHashSet::default();
     while let Some((dir, prefix)) = queue.pop() {
         if !visited.insert(dir) {
             continue; // corrupt cycle: the dirsvc oracles will report it

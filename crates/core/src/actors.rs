@@ -6,8 +6,8 @@
 //! timers to model disk and log completion times computed by the
 //! underlying state machines.
 
+use slice_sim::FxHashMap;
 use std::any::Any;
-use std::collections::HashMap;
 
 use slice_dirsvc::{DirAction, DirServer};
 use slice_nfsproto::{
@@ -24,7 +24,7 @@ use crate::wire::{Router, Wire};
 /// Schedules messages for future instants via timers.
 #[derive(Debug, Default)]
 struct DeferredSender {
-    stash: HashMap<u64, (NodeId, Wire)>,
+    stash: FxHashMap<u64, (NodeId, Wire)>,
     next_tag: u64,
 }
 
@@ -61,12 +61,20 @@ fn payload_cpu(bytes: usize, per_4k: SimDuration) -> SimDuration {
 /// processed are dropped so a retry cannot re-execute them.
 #[derive(Debug, Default)]
 pub struct ReplyCache {
-    done: HashMap<(u32, u16, u32), Packet>,
+    /// One map holds both phases of an entry's life (in progress, then
+    /// done): the admit/complete pair on every request costs one hash
+    /// lookup each instead of crossing a separate set and map.
+    entries: FxHashMap<(u32, u16, u32), DrcEntry>,
     order: std::collections::VecDeque<(u32, u16, u32)>,
-    in_progress: std::collections::HashSet<(u32, u16, u32)>,
 }
 
-/// DRC capacity (entries).
+#[derive(Debug)]
+enum DrcEntry {
+    InProgress,
+    Done(Packet),
+}
+
+/// DRC capacity (completed entries).
 const DRC_CAPACITY: usize = 2048;
 
 /// Outcome of a DRC admission check.
@@ -86,25 +94,27 @@ impl ReplyCache {
 
     /// Checks an incoming call and registers it as in progress when fresh.
     pub fn admit(&mut self, src: SockAddr, xid: u32) -> DrcCheck {
-        let key = Self::key(src, xid);
-        if let Some(reply) = self.done.get(&key) {
-            return DrcCheck::Replay(reply.clone());
+        match self.entries.entry(Self::key(src, xid)) {
+            std::collections::hash_map::Entry::Occupied(e) => match e.get() {
+                DrcEntry::InProgress => DrcCheck::InProgress,
+                DrcEntry::Done(reply) => DrcCheck::Replay(reply.clone()),
+            },
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(DrcEntry::InProgress);
+                DrcCheck::Fresh
+            }
         }
-        if !self.in_progress.insert(key) {
-            return DrcCheck::InProgress;
-        }
-        DrcCheck::Fresh
     }
 
     /// Records the reply for a completed request.
     pub fn complete(&mut self, dst: SockAddr, xid: u32, reply: &Packet) {
         let key = Self::key(dst, xid);
-        self.in_progress.remove(&key);
-        if self.done.insert(key, reply.clone()).is_none() {
+        let prev = self.entries.insert(key, DrcEntry::Done(reply.clone()));
+        if !matches!(prev, Some(DrcEntry::Done(_))) {
             self.order.push_back(key);
             if self.order.len() > DRC_CAPACITY {
                 if let Some(old) = self.order.pop_front() {
-                    self.done.remove(&old);
+                    self.entries.remove(&old);
                 }
             }
         }
@@ -112,9 +122,8 @@ impl ReplyCache {
 
     /// Drops everything (server restart: the DRC is volatile).
     pub fn clear(&mut self) {
-        self.done.clear();
+        self.entries.clear();
         self.order.clear();
-        self.in_progress.clear();
     }
 }
 
@@ -215,7 +224,7 @@ pub struct DirActor {
     coord_node: Option<NodeId>,
     sf_nodes: Vec<NodeId>,
     deferred: DeferredSender,
-    tokens: HashMap<u64, (SockAddr, u32)>,
+    tokens: FxHashMap<u64, (SockAddr, u32)>,
     next_token: u64,
     next_req_id: u64,
     charge_cpu: bool,
@@ -250,7 +259,7 @@ impl DirActor {
             coord_node,
             sf_nodes,
             deferred: DeferredSender::default(),
-            tokens: HashMap::new(),
+            tokens: FxHashMap::default(),
             next_token: 1,
             next_req_id: 1,
             charge_cpu,
@@ -417,9 +426,9 @@ pub struct SmallFileActor {
     addr: SockAddr,
     router: Router,
     storage_addrs: Vec<SockAddr>,
-    tokens: HashMap<u64, (SockAddr, u32)>,
+    tokens: FxHashMap<u64, (SockAddr, u32)>,
     /// Backing RPC xid -> (sf tag, read?).
-    backing: HashMap<u32, (u64, bool)>,
+    backing: FxHashMap<u32, (u64, bool)>,
     next_token: u64,
     next_xid: u32,
     charge_cpu: bool,
@@ -442,8 +451,8 @@ impl SmallFileActor {
             addr,
             router,
             storage_addrs,
-            tokens: HashMap::new(),
-            backing: HashMap::new(),
+            tokens: FxHashMap::default(),
+            backing: FxHashMap::default(),
             next_token: 1,
             next_xid: 1,
             charge_cpu,

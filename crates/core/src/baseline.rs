@@ -14,7 +14,7 @@ use slice_dirsvc::{DirAction, DirServer, DirServerConfig, NamePolicy};
 use slice_nfsproto::{
     decode_call, encode_reply, NfsReply, NfsRequest, Packet, ReplyBody, SockAddr,
 };
-use slice_sim::{Actor, Ctx, DiskArray, LruCache, NodeId, SimTime};
+use slice_sim::{Actor, Ctx, DiskArray, FxHashMap, LruCache, NodeId, SimTime};
 use slice_storage::{StorageNode, StorageNodeConfig};
 
 use crate::actors::{DrcCheck, ReplyCache};
@@ -231,7 +231,7 @@ pub struct BaselineActor {
     pub fs: MonoFs,
     addr: SockAddr,
     router: Router,
-    deferred: std::collections::HashMap<u64, (NodeId, Wire)>,
+    deferred: FxHashMap<u64, (NodeId, Wire)>,
     next_tag: u64,
     next_token: u64,
     charge_cpu: bool,
@@ -245,7 +245,7 @@ impl BaselineActor {
             fs,
             addr,
             router,
-            deferred: std::collections::HashMap::new(),
+            deferred: FxHashMap::default(),
             next_tag: 1,
             next_token: 1,
             charge_cpu,

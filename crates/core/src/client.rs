@@ -15,7 +15,7 @@
 //! and timeout-based retransmission (the end-to-end recovery the µproxy's
 //! statelessness relies on).
 
-use std::collections::HashMap;
+use slice_sim::FxHashMap;
 
 use slice_nfsproto::{
     decode_reply, encode_call, AuthUnix, NfsProc, NfsReply, NfsRequest, Packet, SockAddr,
@@ -111,7 +111,7 @@ pub struct ClientInner {
     coord_nodes: Vec<NodeId>,
     /// Where to fetch fresh routing tables (directory site 0).
     dir_table_source: Option<NodeId>,
-    pending: HashMap<u32, PendingRpc>,
+    pending: FxHashMap<u32, PendingRpc>,
     next_xid: u32,
     stats: ClientStats,
     /// Last observed value of the µproxy's push-retry counter, so each
@@ -339,7 +339,7 @@ impl ClientActor {
                 router,
                 coord_nodes,
                 dir_table_source: None,
-                pending: HashMap::new(),
+                pending: FxHashMap::default(),
                 next_xid: 1,
                 stats: ClientStats::default(),
                 seen_push_retries: 0,

@@ -13,7 +13,7 @@
 //! paper benchmarks pay nothing; tests and the schedule explorer turn it
 //! on.
 
-use std::collections::HashMap;
+use slice_sim::FxHashMap;
 
 use slice_nfsproto::{NfsReply, NfsRequest, NfsStatus, ReplyBody, StableHow};
 use slice_sim::SimTime;
@@ -95,7 +95,7 @@ fn chunk_values(offset: u64, data: &[u8]) -> (u64, Vec<Option<u8>>) {
 #[derive(Debug, Default)]
 pub struct OpHistory {
     records: Vec<OpRecord>,
-    open: HashMap<u32, usize>,
+    open: FxHashMap<u32, usize>,
 }
 
 impl OpHistory {

@@ -18,7 +18,8 @@
 //! park in a pending table until peer acknowledgements arrive, and update
 //! replies are released no earlier than their WAL records are durable.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use slice_sim::{FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
 
 use slice_hashes::{bucket_of, name_fingerprint, LOGICAL_SLOTS};
 use slice_nfsproto::{
@@ -138,7 +139,7 @@ enum PendingKind {
 struct Pending {
     token: u64,
     txid: u64,
-    waits: HashSet<u64>,
+    waits: FxHashSet<u64>,
     reply: NfsReply,
     kind: PendingKind,
     not_before: SimTime,
@@ -148,15 +149,15 @@ struct Pending {
 #[derive(Debug)]
 pub struct DirServer {
     config: DirServerConfig,
-    names: HashMap<u64, NameCell>,
-    attrs: HashMap<u64, AttrCell>,
+    names: FxHashMap<u64, NameCell>,
+    attrs: FxHashMap<u64, AttrCell>,
     /// Local entries per directory, ordered for readdir cookies.
-    dir_index: HashMap<u64, BTreeSet<u64>>,
+    dir_index: FxHashMap<u64, BTreeSet<u64>>,
     wal: Wal<DirLog>,
     /// Peer ops already applied (idempotence) with their ack payloads.
-    applied_peer: HashMap<u64, (NfsStatus, PeerInfo)>,
-    pending: HashMap<u64, Pending>,
-    wait_to_pending: HashMap<u64, u64>,
+    applied_peer: FxHashMap<u64, (NfsStatus, PeerInfo)>,
+    pending: FxHashMap<u64, Pending>,
+    wait_to_pending: FxHashMap<u64, u64>,
     next_file: u64,
     next_op: u64,
     next_tx: u64,
@@ -174,13 +175,13 @@ impl DirServer {
     /// Creates a directory server; site 0 owns the volume root.
     pub fn new(config: DirServerConfig) -> Self {
         let mut s = DirServer {
-            names: HashMap::new(),
-            attrs: HashMap::new(),
-            dir_index: HashMap::new(),
+            names: FxHashMap::default(),
+            attrs: FxHashMap::default(),
+            dir_index: FxHashMap::default(),
             wal: Wal::new(config.wal.clone()),
-            applied_peer: HashMap::new(),
-            pending: HashMap::new(),
-            wait_to_pending: HashMap::new(),
+            applied_peer: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            wait_to_pending: FxHashMap::default(),
             next_file: (u64::from(config.site) << 32) | 2,
             next_op: (u64::from(config.site) << 48) | 1,
             next_tx: 1,
@@ -457,7 +458,7 @@ impl DirServer {
         token: u64,
         reply: NfsReply,
         at: SimTime,
-        waits: HashSet<u64>,
+        waits: FxHashSet<u64>,
         kind: PendingKind,
         now: SimTime,
     ) {
@@ -622,7 +623,7 @@ impl DirServer {
                                     dir_attr,
                                 },
                             };
-                            let mut waits = HashSet::new();
+                            let mut waits = FxHashSet::default();
                             waits.insert(op);
                             self.finish(
                                 &mut actions,
@@ -884,7 +885,7 @@ impl DirServer {
             },
         );
         let mut durable = self.log_put_attr(now, file);
-        let mut waits = HashSet::new();
+        let mut waits = FxHashSet::default();
         let nlink_delta = i32::from(ftype == FileType::Directory);
         // Parent update applied before the remote insert is acknowledged;
         // must be taken back if the insert answers EXIST.
@@ -1025,7 +1026,7 @@ impl DirServer {
             });
             return;
         }
-        let mut waits = HashSet::new();
+        let mut waits = FxHashSet::default();
         if is_rmdir {
             if child.home == self.config.site {
                 let empty = self
@@ -1210,7 +1211,7 @@ impl DirServer {
         let child = cell.child;
         let is_dir = child.flags & FH_FLAG_DIR != 0;
         let dest_site = self.entry_site(to_dir, to_key);
-        let mut waits = HashSet::new();
+        let mut waits = FxHashSet::default();
         let mut durable = now;
         let mut replaced: Option<ChildRef> = None;
         if dest_site == self.config.site {
@@ -1310,7 +1311,7 @@ impl DirServer {
         &mut self,
         actions: &mut Vec<DirAction>,
         now: SimTime,
-        waits: &mut HashSet<u64>,
+        waits: &mut FxHashSet<u64>,
         to_dir: u64,
         to_home: u32,
         old: &ChildRef,
@@ -1341,7 +1342,7 @@ impl DirServer {
         &mut self,
         actions: &mut Vec<DirAction>,
         now: SimTime,
-        waits: &mut HashSet<u64>,
+        waits: &mut FxHashSet<u64>,
         durable: &mut SimTime,
         child: ChildRef,
         t: NfsTime,
@@ -1411,7 +1412,7 @@ impl DirServer {
                 child,
             },
         );
-        let mut waits = HashSet::new();
+        let mut waits = FxHashSet::default();
         // Bump the target's link count.
         let mut reply_attr = None;
         if child.home == self.config.site {
@@ -1859,7 +1860,7 @@ impl DirServer {
                 let child = *child;
                 self.log_del_name(now, from_key);
                 if let Some(old) = child {
-                    let mut extra_waits = HashSet::new();
+                    let mut extra_waits = FxHashSet::default();
                     let mut durable = now;
                     self.retract_dest_entry(
                         actions,

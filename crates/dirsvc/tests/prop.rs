@@ -10,8 +10,8 @@ use slice_dirsvc::{DirAction, DirServer, DirServerConfig, NamePolicy};
 use slice_hashes::{default_site_of, name_fingerprint};
 use slice_nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3};
 use slice_sim::time::{SimDuration, SimTime};
+use slice_sim::FxHashMap;
 use slice_sim::Rng;
-use std::collections::HashMap;
 
 const CASES: usize = 64;
 
@@ -122,8 +122,8 @@ fn check_model(policy: NamePolicy, sites: u32, ops: Vec<ModelOp>) {
     let names: Vec<String> = (0..12).map(|i| format!("n{i}")).collect();
     let mut cluster = Cluster::new(sites, policy);
     // Model: name -> file id of the bound child.
-    let mut model: HashMap<String, u64> = HashMap::new();
-    let mut fh_of: HashMap<u64, Fhandle> = HashMap::new();
+    let mut model: FxHashMap<String, u64> = FxHashMap::default();
+    let mut fh_of: FxHashMap<u64, Fhandle> = FxHashMap::default();
     let root = Fhandle::root();
     let mut now = SimTime::ZERO;
     for op in ops {

@@ -17,17 +17,52 @@ pub fn inet_checksum(data: &[u8]) -> u16 {
     !fold(raw_sum(data))
 }
 
+/// Checksum over the logical concatenation of `parts` without
+/// materializing it: the ones-complement sum is associative over 16-bit
+/// words, so parts can be summed independently and folded together —
+/// provided every part except the last has even length (so the 16-bit
+/// word grid stays aligned across the seam).
+pub fn inet_checksum_parts(parts: &[&[u8]]) -> u16 {
+    let mut sum: u64 = 0;
+    for (i, p) in parts.iter().enumerate() {
+        debug_assert!(
+            i == parts.len() - 1 || p.len().is_multiple_of(2),
+            "only the last part may have odd length"
+        );
+        sum += u64::from(raw_sum(p));
+    }
+    while sum > 0xffff_ffff {
+        sum = (sum & 0xffff_ffff) + (sum >> 32);
+    }
+    !fold(sum as u32)
+}
+
 /// Ones-complement sum of `data` as a 32-bit accumulator (not folded).
+///
+/// Accumulates eight bytes per iteration (RFC 1071 §2: the sum may be
+/// computed over any larger word size and folded back down), which is
+/// what keeps full-checksum computation off the profile even though every
+/// simulated packet is summed once at build time.
 fn raw_sum(data: &[u8]) -> u32 {
-    let mut sum: u32 = 0;
-    let mut chunks = data.chunks_exact(2);
-    for pair in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+    let mut sum: u64 = 0;
+    let mut chunks8 = data.chunks_exact(8);
+    for c in &mut chunks8 {
+        let x = u64::from_be_bytes(c.try_into().expect("8-byte chunk"));
+        sum += (x >> 32) + (x & 0xffff_ffff);
     }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    let mut chunks2 = chunks8.remainder().chunks_exact(2);
+    for pair in &mut chunks2 {
+        sum += u64::from(u16::from_be_bytes([pair[0], pair[1]]));
     }
-    sum
+    if let [last] = chunks2.remainder() {
+        sum += u64::from(u16::from_be_bytes([*last, 0]));
+    }
+    // Fold the 64-bit accumulator of 32-bit groups down to the 32-bit
+    // accumulator of 16-bit words the callers expect.
+    while sum > 0xffff_ffff {
+        sum = (sum & 0xffff_ffff) + (sum >> 32);
+    }
+    sum as u32
 }
 
 /// Folds a 32-bit accumulator into 16 bits of ones-complement.

@@ -1,0 +1,230 @@
+//! Shared, cheaply-clonable payload buffers for the packet fast path.
+//!
+//! The µproxy's whole premise is that interposed routing is cheap enough
+//! to sit on every packet's path. Duplicating a mirrored write to its
+//! replica pair, stashing the original packet for RPC retransmission, or
+//! re-sending after loss must therefore *share* the payload bytes, not
+//! deep-copy 8 KB per duplicate. [`ByteBuf`] is a shared allocation plus
+//! an `(offset, len)` window: clones bump a refcount, and the rare in-place
+//! mutation (the µproxy's incremental attribute patch) goes through a
+//! copy-on-write escape hatch that only copies when the buffer is
+//! actually shared.
+//!
+//! Copy traffic is counted in process-wide relaxed atomics so the `perf`
+//! benchmark can report how many payload bytes were deep-copied versus
+//! shared; see [`clone_stats`].
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static SHALLOW_CLONES: AtomicU64 = AtomicU64::new(0);
+static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
+static DEEP_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of process-wide payload copy counters: `(shallow clones,
+/// deep copies, deep-copied bytes)`. Shallow clones are refcount bumps
+/// (mirrored-write duplication, retransmission stash); deep copies are
+/// copy-on-write faults taken when a shared buffer was mutated.
+pub fn clone_stats() -> (u64, u64, u64) {
+    (
+        SHALLOW_CLONES.load(Ordering::Relaxed),
+        DEEP_COPIES.load(Ordering::Relaxed),
+        DEEP_COPY_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the process-wide copy counters (benchmark phase boundaries).
+pub fn reset_clone_stats() {
+    SHALLOW_CLONES.store(0, Ordering::Relaxed);
+    DEEP_COPIES.store(0, Ordering::Relaxed);
+    DEEP_COPY_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// An immutable shared byte buffer with an `(offset, len)` window.
+///
+/// Dereferences to `&[u8]`, so read paths (XDR decode, checksum, length
+/// checks) are untouched. Equality and hashing are over the visible
+/// window, not the backing allocation.
+pub struct ByteBuf {
+    // `Arc<Vec<u8>>` rather than `Arc<[u8]>`: wrapping the encoder's Vec
+    // moves it (one pointer-sized allocation for the arc header) instead
+    // of copying every payload byte into a fresh `ArcInner`, which at
+    // millions of packets per run is the difference between sharing and
+    // re-copying the whole wire volume.
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Clone for ByteBuf {
+    fn clone(&self) -> Self {
+        SHALLOW_CLONES.fetch_add(1, Ordering::Relaxed);
+        ByteBuf {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl ByteBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        ByteBuf {
+            data: Arc::new(Vec::new()),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps owned bytes without copying them: the encoder's Vec is moved
+    /// into the shared allocation.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        ByteBuf {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+
+    /// A sub-window sharing the same backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds this buffer's window.
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(start + len <= self.len, "slice out of bounds");
+        SHALLOW_CLONES.fetch_add(1, Ordering::Relaxed);
+        ByteBuf {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len,
+        }
+    }
+
+    /// Mutable access to the window, copying first only when the backing
+    /// allocation is shared (or windowed). The hot case — a packet fresh
+    /// off the wire with a single owner — mutates in place.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        let whole = self.off == 0 && self.len == self.data.len();
+        if !(whole && Arc::get_mut(&mut self.data).is_some()) {
+            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+            DEEP_COPY_BYTES.fetch_add(self.len as u64, Ordering::Relaxed);
+            self.data = Arc::new(self.data[self.off..self.off + self.len].to_vec());
+            self.off = 0;
+        }
+        // The arc is now unique and un-windowed.
+        Arc::get_mut(&mut self.data)
+            .expect("unique after COW")
+            .as_mut_slice()
+    }
+
+    /// Copies the window out into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl Default for ByteBuf {
+    fn default() -> Self {
+        ByteBuf::new()
+    }
+}
+
+impl Deref for ByteBuf {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for ByteBuf {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for ByteBuf {
+    fn from(v: Vec<u8>) -> Self {
+        ByteBuf::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for ByteBuf {
+    fn from(s: &[u8]) -> Self {
+        ByteBuf::from_vec(s.to_vec())
+    }
+}
+
+impl PartialEq for ByteBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for ByteBuf {}
+
+impl std::hash::Hash for ByteBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl std::fmt::Debug for ByteBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ByteBuf({} bytes, rc={})",
+            self.len,
+            Arc::strong_count(&self.data)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = ByteBuf::from_vec(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(&a[..], &b[..]);
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn unique_mutation_is_in_place() {
+        let mut a = ByteBuf::from_vec(vec![0u8; 64]);
+        let ptr = a.data.as_ptr();
+        a.make_mut()[5] = 9;
+        assert_eq!(a.data.as_ptr(), ptr, "unique buffer must not reallocate");
+        assert_eq!(a[5], 9);
+    }
+
+    #[test]
+    fn shared_mutation_copies_on_write() {
+        let mut a = ByteBuf::from_vec(vec![7u8; 16]);
+        let b = a.clone();
+        a.make_mut()[0] = 1;
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 7, "clone unaffected by COW mutation");
+    }
+
+    #[test]
+    fn slice_windows_share_and_compare() {
+        let a = ByteBuf::from_vec((0..32u8).collect());
+        let w = a.slice(8, 8);
+        assert_eq!(&w[..], &(8..16u8).collect::<Vec<_>>()[..]);
+        assert!(Arc::ptr_eq(&a.data, &w.data));
+        let mut m = w.clone();
+        m.make_mut()[0] = 99;
+        assert_eq!(a[8], 8, "window COW leaves parent intact");
+        assert_eq!(m[0], 99);
+    }
+}

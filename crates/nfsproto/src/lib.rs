@@ -17,6 +17,7 @@
 //!   incrementally under rewriting.
 
 pub mod attr;
+pub mod bytes;
 pub mod fh;
 pub mod msg;
 pub mod packet;
@@ -26,6 +27,7 @@ pub use attr::{
     Fattr3, FileType, NfsStatus, NfsTime, Sattr3, SetTime, ATTR_OFF_ATIME, ATTR_OFF_MTIME,
     ATTR_OFF_SIZE, ATTR_WIRE_SIZE,
 };
+pub use bytes::ByteBuf;
 pub use fh::{Fhandle, FH_FLAG_DIR, FH_FLAG_MAPPED, FH_FLAG_MIRRORED, FH_FLAG_SYMLINK, FH_SIZE};
 pub use msg::{
     decode_call, decode_call_args, decode_reply, encode_call, encode_reply, DirEntry, DirEntryPlus,

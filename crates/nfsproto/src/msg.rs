@@ -532,7 +532,7 @@ fn get_opt_attr(dec: &mut XdrDecoder<'_>) -> Result<Option<Fattr3>, XdrError> {
 
 /// Encodes a complete RPC call packet payload for `req`.
 pub fn encode_call(xid: u32, cred: &AuthUnix, req: &NfsRequest) -> Vec<u8> {
-    let mut e = XdrEncoder::with_capacity(128);
+    let mut e = XdrEncoder::with_capacity(256);
     encode_call_header(&mut e, xid, req.proc() as u32, cred);
     use NfsRequest::*;
     match req {
@@ -770,7 +770,7 @@ pub fn decode_call_args(d: &mut XdrDecoder<'_>, proc: NfsProc) -> Result<NfsRequ
 
 /// Encodes a complete RPC reply packet payload.
 pub fn encode_reply(xid: u32, reply: &NfsReply) -> Vec<u8> {
-    let mut e = XdrEncoder::with_capacity(160);
+    let mut e = XdrEncoder::with_capacity(256);
     encode_reply_header(&mut e, xid);
     debug_assert_eq!(e.len(), REPLY_STATUS_OFFSET);
     e.put_u32(reply.status as u32);

@@ -8,7 +8,8 @@
 //! checksum *incrementally* (RFC 1624), exactly as the paper's µproxy does
 //! with code derived from FreeBSD NAT (§4.1).
 
-use slice_hashes::checksum::{incremental_update16, incremental_update32, inet_checksum};
+use crate::bytes::ByteBuf;
+use slice_hashes::checksum::{incremental_update16, incremental_update32};
 use slice_sim::MessageSize;
 
 /// Simulated IPv4 + UDP header bytes added to every datagram on the wire.
@@ -38,21 +39,27 @@ impl std::fmt::Display for SockAddr {
 }
 
 /// A simulated UDP datagram with a live checksum.
+///
+/// The payload is a shared [`ByteBuf`]: cloning a packet (mirrored-write
+/// duplication, the retransmission stash) bumps a refcount instead of
+/// deep-copying the payload, and address rewrites never touch payload
+/// bytes at all — the checksum is patched incrementally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Source endpoint.
     pub src: SockAddr,
     /// Destination endpoint.
     pub dst: SockAddr,
-    /// RPC payload bytes.
-    pub payload: Vec<u8>,
+    /// RPC payload bytes (shared; see [`ByteBuf`]).
+    pub payload: ByteBuf,
     /// Ones-complement checksum over the pseudo-header and payload.
     pub checksum: u16,
 }
 
 impl Packet {
     /// Builds a packet, computing the checksum in full.
-    pub fn new(src: SockAddr, dst: SockAddr, payload: Vec<u8>) -> Self {
+    pub fn new(src: SockAddr, dst: SockAddr, payload: impl Into<ByteBuf>) -> Self {
+        let payload = payload.into();
         let checksum = Self::full_checksum(src, dst, &payload);
         Packet {
             src,
@@ -73,12 +80,11 @@ impl Packet {
     }
 
     /// Computes the checksum from scratch (used on build and in tests; the
-    /// µproxy never does this on its fast path).
+    /// µproxy never does this on its fast path). The pseudo-header and
+    /// payload are summed in place — no concatenation copy.
     pub fn full_checksum(src: SockAddr, dst: SockAddr, payload: &[u8]) -> u16 {
-        let mut data = Vec::with_capacity(16 + payload.len());
-        data.extend_from_slice(&Self::pseudo_header(src, dst, payload.len()));
-        data.extend_from_slice(payload);
-        inet_checksum(&data)
+        let ph = Self::pseudo_header(src, dst, payload.len());
+        slice_hashes::checksum::inet_checksum_parts(&[&ph, payload])
     }
 
     /// True when the stored checksum matches the contents.
@@ -124,7 +130,9 @@ impl Packet {
         let old = &self.payload[offset..offset + new_bytes.len()];
         self.checksum =
             slice_hashes::checksum::incremental_update_bytes(self.checksum, old, new_bytes);
-        self.payload[offset..offset + new_bytes.len()].copy_from_slice(new_bytes);
+        // Copy-on-write: in the hot case (a reply fresh off the wire with
+        // one owner) this mutates in place; only a shared buffer copies.
+        self.payload.make_mut()[offset..offset + new_bytes.len()].copy_from_slice(new_bytes);
     }
 
     /// Total bytes on the wire including simulated headers.
@@ -182,7 +190,7 @@ mod tests {
 
     #[test]
     fn chained_rewrites_stay_valid() {
-        let mut p = Packet::new(addr(1, 1), addr(2, 2), (0..255u8).collect());
+        let mut p = Packet::new(addr(1, 1), addr(2, 2), (0..255u8).collect::<Vec<u8>>());
         // Odd payload length exercises the padded final word.
         for i in 0..20u32 {
             p.rewrite_dst(addr(i * 7 + 3, (i * 13 + 1) as u16));
@@ -209,7 +217,7 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let mut p = Packet::new(addr(1, 1), addr(2, 2), vec![9u8; 40]);
-        p.payload[17] ^= 0x40;
+        p.payload.make_mut()[17] ^= 0x40;
         assert!(!p.verify());
     }
 

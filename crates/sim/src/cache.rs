@@ -6,7 +6,8 @@
 //! of cache. This LRU tracks *which* items are resident and charges evictions
 //! to the caller; the cached payloads themselves live with the owning actor.
 
-use std::collections::{BTreeMap, HashMap};
+use crate::fxmap::FxHashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 /// An LRU set with a byte capacity.
@@ -16,7 +17,7 @@ pub struct LruCache<K: Eq + Hash + Clone> {
     used: u64,
     seq: u64,
     /// key -> (lru sequence, size)
-    map: HashMap<K, (u64, u64)>,
+    map: FxHashMap<K, (u64, u64)>,
     /// lru sequence -> key
     order: BTreeMap<u64, K>,
     hits: u64,
@@ -31,7 +32,7 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
             capacity,
             used: 0,
             seq: 0,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             order: BTreeMap::new(),
             hits: 0,
             misses: 0,

@@ -15,8 +15,7 @@
 //! order and all randomness flows from one seeded RNG.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use slice_obs::{EventKind, Obs, Subsystem};
 
@@ -35,8 +34,16 @@ impl NodeId {
 }
 
 /// Identifies a pending timer so it can be cancelled.
+///
+/// Internally a generation-counted slab slot: cancelling a timer that has
+/// already fired (or whose slot was since reused by a re-arm) is rejected
+/// by the generation check, so stale cancels are harmless no-ops and the
+/// engine carries no tombstone state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct TimerId(u64);
+pub struct TimerId {
+    slot: u32,
+    gen: u32,
+}
 
 /// Messages must report their wire size so the network model can charge
 /// serialization time.
@@ -100,30 +107,191 @@ enum Event<M> {
     Arrive { to: NodeId, from: NodeId, msg: M },
     /// The node's CPU is free to process the next queued item.
     Process { node: NodeId },
-    /// A timer fires (checked against the cancelled set).
-    TimerFire { node: NodeId, tag: u64, id: TimerId },
+    /// A timer fires (unless its slab slot was cancelled).
+    TimerFire { node: NodeId, tag: u64 },
 }
 
-struct EventEntry<M> {
+/// Min-heap key: the event payload itself lives in the slab, so the heap
+/// only shuffles 24-byte keys. Ties break FIFO on `seq` (insertion order).
+struct HeapKey {
     time: SimTime,
     seq: u64,
-    event: Event<M>,
+    slot: u32,
 }
 
-impl<M> PartialEq for EventEntry<M> {
+impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for EventEntry<M> {}
-impl<M> PartialOrd for EventEntry<M> {
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for EventEntry<M> {
+impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// 4-ary arity: each sift-down level touches one 64-byte-ish run of keys
+/// instead of two scattered children, and the tree is half as deep as a
+/// binary heap's — the event loop is pop-dominated, so depth is what
+/// costs.
+const HEAP_ARITY: usize = 4;
+
+/// In-tree 4-ary min-heap of [`HeapKey`]s (the event payloads live in the
+/// slab, so this only shuffles 24-byte keys).
+struct EventHeap {
+    keys: Vec<HeapKey>,
+}
+
+impl EventHeap {
+    fn new() -> Self {
+        EventHeap { keys: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<&HeapKey> {
+        self.keys.first()
+    }
+
+    fn push(&mut self, key: HeapKey) {
+        self.keys.push(key);
+        self.sift_up(self.keys.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<HeapKey> {
+        let n = self.keys.len();
+        if n == 0 {
+            return None;
+        }
+        self.keys.swap(0, n - 1);
+        let top = self.keys.pop();
+        if !self.keys.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / HEAP_ARITY;
+            if self.keys[i] < self.keys[parent] {
+                self.keys.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.keys.len();
+        loop {
+            let first = i * HEAP_ARITY + 1;
+            if first >= n {
+                break;
+            }
+            let mut min = first;
+            for c in first + 1..(first + HEAP_ARITY).min(n) {
+                if self.keys[c] < self.keys[min] {
+                    min = c;
+                }
+            }
+            if self.keys[min] < self.keys[i] {
+                self.keys.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops keys failing `keep` and restores the heap property — O(n).
+    ///
+    /// Lazy deletion alone lets cancelled timers dominate the heap (every
+    /// RPC arms a timeout that is cancelled milliseconds later but would
+    /// sit in the queue until its fire time); periodic compaction keeps
+    /// the heap sized to *live* work.
+    fn compact(&mut self, mut keep: impl FnMut(&HeapKey) -> bool) {
+        self.keys.retain(|k| keep(k));
+        if self.keys.len() > 1 {
+            for i in (0..=(self.keys.len() - 2) / HEAP_ARITY).rev() {
+                self.sift_down(i);
+            }
+        }
+    }
+}
+
+/// One generation-counted slab slot.
+struct EventSlot<M> {
+    /// Bumped every time the slot is freed; a [`TimerId`] whose generation
+    /// does not match is stale and its cancel is rejected.
+    gen: u32,
+    state: SlotState<M>,
+}
+
+enum SlotState<M> {
+    /// On the free list.
+    Free,
+    /// A timer armed by a handler whose outputs have not flushed yet; no
+    /// heap entry exists. `cancelled` covers set-then-cancel within one
+    /// handler invocation.
+    Armed { cancelled: bool },
+    /// In the heap, waiting to pop.
+    Scheduled { event: Event<M>, cancelled: bool },
+}
+
+/// Slab of pending events: O(1) insert, O(1) cancel (flag the slot), O(1)
+/// free on pop. Slots are recycled through a free list, so long runs with
+/// heavy timer re-arming stay at the high-water mark of *concurrently
+/// live* events instead of accumulating tombstones.
+struct EventSlab<M> {
+    slots: Vec<EventSlot<M>>,
+    free: Vec<u32>,
+    live: usize,
+    peak_live: usize,
+}
+
+impl<M> EventSlab<M> {
+    fn new() -> Self {
+        EventSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            peak_live: 0,
+        }
+    }
+
+    fn alloc(&mut self, state: SlotState<M>) -> u32 {
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize].state = state;
+            slot
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(EventSlot { gen: 0, state });
+            slot
+        }
+    }
+
+    /// Frees `slot` and returns its state; the generation bump invalidates
+    /// any outstanding [`TimerId`] pointing at it.
+    fn take(&mut self, slot: u32) -> SlotState<M> {
+        let s = &mut self.slots[slot as usize];
+        let state = std::mem::replace(&mut s.state, SlotState::Free);
+        debug_assert!(!matches!(state, SlotState::Free), "double free");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        state
+    }
+
+    fn gen_of(&self, slot: u32) -> u32 {
+        self.slots[slot as usize].gen
     }
 }
 
@@ -156,26 +324,63 @@ pub struct NodeStats {
 struct Core<M> {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<EventEntry<M>>>,
+    events: EventHeap,
+    slab: EventSlab<M>,
     nodes: Vec<NodeState<M>>,
     /// Switch egress port towards each node occupied until this instant.
     switch_egress_free: Vec<SimTime>,
     net: NetConfig,
     rng: Rng,
-    next_timer: u64,
-    cancelled: HashSet<u64>,
     packets_sent: u64,
     packets_dropped: u64,
     bytes_sent: u64,
     events_executed: u64,
+    /// Cancelled timers whose keys are still in the heap; when they
+    /// outnumber live entries the heap is compacted (see
+    /// [`EventHeap::compact`]).
+    cancelled_in_heap: usize,
     obs: Obs,
 }
 
 impl<M: MessageSize> Core<M> {
     fn push(&mut self, time: SimTime, event: Event<M>) {
+        let slot = self.slab.alloc(SlotState::Scheduled {
+            event,
+            cancelled: false,
+        });
+        self.push_key(time, slot);
+    }
+
+    /// Schedules an already-allocated slot (armed timers at output flush).
+    fn push_key(&mut self, time: SimTime, slot: u32) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(EventEntry { time, seq, event }));
+        self.events.push(HeapKey { time, seq, slot });
+    }
+
+    /// Compacts the heap once cancelled entries outnumber live ones, so
+    /// pops pay for the live working set, not for every timeout ever
+    /// armed. Amortized O(1) per cancel: a compaction costing O(n) only
+    /// runs after n/2 cancels.
+    fn maybe_compact(&mut self) {
+        if self.cancelled_in_heap <= 64 || self.cancelled_in_heap * 2 <= self.events.keys.len() {
+            return;
+        }
+        let slab = &mut self.slab;
+        self.events.compact(|k| {
+            let dead = matches!(
+                slab.slots[k.slot as usize].state,
+                SlotState::Scheduled {
+                    cancelled: true,
+                    ..
+                }
+            );
+            if dead {
+                slab.take(k.slot);
+            }
+            !dead
+        });
+        self.cancelled_in_heap = 0;
     }
 
     /// Models the two-hop (host link, switch port) path and schedules the
@@ -248,7 +453,7 @@ enum Output<M> {
     Timer {
         delay: SimDuration,
         tag: u64,
-        id: TimerId,
+        slot: u32,
     },
 }
 
@@ -290,15 +495,38 @@ impl<'a, M: MessageSize> Ctx<'a, M> {
 
     /// Schedules `on_timer(tag)` on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(self.core.next_timer);
-        self.core.next_timer += 1;
-        self.outputs.push(Output::Timer { delay, tag, id });
+        // Allocate the slab slot now so the returned id is valid for
+        // cancellation immediately, even though the fire event is only
+        // scheduled when this handler's outputs flush.
+        let slot = self.core.slab.alloc(SlotState::Armed { cancelled: false });
+        let id = TimerId {
+            slot,
+            gen: self.core.slab.gen_of(slot),
+        };
+        self.outputs.push(Output::Timer { delay, tag, slot });
         id
     }
 
-    /// Cancels a pending timer; firing a cancelled timer is a no-op.
+    /// Cancels a pending timer; firing a cancelled timer is a no-op. A
+    /// stale id — the timer already fired, or its slot was reused — fails
+    /// the generation check and the cancel is ignored.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.core.cancelled.insert(id.0);
+        if self.core.slab.gen_of(id.slot) != id.gen {
+            return;
+        }
+        match &mut self.core.slab.slots[id.slot as usize].state {
+            SlotState::Armed { cancelled } => {
+                *cancelled = true;
+            }
+            SlotState::Scheduled { cancelled, .. } => {
+                if !*cancelled {
+                    *cancelled = true;
+                    self.core.cancelled_in_heap += 1;
+                    self.core.maybe_compact();
+                }
+            }
+            SlotState::Free => {}
+        }
     }
 
     /// The simulation's seeded RNG.
@@ -333,17 +561,17 @@ impl<M: MessageSize + 'static> Engine<M> {
             core: Core {
                 now: SimTime::ZERO,
                 seq: 0,
-                events: BinaryHeap::new(),
+                events: EventHeap::new(),
+                slab: EventSlab::new(),
                 nodes: Vec::new(),
                 switch_egress_free: Vec::new(),
                 net,
                 rng: Rng::seed_from_u64(seed),
-                next_timer: 0,
-                cancelled: HashSet::new(),
                 packets_sent: 0,
                 packets_dropped: 0,
                 bytes_sent: 0,
                 events_executed: 0,
+                cancelled_in_heap: 0,
                 obs: Obs::new(),
             },
             actors: Vec::new(),
@@ -381,15 +609,12 @@ impl<M: MessageSize + 'static> Engine<M> {
     /// Delivers `on_timer(START_TAG)` to `node` at the current time;
     /// conventionally starts workload generators.
     pub fn kick(&mut self, node: NodeId) {
-        let id = TimerId(self.core.next_timer);
-        self.core.next_timer += 1;
         let now = self.core.now;
         self.core.push(
             now,
             Event::TimerFire {
                 node,
                 tag: START_TAG,
-                id,
             },
         );
     }
@@ -441,22 +666,31 @@ impl<M: MessageSize + 'static> Engine<M> {
 
     /// Runs a single event; returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(entry)) = self.core.events.pop() else {
+        let Some(key) = self.core.events.pop() else {
             return false;
         };
-        debug_assert!(entry.time >= self.core.now, "time went backwards");
-        self.core.now = entry.time;
+        debug_assert!(key.time >= self.core.now, "time went backwards");
+        self.core.now = key.time;
         self.core.events_executed += 1;
-        match entry.event {
+        // Freeing the slot here is what makes cancellation O(1) overall:
+        // a cancelled entry is reclaimed the moment it surfaces, and the
+        // generation bump turns any still-held TimerId into a rejected
+        // stale cancel.
+        let (event, cancelled) = match self.core.slab.take(key.slot) {
+            SlotState::Scheduled { event, cancelled } => (event, cancelled),
+            _ => unreachable!("heap key points at unscheduled slot"),
+        };
+        if cancelled {
+            self.core.cancelled_in_heap -= 1;
+            return true;
+        }
+        match event {
             Event::Arrive { to, from, msg } => {
                 let now = self.core.now;
                 self.core
                     .enqueue_local(to, QueueItem::Message { from, msg }, now);
             }
-            Event::TimerFire { node, tag, id } => {
-                if self.core.cancelled.remove(&id.0) {
-                    return true;
-                }
+            Event::TimerFire { node, tag } => {
                 let now = self.core.now;
                 self.core.enqueue_local(node, QueueItem::Timer { tag }, now);
             }
@@ -517,9 +751,21 @@ impl<M: MessageSize + 'static> Engine<M> {
                         },
                     );
                 }
-                Output::Timer { delay, tag, id } => {
-                    self.core
-                        .push(done + delay, Event::TimerFire { node, tag, id });
+                Output::Timer { delay, tag, slot } => {
+                    // The slot was allocated in set_timer; a cancel issued
+                    // in the same handler frees it without scheduling.
+                    if matches!(
+                        self.core.slab.slots[slot as usize].state,
+                        SlotState::Armed { cancelled: true }
+                    ) {
+                        self.core.slab.take(slot);
+                        continue;
+                    }
+                    self.core.slab.slots[slot as usize].state = SlotState::Scheduled {
+                        event: Event::TimerFire { node, tag },
+                        cancelled: false,
+                    };
+                    self.core.push_key(done + delay, slot);
                 }
             }
         }
@@ -544,7 +790,7 @@ impl<M: MessageSize + 'static> Engine<M> {
 
     /// Runs until simulated time reaches `t` (events at exactly `t` run).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(e)) = self.core.events.peek() {
+        while let Some(e) = self.core.events.peek() {
             if e.time > t {
                 break;
             }
@@ -613,6 +859,29 @@ impl<M: MessageSize + 'static> Engine<M> {
         self.core.events_executed
     }
 
+    /// Events currently live in the slab (scheduled or armed).
+    pub fn live_events(&self) -> usize {
+        self.core.slab.live
+    }
+
+    /// High-water mark of concurrently live events — the slab never
+    /// shrinks below its peak, so this bounds the queue's memory.
+    pub fn peak_live_events(&self) -> usize {
+        self.core.slab.peak_live
+    }
+
+    /// Total slab slots ever allocated (peak capacity). Long runs that
+    /// arm and cancel millions of timers stay at the concurrency
+    /// high-water mark; growth here would mean a slot leak.
+    pub fn event_slab_slots(&self) -> usize {
+        self.core.slab.slots.len()
+    }
+
+    /// Current free-list length (recyclable slots).
+    pub fn event_slab_free(&self) -> usize {
+        self.core.slab.free.len()
+    }
+
     /// The engine-wide observability sink.
     pub fn obs(&self) -> &Obs {
         &self.core.obs
@@ -637,6 +906,7 @@ impl<M: MessageSize + 'static> Engine<M> {
     pub fn fold_engine_metrics(&mut self) {
         let reg = &mut self.core.obs.registry;
         reg.set("engine.events_executed", self.core.events_executed);
+        reg.set("engine.peak_live_events", self.core.slab.peak_live as u64);
         reg.set("net.packets_sent", self.core.packets_sent);
         reg.set("net.packets_dropped", self.core.packets_dropped);
         reg.set("net.bytes_sent", self.core.bytes_sent);
@@ -858,6 +1128,185 @@ mod tests {
         let mut eng: Engine<Vec<u8>> = Engine::new(net(), 1);
         eng.run_until(SimTime::from_nanos(500));
         assert_eq!(eng.now(), SimTime::from_nanos(500));
+    }
+
+    /// A timer-heavy actor driving the slab: re-arms a timer on every
+    /// fire, cancelling the previous arm, in the demand-armed tick
+    /// pattern the clients and coordinator use.
+    struct Rearmer {
+        rounds: u64,
+        fired: u64,
+        cancelled_fires: u64,
+        last: Option<TimerId>,
+    }
+
+    impl Actor<Vec<u8>> for Rearmer {
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Vec<u8>>, _f: NodeId, _m: Vec<u8>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, tag: u64) {
+            if tag == START_TAG || tag == 1 {
+                if tag == 1 {
+                    self.fired += 1;
+                }
+                if self.rounds > 0 {
+                    self.rounds -= 1;
+                    // Arm two timers, cancel one: only tag 1 may fire.
+                    let doomed = ctx.set_timer(SimDuration::from_micros(5), 2);
+                    self.last = Some(doomed);
+                    ctx.set_timer(SimDuration::from_micros(10), 1);
+                    ctx.cancel_timer(doomed);
+                }
+            } else {
+                self.cancelled_fires += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn event_ties_break_fifo_by_seq() {
+        // Ten local sends flushed from one handler all arrive at the same
+        // instant (no network serialization): identical heap time, ties
+        // broken only by insertion seq — delivery must stay in send order.
+        struct Burst {
+            peer: NodeId,
+        }
+        impl Actor<Vec<u8>> for Burst {
+            fn on_message(&mut self, _c: &mut Ctx<'_, Vec<u8>>, _f: NodeId, _m: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _tag: u64) {
+                for i in 0..10u8 {
+                    ctx.send_local(self.peer, vec![i]);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut eng = Engine::new(net(), 1);
+        let src = eng.add_node("burst", Box::new(Burst { peer: NodeId(0) }));
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::ZERO,
+                seen: vec![],
+            }),
+        );
+        eng.actor_mut::<Burst>(src).peer = echo;
+        eng.kick(src);
+        eng.run_until_idle(100);
+        let e: &Echo = eng.actor(echo);
+        let order: Vec<u8> = e.seen.iter().map(|(_, m)| m[0]).collect();
+        assert_eq!(order, (0..10).collect::<Vec<u8>>(), "FIFO tie-break");
+        // All ten arrivals shared one instant; order came from seq alone.
+        assert!(e.seen.windows(2).all(|w| w[0].0 == w[1].0));
+    }
+
+    #[test]
+    fn cancel_then_fire_is_noop() {
+        let mut eng = Engine::new(net(), 1);
+        let node = eng.add_node(
+            "rearm",
+            Box::new(Rearmer {
+                rounds: 1,
+                fired: 0,
+                cancelled_fires: 0,
+                last: None,
+            }),
+        );
+        eng.kick(node);
+        eng.run_until_idle(1_000);
+        let r: &Rearmer = eng.actor(node);
+        assert_eq!(r.fired, 1, "kept timer fires");
+        assert_eq!(r.cancelled_fires, 0, "cancelled timer must not fire");
+        assert_eq!(eng.live_events(), 0, "queue drained");
+    }
+
+    #[test]
+    fn stale_cancel_is_rejected_by_generation() {
+        // Cancelling a timer that already fired must not disturb whatever
+        // re-arm now occupies the recycled slot.
+        struct StaleCancel {
+            old: Option<TimerId>,
+            fired: Vec<u64>,
+        }
+        impl Actor<Vec<u8>> for StaleCancel {
+            fn on_message(&mut self, _c: &mut Ctx<'_, Vec<u8>>, _f: NodeId, _m: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, tag: u64) {
+                match tag {
+                    START_TAG => {
+                        self.old = Some(ctx.set_timer(SimDuration::from_micros(1), 1));
+                    }
+                    1 => {
+                        // The old timer has fired; its slot is free and will
+                        // be recycled for the new arm. A late cancel of the
+                        // stale id must not kill the new timer.
+                        ctx.set_timer(SimDuration::from_micros(1), 2);
+                        ctx.cancel_timer(self.old.take().expect("armed"));
+                    }
+                    other => self.fired.push(other),
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut eng = Engine::new(net(), 1);
+        let node = eng.add_node(
+            "stale",
+            Box::new(StaleCancel {
+                old: None,
+                fired: vec![],
+            }),
+        );
+        eng.kick(node);
+        eng.run_until_idle(1_000);
+        let s: &StaleCancel = eng.actor(node);
+        assert_eq!(s.fired, vec![2], "recycled slot survived stale cancel");
+    }
+
+    #[test]
+    fn rearm_reuses_slots_and_memory_stays_bounded() {
+        // One million re-armed + cancelled timers: the slab must stay at
+        // the concurrency high-water mark (a handful of slots), not
+        // accumulate a tombstone per cancel as the old cancelled-set did.
+        const ROUNDS: u64 = 1_000_000;
+        let mut eng = Engine::new(net(), 1);
+        let node = eng.add_node(
+            "rearm",
+            Box::new(Rearmer {
+                rounds: ROUNDS,
+                fired: 0,
+                cancelled_fires: 0,
+                last: None,
+            }),
+        );
+        eng.kick(node);
+        eng.run_until_idle(u64::MAX);
+        let r: &Rearmer = eng.actor(node);
+        assert_eq!(r.fired, ROUNDS);
+        assert_eq!(r.cancelled_fires, 0);
+        assert!(
+            eng.event_slab_slots() <= 16,
+            "slab grew to {} slots over {} cancels — tombstones leak",
+            eng.event_slab_slots(),
+            ROUNDS
+        );
+        assert_eq!(
+            eng.event_slab_free(),
+            eng.event_slab_slots(),
+            "all slots recycled at quiescence"
+        );
+        assert!(eng.peak_live_events() <= 16);
     }
 
     #[test]

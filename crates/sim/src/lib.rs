@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod disk;
 pub mod engine;
+pub mod fxmap;
 pub mod net;
 pub mod rng;
 pub mod stats;
@@ -32,6 +33,7 @@ pub use cache::LruCache;
 // events without naming slice-obs directly.
 pub use disk::{DiskArray, DiskParams};
 pub use engine::{Actor, Ctx, Engine, MessageSize, NodeId, NodeStats, TimerId, START_TAG};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use net::NetConfig;
 pub use rng::Rng;
 pub use slice_obs::{EventKind, Obs, Subsystem};

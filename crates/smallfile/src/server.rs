@@ -16,7 +16,7 @@
 //! reply is deferred until those complete. The host actor dispatches
 //! [`SfAction`]s and feeds completions back in.
 
-use std::collections::{HashMap, HashSet};
+use slice_sim::{FxHashMap, FxHashSet};
 
 use slice_nfsproto::{
     Fattr3, FileType, NfsProc, NfsReply, NfsRequest, NfsStatus, NfsTime, ReplyBody, StableHow,
@@ -186,27 +186,27 @@ enum CacheKey {
 struct PendingOp {
     token: u64,
     req: NfsRequest,
-    waits: HashSet<u64>,
+    waits: FxHashSet<u64>,
 }
 
 /// The small-file server state machine.
 #[derive(Debug)]
 pub struct SmallFileServer {
     config: SmallFileConfig,
-    maps: HashMap<u64, MapRecord>,
+    maps: FxHashMap<u64, MapRecord>,
     alloc: ZoneAllocator,
     cache: LruCache<CacheKey>,
     /// Resident block contents (retain mode only).
-    contents: HashMap<(u64, u8), Vec<u8>>,
+    contents: FxHashMap<(u64, u8), Vec<u8>>,
     /// Resident blocks with unflushed data.
-    dirty: HashSet<(u64, u8)>,
+    dirty: FxHashSet<(u64, u8)>,
     wal: Wal<SfLog>,
-    ops: HashMap<u64, PendingOp>,
-    by_tag: HashMap<u64, u64>,
+    ops: FxHashMap<u64, PendingOp>,
+    by_tag: FxHashMap<u64, u64>,
     /// What each outstanding backing read will make resident.
-    tag_targets: HashMap<u64, CacheKey>,
+    tag_targets: FxHashMap<u64, CacheKey>,
     /// Replies computed at execute time but gated on backing completions.
-    deferred_replies: HashMap<u64, NfsReply>,
+    deferred_replies: FxHashMap<u64, NfsReply>,
     next_tag: u64,
     next_op: u64,
     verf: u64,
@@ -220,14 +220,14 @@ impl SmallFileServer {
         SmallFileServer {
             alloc: ZoneAllocator::new(zones),
             cache: LruCache::new(config.cache_bytes),
-            maps: HashMap::new(),
-            contents: HashMap::new(),
-            dirty: HashSet::new(),
+            maps: FxHashMap::default(),
+            contents: FxHashMap::default(),
+            dirty: FxHashSet::default(),
             wal: Wal::new(WalParams::default()),
-            ops: HashMap::new(),
-            by_tag: HashMap::new(),
-            tag_targets: HashMap::new(),
-            deferred_replies: HashMap::new(),
+            ops: FxHashMap::default(),
+            by_tag: FxHashMap::default(),
+            tag_targets: FxHashMap::default(),
+            deferred_replies: FxHashMap::default(),
             next_tag: 1,
             next_op: 1,
             verf: 1,
@@ -280,7 +280,7 @@ impl SmallFileServer {
 
     /// Ensures the map block for `file` is resident; returns a fetch
     /// action if not.
-    fn need_map(&mut self, actions: &mut Vec<SfAction>, waits: &mut HashSet<u64>, file: u64) {
+    fn need_map(&mut self, actions: &mut Vec<SfAction>, waits: &mut FxHashSet<u64>, file: u64) {
         let map_block = file / MAP_RECORDS_PER_BLOCK;
         if self.cache.get(&CacheKey::Map { map_block }) {
             return;
@@ -302,7 +302,7 @@ impl SmallFileServer {
     fn need_block(
         &mut self,
         actions: &mut Vec<SfAction>,
-        waits: &mut HashSet<u64>,
+        waits: &mut FxHashSet<u64>,
         file: u64,
         block: u8,
     ) {
@@ -350,7 +350,7 @@ impl SmallFileServer {
     /// `token` identifies the requester for the eventual reply.
     pub fn handle_nfs(&mut self, now: SimTime, token: u64, req: NfsRequest) -> Vec<SfAction> {
         let mut actions = Vec::new();
-        let mut waits = HashSet::new();
+        let mut waits = FxHashSet::default();
         match &req {
             NfsRequest::Read { fh, offset, count } => {
                 let file = fh.file_id();
@@ -591,7 +591,7 @@ impl SmallFileServer {
                     actions.push(SfAction::Reply { token, reply });
                 } else {
                     // Stable write: reply only after backing writes land.
-                    let mut waits = HashSet::new();
+                    let mut waits = FxHashSet::default();
                     for (b, ext) in flushes {
                         let tag = self.fresh_tag();
                         waits.insert(tag);
@@ -647,7 +647,7 @@ impl SmallFileServer {
                 if dirty.is_empty() {
                     actions.push(SfAction::Reply { token, reply });
                 } else {
-                    let mut waits = HashSet::new();
+                    let mut waits = FxHashSet::default();
                     for b in dirty {
                         self.dirty.remove(&(file, b));
                         let Some(ext) = self.maps.get(&file).and_then(|m| m.extents[b as usize])
@@ -782,7 +782,7 @@ impl SmallFileServer {
     pub fn recover(&mut self, wal: Wal<SfLog>, crash_time: SimTime) {
         let records = wal.recover(crash_time);
         self.wal = wal;
-        let mut tails: HashMap<u32, u64> = HashMap::new();
+        let mut tails: FxHashMap<u32, u64> = FxHashMap::default();
         for rec in records {
             match rec {
                 SfLog::SetExtent {

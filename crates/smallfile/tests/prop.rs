@@ -6,9 +6,9 @@
 //! proptest so the workspace tests offline; each property runs a fixed
 //! number of cases from a pinned seed, so failures replay exactly.
 
+use slice_sim::FxHashSet;
 use slice_sim::Rng;
 use slice_smallfile::{frag_size, Region, ZoneAllocator};
-use std::collections::HashSet;
 
 const CASES: usize = 128;
 
@@ -58,7 +58,7 @@ fn no_overlap_and_balanced_accounting() {
         for (r, _) in live.drain(..) {
             alloc.free(r);
         }
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         for b in sizes {
             let r = alloc.alloc(b);
             assert!(seen.insert((r.zone, r.offset)), "double allocation");

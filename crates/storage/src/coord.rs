@@ -16,7 +16,7 @@
 //! hosting actor dispatches. Requesters are identified by opaque tokens the
 //! host supplies.
 
-use std::collections::HashMap;
+use slice_sim::FxHashMap;
 
 use slice_sim::time::{SimDuration, SimTime};
 
@@ -105,7 +105,7 @@ struct PendingIntent {
     participants: Vec<u32>,
     logged_at: SimTime,
     /// Probes outstanding, with completion flags gathered so far.
-    probe_results: HashMap<u32, bool>,
+    probe_results: FxHashMap<u32, bool>,
     probing: bool,
 }
 
@@ -231,9 +231,9 @@ pub enum CoordAction {
 pub struct Coordinator {
     wal: Wal<IntentRecord>,
     next_intent: u64,
-    pending: HashMap<u64, PendingIntent>,
-    fanouts: HashMap<u64, PendingFanout>,
-    maps: HashMap<u64, (Placement, HashMap<u64, Vec<u32>>)>,
+    pending: FxHashMap<u64, PendingIntent>,
+    fanouts: FxHashMap<u64, PendingFanout>,
+    maps: FxHashMap<u64, (Placement, FxHashMap<u64, Vec<u32>>)>,
     storage_sites: u32,
     /// Probe intentions older than this.
     pub intent_timeout: SimDuration,
@@ -246,9 +246,9 @@ impl Coordinator {
         Coordinator {
             wal: Wal::new(WalParams::default()),
             next_intent: 1,
-            pending: HashMap::new(),
-            fanouts: HashMap::new(),
-            maps: HashMap::new(),
+            pending: FxHashMap::default(),
+            fanouts: FxHashMap::default(),
+            maps: FxHashMap::default(),
             storage_sites,
             intent_timeout: SimDuration::from_secs(5),
             resolved: Vec::new(),
@@ -290,7 +290,7 @@ impl Coordinator {
         storage_sites: u32,
         file: u64,
         blocks: std::ops::Range<u64>,
-        map: &mut HashMap<u64, Vec<u32>>,
+        map: &mut FxHashMap<u64, Vec<u32>>,
     ) -> Vec<Vec<u32>> {
         let base = (slice_hashes::fnv1a(&file.to_le_bytes()) % u64::from(storage_sites)) as u32;
         blocks
@@ -338,7 +338,7 @@ impl Coordinator {
                         kind,
                         participants,
                         logged_at: now,
-                        probe_results: HashMap::new(),
+                        probe_results: FxHashMap::default(),
                         probing: false,
                     },
                 );
@@ -374,7 +374,7 @@ impl Coordinator {
                 let (placement, map) = self
                     .maps
                     .entry(file)
-                    .or_insert_with(|| (Placement::Striped, HashMap::new()));
+                    .or_insert_with(|| (Placement::Striped, FxHashMap::default()));
                 let sites = Self::assign_blocks(
                     *placement,
                     self.storage_sites,
@@ -395,7 +395,7 @@ impl Coordinator {
             CoordMsg::SetPlacement { file, placement } => {
                 self.maps
                     .entry(file)
-                    .or_insert_with(|| (placement, HashMap::new()))
+                    .or_insert_with(|| (placement, FxHashMap::default()))
                     .0 = placement;
                 vec![CoordAction::Reply {
                     to: requester,
@@ -448,7 +448,7 @@ impl Coordinator {
                 kind,
                 participants: participants.clone(),
                 logged_at: now,
-                probe_results: HashMap::new(),
+                probe_results: FxHashMap::default(),
                 probing: false,
             },
         );
@@ -620,7 +620,7 @@ impl Coordinator {
     ) -> Vec<CoordAction> {
         let records = wal.recover(crash_time);
         self.wal = wal;
-        let mut open: HashMap<u64, IntentRecord> = HashMap::new();
+        let mut open: FxHashMap<u64, IntentRecord> = FxHashMap::default();
         for r in records {
             if r.is_completion {
                 open.remove(&r.id);
@@ -637,7 +637,7 @@ impl Coordinator {
                     kind: r.kind,
                     participants: r.participants.clone(),
                     logged_at: now,
-                    probe_results: HashMap::new(),
+                    probe_results: FxHashMap::default(),
                     probing: true,
                 },
             );

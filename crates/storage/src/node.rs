@@ -14,7 +14,7 @@
 //! disk. The write verifier changes on restart so clients re-send
 //! uncommitted writes lost in a crash.
 
-use std::collections::HashMap;
+use slice_sim::FxHashMap;
 
 use slice_nfsproto::{
     Fattr3, Fhandle, FileType, NfsProc, NfsReply, NfsRequest, NfsStatus, NfsTime, ReplyBody,
@@ -112,7 +112,7 @@ struct StreamState {
 
 #[derive(Debug, Clone, Default)]
 struct PhysMap {
-    by_logical: HashMap<u64, u64>,
+    by_logical: FxHashMap<u64, u64>,
     order: Vec<u64>,
 }
 
@@ -140,20 +140,20 @@ pub struct StorageNode {
     cache: LruCache<(u64, u64)>,
     /// Dirty (unstable) logical blocks per object, awaiting cluster flush
     /// or commit.
-    dirty: HashMap<u64, Vec<u64>>,
+    dirty: FxHashMap<u64, Vec<u64>>,
     /// Physical layout per object.
-    phys: HashMap<u64, PhysMap>,
+    phys: FxHashMap<u64, PhysMap>,
     /// Completion time of the most recent flush per object; COMMIT must
     /// wait for it.
-    last_flush_done: HashMap<u64, SimTime>,
-    streams: HashMap<u64, StreamState>,
+    last_flush_done: FxHashMap<u64, SimTime>,
+    streams: FxHashMap<u64, StreamState>,
     /// Completion times of in-flight disk reads (prefetch backpressure):
     /// a cached block may not be consumed before its disk read finishes.
-    ready_at: HashMap<(u64, u64), SimTime>,
+    ready_at: FxHashMap<(u64, u64), SimTime>,
     /// Write verifier; changes on every restart.
     verf: u64,
     /// Intentions observed as completed (for coordinator probes).
-    completed_intents: HashMap<u64, bool>,
+    completed_intents: FxHashMap<u64, bool>,
     reads: u64,
     writes: u64,
 }
@@ -169,13 +169,13 @@ impl StorageNode {
             },
             disks: DiskArray::new(config.disks, config.disk_params.clone(), config.channel_bps),
             cache: LruCache::new(config.cache_bytes),
-            dirty: HashMap::new(),
-            phys: HashMap::new(),
-            last_flush_done: HashMap::new(),
-            streams: HashMap::new(),
-            ready_at: HashMap::new(),
+            dirty: FxHashMap::default(),
+            phys: FxHashMap::default(),
+            last_flush_done: FxHashMap::default(),
+            streams: FxHashMap::default(),
+            ready_at: FxHashMap::default(),
             verf: 1,
-            completed_intents: HashMap::new(),
+            completed_intents: FxHashMap::default(),
             reads: 0,
             writes: 0,
         }

@@ -12,7 +12,8 @@
 //! that tracks extents and sizes but discards contents; reads then return
 //! zero-filled data. Integrity tests run with content retention on.
 
-use std::collections::{BTreeMap, HashMap};
+use slice_sim::FxHashMap;
+use std::collections::BTreeMap;
 
 /// One stored extent.
 #[derive(Debug, Clone)]
@@ -137,7 +138,7 @@ impl StorageObject {
 /// The flat object namespace of one storage node.
 #[derive(Debug, Clone)]
 pub struct ObjectStore {
-    objects: HashMap<u64, StorageObject>,
+    objects: FxHashMap<u64, StorageObject>,
     retain_data: bool,
     bytes_written: u64,
     bytes_read: u64,
@@ -148,7 +149,7 @@ impl ObjectStore {
     /// real use).
     pub fn new() -> Self {
         ObjectStore {
-            objects: HashMap::new(),
+            objects: FxHashMap::default(),
             retain_data: true,
             bytes_written: 0,
             bytes_read: 0,
@@ -159,7 +160,7 @@ impl ObjectStore {
     /// benchmarks); reads return zeros.
     pub fn new_metadata_only() -> Self {
         ObjectStore {
-            objects: HashMap::new(),
+            objects: FxHashMap::default(),
             retain_data: false,
             bytes_written: 0,
             bytes_read: 0,

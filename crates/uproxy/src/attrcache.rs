@@ -12,7 +12,7 @@
 //! request from the client" (paper §4.1). A periodic write-back bounds
 //! timestamp drift.
 
-use std::collections::HashMap;
+use slice_sim::FxHashMap;
 
 use slice_nfsproto::{Fattr3, Fhandle, NfsTime};
 use slice_sim::{LruCache, SimDuration, SimTime};
@@ -41,7 +41,7 @@ pub struct CachedAttr {
 /// The attribute cache with dirty tracking and write-back extraction.
 #[derive(Debug)]
 pub struct AttrCache {
-    entries: HashMap<u64, CachedAttr>,
+    entries: FxHashMap<u64, CachedAttr>,
     lru: LruCache<u64>,
     hits: u64,
     misses: u64,
@@ -55,7 +55,7 @@ impl AttrCache {
     /// Creates a cache holding at most `capacity` attribute blocks.
     pub fn new(capacity: usize) -> Self {
         AttrCache {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             lru: LruCache::new(capacity as u64),
             hits: 0,
             misses: 0,

@@ -16,7 +16,7 @@
 //! maintenance; [`Uproxy::phase_stats`] reports real measured CPU
 //! nanoseconds per phase.
 
-use std::collections::HashMap;
+use slice_sim::FxHashMap;
 use std::time::Instant;
 
 use slice_hashes::{fnv1a, name_fingerprint};
@@ -192,14 +192,14 @@ pub struct Uproxy {
     cfg: ProxyConfig,
     dir_table: RoutingTable,
     sf_table: RoutingTable,
-    pending: HashMap<u32, PendingReq>,
+    pending: FxHashMap<u32, PendingReq>,
     attrs: AttrCache,
     /// Cached block-map fragments: (file, block) -> replica sites.
-    map_cache: HashMap<(u64, u64), Vec<u32>>,
+    map_cache: FxHashMap<(u64, u64), Vec<u32>>,
     /// Requests parked on a block-map fetch, keyed by (file, block).
-    map_waiters: HashMap<(u64, u64), Vec<Packet>>,
+    map_waiters: FxHashMap<(u64, u64), Vec<Packet>>,
     /// Commit packets parked on an intent ack, keyed by xid.
-    intent_waiters: HashMap<u64, Packet>,
+    intent_waiters: FxHashMap<u64, Packet>,
     mirror_rr: u64,
     next_own_xid: u32,
     cred: AuthUnix,
@@ -219,11 +219,11 @@ impl Uproxy {
         Uproxy {
             dir_table: RoutingTable::balanced(64, dirs),
             sf_table: RoutingTable::balanced(64, sfs),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             attrs: AttrCache::new(cfg.attr_cache_entries),
-            map_cache: HashMap::new(),
-            map_waiters: HashMap::new(),
-            intent_waiters: HashMap::new(),
+            map_cache: FxHashMap::default(),
+            map_waiters: FxHashMap::default(),
+            intent_waiters: FxHashMap::default(),
             mirror_rr: 0,
             next_own_xid: 0x8000_0000,
             cred: AuthUnix {

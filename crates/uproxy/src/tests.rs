@@ -6,7 +6,7 @@ use slice_nfsproto::{
     NfsReply, NfsRequest, NfsStatus, NfsTime, Packet, ReplyBody, Sattr3, SockAddr, StableHow,
     FH_FLAG_MIRRORED,
 };
-use slice_sim::{SimDuration, SimTime};
+use slice_sim::{FxHashMap, FxHashSet, SimDuration, SimTime};
 use slice_storage::{CoordMsg, CoordReply};
 
 use crate::proxy::{ProxyConfig, ProxyNamePolicy, ProxyOut, Uproxy};
@@ -192,7 +192,7 @@ fn mirrored_reads_balance_across_all_nodes() {
         };
         net_pkts(&u.outbound(t(u64::from(xid)), call_pkt(&c, xid, &req)))[0].dst
     };
-    let mut counts = std::collections::HashMap::new();
+    let mut counts = FxHashMap::default();
     let stripes = 64u64;
     // Stripe 0 sits below the threshold offset and would route to the
     // small-file server; bulk striping starts at stripe 1.
@@ -472,7 +472,7 @@ fn name_hashing_spreads_creates_across_dir_sites() {
     c.name_policy = ProxyNamePolicy::NameHashing;
     let mut u = Uproxy::new(c.clone());
     let root = Fhandle::root();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = FxHashSet::default();
     for i in 0..32 {
         let req = NfsRequest::Create {
             dir: root,
@@ -510,7 +510,7 @@ fn mkdir_switching_routes_by_home_and_redirects() {
         redirect_millis: 1000,
     };
     let mut u = Uproxy::new(c.clone());
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = FxHashSet::default();
     for i in 0..32 {
         let req = NfsRequest::Mkdir {
             dir: root,

@@ -18,7 +18,7 @@
 
 use slice_core::{ClientIo, Workload};
 use slice_nfsproto::{Fhandle, NfsProc, NfsReply, NfsRequest, ReplyBody, Sattr3, StableHow};
-use slice_sim::{LatencyStats, SimDuration, SimTime};
+use slice_sim::{FxHashMap, LatencyStats, SimDuration, SimTime};
 
 /// The small-file threshold offset (matches the ensemble default).
 const THRESHOLD: u32 = 64 * 1024;
@@ -99,7 +99,7 @@ pub struct SpecSfs {
     issued_ops: u64,
     dynamic_names: u64,
     removable: Vec<(Fhandle, String)>, // (parent dir, name)
-    inflight: std::collections::HashMap<u64, (SimTime, bool)>,
+    inflight: FxHashMap<u64, (SimTime, bool)>,
 }
 
 impl SpecSfs {
@@ -146,7 +146,7 @@ impl SpecSfs {
             issued_ops: 0,
             dynamic_names: 0,
             removable: Vec::new(),
-            inflight: std::collections::HashMap::new(),
+            inflight: FxHashMap::default(),
         }
     }
 

@@ -70,6 +70,7 @@ pub type Result<T> = std::result::Result<T, XdrError>;
 /// used to make a µproxy allocate unboundedly from a hostile packet.
 pub const DEFAULT_MAX_LEN: usize = 1 << 20;
 
+#[inline]
 fn pad_len(n: usize) -> usize {
     (4 - (n % 4)) % 4
 }
@@ -110,6 +111,7 @@ impl XdrEncoder {
     }
 
     /// Bytes written so far.
+    #[inline]
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -130,21 +132,25 @@ impl XdrEncoder {
     }
 
     /// Appends an unsigned 32-bit integer.
+    #[inline]
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a signed 32-bit integer.
+    #[inline]
     pub fn put_i32(&mut self, v: i32) {
         self.put_u32(v as u32);
     }
 
     /// Appends an unsigned 64-bit integer (XDR "unsigned hyper").
+    #[inline]
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a boolean as a 32-bit 0/1.
+    #[inline]
     pub fn put_bool(&mut self, v: bool) {
         self.put_u32(u32::from(v));
     }
@@ -196,11 +202,13 @@ impl<'a> XdrDecoder<'a> {
     }
 
     /// Current decode offset from the start of the buffer.
+    #[inline]
     pub fn position(&self) -> usize {
         self.pos
     }
 
     /// Bytes remaining past the cursor.
+    #[inline]
     pub fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
@@ -210,6 +218,7 @@ impl<'a> XdrDecoder<'a> {
         self.remaining() == 0
     }
 
+    #[inline]
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(XdrError::Truncated {
@@ -223,17 +232,20 @@ impl<'a> XdrDecoder<'a> {
     }
 
     /// Reads an unsigned 32-bit integer.
+    #[inline]
     pub fn get_u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a signed 32-bit integer.
+    #[inline]
     pub fn get_i32(&mut self) -> Result<i32> {
         Ok(self.get_u32()? as i32)
     }
 
     /// Reads an unsigned 64-bit integer.
+    #[inline]
     pub fn get_u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
         Ok(u64::from_be_bytes([

@@ -8,7 +8,7 @@ mod common;
 use common::deadline;
 use slice::core::{ClientIo, EnsemblePolicy, SliceConfig, SliceEnsemble, Workload};
 use slice::nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3, StableHow};
-use slice::sim::Rng;
+use slice::sim::{FxHashMap, Rng};
 
 /// A model file: pattern byte per written 1 KB chunk (0 = hole).
 #[derive(Debug, Clone, Default)]
@@ -35,9 +35,9 @@ impl ModelFile {
 
 #[derive(Debug)]
 struct Model {
-    names: std::collections::HashMap<String, u64>,
-    files: std::collections::HashMap<u64, ModelFile>,
-    fhs: std::collections::HashMap<u64, Fhandle>,
+    names: FxHashMap<String, u64>,
+    files: FxHashMap<u64, ModelFile>,
+    fhs: FxHashMap<u64, Fhandle>,
 }
 
 /// The randomized workload: issues one op at a time, validating each

@@ -1,0 +1,335 @@
+//! `availability` — slice-ha failover / degraded-write / resync timeline.
+//!
+//! Runs a mirrored bulk workload and walks one storage node through the
+//! full availability cycle: crash mid-write (degraded writes at reduced
+//! redundancy), a read pass with the node still down (every read of a
+//! chunk mirrored on the victim fails over), online resynchronization
+//! after recovery, and a final read pass in which the µproxy's probes
+//! clear the suspicion and the recovered mirror rejoins the rotation.
+//!
+//! Reports the timeline as slice-obs gauges: time from crash to µproxy
+//! suspicion (failover), the degraded-write window and its latency cost,
+//! resync duration and bytes copied, and the bytes the recovered node
+//! served after rejoining. All times come from the op histories and the
+//! suspicion/resync logs, not the engine clock: with a node down, open
+//! intentions keep the coordinator sweep probing, so idle-draining the
+//! queue advances simulated time far past the last client op.
+//! Deterministic: identical arguments yield a byte-identical report.
+//!
+//! Usage: `availability [--mb N] [--crash-ms T] [--json-out]`
+//! (defaults: 48 MiB per client, crash at 100 ms).
+
+use slice_bench::{maybe_write_json, obs_doc};
+use slice_core::actors::{CoordActor, StorageActor};
+use slice_core::ensemble::{SliceConfig, SliceEnsemble};
+use slice_core::Workload;
+use slice_sim::{SimDuration, SimTime};
+use slice_workloads::BulkIo;
+
+const CLIENTS: usize = 2;
+/// The storage site the bench crashes.
+const VICTIM: usize = 0;
+
+fn arg_after(flag: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} wants a number"));
+        }
+    }
+    default
+}
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::from_nanos(ms * 1_000_000)
+}
+
+fn ms_of(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1e6
+}
+
+/// Runs until every client's workload finishes, checking every few events
+/// so the stuck-intent probe churn does not drag simulated time far past
+/// the finish.
+fn run_phase(ens: &mut SliceEnsemble, deadline: SimTime) {
+    loop {
+        let before = ens.engine.now();
+        ens.engine.run_until_idle(64);
+        let done = (0..CLIENTS).all(|i| ens.client(i).finished());
+        if done || ens.engine.now() >= deadline || ens.engine.now() == before {
+            return;
+        }
+    }
+}
+
+/// Latest completion time among history records `[from..]` per client.
+fn last_end(ens: &SliceEnsemble, from: &[usize]) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for (i, hist) in ens.histories().iter().enumerate() {
+        for rec in &hist.records()[from[i]..] {
+            if let Some(end) = rec.end {
+                t = t.max(end);
+            }
+        }
+    }
+    t
+}
+
+fn record_marks(ens: &SliceEnsemble) -> Vec<usize> {
+    ens.histories().iter().map(|h| h.records().len()).collect()
+}
+
+fn main() {
+    let mb = arg_after("--mb", 48);
+    let crash_ms = arg_after("--crash-ms", 100);
+    let bytes_per_client = mb * 1024 * 1024;
+    let deadline = at_ms(600_000);
+
+    let cfg = SliceConfig {
+        clients: CLIENTS,
+        retain_data: true,
+        record_history: true,
+        // Fast probe cadence so the recovered mirror rejoins within the
+        // final read pass.
+        probe_interval_ms: 500,
+        ..SliceConfig::default()
+    };
+    let writers: Vec<Box<dyn Workload>> = (0..CLIENTS)
+        .map(|i| {
+            Box::new(BulkIo::writer(&format!("ha{i}"), bytes_per_client, true)) as Box<dyn Workload>
+        })
+        .collect();
+    let mut ens = SliceEnsemble::build(&cfg, writers);
+    ens.start();
+
+    // Phase 1: crash the victim mid-write; writers finish degraded.
+    ens.engine.run_until(at_ms(crash_ms));
+    let crash_at = at_ms(crash_ms);
+    ens.engine.fail_node(ens.storage[VICTIM]);
+    run_phase(&mut ens, deadline);
+    for i in 0..CLIENTS {
+        assert!(ens.client(i).finished(), "writer {i} did not finish");
+    }
+    let write_done = last_end(&ens, &[0; CLIENTS]);
+    let dirty_after_write: u64 = ens
+        .coords
+        .iter()
+        .map(|&c| {
+            ens.engine
+                .actor::<CoordActor>(c)
+                .coord
+                .dirty_log_dump()
+                .len() as u64
+        })
+        .sum();
+
+    // Phase 2: read it all back with the victim still down.
+    let marks = record_marks(&ens);
+    for i in 0..CLIENTS {
+        ens.client_mut(i).set_workload(Box::new(BulkIo::reader(
+            &format!("ha{i}"),
+            bytes_per_client,
+        )));
+    }
+    for &c in &ens.clients.clone() {
+        ens.engine.kick(c);
+    }
+    run_phase(&mut ens, deadline);
+    for i in 0..CLIENTS {
+        assert!(ens.client(i).finished(), "down-reader {i} did not finish");
+    }
+    let read_down_done = last_end(&ens, &marks);
+
+    // Phase 3: recover the victim; the coordinator sweep drives resync
+    // with no client traffic in flight.
+    let recover_at = ens.engine.now();
+    ens.recover_storage_node(VICTIM);
+    ens.engine
+        .run_until(recover_at + SimDuration::from_secs(30));
+    let victim_reads_before = {
+        let node = &ens.engine.actor::<StorageActor>(ens.storage[VICTIM]).node;
+        node.store().io_stats().1
+    };
+
+    // Phase 4: read again; ticks probe the suspected site, the clean
+    // verdict readmits it, and the tail of the pass reads from it.
+    let marks = record_marks(&ens);
+    for i in 0..CLIENTS {
+        ens.client_mut(i).set_workload(Box::new(BulkIo::reader(
+            &format!("ha{i}"),
+            bytes_per_client,
+        )));
+    }
+    for &c in &ens.clients.clone() {
+        ens.engine.kick(c);
+    }
+    run_phase(&mut ens, deadline);
+    for i in 0..CLIENTS {
+        assert!(ens.client(i).finished(), "back-reader {i} did not finish");
+    }
+    let read_back_done = last_end(&ens, &marks);
+
+    // Harvest the timeline.
+    let mut suspected_at: Option<SimTime> = None;
+    let mut cleared_at: Option<SimTime> = None;
+    let mut read_failovers = 0u64;
+    let mut degraded_writes = 0u64;
+    let mut degraded_bytes = 0u64;
+    let mut probes_sent = 0u64;
+    let mut timeouts = 0u64;
+    for i in 0..CLIENTS {
+        let client = ens.client(i);
+        timeouts += client.stats().timeouts;
+        let proxy = client.proxy().expect("embedded proxy");
+        for &(t, site, sus) in proxy.suspicion_log() {
+            if site as usize != VICTIM {
+                continue;
+            }
+            if sus {
+                suspected_at = Some(suspected_at.map_or(t, |s| s.min(t)));
+            } else {
+                cleared_at = Some(cleared_at.map_or(t, |s| s.max(t)));
+            }
+        }
+        let (fo, dw, db, pr) = proxy.ha_stats();
+        read_failovers += fo;
+        degraded_writes += dw;
+        degraded_bytes += db;
+        probes_sent += pr;
+    }
+    let mut resync_bytes = 0u64;
+    let mut resync_done: Option<SimTime> = None;
+    let mut dirty_left = 0u64;
+    for &c in &ens.coords {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for &(site, _start, done, bytes) in coord.resync_history() {
+            if site as usize == VICTIM {
+                resync_bytes += bytes;
+                resync_done = Some(resync_done.map_or(done, |d| d.max(done)));
+            }
+        }
+        dirty_left += coord.dirty_log_dump().len() as u64;
+    }
+    let victim_reads_after = {
+        let node = &ens.engine.actor::<StorageActor>(ens.storage[VICTIM]).node;
+        node.store().io_stats().1
+    };
+
+    // Degraded-window write latency vs the pre-crash baseline.
+    let mut normal = (0u64, 0u64); // (count, total latency ns)
+    let mut degraded = (0u64, 0u64);
+    for hist in ens.histories() {
+        for rec in hist.records() {
+            let (Some(end), "write") = (rec.end, rec.op) else {
+                continue;
+            };
+            let lat = (end - rec.begin).as_nanos();
+            if rec.begin < crash_at {
+                normal = (normal.0 + 1, normal.1 + lat);
+            } else if rec.begin < write_done {
+                degraded = (degraded.0 + 1, degraded.1 + lat);
+            }
+        }
+    }
+    let mean_us = |(n, total): (u64, u64)| {
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64 / 1e3
+        }
+    };
+
+    let failover_ms = suspected_at.map(|t| ms_of(t) - crash_ms as f64);
+    let resync_ms = resync_done.map(|t| ms_of(t) - ms_of(recover_at));
+    println!(
+        "availability: {CLIENTS} clients x {mb} MiB mirrored, storage site {VICTIM} \
+         crashed at {crash_ms} ms"
+    );
+    println!(
+        "  failover: suspected +{:.2} ms after crash, {} read failovers, {} probes",
+        failover_ms.unwrap_or(f64::NAN),
+        read_failovers,
+        probes_sent
+    );
+    println!(
+        "  degraded: {} writes / {} bytes at reduced redundancy, {} dirty ranges logged, \
+         write latency {:.0} us vs {:.0} us baseline",
+        degraded_writes,
+        degraded_bytes,
+        dirty_after_write,
+        mean_us(degraded),
+        mean_us(normal)
+    );
+    println!(
+        "  resync: {} bytes copied, done +{:.2} ms after recovery, {} dirty ranges left",
+        resync_bytes,
+        resync_ms.unwrap_or(f64::NAN),
+        dirty_left
+    );
+    println!(
+        "  rejoin: cleared +{:.2} ms after recovery, recovered node served {} bytes of \
+         reads, {} client timeouts",
+        cleared_at
+            .map(|t| ms_of(t) - ms_of(recover_at))
+            .unwrap_or(f64::NAN),
+        victim_reads_after - victim_reads_before,
+        timeouts
+    );
+
+    let json = obs_doc(|reg| {
+        reg.set_gauge("availability.crash_ms", crash_ms as f64);
+        reg.set_gauge("availability.write_done_ms", ms_of(write_done));
+        reg.set_gauge("availability.read_down_done_ms", ms_of(read_down_done));
+        reg.set_gauge("availability.recover_ms", ms_of(recover_at));
+        reg.set_gauge("availability.read_back_done_ms", ms_of(read_back_done));
+        reg.set_gauge(
+            "availability.suspected_ms",
+            suspected_at.map(ms_of).unwrap_or(-1.0),
+        );
+        reg.set_gauge(
+            "availability.time_to_failover_ms",
+            failover_ms.unwrap_or(-1.0),
+        );
+        reg.set_gauge(
+            "availability.cleared_ms",
+            cleared_at.map(ms_of).unwrap_or(-1.0),
+        );
+        reg.set_gauge(
+            "availability.resync_done_ms",
+            resync_done.map(ms_of).unwrap_or(-1.0),
+        );
+        reg.set_gauge("availability.time_to_resync_ms", resync_ms.unwrap_or(-1.0));
+        reg.set_gauge("availability.resync_bytes", resync_bytes as f64);
+        reg.set_gauge("availability.dirty_ranges_logged", dirty_after_write as f64);
+        reg.set_gauge("availability.dirty_ranges_left", dirty_left as f64);
+        reg.set_gauge("availability.read_failovers", read_failovers as f64);
+        reg.set_gauge("availability.degraded_writes", degraded_writes as f64);
+        reg.set_gauge("availability.degraded_bytes", degraded_bytes as f64);
+        reg.set_gauge("availability.probes_sent", probes_sent as f64);
+        reg.set_gauge("availability.client_timeouts", timeouts as f64);
+        reg.set_gauge("availability.write_latency_normal_us", mean_us(normal));
+        reg.set_gauge("availability.write_latency_degraded_us", mean_us(degraded));
+        reg.set_gauge(
+            "availability.recovered_read_bytes",
+            (victim_reads_after - victim_reads_before) as f64,
+        );
+    });
+    println!("{json}");
+    maybe_write_json("availability", &json);
+
+    // The availability contract: no client-visible failures, failover
+    // within five retransmission timeouts, and a drained dirty log.
+    assert_eq!(timeouts, 0, "client ops timed out during the cycle");
+    assert!(
+        failover_ms.is_some_and(|f| f < 4000.0),
+        "failover took {failover_ms:?} ms (budget 5 x 800 ms)"
+    );
+    assert_eq!(dirty_left, 0, "resync left dirty ranges behind");
+    assert!(
+        victim_reads_after > victim_reads_before,
+        "recovered node served no reads after rejoining"
+    );
+}

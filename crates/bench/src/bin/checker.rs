@@ -9,12 +9,14 @@
 //! invariants, coordinator block maps, attr-cache audit, and WAL-replay
 //! namespace equivalence against the reference run.
 //!
-//! Usage: `checker [--seeds N] [--schedules M] [--json-out]`
-//! (defaults: 8 seeds × 4 schedules). Prints a summary plus the
+//! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--json-out]`
+//! (defaults: 8 seeds × 4 schedules). `--chaos` swaps the standard
+//! schedule pool for the chaos pool (datagram duplication and reordering
+//! windows, stacked storage crashes). Prints a summary plus the
 //! deterministic slice-obs JSON report — byte-identical for identical
 //! arguments — and exits nonzero if any run violated any oracle.
 
-use slice_check::sweep;
+use slice_check::sweep_with;
 
 fn arg_after(flag: &str, default: u64) -> u64 {
     let mut args = std::env::args();
@@ -32,14 +34,16 @@ fn arg_after(flag: &str, default: u64) -> u64 {
 fn main() {
     let n_seeds = arg_after("--seeds", 8);
     let n_schedules = arg_after("--schedules", 4) as usize;
+    let chaos = std::env::args().any(|a| a == "--chaos");
     let seeds: Vec<u64> = (1..=n_seeds).collect();
 
     println!(
-        "checker: sweeping {} seeds x {} schedules (+1 reference each)",
+        "checker: sweeping {} seeds x {} {} schedules (+1 reference each)",
         seeds.len(),
-        n_schedules
+        n_schedules,
+        if chaos { "chaos" } else { "standard" }
     );
-    let report = sweep(&seeds, n_schedules);
+    let report = sweep_with(&seeds, n_schedules, chaos);
     println!(
         "checker: {} runs, {} client-visible ops checked, {} failing",
         report.runs,
@@ -57,7 +61,10 @@ fn main() {
         }
     }
     println!("{}", report.json);
-    slice_bench::maybe_write_json("checker", &report.json);
+    slice_bench::maybe_write_json(
+        if chaos { "checker_chaos" } else { "checker" },
+        &report.json,
+    );
     if !report.passed() {
         std::process::exit(1);
     }

@@ -216,7 +216,7 @@ pub struct EngineTotals {
 }
 
 impl EngineTotals {
-    fn harvest<M: slice_sim::MessageSize + 'static>(engine: &slice_sim::Engine<M>) -> Self {
+    fn harvest<M: slice_sim::MessageSize + Clone + 'static>(engine: &slice_sim::Engine<M>) -> Self {
         EngineTotals {
             packets: engine.packets_sent(),
             bytes: engine.bytes_sent(),

@@ -16,7 +16,7 @@ use slice_core::ensemble::{SliceConfig, SliceEnsemble};
 use slice_core::{ClientIo, OpHistory, Workload, CHUNK_BYTES};
 use slice_nfsproto::{Fhandle, NfsReply, NfsRequest, NfsStatus, ReplyBody, Sattr3, StableHow};
 use slice_obs::Obs;
-use slice_sim::{NodeId, Rng, SimTime};
+use slice_sim::{NodeId, Rng, SimDuration, SimTime};
 
 use crate::oracle::{check_histories, OracleStats};
 use crate::state::{
@@ -444,6 +444,13 @@ pub enum Injection {
     CrashCoord { site: usize, down_ms: u64 },
     /// Drop `permille`/1000 of packets for `dur_ms`.
     LossWindow { permille: u32, dur_ms: u64 },
+    /// Duplicate `permille`/1000 of datagrams for `dur_ms`. Only
+    /// datagram traffic (client UDP) is eligible; typed control channels
+    /// model reliable transports and are exempt.
+    DupWindow { permille: u32, dur_ms: u64 },
+    /// Reorder datagram arrivals within a `window_ms` jitter window for
+    /// `dur_ms`.
+    ReorderWindow { window_ms: u64, dur_ms: u64 },
 }
 
 /// An [`Injection`] pinned to a simulated time.
@@ -499,8 +506,15 @@ pub struct RunOutcome {
 enum Act {
     Fail(NodeId),
     Recover(NodeId),
+    /// Storage recovery goes through the ensemble so coordinators get a
+    /// resync kick (mirrors [`SliceEnsemble::recover_storage_node`]).
+    RecoverStorage(usize),
     LossOn(f64),
     LossOff,
+    DupOn(f64),
+    DupOff,
+    ReorderOn(u64),
+    ReorderOff,
 }
 
 /// The ensemble every schedule runs against: one recorded client, two
@@ -552,8 +566,9 @@ pub fn run_schedule(
             }
             Injection::CrashStorage { site, down_ms } => {
                 let n = node(&ens.storage, site);
+                let idx = site % ens.storage.len();
                 timeline.push((ev.at_ms, i, Act::Fail(n)));
-                timeline.push((ev.at_ms + down_ms, i, Act::Recover(n)));
+                timeline.push((ev.at_ms + down_ms, i, Act::RecoverStorage(idx)));
             }
             Injection::CrashCoord { site, down_ms } => {
                 let n = node(&ens.coords, site);
@@ -564,6 +579,14 @@ pub fn run_schedule(
                 timeline.push((ev.at_ms, i, Act::LossOn(permille as f64 / 1000.0)));
                 timeline.push((ev.at_ms + dur_ms, i, Act::LossOff));
             }
+            Injection::DupWindow { permille, dur_ms } => {
+                timeline.push((ev.at_ms, i, Act::DupOn(permille as f64 / 1000.0)));
+                timeline.push((ev.at_ms + dur_ms, i, Act::DupOff));
+            }
+            Injection::ReorderWindow { window_ms, dur_ms } => {
+                timeline.push((ev.at_ms, i, Act::ReorderOn(window_ms)));
+                timeline.push((ev.at_ms + dur_ms, i, Act::ReorderOff));
+            }
         }
     }
     timeline.sort_by_key(|(ms, ord, _)| (*ms, *ord));
@@ -573,8 +596,13 @@ pub fn run_schedule(
         match act {
             Act::Fail(n) => ens.engine.fail_node(n),
             Act::Recover(n) => ens.engine.recover_node(n),
+            Act::RecoverStorage(i) => ens.recover_storage_node(i),
             Act::LossOn(p) => ens.engine.set_loss_prob(p),
             Act::LossOff => ens.engine.set_loss_prob(0.0),
+            Act::DupOn(p) => ens.engine.set_dup_prob(p),
+            Act::DupOff => ens.engine.set_dup_prob(0.0),
+            Act::ReorderOn(ms) => ens.engine.set_reorder_window(SimDuration::from_millis(ms)),
+            Act::ReorderOff => ens.engine.set_reorder_window(SimDuration::ZERO),
         }
     }
     let finish = ens.run_to_completion(SimTime::from_nanos(RUN_DEADLINE_SECS * 1_000_000_000));
@@ -727,6 +755,58 @@ pub fn standard_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule>
         .collect()
 }
 
+/// Generates `m` deterministic chaos schedules: the standard injection
+/// kinds plus datagram duplication and reordering windows, with every
+/// third schedule stacking a storage crash on top of a network fault so
+/// failover, degraded writes, and resync all run under message chaos.
+/// Times are drawn inside `horizon_ms`, like [`standard_schedules`]
+/// (which is left unchanged so existing sweep outputs stay stable).
+pub fn chaos_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9fb2_1c65_1e98_df25) ^ 0xc4a05);
+    let horizon = horizon_ms.max(100);
+    let at = |rng: &mut Rng| horizon / 10 + rng.gen_range(0..horizon.max(2) * 8 / 10);
+    (0..m)
+        .map(|j| {
+            let mut events = Vec::new();
+            let down_ms = rng.gen_range(1500..2500u64);
+            let dur_ms = rng.gen_range(1000..3000u64);
+            let inject = match j % 5 {
+                0 => Injection::DupWindow {
+                    permille: 50,
+                    dur_ms,
+                },
+                1 => Injection::ReorderWindow {
+                    window_ms: rng.gen_range(1..=5u64),
+                    dur_ms,
+                },
+                2 => Injection::CrashStorage {
+                    site: rng.gen_range(0..4u64) as usize,
+                    down_ms,
+                },
+                3 => Injection::LossWindow {
+                    permille: 20,
+                    dur_ms,
+                },
+                _ => Injection::CrashCoord { site: 0, down_ms },
+            };
+            events.push(ScheduleEvent {
+                at_ms: at(&mut rng),
+                inject,
+            });
+            if j % 3 == 2 {
+                events.push(ScheduleEvent {
+                    at_ms: at(&mut rng),
+                    inject: Injection::CrashStorage {
+                        site: rng.gen_range(0..4u64) as usize,
+                        down_ms: rng.gen_range(1500..2500u64),
+                    },
+                });
+            }
+            Schedule { events }
+        })
+        .collect()
+}
+
 /// One failing run inside a [`SweepReport`].
 #[derive(Debug)]
 pub struct SweepFailure {
@@ -765,6 +845,13 @@ impl SweepReport {
 /// replay it under each fault schedule and compare. The report's JSON is
 /// a deterministic function of the inputs.
 pub fn sweep(seeds: &[u64], schedules_per_seed: usize) -> SweepReport {
+    sweep_with(seeds, schedules_per_seed, false)
+}
+
+/// [`sweep`] with a schedule-pool choice: `chaos` swaps
+/// [`standard_schedules`] for [`chaos_schedules`] (duplication and
+/// reordering windows, stacked storage crashes).
+pub fn sweep_with(seeds: &[u64], schedules_per_seed: usize, chaos: bool) -> SweepReport {
     let mut obs = Obs::new();
     let mut failures = Vec::new();
     let mut runs = 0usize;
@@ -793,10 +880,12 @@ pub fn sweep(seeds: &[u64], schedules_per_seed: usize) -> SweepReport {
         }
 
         let horizon_ms = reference.finish.as_nanos() / 1_000_000;
-        for (j, sched) in standard_schedules(seed, schedules_per_seed, horizon_ms)
-            .iter()
-            .enumerate()
-        {
+        let schedules = if chaos {
+            chaos_schedules(seed, schedules_per_seed, horizon_ms)
+        } else {
+            standard_schedules(seed, schedules_per_seed, horizon_ms)
+        };
+        for (j, sched) in schedules.iter().enumerate() {
             let out = run_schedule(seed, &scenario, sched, Some(&reference.snapshot));
             runs += 1;
             ops_checked += out.completed_ops;

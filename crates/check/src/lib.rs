@@ -30,8 +30,9 @@ pub mod oracle;
 pub mod state;
 
 pub use explore::{
-    generate_scenario, minimize, run_schedule, standard_schedules, sweep, DriverWorkload, GenOp,
-    Injection, RunOutcome, Scenario, Schedule, ScheduleEvent, SweepFailure, SweepReport,
+    chaos_schedules, generate_scenario, minimize, run_schedule, standard_schedules, sweep,
+    sweep_with, DriverWorkload, GenOp, Injection, RunOutcome, Scenario, Schedule, ScheduleEvent,
+    SweepFailure, SweepReport,
 };
 pub use oracle::{check_histories, OracleStats};
 pub use state::{

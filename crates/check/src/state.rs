@@ -19,11 +19,12 @@ use slice_storage::Placement;
 use crate::Violation;
 
 /// Runs every structural oracle: directory-service integrity, coordinator
-/// block maps (site validity), and attr-cache audit.
+/// block maps (site validity), attr-cache audit, and mirror convergence.
 pub fn check_structural(ens: &SliceEnsemble) -> Vec<Violation> {
     let mut v = check_dirsvc(ens);
     v.extend(check_block_maps(ens, false));
     v.extend(check_attr_cache(ens));
+    v.extend(check_mirror_convergence(ens));
     v
 }
 
@@ -35,6 +36,121 @@ pub fn check_structural_strict(ens: &SliceEnsemble) -> Vec<Violation> {
     let mut v = check_dirsvc(ens);
     v.extend(check_block_maps(ens, true));
     v.extend(check_attr_cache(ens));
+    v.extend(check_mirror_convergence(ens));
+    v
+}
+
+/// Mirror-convergence oracle (slice-ha): at quiescence every mirrored
+/// (file, chunk) must hold byte-identical data on all of its replica
+/// sites, and the coordinators' dirty-region logs must have drained.
+/// Degraded writes are acceptable only while resynchronization is still
+/// owed — never at a quiet fixpoint once every node has recovered.
+pub fn check_mirror_convergence(ens: &SliceEnsemble) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for (ci, &c) in ens.coords.iter().enumerate() {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for (site, obj, offset, len) in coord.dirty_log_dump() {
+            v.push(Violation::new(
+                "mirror_dirty_log",
+                format!(
+                    "coord {ci}: site {site} still owes resync of file {obj} [{offset}, +{len}) at quiescence"
+                ),
+            ));
+        }
+    }
+    // A client-visible op failure (RPC timeout) leaves a mirrored write
+    // partially applied with no promise about either copy; byte-compare
+    // is only sound on runs where every op eventually completed.
+    let any_timeouts = ens
+        .clients
+        .iter()
+        .any(|&c| ens.engine.actor::<ClientActor>(c).stats().timeouts > 0);
+    if any_timeouts {
+        return v;
+    }
+    let n = ens.storage.len() as u64;
+    let Some(proxy) = ens
+        .clients
+        .first()
+        .and_then(|&c| ens.engine.actor::<ClientActor>(c).proxy())
+    else {
+        return v;
+    };
+    let stripe_unit = proxy.config().stripe_unit.max(1);
+    let copies = u64::from(proxy.config().mirror_copies).clamp(1, n);
+    let start = if ens.sfs.is_empty() {
+        0
+    } else {
+        slice_smallfile::SF_THRESHOLD
+    };
+    // Dynamic placements override the static striping function.
+    let mut mapped: FxHashMap<(u64, u64), Vec<u32>> = FxHashMap::default();
+    for &c in &ens.coords {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for (file, _placement, blocks) in coord.block_map_dump() {
+            for (block, sites) in blocks {
+                mapped.insert((file, block), sites);
+            }
+        }
+    }
+    let (names, attrs) = dir_dumps(ens);
+    let mut size_of: FxHashMap<u64, u64> = FxHashMap::default();
+    for (_, file, cell) in attrs {
+        size_of.insert(file, cell.attr.size);
+    }
+    let mut mirrored: Vec<u64> = Vec::new();
+    let mut seen = FxHashSet::default();
+    for (_, _, cell) in &names {
+        let fh = cell.child.fhandle();
+        if fh.is_mirrored() && !fh.is_dir() && !fh.is_symlink() && seen.insert(cell.child.file) {
+            mirrored.push(cell.child.file);
+        }
+    }
+    mirrored.sort_unstable();
+    let read_at = |site: u32, file: u64, offset: u64, len: usize| -> Vec<u8> {
+        let node = &ens
+            .engine
+            .actor::<StorageActor>(ens.storage[site as usize])
+            .node;
+        match node.store().get(file) {
+            Some(obj) => obj.read(offset, len),
+            None => vec![0u8; len],
+        }
+    };
+    for file in mirrored {
+        let size = size_of.get(&file).copied().unwrap_or(0);
+        let mut offset = start;
+        while offset < size {
+            let len = stripe_unit.min(size - offset) as usize;
+            let block = offset / stripe_unit;
+            let sites = mapped.get(&(file, block)).cloned().unwrap_or_else(|| {
+                let base = slice_hashes::fnv1a(&file.to_le_bytes()) % n;
+                let first = (base + block % n) % n;
+                (0..copies).map(|c| ((first + c) % n) as u32).collect()
+            });
+            let reference = read_at(sites[0], file, offset, len);
+            for &s in &sites[1..] {
+                let other = read_at(s, file, offset, len);
+                if other != reference {
+                    let diverge = reference
+                        .iter()
+                        .zip(&other)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(reference.len().min(other.len()));
+                    v.push(Violation::new(
+                        "mirror_convergence",
+                        format!(
+                            "file {file} chunk [{offset}, +{len}): sites {} and {s} diverge at byte {}",
+                            sites[0],
+                            offset + diverge as u64
+                        ),
+                    ));
+                    break; // one violation per chunk is plenty
+                }
+            }
+            offset += len as u64;
+        }
+    }
     v
 }
 

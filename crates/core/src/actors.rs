@@ -656,7 +656,7 @@ impl CoordActor {
     }
 
     fn arm_sweep_if_busy(&mut self, ctx: &mut Ctx<'_, Wire>) {
-        if !self.sweep_armed && self.coord.open_intents() > 0 {
+        if !self.sweep_armed && self.coord.needs_sweep() {
             ctx.set_timer(COORD_SWEEP_INTERVAL, COORD_SWEEP_TAG);
             self.sweep_armed = true;
         }
@@ -673,6 +673,28 @@ impl CoordActor {
                     let node = self.storage_nodes[site as usize % self.storage_nodes.len()];
                     ctx.send(node, Wire::Ctl(ctl));
                 }
+            }
+        }
+        // Surface resynchronization progress in the trace stream and the
+        // metrics registry (slice-ha availability timeline).
+        for (site, done, _at, bytes) in self.coord.take_resync_events() {
+            if done {
+                ctx.obs().registry.add("coord.resyncs_completed", 1);
+                ctx.trace(
+                    Subsystem::Coord,
+                    EventKind::ResyncDone {
+                        site: site as usize,
+                        bytes,
+                    },
+                );
+            } else {
+                ctx.obs().registry.add("coord.resyncs_started", 1);
+                ctx.trace(
+                    Subsystem::Coord,
+                    EventKind::ResyncStart {
+                        site: site as usize,
+                    },
+                );
             }
         }
     }

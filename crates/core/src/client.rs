@@ -90,6 +90,9 @@ pub struct ClientStats {
     /// write-backs the embedded µproxy re-pushed because an earlier push
     /// of the same version went unacknowledged.
     pub retransmits: u64,
+    /// Operations surfaced to the workload as failed after exhausting
+    /// every retransmission (client-visible timeout).
+    pub timeouts: u64,
 }
 
 struct PendingRpc {
@@ -159,6 +162,7 @@ impl ClientInner {
                         ctx.send(node, Wire::TableFetch);
                     }
                 }
+                ProxyOut::Trace(kind) => ctx.trace(Subsystem::Uproxy, kind),
             }
         }
         to_client
@@ -552,12 +556,41 @@ impl Actor<Wire> for ClientActor {
                 return;
             };
             if rec.retries >= MAX_RETRIES {
-                self.inner.pending.remove(&xid);
+                // Out of retries: the op fails with a client-visible
+                // timeout instead of silently vanishing — the workload
+                // gets an error reply so its slot frees, the history
+                // records the outcome, and the stats count it.
+                let rec = self.inner.pending.remove(&xid).expect("checked");
+                self.inner.stats.timeouts += 1;
+                let reply = NfsReply::error(rec.proc, slice_nfsproto::NfsStatus::Io);
+                let latency = ctx.now() - rec.first_sent_at;
+                ctx.trace(
+                    Subsystem::Client,
+                    EventKind::OpComplete {
+                        op: rec.proc.name(),
+                        xid: u64::from(xid),
+                        latency_ns: latency.as_nanos(),
+                    },
+                );
+                ctx.obs().registry.add("client.rpc_timeouts", 1);
+                if self.inner.cfg.record_history {
+                    self.inner
+                        .history
+                        .complete(ctx.now(), xid, rec.retries, &reply);
+                }
+                let wtag = rec.tag;
+                self.with_workload(ctx, |w, io| w.on_reply(io, wtag, &reply));
                 return;
             }
             rec.retries += 1;
             rec.sent_at = ctx.now();
-            let backoff = calib::RPC_TIMEOUT.mul_f64(f64::from(rec.retries.min(4)));
+            // Capped exponential backoff (1x, 2x, 4x, 8x the RPC timeout)
+            // with deterministic jitter from the sim RNG, so a herd of
+            // timed-out clients does not hammer a recovering node in
+            // lockstep.
+            let shift = (rec.retries - 1).min(3);
+            let base = calib::RPC_TIMEOUT.mul_f64((1u64 << shift) as f64);
+            let backoff = base + base.mul_f64(0.25 * ctx.rng().gen::<f64>());
             rec.timer = ctx.set_timer(backoff, TAG_RPC | u64::from(xid));
             let pkt = rec.original.clone();
             let retries = rec.retries;
@@ -569,6 +602,14 @@ impl Actor<Wire> for ClientActor {
                     retries,
                 },
             );
+            // Observed retransmissions feed the µproxy's failure-suspicion
+            // table: the interposed layer learns a routed-to site is not
+            // answering and steers the retry (and later traffic) away.
+            if let Some(p) = self.inner.proxy.as_mut() {
+                let outs = p.note_retransmit(ctx.now(), xid);
+                let leftover = self.inner.dispatch_proxy_out(ctx, outs);
+                debug_assert!(leftover.is_empty());
+            }
             self.inner.transmit(ctx, pkt);
         }
     }

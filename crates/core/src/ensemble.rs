@@ -61,6 +61,9 @@ pub struct SliceConfig {
     pub stripe_unit: u64,
     /// Group commit on file-manager write-ahead logs (ablation knob).
     pub wal_group_commit: bool,
+    /// µproxy suspected-site probe cadence in milliseconds (how quickly a
+    /// recovered mirror can rejoin the read rotation).
+    pub probe_interval_ms: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -86,6 +89,7 @@ impl Default for SliceConfig {
             use_block_maps: false,
             stripe_unit: 64 * 1024,
             wal_group_commit: true,
+            probe_interval_ms: 2000,
             seed: 42,
         }
     }
@@ -184,6 +188,8 @@ impl SliceEnsemble {
                 use_intents: cfg.use_intents,
                 attr_cache_entries: 4096,
                 writeback_interval: calib::ATTR_WRITEBACK,
+                suspect_after: 2,
+                probe_interval: SimDuration::from_millis(cfg.probe_interval_ms.max(1)),
                 // Wall-clock phase timing would inject nondeterminism
                 // into the seeded simulation; Table 3 measures it in a
                 // standalone harness instead.
@@ -329,6 +335,24 @@ impl SliceEnsemble {
         self.engine.actor_mut::<ClientActor>(self.clients[i])
     }
 
+    /// Brings a crashed storage node back online and triggers the
+    /// coordinator-driven resynchronization of any regions that diverged
+    /// during its outage. The node rejoins the mirrored-read rotation
+    /// once resync drains and the µproxies' probes come back clean.
+    pub fn recover_storage_node(&mut self, i: usize) {
+        let node = self.storage[i];
+        self.engine.recover_node(node);
+        for &c in &self.coords.clone() {
+            self.engine
+                .actor_mut::<crate::actors::CoordActor>(c)
+                .coord
+                .kick_resync(i as u32);
+            // START_TAG re-arms the coordinator's sweep timer, which
+            // drives the resync state machine forward.
+            self.engine.kick(c);
+        }
+    }
+
     /// Every client's recorded op history, in client order (empty unless
     /// the ensemble was built with `record_history`).
     pub fn histories(&self) -> Vec<&crate::history::OpHistory> {
@@ -355,6 +379,7 @@ impl SliceEnsemble {
             counters.push((format!("{p}.bytes_read"), s.bytes_read));
             counters.push((format!("{p}.bytes_written"), s.bytes_written));
             counters.push((format!("{p}.retransmits"), s.retransmits));
+            counters.push((format!("{p}.timeouts"), s.timeouts));
         }
         for (i, &d) in self.dirs.iter().enumerate() {
             let srv = &self.engine.actor::<crate::actors::DirActor>(d).server;
@@ -399,6 +424,9 @@ impl SliceEnsemble {
             let p = format!("coord.{i}");
             counters.push((format!("{p}.open_intents"), coord.open_intents() as u64));
             counters.push((format!("{p}.resolutions"), coord.resolutions().len() as u64));
+            counters.push((format!("{p}.dirty_ranges"), coord.dirty_ranges() as u64));
+            counters.push((format!("{p}.resyncs"), coord.resync_history().len() as u64));
+            counters.push((format!("{p}.resync_bytes"), coord.resync_bytes()));
             let (appends, bytes, syncs) = coord.wal_stats();
             counters.push((format!("{p}.wal.appends"), appends));
             counters.push((format!("{p}.wal.bytes"), bytes));

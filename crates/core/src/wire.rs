@@ -51,6 +51,10 @@ impl MessageSize for Wire {
         match self {
             Wire::Udp(p) => MessageSize::wire_size(p),
             Wire::Coord(_) | Wire::CoordReply(_) => 96,
+            // Resync bulk transfers carry real payloads; other control
+            // messages are small fixed-size frames.
+            Wire::Ctl(StorageCtl::ResyncWrite { data, .. }) => 64 + data.len(),
+            Wire::CtlReply(StorageCtlReply::ResyncData { data, .. }) => 64 + data.len(),
             Wire::Ctl(_) | Wire::CtlReply(_) => 64,
             Wire::Peer { msg, .. } => match msg {
                 PeerMsg::InsertEntry { name, .. } => 128 + name.len(),
@@ -60,6 +64,13 @@ impl MessageSize for Wire {
             Wire::TableFetch => 32,
             Wire::TableData { slots, .. } => 16 + slots.len() * 4,
         }
+    }
+
+    /// Only client/server NFS traffic rides UDP datagrams; typed control
+    /// channels model reliable transports and are exempt from datagram
+    /// fault injection (duplication, reordering).
+    fn datagram(&self) -> bool {
+        matches!(self, Wire::Udp(_))
     }
 }
 

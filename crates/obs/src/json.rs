@@ -76,7 +76,8 @@ fn write_event(e: &TraceEvent, out: &mut String) {
     ));
     match &e.kind {
         EventKind::PacketRouted { from, to, bytes }
-        | EventKind::PacketDropped { from, to, bytes } => {
+        | EventKind::PacketDropped { from, to, bytes }
+        | EventKind::PacketDuplicated { from, to, bytes } => {
             out.push_str(&format!(",\"from\":{from},\"to\":{to},\"bytes\":{bytes}"));
         }
         EventKind::OpStart { op, xid } => {
@@ -102,6 +103,18 @@ fn write_event(e: &TraceEvent, out: &mut String) {
         }
         EventKind::Crash { node } | EventKind::Recover { node } => {
             out.push_str(&format!(",\"node\":{node}"));
+        }
+        EventKind::SiteSuspected { site } | EventKind::SiteCleared { site } => {
+            out.push_str(&format!(",\"site\":{site}"));
+        }
+        EventKind::ReadFailover { site, xid } => {
+            out.push_str(&format!(",\"site\":{site},\"xid\":{xid}"));
+        }
+        EventKind::DegradedWrite { site, bytes } | EventKind::ResyncDone { site, bytes } => {
+            out.push_str(&format!(",\"site\":{site},\"bytes\":{bytes}"));
+        }
+        EventKind::ResyncStart { site } => {
+            out.push_str(&format!(",\"site\":{site}"));
         }
     }
     out.push('}');

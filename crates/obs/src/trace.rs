@@ -93,6 +93,12 @@ pub enum EventKind {
         to: usize,
         bytes: usize,
     },
+    /// A packet was delivered twice by injected duplication.
+    PacketDuplicated {
+        from: usize,
+        to: usize,
+        bytes: usize,
+    },
     /// An operation began (client issued an RPC).
     OpStart { op: &'static str, xid: u64 },
     /// An operation finished; `latency_ns` is issue-to-reply time.
@@ -114,6 +120,18 @@ pub enum EventKind {
     Crash { node: usize },
     /// Node `node` recovered.
     Recover { node: usize },
+    /// A µproxy started suspecting storage site `site` of being down.
+    SiteSuspected { site: usize },
+    /// A µproxy cleared its suspicion of storage site `site`.
+    SiteCleared { site: usize },
+    /// A mirrored read was steered away from suspected site `site`.
+    ReadFailover { site: usize, xid: u64 },
+    /// A mirrored write completed at reduced redundancy, skipping `site`.
+    DegradedWrite { site: usize, bytes: u64 },
+    /// The coordinator began resynchronizing storage site `site`.
+    ResyncStart { site: usize },
+    /// Resynchronization of `site` finished after copying `bytes`.
+    ResyncDone { site: usize, bytes: u64 },
 }
 
 impl EventKind {
@@ -122,6 +140,7 @@ impl EventKind {
         match self {
             EventKind::PacketRouted { .. } => "packet_routed",
             EventKind::PacketDropped { .. } => "packet_dropped",
+            EventKind::PacketDuplicated { .. } => "packet_duplicated",
             EventKind::OpStart { .. } => "op_start",
             EventKind::OpComplete { .. } => "op_complete",
             EventKind::Retransmit { .. } => "retransmit",
@@ -130,6 +149,12 @@ impl EventKind {
             EventKind::DiskSeek { .. } => "disk_seek",
             EventKind::Crash { .. } => "crash",
             EventKind::Recover { .. } => "recover",
+            EventKind::SiteSuspected { .. } => "site_suspected",
+            EventKind::SiteCleared { .. } => "site_cleared",
+            EventKind::ReadFailover { .. } => "read_failover",
+            EventKind::DegradedWrite { .. } => "degraded_write",
+            EventKind::ResyncStart { .. } => "resync_start",
+            EventKind::ResyncDone { .. } => "resync_done",
         }
     }
 }

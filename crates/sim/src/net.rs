@@ -26,6 +26,13 @@ pub struct NetConfig {
     pub switch_latency: SimDuration,
     /// Probability that any given packet is dropped (loss injection).
     pub loss_prob: f64,
+    /// Probability that any given packet is delivered twice (duplication
+    /// injection; the copy takes an independent trip through the switch).
+    pub dup_prob: f64,
+    /// Bounded reordering window: each delivered packet picks up an extra
+    /// uniformly-drawn delay in `[0, reorder_window)` after the switch, so
+    /// packets may overtake each other by at most the window.
+    pub reorder_window: SimDuration,
 }
 
 impl NetConfig {
@@ -38,6 +45,8 @@ impl NetConfig {
             prop_delay: SimDuration::from_micros(1),
             switch_latency: SimDuration::from_micros(4),
             loss_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_window: SimDuration::ZERO,
         }
     }
 

@@ -69,6 +69,19 @@ pub enum IntentKind {
         /// New size.
         size: u64,
     },
+    /// A mirrored write completed at reduced redundancy: the participant
+    /// site missed `[offset, offset+len)` of `obj` and must be
+    /// resynchronized from `sources` before it may serve reads again.
+    DirtyRange {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+        /// Live replica sites holding the bytes.
+        sources: Vec<u32>,
+    },
 }
 
 /// How an intention was resolved.
@@ -106,7 +119,11 @@ struct PendingIntent {
     logged_at: SimTime,
     /// Probes outstanding, with completion flags gathered so far.
     probe_results: FxHashMap<u32, bool>,
-    probing: bool,
+    /// When the last probe round went out. Probes repeat every
+    /// `intent_timeout` until every participant answers: a probe sent at
+    /// a crashed node is simply lost, and only a fresh round after the
+    /// node recovers can resolve the intention.
+    last_probe: Option<SimTime>,
 }
 
 #[derive(Debug, Clone)]
@@ -117,6 +134,57 @@ struct PendingFanout {
     intent: u64,
     is_remove: bool,
 }
+
+/// Site-liveness probes carry this bit so they never collide with
+/// intention ids (which count up from 1).
+const SITE_PROBE_BASE: u64 = 1 << 62;
+
+/// Re-send a stalled resync leg after this long (the target may still be
+/// down; the control messages are idempotent).
+const RESYNC_RETRY: SimDuration = SimDuration::from_secs(2);
+
+/// Shelve a resync after this many consecutive unanswered legs; a
+/// [`Coordinator::kick_resync`] (node recovery) starts it again. Without
+/// a cap, a never-recovered site would keep the timer wheel alive
+/// forever.
+const RESYNC_MAX_ATTEMPTS: u32 = 30;
+
+/// One range a down site missed, queued for copy-back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyRange {
+    /// WAL record id (completion records reference it).
+    pub id: u64,
+    /// Object id.
+    pub obj: u64,
+    /// Byte offset.
+    pub offset: u64,
+    /// Byte length.
+    pub len: u64,
+    /// Live replica sites holding the bytes.
+    pub sources: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum ResyncStage {
+    /// Waiting for the surviving mirror to return the bytes.
+    AwaitData(DirtyRange),
+    /// Waiting for the recovering site to make the bytes durable.
+    AwaitApply(DirtyRange, Vec<u8>),
+}
+
+#[derive(Debug, Clone)]
+struct ResyncJob {
+    queue: std::collections::VecDeque<DirtyRange>,
+    stage: Option<ResyncStage>,
+    bytes: u64,
+    started: SimTime,
+    last_attempt: SimTime,
+    attempts: u32,
+}
+
+/// A resync lifecycle event drained by the hosting actor for tracing:
+/// `(site, done, at, bytes)` — `done == false` marks the start.
+pub type ResyncEvent = (u32, bool, SimTime, u64);
 
 /// Messages addressed to the coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,6 +235,30 @@ pub enum CoordMsg {
         /// New size.
         size: u64,
     },
+    /// Record that a mirrored write is about to complete at reduced
+    /// redundancy: `missed` sites are down and will not receive
+    /// `[offset, offset+len)` of `obj`. The write may proceed only after
+    /// the dirty ranges are durable (the ack gates the degraded fan-out).
+    MarkDirty {
+        /// Caller-chosen correlation id (the write's xid).
+        op_id: u64,
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+        /// Suspected/crashed sites that will miss the write.
+        missed: Vec<u32>,
+        /// Live replica sites that will hold the bytes.
+        sources: Vec<u32>,
+    },
+    /// Ask whether `site` is safe to serve mirrored reads: alive, with no
+    /// dirty ranges outstanding and no resynchronization in progress.
+    ProbeSite {
+        /// Logical storage site.
+        site: u32,
+    },
 }
 
 /// Replies the coordinator sends to requesters.
@@ -203,6 +295,21 @@ pub enum CoordReply {
         /// Echo of the caller's request id.
         req_id: u64,
     },
+    /// Dirty ranges are durable; the degraded write may proceed.
+    DirtyAck {
+        /// Echo of the caller's op id.
+        op_id: u64,
+    },
+    /// Answer to a [`CoordMsg::ProbeSite`]: sent only once the probed
+    /// site answered a liveness probe (no answer means no reply — the
+    /// requester re-probes on its own schedule).
+    SiteProbe {
+        /// The probed site.
+        site: u32,
+        /// True when the site is alive with no dirty ranges and no
+        /// resynchronization in progress at this coordinator.
+        clean: bool,
+    },
 }
 
 /// Actions for the hosting actor to dispatch.
@@ -238,6 +345,22 @@ pub struct Coordinator {
     /// Probe intentions older than this.
     pub intent_timeout: SimDuration,
     resolved: Vec<(u64, IntentOutcome)>,
+    /// Per-site ranges missed by degraded writes, WAL-durable.
+    dirty_log: FxHashMap<u32, Vec<DirtyRange>>,
+    /// Active resynchronizations, one per recovering site.
+    resync: FxHashMap<u32, ResyncJob>,
+    /// Sites whose resync exhausted its retries (still dirty; a kick
+    /// restarts them).
+    gave_up: std::collections::BTreeSet<u32>,
+    /// Requesters parked on a site probe, per site.
+    site_probes: FxHashMap<u32, Vec<u64>>,
+    /// Durable times of acknowledged MarkDirty ops, for idempotent
+    /// re-acks of retransmissions.
+    marks_acked: FxHashMap<u64, SimTime>,
+    /// Resync start/done events awaiting pickup by the hosting actor.
+    resync_events: Vec<ResyncEvent>,
+    /// Completed resyncs: `(site, started, finished, bytes)`.
+    resync_history: Vec<(u32, SimTime, SimTime, u64)>,
 }
 
 impl Coordinator {
@@ -252,6 +375,13 @@ impl Coordinator {
             storage_sites,
             intent_timeout: SimDuration::from_secs(5),
             resolved: Vec::new(),
+            dirty_log: FxHashMap::default(),
+            resync: FxHashMap::default(),
+            gave_up: std::collections::BTreeSet::new(),
+            site_probes: FxHashMap::default(),
+            marks_acked: FxHashMap::default(),
+            resync_events: Vec::new(),
+            resync_history: Vec::new(),
         }
     }
 
@@ -268,6 +398,64 @@ impl Coordinator {
     /// WAL statistics (appends, batches, bytes).
     pub fn wal_stats(&self) -> (u64, u64, u64) {
         self.wal.stats()
+    }
+
+    /// True while the periodic sweep must keep running: open intentions,
+    /// an active resync, or dirty ranges not yet shelved as hopeless.
+    pub fn needs_sweep(&self) -> bool {
+        !self.pending.is_empty()
+            || !self.resync.is_empty()
+            || self
+                .dirty_log
+                .keys()
+                .any(|s| !self.gave_up.contains(s) && !self.resync.contains_key(s))
+    }
+
+    /// Dirty ranges outstanding across all sites.
+    pub fn dirty_ranges(&self) -> usize {
+        self.dirty_log.values().map(Vec::len).sum()
+    }
+
+    /// A sorted dump of the dirty-region log for structural checking:
+    /// `(site, obj, offset, len)`.
+    pub fn dirty_log_dump(&self) -> Vec<(u32, u64, u64, u64)> {
+        let mut out: Vec<_> = self
+            .dirty_log
+            .iter()
+            .flat_map(|(&site, ranges)| ranges.iter().map(move |r| (site, r.obj, r.offset, r.len)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Completed resynchronizations: `(site, started, finished, bytes)`.
+    pub fn resync_history(&self) -> &[(u32, SimTime, SimTime, u64)] {
+        &self.resync_history
+    }
+
+    /// Total bytes copied by finished and in-flight resyncs.
+    pub fn resync_bytes(&self) -> u64 {
+        self.resync_history
+            .iter()
+            .map(|&(_, _, _, b)| b)
+            .sum::<u64>()
+            + self.resync.values().map(|j| j.bytes).sum::<u64>()
+    }
+
+    /// Drains resync start/done events for the hosting actor's trace.
+    pub fn take_resync_events(&mut self) -> Vec<ResyncEvent> {
+        std::mem::take(&mut self.resync_events)
+    }
+
+    /// Restarts resynchronization of `site` (called when the node is
+    /// known to have recovered): un-shelves it and forces the next sweep
+    /// to retry immediately.
+    pub fn kick_resync(&mut self, site: u32) {
+        self.gave_up.remove(&site);
+        if let Some(job) = self.resync.get_mut(&site) {
+            job.attempts = 0;
+            job.last_attempt = SimTime::ZERO;
+        }
     }
 
     /// A sorted snapshot of the block maps for structural checking.
@@ -339,7 +527,7 @@ impl Coordinator {
                         participants,
                         logged_at: now,
                         probe_results: FxHashMap::default(),
-                        probing: false,
+                        last_probe: None,
                     },
                 );
                 vec![CoordAction::Reply {
@@ -409,7 +597,87 @@ impl Coordinator {
             CoordMsg::TruncateFile { req_id, file, size } => {
                 self.fanout(now, requester, req_id, file, false, Some(size))
             }
+            CoordMsg::MarkDirty {
+                op_id,
+                obj,
+                offset,
+                len,
+                missed,
+                sources,
+            } => {
+                // Retransmission of an already-durable mark: re-ack
+                // without duplicating the ranges.
+                if let Some(&at) = self.marks_acked.get(&op_id) {
+                    return vec![CoordAction::Reply {
+                        to: requester,
+                        reply: CoordReply::DirtyAck { op_id },
+                        at: at.max(now),
+                    }];
+                }
+                let mut durable = now;
+                for &site in &missed {
+                    let id = self.next_intent;
+                    self.next_intent += 1;
+                    durable = self.wal.append(
+                        now,
+                        IntentRecord {
+                            id,
+                            kind: IntentKind::DirtyRange {
+                                obj,
+                                offset,
+                                len,
+                                sources: sources.clone(),
+                            },
+                            participants: vec![site],
+                            is_completion: false,
+                        },
+                        64,
+                    );
+                    self.dirty_log.entry(site).or_default().push(DirtyRange {
+                        id,
+                        obj,
+                        offset,
+                        len,
+                        sources: sources.clone(),
+                    });
+                    // The site is dirty again: any shelved resync must
+                    // restart once the node is back.
+                    self.gave_up.remove(&site);
+                }
+                self.marks_acked.insert(op_id, durable);
+                vec![CoordAction::Reply {
+                    to: requester,
+                    reply: CoordReply::DirtyAck { op_id },
+                    at: durable,
+                }]
+            }
+            CoordMsg::ProbeSite { site } => {
+                if self.site_is_dirty(site) {
+                    return vec![CoordAction::Reply {
+                        to: requester,
+                        reply: CoordReply::SiteProbe { site, clean: false },
+                        at: now,
+                    }];
+                }
+                // Clean on the books — but only the node itself can prove
+                // it is alive. Park the requester; the probe reply (if
+                // any) releases every parked requester.
+                let waiters = self.site_probes.entry(site).or_default();
+                if !waiters.contains(&requester) {
+                    waiters.push(requester);
+                }
+                vec![CoordAction::SendCtl {
+                    site,
+                    ctl: StorageCtl::Probe {
+                        intent: SITE_PROBE_BASE | u64::from(site),
+                    },
+                }]
+            }
         }
+    }
+
+    fn site_is_dirty(&self, site: u32) -> bool {
+        self.dirty_log.get(&site).is_some_and(|v| !v.is_empty()) || self.resync.contains_key(&site)
     }
 
     fn fanout(
@@ -449,7 +717,7 @@ impl Coordinator {
                 participants: participants.clone(),
                 logged_at: now,
                 probe_results: FxHashMap::default(),
-                probing: false,
+                last_probe: None,
             },
         );
         self.fanouts.insert(
@@ -520,6 +788,22 @@ impl Coordinator {
                 }
                 vec![]
             }
+            StorageCtlReply::ProbeResult { intent, .. } if intent >= SITE_PROBE_BASE => {
+                // A site-liveness probe answered: the node is up. Report
+                // whether it is also clean (no dirty ranges, no resync).
+                let s = (intent & !SITE_PROBE_BASE) as u32;
+                let clean = !self.site_is_dirty(s);
+                self.site_probes
+                    .remove(&s)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|to| CoordAction::Reply {
+                        to,
+                        reply: CoordReply::SiteProbe { site: s, clean },
+                        at: now,
+                    })
+                    .collect()
+            }
             StorageCtlReply::ProbeResult { intent, completed } => {
                 let Some(p) = self.pending.get_mut(&intent) else {
                     return vec![];
@@ -580,16 +864,200 @@ impl Coordinator {
                 }
                 vec![]
             }
+            StorageCtlReply::ResyncData { obj, offset, data } => {
+                // `site` is the surviving source; find the job awaiting
+                // these bytes (sorted for determinism).
+                let mut targets: Vec<u32> = self.resync.keys().copied().collect();
+                targets.sort_unstable();
+                for target in targets {
+                    let job = self.resync.get_mut(&target).expect("listed job");
+                    let hit = matches!(
+                        &job.stage,
+                        Some(ResyncStage::AwaitData(r))
+                            if r.obj == obj && r.offset == offset && r.sources.contains(&site)
+                    );
+                    if hit {
+                        let Some(ResyncStage::AwaitData(range)) = job.stage.take() else {
+                            unreachable!("matched above");
+                        };
+                        job.stage = Some(ResyncStage::AwaitApply(range, data.clone()));
+                        job.last_attempt = now;
+                        job.attempts = 0;
+                        return vec![CoordAction::SendCtl {
+                            site: target,
+                            ctl: StorageCtl::ResyncWrite { obj, offset, data },
+                        }];
+                    }
+                }
+                vec![]
+            }
+            StorageCtlReply::ResyncApplied { obj, offset } => {
+                // `site` is the recovering target.
+                let hit = matches!(
+                    self.resync.get(&site).and_then(|j| j.stage.as_ref()),
+                    Some(ResyncStage::AwaitApply(r, _)) if r.obj == obj && r.offset == offset
+                );
+                if !hit {
+                    return vec![];
+                }
+                let job = self.resync.get_mut(&site).expect("checked");
+                let Some(ResyncStage::AwaitApply(range, _)) = job.stage.take() else {
+                    unreachable!("matched above");
+                };
+                job.bytes += range.len;
+                self.complete_range(now, site, &range);
+                self.advance_resync(now, site)
+            }
         }
     }
 
-    /// Scans for intentions older than the timeout and launches probes.
-    /// The host calls this from a periodic timer.
+    /// Logs a durable completion for a resynced range and drops it from
+    /// the dirty log.
+    fn complete_range(&mut self, now: SimTime, site: u32, range: &DirtyRange) {
+        self.wal.append(
+            now,
+            IntentRecord {
+                id: range.id,
+                kind: IntentKind::DirtyRange {
+                    obj: range.obj,
+                    offset: range.offset,
+                    len: range.len,
+                    sources: range.sources.clone(),
+                },
+                participants: vec![site],
+                is_completion: true,
+            },
+            32,
+        );
+        if let Some(v) = self.dirty_log.get_mut(&site) {
+            v.retain(|r| r.id != range.id);
+            if v.is_empty() {
+                self.dirty_log.remove(&site);
+            }
+        }
+    }
+
+    /// The current in-flight leg of `site`'s resync, for (re)sending.
+    fn resync_leg(&self, site: u32) -> Option<CoordAction> {
+        let job = self.resync.get(&site)?;
+        match job.stage.as_ref()? {
+            ResyncStage::AwaitData(r) => {
+                // Rotate over sources on retries in case one died too.
+                let src = r.sources[job.attempts as usize % r.sources.len()];
+                Some(CoordAction::SendCtl {
+                    site: src,
+                    ctl: StorageCtl::ResyncRead {
+                        obj: r.obj,
+                        offset: r.offset,
+                        len: r.len,
+                    },
+                })
+            }
+            ResyncStage::AwaitApply(r, data) => Some(CoordAction::SendCtl {
+                site,
+                ctl: StorageCtl::ResyncWrite {
+                    obj: r.obj,
+                    offset: r.offset,
+                    data: data.clone(),
+                },
+            }),
+        }
+    }
+
+    /// Pulls the next range off `site`'s resync queue (finishing the job
+    /// when it drains) and emits the read leg for it.
+    fn advance_resync(&mut self, now: SimTime, site: u32) -> Vec<CoordAction> {
+        loop {
+            let popped = match self.resync.get_mut(&site) {
+                Some(job) => job.queue.pop_front(),
+                None => return vec![],
+            };
+            match popped {
+                Some(range) if range.sources.is_empty() => {
+                    // No live source recorded: nothing can be copied, so
+                    // drain the record rather than stall forever.
+                    self.complete_range(now, site, &range);
+                }
+                Some(range) => {
+                    let job = self.resync.get_mut(&site).expect("present");
+                    job.stage = Some(ResyncStage::AwaitData(range));
+                    job.last_attempt = now;
+                    job.attempts = 0;
+                    return self.resync_leg(site).into_iter().collect();
+                }
+                None => {
+                    let job = self.resync.remove(&site).expect("present");
+                    self.resync_history
+                        .push((site, job.started, now, job.bytes));
+                    self.resync_events.push((site, true, now, job.bytes));
+                    return vec![];
+                }
+            }
+        }
+    }
+
+    /// Starts copy-backs for dirty sites and retries stalled legs. Runs
+    /// from the same periodic sweep as intention timeouts.
+    fn pump_resync(&mut self, now: SimTime) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
+        let mut dirty_sites: Vec<u32> = self
+            .dirty_log
+            .keys()
+            .copied()
+            .filter(|s| !self.resync.contains_key(s) && !self.gave_up.contains(s))
+            .collect();
+        dirty_sites.sort_unstable();
+        for site in dirty_sites {
+            let queue: std::collections::VecDeque<DirtyRange> = self
+                .dirty_log
+                .get(&site)
+                .cloned()
+                .unwrap_or_default()
+                .into();
+            self.resync.insert(
+                site,
+                ResyncJob {
+                    queue,
+                    stage: None,
+                    bytes: 0,
+                    started: now,
+                    last_attempt: now,
+                    attempts: 0,
+                },
+            );
+            self.resync_events.push((site, false, now, 0));
+            actions.extend(self.advance_resync(now, site));
+        }
+        let mut active: Vec<u32> = self.resync.keys().copied().collect();
+        active.sort_unstable();
+        for site in active {
+            let job = self.resync.get_mut(&site).expect("listed job");
+            if job.stage.is_none() || now - job.last_attempt < RESYNC_RETRY {
+                continue;
+            }
+            job.attempts += 1;
+            if job.attempts > RESYNC_MAX_ATTEMPTS {
+                // The dirty log is the ground truth; drop only the job.
+                // A recovery kick starts a fresh one.
+                self.resync.remove(&site);
+                self.gave_up.insert(site);
+                continue;
+            }
+            job.last_attempt = now;
+            actions.extend(self.resync_leg(site));
+        }
+        actions
+    }
+
+    /// Scans for intentions older than the timeout and launches probes;
+    /// also drives resynchronization of dirty sites. The host calls this
+    /// from a periodic timer.
     pub fn check_timeouts(&mut self, now: SimTime) -> Vec<CoordAction> {
         let mut actions = Vec::new();
         for (&id, p) in self.pending.iter_mut() {
-            if !p.probing && now - p.logged_at >= self.intent_timeout {
-                p.probing = true;
+            let due = now - p.last_probe.unwrap_or(p.logged_at) >= self.intent_timeout;
+            if due {
+                p.last_probe = Some(now);
                 for &site in &p.participants {
                     actions.push(CoordAction::SendCtl {
                         site,
@@ -598,6 +1066,7 @@ impl Coordinator {
                 }
             }
         }
+        actions.extend(self.pump_resync(now));
         actions
     }
 
@@ -607,6 +1076,12 @@ impl Coordinator {
         self.pending.clear();
         self.fanouts.clear();
         self.maps.clear();
+        self.dirty_log.clear();
+        self.resync.clear();
+        self.gave_up.clear();
+        self.site_probes.clear();
+        self.marks_acked.clear();
+        self.resync_events.clear();
         std::mem::replace(&mut self.wal, Wal::new(WalParams::default()))
     }
 
@@ -630,7 +1105,28 @@ impl Coordinator {
             }
         }
         let mut actions = Vec::new();
-        for (id, r) in open {
+        let mut records: Vec<(u64, IntentRecord)> = open.into_iter().collect();
+        records.sort_unstable_by_key(|&(id, _)| id);
+        for (id, r) in records {
+            // Dirty-range records rebuild the dirty-region log; they are
+            // resynced by the sweep, not probed like intentions.
+            if let IntentKind::DirtyRange {
+                obj,
+                offset,
+                len,
+                ref sources,
+            } = r.kind
+            {
+                let site = r.participants.first().copied().unwrap_or(0);
+                self.dirty_log.entry(site).or_default().push(DirtyRange {
+                    id,
+                    obj,
+                    offset,
+                    len,
+                    sources: sources.clone(),
+                });
+                continue;
+            }
             self.pending.insert(
                 id,
                 PendingIntent {
@@ -638,7 +1134,7 @@ impl Coordinator {
                     participants: r.participants.clone(),
                     logged_at: now,
                     probe_results: FxHashMap::default(),
-                    probing: true,
+                    last_probe: Some(now),
                 },
             );
             for site in r.participants {
@@ -879,6 +1375,183 @@ mod tests {
             CoordAction::SendCtl { ctl: StorageCtl::Probe { intent }, .. } if *intent == id_open
         )));
         assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn mark_dirty_acks_durably_and_idempotently() {
+        let mut c = Coordinator::new(4);
+        let mark = CoordMsg::MarkDirty {
+            op_id: 99,
+            obj: 5,
+            offset: 0,
+            len: 65536,
+            missed: vec![2],
+            sources: vec![1],
+        };
+        let a = c.handle(t(0), 7, mark.clone());
+        match &a[0] {
+            CoordAction::Reply {
+                reply: CoordReply::DirtyAck { op_id: 99 },
+                at,
+                ..
+            } => assert!(*at > t(0), "ack must wait for log durability"),
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(c.dirty_ranges(), 1);
+        // A retransmitted mark re-acks without duplicating the range.
+        let a2 = c.handle(t(1), 7, mark);
+        assert!(matches!(
+            &a2[0],
+            CoordAction::Reply {
+                reply: CoordReply::DirtyAck { op_id: 99 },
+                ..
+            }
+        ));
+        assert_eq!(c.dirty_ranges(), 1);
+    }
+
+    #[test]
+    fn resync_copies_ranges_and_drains_dirty_log() {
+        let mut c = Coordinator::new(4);
+        c.handle(
+            t(0),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 1,
+                obj: 9,
+                offset: 0,
+                len: 100,
+                missed: vec![2],
+                sources: vec![1],
+            },
+        );
+        assert!(c.needs_sweep());
+        let acts = c.check_timeouts(t(1000));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            CoordAction::SendCtl {
+                site: 1,
+                ctl: StorageCtl::ResyncRead {
+                    obj: 9,
+                    offset: 0,
+                    len: 100
+                }
+            }
+        )));
+        let acts = c.handle_ctl_reply(
+            t(1001),
+            1,
+            StorageCtlReply::ResyncData {
+                obj: 9,
+                offset: 0,
+                data: vec![7; 100],
+            },
+        );
+        assert!(matches!(
+            &acts[0],
+            CoordAction::SendCtl {
+                site: 2,
+                ctl: StorageCtl::ResyncWrite {
+                    obj: 9,
+                    offset: 0,
+                    ..
+                }
+            }
+        ));
+        let acts = c.handle_ctl_reply(
+            t(1002),
+            2,
+            StorageCtlReply::ResyncApplied { obj: 9, offset: 0 },
+        );
+        assert!(acts.is_empty());
+        assert_eq!(c.dirty_ranges(), 0);
+        assert!(!c.needs_sweep(), "drained coordinator must go idle");
+        assert_eq!(c.resync_history().len(), 1);
+        assert_eq!(c.resync_bytes(), 100);
+    }
+
+    #[test]
+    fn dirty_ranges_survive_coordinator_crash() {
+        let mut c = Coordinator::new(4);
+        c.handle(
+            t(0),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 1,
+                obj: 9,
+                offset: 0,
+                len: 100,
+                missed: vec![3],
+                sources: vec![0],
+            },
+        );
+        let wal = c.crash();
+        assert_eq!(c.dirty_ranges(), 0);
+        let actions = c.recover(t(5000), wal, t(1000));
+        assert!(actions.is_empty(), "dirty ranges are resynced, not probed");
+        assert_eq!(c.dirty_ranges(), 1);
+        assert!(c.needs_sweep());
+    }
+
+    #[test]
+    fn site_probe_waits_for_node_liveness() {
+        let mut c = Coordinator::new(4);
+        let acts = c.handle(t(0), 7, CoordMsg::ProbeSite { site: 2 });
+        let intent = match &acts[0] {
+            CoordAction::SendCtl {
+                site: 2,
+                ctl: StorageCtl::Probe { intent },
+            } => *intent,
+            other => panic!("unexpected action {other:?}"),
+        };
+        let acts = c.handle_ctl_reply(
+            t(1),
+            2,
+            StorageCtlReply::ProbeResult {
+                intent,
+                completed: false,
+            },
+        );
+        assert!(matches!(
+            &acts[0],
+            CoordAction::Reply {
+                to: 7,
+                reply: CoordReply::SiteProbe {
+                    site: 2,
+                    clean: true
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn dirty_site_probe_is_immediately_unclean() {
+        let mut c = Coordinator::new(4);
+        c.handle(
+            t(0),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 1,
+                obj: 9,
+                offset: 0,
+                len: 100,
+                missed: vec![2],
+                sources: vec![1],
+            },
+        );
+        let acts = c.handle(t(1), 8, CoordMsg::ProbeSite { site: 2 });
+        assert!(matches!(
+            &acts[0],
+            CoordAction::Reply {
+                to: 8,
+                reply: CoordReply::SiteProbe {
+                    site: 2,
+                    clean: false
+                },
+                ..
+            }
+        ));
     }
 
     #[test]

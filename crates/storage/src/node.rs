@@ -53,6 +53,25 @@ pub enum StorageCtl {
         /// Intention id being probed.
         intent: u64,
     },
+    /// Read a byte range from the surviving mirror for resynchronization.
+    ResyncRead {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+    },
+    /// Apply resynchronized bytes to a recovering replica (written
+    /// stably: a resynced range must survive a second crash).
+    ResyncWrite {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// The bytes copied from the surviving mirror.
+        data: Vec<u8>,
+    },
 }
 
 /// Reply to a [`StorageCtl`].
@@ -66,6 +85,22 @@ pub enum StorageCtlReply {
         intent: u64,
         /// Whether the probed operation had completed here.
         completed: bool,
+    },
+    /// A byte range read for resynchronization.
+    ResyncData {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// The bytes (short when the object is shorter than asked).
+        data: Vec<u8>,
+    },
+    /// A resynchronized range is durable on the recovering replica.
+    ResyncApplied {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
     },
 }
 
@@ -473,6 +508,41 @@ impl StorageNode {
                     StorageCtlReply::ProbeResult {
                         intent: *intent,
                         completed,
+                    },
+                )
+            }
+            StorageCtl::ResyncRead { obj, offset, len } => {
+                self.reads += 1;
+                let avail = self.store.size(*obj).saturating_sub(*offset).min(*len) as usize;
+                let done = self.timed_read(now, *obj, *offset, avail.max(1));
+                let (data, _) = self.store.read(*obj, *offset, avail);
+                (
+                    done,
+                    StorageCtlReply::ResyncData {
+                        obj: *obj,
+                        offset: *offset,
+                        data,
+                    },
+                )
+            }
+            StorageCtl::ResyncWrite { obj, offset, data } => {
+                self.writes += 1;
+                self.store.write(*obj, *offset, data);
+                let first = Self::block_of(*offset);
+                let last = Self::block_of(offset + data.len().max(1) as u64 - 1);
+                for b in first..=last {
+                    self.ready_at.remove(&(*obj, b));
+                    for victim in self.cache.insert((*obj, b), STORAGE_BLOCK) {
+                        self.ready_at.remove(&victim);
+                    }
+                }
+                let blocks: Vec<u64> = (first..=last).collect();
+                let done = self.flush_blocks(now, *obj, &blocks);
+                (
+                    done,
+                    StorageCtlReply::ResyncApplied {
+                        obj: *obj,
+                        offset: *offset,
                     },
                 )
             }

@@ -105,7 +105,9 @@ impl StorageObject {
         self.size = self.size.max(offset + len);
     }
 
-    fn read(&self, offset: u64, len: usize) -> Vec<u8> {
+    /// Reads `len` bytes at `offset`; holes read as zeros. Does not
+    /// touch the store's I/O accounting (audit/oracle use).
+    pub fn read(&self, offset: u64, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
         let end = offset + len as u64;
         for (&s, ext) in self.extents.range(..end) {

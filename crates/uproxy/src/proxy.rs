@@ -78,6 +78,12 @@ pub struct ProxyConfig {
     /// Dirty attributes older than this are pushed back on
     /// [`Uproxy::tick`].
     pub writeback_interval: SimDuration,
+    /// Retransmission strikes before a storage site is suspected down
+    /// and removed from the mirrored-read rotation.
+    pub suspect_after: u32,
+    /// Interval between liveness probes of a suspected site (also the
+    /// probe retry deadline when a coordinator does not answer).
+    pub probe_interval: SimDuration,
     /// Measure real per-phase CPU cost with `Instant::now` (Table 3
     /// benchmarking). Off by default: wall-clock reads are nondeterminism
     /// smuggled into an otherwise seeded simulation, and they cost two
@@ -107,6 +113,8 @@ impl ProxyConfig {
             use_intents: true,
             attr_cache_entries: 4096,
             writeback_interval: SimDuration::from_secs(3),
+            suspect_after: 2,
+            probe_interval: SimDuration::from_secs(2),
             measure_phases: false,
         }
     }
@@ -130,7 +138,44 @@ pub enum ProxyOut {
     /// table is stale and must be refreshed from an external source
     /// (paper §3.3.1 — tables are hints loaded lazily).
     NeedDirTable,
+    /// An availability event for the host's trace stream (suspicion,
+    /// failover, degraded writes).
+    Trace(slice_obs::EventKind),
 }
+
+/// Per-storage-site failure-suspicion state (slice-ha). Suspicion is
+/// raised locally from observed retransmissions but cleared only by a
+/// coordinator-verified probe: a site that looks alive to the µproxy may
+/// still hold dirty regions that would satisfy reads with stale bytes.
+#[derive(Debug, Clone)]
+struct SiteHealth {
+    /// Consecutive unanswered-retransmission strikes.
+    strikes: u32,
+    /// Removed from the mirrored-read rotation while set.
+    suspected: bool,
+    /// Next time a liveness probe may be issued for this site.
+    probe_at: SimTime,
+    /// Coordinator probe votes still outstanding.
+    awaiting_votes: u32,
+    /// Coordinator probe votes that answered "clean".
+    clean_votes: u32,
+}
+
+impl SiteHealth {
+    fn new() -> Self {
+        SiteHealth {
+            strikes: 0,
+            suspected: false,
+            probe_at: SimTime::ZERO,
+            awaiting_votes: 0,
+            clean_votes: 0,
+        }
+    }
+}
+
+/// A mirrored write parked while the coordinator logs its missed mirror
+/// ranges: (original packet, live sites, missed sites, byte count).
+type ParkedWrite = (Packet, Vec<u32>, Vec<u32>, u64);
 
 /// Which server class a pending request was routed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,6 +210,9 @@ struct PendingReq {
     absorb: bool,
     client_src: SockAddr,
     intent: Option<(u32, u64)>,
+    /// Storage site indices still owed a reply for this request; a
+    /// client retransmission strikes exactly these sites.
+    awaiting: Vec<u32>,
     merge: Option<MergeState>,
     /// (file, attr version) for µproxy-initiated attribute write-backs:
     /// the entry is cleaned only when this push is acknowledged.
@@ -200,6 +248,15 @@ pub struct Uproxy {
     map_waiters: FxHashMap<(u64, u64), Vec<Packet>>,
     /// Commit packets parked on an intent ack, keyed by xid.
     intent_waiters: FxHashMap<u64, Packet>,
+    /// Failure-suspicion table, one entry per storage site.
+    health: Vec<SiteHealth>,
+    /// Mirrored writes parked on a coordinator dirty-region ack.
+    degrade_pending: FxHashMap<u32, ParkedWrite>,
+    /// Writes cleared to proceed at reduced redundancy: xid -> live
+    /// replica set approved by the coordinator's DirtyAck.
+    degrade_ok: FxHashMap<u32, Vec<u32>>,
+    /// Suspicion transitions `(when, site, suspected)` for benchmarks.
+    suspicion_log: Vec<(SimTime, u32, bool)>,
     mirror_rr: u64,
     next_own_xid: u32,
     cred: AuthUnix,
@@ -209,6 +266,10 @@ pub struct Uproxy {
     replies_routed: u64,
     absorbed: u64,
     initiated: u64,
+    read_failovers: u64,
+    degraded_writes: u64,
+    degraded_bytes: u64,
+    probes_sent: u64,
 }
 
 impl Uproxy {
@@ -224,6 +285,12 @@ impl Uproxy {
             map_cache: FxHashMap::default(),
             map_waiters: FxHashMap::default(),
             intent_waiters: FxHashMap::default(),
+            health: (0..cfg.storage_sites.len())
+                .map(|_| SiteHealth::new())
+                .collect(),
+            degrade_pending: FxHashMap::default(),
+            degrade_ok: FxHashMap::default(),
+            suspicion_log: Vec::new(),
             mirror_rr: 0,
             next_own_xid: 0x8000_0000,
             cred: AuthUnix {
@@ -236,6 +303,10 @@ impl Uproxy {
             replies_routed: 0,
             absorbed: 0,
             initiated: 0,
+            read_failovers: 0,
+            degraded_writes: 0,
+            degraded_bytes: 0,
+            probes_sent: 0,
             cfg,
         }
     }
@@ -244,6 +315,12 @@ impl Uproxy {
     /// [`ProxyConfig::measure_phases`] is set.
     pub fn phase_stats(&self) -> PhaseStats {
         self.phases
+    }
+
+    /// This µproxy's configuration (read-only; placement parameters are
+    /// needed by external auditors like the `slice-check` oracles).
+    pub fn config(&self) -> &ProxyConfig {
+        &self.cfg
     }
 
     /// Starts a phase timer, or `None` when phase measurement is off.
@@ -296,6 +373,15 @@ impl Uproxy {
         set(reg, "attr_cache.misses", misses);
         set(reg, "attr_cache.entries", self.attrs.len() as u64);
         set(reg, "attr_cache.push_retries", self.attrs.push_retries());
+        set(
+            reg,
+            "ha.suspected_sites",
+            self.suspected_sites().len() as u64,
+        );
+        set(reg, "ha.read_failovers", self.read_failovers);
+        set(reg, "ha.degraded_writes", self.degraded_writes);
+        set(reg, "ha.degraded_bytes", self.degraded_bytes);
+        set(reg, "ha.probes_sent", self.probes_sent);
         set(reg, "phase.packets", self.phases.packets);
         set(reg, "phase.intercept_ns", self.phases.intercept_ns);
         set(reg, "phase.decode_ns", self.phases.decode_ns);
@@ -360,6 +446,129 @@ impl Uproxy {
         self.map_cache.clear();
         self.map_waiters.clear();
         self.intent_waiters.clear();
+        self.degrade_pending.clear();
+        self.degrade_ok.clear();
+        // Suspicion is a hint; rebuilt from observed retransmissions.
+        for h in &mut self.health {
+            *h = SiteHealth::new();
+        }
+    }
+
+    /// Storage sites currently suspected down.
+    pub fn suspected_sites(&self) -> Vec<u32> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.suspected)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Suspicion transitions `(when, site, suspected)` since creation.
+    pub fn suspicion_log(&self) -> &[(SimTime, u32, bool)] {
+        &self.suspicion_log
+    }
+
+    /// (read failovers, degraded writes, degraded bytes, probes sent).
+    pub fn ha_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.read_failovers,
+            self.degraded_writes,
+            self.degraded_bytes,
+            self.probes_sent,
+        )
+    }
+
+    /// Notes a client RPC retransmission of `xid`: every storage site
+    /// still owed a reply takes a suspicion strike (the paper's client
+    /// retransmissions are the µproxy's only failure signal — it sees
+    /// all of them, being interposed on the packet path).
+    pub fn note_retransmit(&mut self, now: SimTime, xid: u32) -> Vec<ProxyOut> {
+        let mut out = Vec::new();
+        let awaiting = match self.pending.get(&xid) {
+            Some(r) if r.class == Class::Storage => r.awaiting.clone(),
+            _ => return out,
+        };
+        for site in awaiting {
+            self.strike(now, &mut out, site);
+        }
+        out
+    }
+
+    fn strike(&mut self, now: SimTime, out: &mut Vec<ProxyOut>, site: u32) {
+        let Some(h) = self.health.get_mut(site as usize) else {
+            return;
+        };
+        h.strikes += 1;
+        if !h.suspected && h.strikes >= self.cfg.suspect_after {
+            h.suspected = true;
+            h.probe_at = now + self.cfg.probe_interval;
+            h.awaiting_votes = 0;
+            self.suspicion_log.push((now, site, true));
+            out.push(ProxyOut::Trace(slice_obs::EventKind::SiteSuspected {
+                site: site as usize,
+            }));
+        }
+    }
+
+    /// Splits a replica set into (live, suspected). All-suspected sets
+    /// come back whole: with no live mirror there is nothing to degrade
+    /// to, and routing everywhere keeps retransmissions probing.
+    fn partition_live(&self, sites: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let mut live = Vec::new();
+        let mut missed = Vec::new();
+        for &s in sites {
+            if self.health.get(s as usize).is_some_and(|h| h.suspected) {
+                missed.push(s);
+            } else {
+                live.push(s);
+            }
+        }
+        if live.is_empty() {
+            (sites.to_vec(), Vec::new())
+        } else {
+            (live, missed)
+        }
+    }
+
+    /// Degraded-write gate. A mirrored write whose replica set includes
+    /// suspected sites must not complete before the coordinator has
+    /// durably logged the skipped mirror's (file, range): otherwise a
+    /// crash forgets which regions diverged and resync cannot restore
+    /// redundancy. Returns the replica set to fan out to, or `None` when
+    /// the packet was parked awaiting the coordinator's `DirtyAck`.
+    #[allow(clippy::too_many_arguments)]
+    fn degrade_gate(
+        &mut self,
+        out: &mut Vec<ProxyOut>,
+        pkt: &Packet,
+        xid: u32,
+        file: u64,
+        offset: u64,
+        len: u64,
+        sites: Vec<u32>,
+    ) -> Option<Vec<u32>> {
+        if let Some(live) = self.degrade_ok.get(&xid) {
+            return Some(live.clone());
+        }
+        let (live, missed) = self.partition_live(&sites);
+        if missed.is_empty() || self.cfg.coord_sites == 0 {
+            return Some(sites);
+        }
+        self.degrade_pending
+            .insert(xid, (pkt.clone(), live.clone(), missed.clone(), len));
+        out.push(ProxyOut::Coord {
+            site: self.coord_site(file),
+            msg: CoordMsg::MarkDirty {
+                op_id: u64::from(xid),
+                obj: file,
+                offset,
+                len,
+                missed,
+                sources: live,
+            },
+        });
+        None
     }
 
     fn dir_dest(&self, logical: u32) -> SockAddr {
@@ -459,6 +668,7 @@ impl Uproxy {
                 absorb: true,
                 client_src: self.cfg.client_addr,
                 intent: None,
+                awaiting: Vec::new(),
                 merge: None,
                 push: Some((entry.fh.file_id(), entry.version)),
             },
@@ -533,7 +743,7 @@ impl Uproxy {
                         .push(pkt);
                     return;
                 };
-                let site = self.pick_read_site(&sites, split);
+                let site = self.pick_read_site(out, &sites, split, xid);
                 let t3 = self.phase_start();
                 let low_pkt = Packet::new(
                     client_src,
@@ -562,6 +772,7 @@ impl Uproxy {
                         absorb: false,
                         client_src,
                         intent: None,
+                        awaiting: vec![site],
                         merge: Some(MergeState::Read {
                             split,
                             low: None,
@@ -603,6 +814,12 @@ impl Uproxy {
                         .push(pkt);
                     return;
                 };
+                let high_len = (data.len() - cut) as u64;
+                let Some(sites) =
+                    self.degrade_gate(out, &pkt, xid, fh.file_id(), split, high_len, sites)
+                else {
+                    return;
+                };
                 let t3 = self.phase_start();
                 let low_pkt = Packet::new(
                     client_src,
@@ -633,6 +850,7 @@ impl Uproxy {
                         absorb: false,
                         client_src,
                         intent: None,
+                        awaiting: sites.clone(),
                         merge: Some(MergeState::Write {
                             total: data.len() as u32,
                         }),
@@ -657,7 +875,7 @@ impl Uproxy {
                 // load: replica choice flips every full placement rotation,
                 // so each node serves half of the blocks it stores and the
                 // rest of its prefetched data goes unused (Table 2).
-                let site = self.pick_read_site(&sites, *offset);
+                let site = self.pick_read_site(out, &sites, *offset, xid);
                 let t3 = self.phase_start();
                 let mut p = pkt;
                 p.rewrite_dst(self.cfg.storage_sites[site as usize]);
@@ -675,6 +893,7 @@ impl Uproxy {
                         absorb: false,
                         client_src,
                         intent: None,
+                        awaiting: vec![site],
                         merge: None,
                         push: None,
                     },
@@ -694,6 +913,17 @@ impl Uproxy {
                         .entry((fh.file_id(), block))
                         .or_default()
                         .push(pkt);
+                    return;
+                };
+                let Some(sites) = self.degrade_gate(
+                    out,
+                    &pkt,
+                    xid,
+                    fh.file_id(),
+                    *offset,
+                    data.len() as u64,
+                    sites,
+                ) else {
                     return;
                 };
                 let t3 = self.phase_start();
@@ -718,6 +948,7 @@ impl Uproxy {
                         absorb: false,
                         client_src,
                         intent: None,
+                        awaiting: sites.clone(),
                         merge: None,
                         push: None,
                     },
@@ -787,6 +1018,7 @@ impl Uproxy {
                         absorb: false,
                         client_src,
                         intent: None,
+                        awaiting: Vec::new(),
                         merge: None,
                         push: None,
                     },
@@ -816,15 +1048,42 @@ impl Uproxy {
 
     /// Replica choice for a mirrored read: alternate between the mirrors
     /// by placement rotation (each node serves half of what it stores).
-    fn pick_read_site(&mut self, sites: &[u32], offset: u64) -> u32 {
-        if sites.len() > 1 {
+    /// Suspected sites are skipped — the read fails over to the first
+    /// live mirror instead of stalling through the suspected site's
+    /// retransmission timeouts.
+    fn pick_read_site(
+        &mut self,
+        out: &mut Vec<ProxyOut>,
+        sites: &[u32],
+        offset: u64,
+        xid: u32,
+    ) -> u32 {
+        let idx = if sites.len() > 1 {
             let stripe = offset / self.cfg.stripe_unit;
             let rotation = stripe / self.cfg.storage_sites.len() as u64;
             self.mirror_rr += 1;
-            sites[(rotation % sites.len() as u64) as usize]
+            (rotation % sites.len() as u64) as usize
         } else {
-            sites[0]
+            0
+        };
+        let preferred = sites[idx];
+        if !self.health[preferred as usize].suspected {
+            return preferred;
         }
+        for k in 1..sites.len() {
+            let cand = sites[(idx + k) % sites.len()];
+            if !self.health[cand as usize].suspected {
+                self.read_failovers += 1;
+                out.push(ProxyOut::Trace(slice_obs::EventKind::ReadFailover {
+                    site: preferred as usize,
+                    xid: u64::from(xid),
+                }));
+                return cand;
+            }
+        }
+        // Every mirror suspected: route to the rotation choice anyway so
+        // retransmissions keep exercising (and eventually clearing) it.
+        preferred
     }
 
     /// A commit is multisite when the file plausibly has data on storage
@@ -849,10 +1108,20 @@ impl Uproxy {
     ) {
         let client_src = pkt.src;
         let mut n = 0;
-        for site in &self.cfg.storage_sites {
+        let mut awaiting = Vec::new();
+        // Suspected sites are skipped: a commit fan-out that includes a
+        // crashed node would never complete. Any unstable data a merely
+        // slow (not crashed) site holds stays unstable until a later
+        // commit — the register model treats it as optional.
+        let any_live = self.health.iter().any(|h| !h.suspected);
+        for (i, site) in self.cfg.storage_sites.iter().enumerate() {
+            if any_live && self.health[i].suspected {
+                continue;
+            }
             let mut p = pkt.clone();
             p.rewrite_dst(*site);
             out.push(ProxyOut::Net(p));
+            awaiting.push(i as u32);
             n += 1;
         }
         // The below-threshold region commits at its small-file server.
@@ -874,6 +1143,7 @@ impl Uproxy {
                 absorb: false,
                 client_src,
                 intent,
+                awaiting,
                 merge: None,
                 push: None,
             },
@@ -969,11 +1239,35 @@ impl Uproxy {
         let t2 = self.phase_start();
         let reply = decode_reply(&pkt.payload, rec.proc).ok().map(|(_, r)| r);
         self.phases.decode_ns += Self::elapsed_ns(t2);
+        // Failure-suspicion bookkeeping: any reply from a storage site
+        // resets its strike count — but suspicion itself clears only via
+        // a coordinator-verified probe, because an alive-looking site may
+        // still hold regions that diverged during a degraded window. A
+        // JUKEBOX bounce from a storage node counts as a strike instead.
+        let src_site = self
+            .cfg
+            .storage_sites
+            .iter()
+            .position(|a| *a == pkt.src)
+            .map(|i| i as u32);
+        if let Some(s) = src_site {
+            let juke = reply
+                .as_ref()
+                .is_some_and(|r| r.status == NfsStatus::JukeBox);
+            if juke {
+                self.strike(now, &mut out, s);
+            } else if !self.health[s as usize].suspected {
+                self.health[s as usize].strikes = 0;
+            }
+        }
         // Phase 4: soft state — multi-reply bookkeeping + attribute cache.
         let t4 = self.phase_start();
         let remaining = {
             let r = self.pending.get_mut(&xid).expect("checked pending");
             r.remaining = r.remaining.saturating_sub(1);
+            if let Some(s) = src_site {
+                r.awaiting.retain(|&x| x != s);
+            }
             // Split reads: stash this half's data for reassembly. The
             // source address says which half answered.
             if let Some(MergeState::Read { low, high, .. }) = &mut r.merge {
@@ -995,6 +1289,7 @@ impl Uproxy {
             return out; // merge: forward only the final reply
         }
         let rec = self.pending.remove(&xid).expect("checked pending");
+        self.degrade_ok.remove(&xid);
         // A JUKEBOX bounce from a directory server marks this µproxy's
         // routing table stale: ask the host to refresh it and absorb the
         // reply — the client's RPC retransmission will re-route the
@@ -1251,6 +1546,50 @@ impl Uproxy {
                     }
                 }
             }
+            CoordReply::DirtyAck { op_id } => {
+                // The coordinator's dirty-region log now covers the
+                // skipped mirror: release the parked write at reduced
+                // redundancy.
+                if let Some((pkt, live, missed, bytes)) =
+                    self.degrade_pending.remove(&(op_id as u32))
+                {
+                    self.degrade_ok.insert(op_id as u32, live);
+                    for site in missed {
+                        self.degraded_writes += 1;
+                        self.degraded_bytes += bytes;
+                        out.push(ProxyOut::Trace(slice_obs::EventKind::DegradedWrite {
+                            site: site as usize,
+                            bytes,
+                        }));
+                    }
+                    let mut more = self.outbound(now, pkt);
+                    out.append(&mut more);
+                }
+            }
+            CoordReply::SiteProbe { site, clean } => {
+                if let Some(h) = self.health.get_mut(site as usize) {
+                    if h.awaiting_votes > 0 {
+                        h.awaiting_votes -= 1;
+                        if clean {
+                            h.clean_votes += 1;
+                        }
+                        // Suspicion clears only on a unanimous clean
+                        // verdict: the site answered a probe *and* no
+                        // coordinator holds dirty regions for it.
+                        if h.awaiting_votes == 0
+                            && h.clean_votes == self.cfg.coord_sites
+                            && h.suspected
+                        {
+                            h.suspected = false;
+                            h.strikes = 0;
+                            self.suspicion_log.push((now, site, false));
+                            out.push(ProxyOut::Trace(slice_obs::EventKind::SiteCleared {
+                                site: site as usize,
+                            }));
+                        }
+                    }
+                }
+            }
             _ => {}
         }
         out
@@ -1265,6 +1604,26 @@ impl Uproxy {
             .take_stale_dirty(now, self.cfg.writeback_interval);
         for e in stale {
             self.push_attrs(&mut out, &e);
+        }
+        // Probe suspected sites through the coordinators. A probe with
+        // no answer (dead coordinator, dead site) simply re-arms at the
+        // next interval — probe_at doubles as the retry deadline.
+        if self.cfg.coord_sites > 0 {
+            for site in 0..self.health.len() as u32 {
+                let h = &mut self.health[site as usize];
+                if h.suspected && now >= h.probe_at {
+                    h.probe_at = now + self.cfg.probe_interval;
+                    h.awaiting_votes = self.cfg.coord_sites;
+                    h.clean_votes = 0;
+                    self.probes_sent += 1;
+                    for c in 0..self.cfg.coord_sites {
+                        out.push(ProxyOut::Coord {
+                            site: c,
+                            msg: CoordMsg::ProbeSite { site },
+                        });
+                    }
+                }
+            }
         }
         out
     }

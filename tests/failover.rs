@@ -396,6 +396,194 @@ fn sustained_packet_loss_with_bulk_transfer() {
     assert!(violations.is_empty(), "oracle violations: {violations:?}");
 }
 
+/// With one storage node crashed and never recovered, a mirrored-read
+/// workload completes with zero failed ops: the µproxy's suspicion table
+/// steers every read of a victim-mirrored chunk to the surviving replica.
+#[test]
+fn mirrored_reads_fail_over_while_node_stays_down() {
+    use slice::workloads::MODE_MIRRORED;
+    let cfg = SliceConfig::default();
+    let mut phase1 = vec![Step::Create {
+        parent: 0,
+        name: "mir".into(),
+        save: 1,
+        mode_extra: MODE_MIRRORED,
+    }];
+    for i in 0..8u64 {
+        phase1.push(Step::Write {
+            fh: 1,
+            offset: 128 * 1024 + i * 32768,
+            len: 32768,
+            pattern: 0x50 + i as u8,
+            stable: StableHow::FileSync,
+        });
+    }
+    let mut phase2 = vec![Step::Lookup {
+        parent: 0,
+        name: "mir".into(),
+        save: 1,
+        expect_ok: true,
+    }];
+    for i in 0..8u64 {
+        phase2.push(Step::Read {
+            fh: 1,
+            offset: 128 * 1024 + i * 32768,
+            len: 32768,
+            verify: Some(0x50 + i as u8),
+        });
+    }
+    let ens = two_phase(
+        &cfg,
+        phase1,
+        2,
+        |ens| {
+            // Crash one replica holder; it never comes back.
+            let s = ens.storage[0];
+            ens.engine.fail_node(s);
+        },
+        phase2,
+        2,
+    );
+    assert_eq!(
+        ens.client(0).stats().timeouts,
+        0,
+        "reads must fail over, not time out"
+    );
+    let proxy = ens.client(0).proxy().expect("slice client");
+    assert!(
+        proxy.suspected_sites().contains(&0),
+        "the dead site must be under suspicion"
+    );
+    let (failovers, _, _, _) = proxy.ha_stats();
+    assert!(
+        failovers > 0,
+        "reads of victim-mirrored chunks must re-route"
+    );
+}
+
+/// A mirrored write issued while one replica is down completes at reduced
+/// redundancy, lands in the coordinator's dirty-region log, is copied
+/// back by the online resync after `recover_storage_node`, and the
+/// recovered node then serves reads once a probe clears its suspicion.
+#[test]
+fn degraded_write_resyncs_and_recovered_mirror_serves_reads() {
+    use slice::core::actors::{CoordActor, StorageActor};
+    use slice::workloads::BulkIo;
+
+    let cfg = SliceConfig {
+        clients: 1,
+        record_history: true,
+        probe_interval_ms: 300,
+        ..Default::default()
+    };
+    let total = 16 * 1024 * 1024u64;
+    let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(BulkIo::writer("ha0", total, true))]);
+    ens.start();
+    // Crash a replica holder mid-write: the remainder of the stream
+    // continues against the surviving mirrors.
+    ens.engine
+        .run_until(ens.engine.now() + SimDuration::from_millis(50));
+    ens.engine.fail_node(ens.storage[0]);
+    ens.run_to_completion(deadline());
+    assert!(ens.client(0).finished(), "degraded writer must finish");
+    assert_eq!(ens.client(0).stats().timeouts, 0);
+    let dirty: usize = ens
+        .coords
+        .iter()
+        .map(|&c| {
+            ens.engine
+                .actor::<CoordActor>(c)
+                .coord
+                .dirty_log_dump()
+                .len()
+        })
+        .sum();
+    assert!(dirty > 0, "missed mirror writes must be logged as dirty");
+
+    // Recover: the coordinator sweep copies the dirty ranges back.
+    ens.recover_storage_node(0);
+    ens.engine
+        .run_until(ens.engine.now() + SimDuration::from_secs(20));
+    for &c in &ens.coords {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        assert_eq!(coord.dirty_log_dump().len(), 0, "resync must drain the log");
+        assert!(
+            coord.resync_history().iter().any(|&(s, _, _, _)| s == 0),
+            "a resync of the victim must be on record"
+        );
+    }
+    let violations = slice::check::check_structural(&ens);
+    assert!(
+        violations.is_empty(),
+        "mirrors must converge after resync: {violations:?}"
+    );
+
+    // First read pass: still suspected, every read lands on the
+    // survivors; the pass's trailing tick probes the recovered site and
+    // the clean verdict readmits it.
+    ens.client_mut(0)
+        .set_workload(Box::new(BulkIo::reader("ha0", total)));
+    let c0 = ens.clients[0];
+    ens.engine.kick(c0);
+    ens.run_to_completion(deadline());
+    assert!(ens.client(0).finished(), "reader must finish");
+    ens.engine
+        .run_until(ens.engine.now() + SimDuration::from_secs(1));
+    let proxy = ens.client(0).proxy().expect("slice client");
+    assert!(
+        proxy.suspected_sites().is_empty(),
+        "probes must clear the suspicion after resync"
+    );
+
+    // Second pass: the readmitted mirror takes its share of the rotation.
+    let before = {
+        let node = &ens.engine.actor::<StorageActor>(ens.storage[0]).node;
+        node.store().io_stats().1
+    };
+    ens.client_mut(0)
+        .set_workload(Box::new(BulkIo::reader("ha0", total)));
+    ens.engine.kick(c0);
+    ens.run_to_completion(deadline());
+    assert!(ens.client(0).finished(), "second reader must finish");
+    assert_eq!(ens.client(0).stats().timeouts, 0);
+    let after = {
+        let node = &ens.engine.actor::<StorageActor>(ens.storage[0]).node;
+        node.store().io_stats().1
+    };
+    assert!(after > before, "the recovered mirror must serve reads");
+}
+
+/// The chaos schedule pool (datagram duplication, bounded reordering,
+/// storage/coordinator crashes, loss) passes every oracle, and two
+/// processes produce identical outcomes.
+#[test]
+fn chaos_schedules_pass_oracles_deterministically() {
+    use slice::check::{chaos_schedules, generate_scenario, run_schedule, Schedule};
+    let run = || {
+        let scenario = generate_scenario(21, 48);
+        let reference = run_schedule(21, &scenario, &Schedule::default(), None);
+        assert!(
+            reference.violations.is_empty(),
+            "reference run violated: {:?}",
+            reference.violations
+        );
+        let horizon_ms = reference.finish.as_nanos() / 1_000_000;
+        let mut outcomes = Vec::new();
+        for sched in chaos_schedules(21, 5, horizon_ms) {
+            let out = run_schedule(21, &scenario, &sched, Some(&reference.snapshot));
+            assert!(
+                out.violations.is_empty(),
+                "{}: {:?}",
+                sched.describe(),
+                out.violations
+            );
+            outcomes.push((out.finish, out.completed_ops, out.skipped_ops));
+        }
+        outcomes
+    };
+    assert_eq!(run(), run(), "chaos runs must replay identically");
+}
+
 #[test]
 fn run_is_deterministic() {
     let run = |seed: u64| {

@@ -16,8 +16,15 @@
 //! queue advances simulated time far past the last client op.
 //! Deterministic: identical arguments yield a byte-identical report.
 //!
-//! Usage: `availability [--mb N] [--crash-ms T] [--json-out]`
-//! (defaults: 48 MiB per client, crash at 100 ms).
+//! The four crash-timeline phases share one ensemble and are strictly
+//! ordered, so they cannot fan out; what does run in parallel (slice-par)
+//! is the independent clean-baseline ensemble — an uncrashed run of the
+//! same write workload, used for the undegraded write-latency and
+//! completion-time comparison gauges.
+//!
+//! Usage: `availability [--mb N] [--crash-ms T] [--threads T] [--json-out]`
+//! (defaults: 48 MiB per client, crash at 100 ms, threads = available
+//! parallelism).
 
 use slice_bench::{maybe_write_json, obs_doc};
 use slice_core::actors::{CoordActor, StorageActor};
@@ -51,6 +58,26 @@ fn ms_of(t: SimTime) -> f64 {
     t.as_nanos() as f64 / 1e6
 }
 
+fn ha_config() -> SliceConfig {
+    SliceConfig {
+        clients: CLIENTS,
+        retain_data: true,
+        record_history: true,
+        // Fast probe cadence so the recovered mirror rejoins within the
+        // final read pass.
+        probe_interval_ms: 500,
+        ..SliceConfig::default()
+    }
+}
+
+fn build_writers(bytes_per_client: u64) -> Vec<Box<dyn Workload>> {
+    (0..CLIENTS)
+        .map(|i| {
+            Box::new(BulkIo::writer(&format!("ha{i}"), bytes_per_client, true)) as Box<dyn Workload>
+        })
+        .collect()
+}
+
 /// Runs until every client's workload finishes, checking every few events
 /// so the stuck-intent probe churn does not drag simulated time far past
 /// the finish.
@@ -82,27 +109,71 @@ fn record_marks(ens: &SliceEnsemble) -> Vec<usize> {
     ens.histories().iter().map(|h| h.records().len()).collect()
 }
 
-fn main() {
-    let mb = arg_after("--mb", 48);
-    let crash_ms = arg_after("--crash-ms", 100);
-    let bytes_per_client = mb * 1024 * 1024;
-    let deadline = at_ms(600_000);
+fn mean_us((n, total): (u64, u64)) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        total as f64 / n as f64 / 1e3
+    }
+}
 
-    let cfg = SliceConfig {
-        clients: CLIENTS,
-        retain_data: true,
-        record_history: true,
-        // Fast probe cadence so the recovered mirror rejoins within the
-        // final read pass.
-        probe_interval_ms: 500,
-        ..SliceConfig::default()
-    };
-    let writers: Vec<Box<dyn Workload>> = (0..CLIENTS)
-        .map(|i| {
-            Box::new(BulkIo::writer(&format!("ha{i}"), bytes_per_client, true)) as Box<dyn Workload>
-        })
-        .collect();
-    let mut ens = SliceEnsemble::build(&cfg, writers);
+/// Everything harvested from the crash timeline, so the run can execute
+/// on a slice-par worker and be reported from the main thread.
+struct CrashOut {
+    write_done: SimTime,
+    read_down_done: SimTime,
+    recover_at: SimTime,
+    read_back_done: SimTime,
+    suspected_at: Option<SimTime>,
+    cleared_at: Option<SimTime>,
+    resync_done: Option<SimTime>,
+    resync_bytes: u64,
+    dirty_after_write: u64,
+    dirty_left: u64,
+    read_failovers: u64,
+    degraded_writes: u64,
+    degraded_bytes: u64,
+    probes_sent: u64,
+    timeouts: u64,
+    victim_read_bytes: u64,
+    normal: (u64, u64),
+    degraded: (u64, u64),
+}
+
+/// The clean-baseline comparison run: same write workload, no crash.
+struct BaselineOut {
+    write_done: SimTime,
+    writes: (u64, u64),
+}
+
+/// Uncrashed run of the same mirrored write workload.
+fn run_clean_baseline(bytes_per_client: u64, deadline: SimTime) -> BaselineOut {
+    let mut ens = SliceEnsemble::build(&ha_config(), build_writers(bytes_per_client));
+    ens.start();
+    run_phase(&mut ens, deadline);
+    for i in 0..CLIENTS {
+        assert!(
+            ens.client(i).finished(),
+            "baseline writer {i} did not finish"
+        );
+    }
+    let mut writes = (0u64, 0u64);
+    for hist in ens.histories() {
+        for rec in hist.records() {
+            if let (Some(end), "write") = (rec.end, rec.op) {
+                writes = (writes.0 + 1, writes.1 + (end - rec.begin).as_nanos());
+            }
+        }
+    }
+    BaselineOut {
+        write_done: last_end(&ens, &[0; CLIENTS]),
+        writes,
+    }
+}
+
+/// The full four-phase crash/degrade/resync/rejoin timeline.
+fn run_crash_timeline(bytes_per_client: u64, crash_ms: u64, deadline: SimTime) -> CrashOut {
+    let mut ens = SliceEnsemble::build(&ha_config(), build_writers(bytes_per_client));
     ens.start();
 
     // Phase 1: crash the victim mid-write; writers finish degraded.
@@ -234,16 +305,67 @@ fn main() {
             }
         }
     }
-    let mean_us = |(n, total): (u64, u64)| {
-        if n == 0 {
-            0.0
-        } else {
-            total as f64 / n as f64 / 1e3
-        }
+
+    CrashOut {
+        write_done,
+        read_down_done,
+        recover_at,
+        read_back_done,
+        suspected_at,
+        cleared_at,
+        resync_done,
+        resync_bytes,
+        dirty_after_write,
+        dirty_left,
+        read_failovers,
+        degraded_writes,
+        degraded_bytes,
+        probes_sent,
+        timeouts,
+        victim_read_bytes: victim_reads_after - victim_reads_before,
+        normal,
+        degraded,
+    }
+}
+
+/// The two independent runs, as slice-par work items.
+enum HaTask {
+    Crash,
+    Baseline,
+}
+
+enum HaOut {
+    Crash(Box<CrashOut>),
+    Baseline(BaselineOut),
+}
+
+fn main() {
+    let mb = arg_after("--mb", 48);
+    let crash_ms = arg_after("--crash-ms", 100);
+    let threads = arg_after("--threads", slice_sim::default_threads() as u64) as usize;
+    let bytes_per_client = mb * 1024 * 1024;
+    let deadline = at_ms(600_000);
+
+    let outs =
+        slice_sim::run_indexed(
+            threads,
+            vec![HaTask::Crash, HaTask::Baseline],
+            |_, task| match task {
+                HaTask::Crash => HaOut::Crash(Box::new(run_crash_timeline(
+                    bytes_per_client,
+                    crash_ms,
+                    deadline,
+                ))),
+                HaTask::Baseline => HaOut::Baseline(run_clean_baseline(bytes_per_client, deadline)),
+            },
+        );
+    let mut outs = outs.into_iter();
+    let (Some(HaOut::Crash(t)), Some(HaOut::Baseline(base))) = (outs.next(), outs.next()) else {
+        unreachable!("run_indexed merges by input index");
     };
 
-    let failover_ms = suspected_at.map(|t| ms_of(t) - crash_ms as f64);
-    let resync_ms = resync_done.map(|t| ms_of(t) - ms_of(recover_at));
+    let failover_ms = t.suspected_at.map(|s| ms_of(s) - crash_ms as f64);
+    let resync_ms = t.resync_done.map(|d| ms_of(d) - ms_of(t.recover_at));
     println!(
         "availability: {CLIENTS} clients x {mb} MiB mirrored, storage site {VICTIM} \
          crashed at {crash_ms} ms"
@@ -251,43 +373,50 @@ fn main() {
     println!(
         "  failover: suspected +{:.2} ms after crash, {} read failovers, {} probes",
         failover_ms.unwrap_or(f64::NAN),
-        read_failovers,
-        probes_sent
+        t.read_failovers,
+        t.probes_sent
     );
     println!(
         "  degraded: {} writes / {} bytes at reduced redundancy, {} dirty ranges logged, \
          write latency {:.0} us vs {:.0} us baseline",
-        degraded_writes,
-        degraded_bytes,
-        dirty_after_write,
-        mean_us(degraded),
-        mean_us(normal)
+        t.degraded_writes,
+        t.degraded_bytes,
+        t.dirty_after_write,
+        mean_us(t.degraded),
+        mean_us(t.normal)
     );
     println!(
         "  resync: {} bytes copied, done +{:.2} ms after recovery, {} dirty ranges left",
-        resync_bytes,
+        t.resync_bytes,
         resync_ms.unwrap_or(f64::NAN),
-        dirty_left
+        t.dirty_left
     );
     println!(
         "  rejoin: cleared +{:.2} ms after recovery, recovered node served {} bytes of \
          reads, {} client timeouts",
-        cleared_at
-            .map(|t| ms_of(t) - ms_of(recover_at))
+        t.cleared_at
+            .map(|c| ms_of(c) - ms_of(t.recover_at))
             .unwrap_or(f64::NAN),
-        victim_reads_after - victim_reads_before,
-        timeouts
+        t.victim_read_bytes,
+        t.timeouts
+    );
+    println!(
+        "  clean baseline: writes done at {:.2} ms (vs {:.2} ms crashed), \
+         write latency {:.0} us",
+        ms_of(base.write_done),
+        ms_of(t.write_done),
+        mean_us(base.writes)
     );
 
     let json = obs_doc(|reg| {
         reg.set_gauge("availability.crash_ms", crash_ms as f64);
-        reg.set_gauge("availability.write_done_ms", ms_of(write_done));
-        reg.set_gauge("availability.read_down_done_ms", ms_of(read_down_done));
-        reg.set_gauge("availability.recover_ms", ms_of(recover_at));
-        reg.set_gauge("availability.read_back_done_ms", ms_of(read_back_done));
+        reg.set_gauge("availability.write_done_ms", ms_of(t.write_done));
+        reg.set_gauge("availability.read_down_done_ms", ms_of(t.read_down_done));
+        reg.set_gauge("availability.recover_ms", ms_of(t.recover_at));
+        reg.set_gauge("availability.read_back_done_ms", ms_of(t.read_back_done));
         reg.set_gauge(
             "availability.suspected_ms",
-            suspected_at.map(ms_of).unwrap_or(-1.0),
+            t.suspected_at.map(ms_of).unwrap_or(-1.0),
         );
         reg.set_gauge(
             "availability.time_to_failover_ms",
@@ -295,41 +424,52 @@ fn main() {
         );
         reg.set_gauge(
             "availability.cleared_ms",
-            cleared_at.map(ms_of).unwrap_or(-1.0),
+            t.cleared_at.map(ms_of).unwrap_or(-1.0),
         );
         reg.set_gauge(
             "availability.resync_done_ms",
-            resync_done.map(ms_of).unwrap_or(-1.0),
+            t.resync_done.map(ms_of).unwrap_or(-1.0),
         );
         reg.set_gauge("availability.time_to_resync_ms", resync_ms.unwrap_or(-1.0));
-        reg.set_gauge("availability.resync_bytes", resync_bytes as f64);
-        reg.set_gauge("availability.dirty_ranges_logged", dirty_after_write as f64);
-        reg.set_gauge("availability.dirty_ranges_left", dirty_left as f64);
-        reg.set_gauge("availability.read_failovers", read_failovers as f64);
-        reg.set_gauge("availability.degraded_writes", degraded_writes as f64);
-        reg.set_gauge("availability.degraded_bytes", degraded_bytes as f64);
-        reg.set_gauge("availability.probes_sent", probes_sent as f64);
-        reg.set_gauge("availability.client_timeouts", timeouts as f64);
-        reg.set_gauge("availability.write_latency_normal_us", mean_us(normal));
-        reg.set_gauge("availability.write_latency_degraded_us", mean_us(degraded));
+        reg.set_gauge("availability.resync_bytes", t.resync_bytes as f64);
+        reg.set_gauge(
+            "availability.dirty_ranges_logged",
+            t.dirty_after_write as f64,
+        );
+        reg.set_gauge("availability.dirty_ranges_left", t.dirty_left as f64);
+        reg.set_gauge("availability.read_failovers", t.read_failovers as f64);
+        reg.set_gauge("availability.degraded_writes", t.degraded_writes as f64);
+        reg.set_gauge("availability.degraded_bytes", t.degraded_bytes as f64);
+        reg.set_gauge("availability.probes_sent", t.probes_sent as f64);
+        reg.set_gauge("availability.client_timeouts", t.timeouts as f64);
+        reg.set_gauge("availability.write_latency_normal_us", mean_us(t.normal));
+        reg.set_gauge(
+            "availability.write_latency_degraded_us",
+            mean_us(t.degraded),
+        );
         reg.set_gauge(
             "availability.recovered_read_bytes",
-            (victim_reads_after - victim_reads_before) as f64,
+            t.victim_read_bytes as f64,
         );
+        reg.set_gauge(
+            "availability.baseline_write_done_ms",
+            ms_of(base.write_done),
+        );
+        reg.set_gauge("availability.write_latency_clean_us", mean_us(base.writes));
     });
     println!("{json}");
     maybe_write_json("availability", &json);
 
     // The availability contract: no client-visible failures, failover
     // within five retransmission timeouts, and a drained dirty log.
-    assert_eq!(timeouts, 0, "client ops timed out during the cycle");
+    assert_eq!(t.timeouts, 0, "client ops timed out during the cycle");
     assert!(
         failover_ms.is_some_and(|f| f < 4000.0),
         "failover took {failover_ms:?} ms (budget 5 x 800 ms)"
     );
-    assert_eq!(dirty_left, 0, "resync left dirty ranges behind");
+    assert_eq!(t.dirty_left, 0, "resync left dirty ranges behind");
     assert!(
-        victim_reads_after > victim_reads_before,
+        t.victim_read_bytes > 0,
         "recovered node served no reads after rejoining"
     );
 }

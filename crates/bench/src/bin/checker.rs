@@ -9,14 +9,19 @@
 //! invariants, coordinator block maps, attr-cache audit, and WAL-replay
 //! namespace equivalence against the reference run.
 //!
-//! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--json-out]`
-//! (defaults: 8 seeds × 4 schedules). `--chaos` swaps the standard
-//! schedule pool for the chaos pool (datagram duplication and reordering
-//! windows, stacked storage crashes). Prints a summary plus the
-//! deterministic slice-obs JSON report — byte-identical for identical
-//! arguments — and exits nonzero if any run violated any oracle.
+//! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--threads T]
+//! [--json-out] [--report-out FILE]`
+//! (defaults: 8 seeds × 4 schedules, T = available parallelism).
+//! `--chaos` swaps the standard schedule pool for the chaos pool
+//! (datagram duplication and reordering windows, stacked storage
+//! crashes). Seeds fan out over the slice-par worker pool; the printed
+//! report is byte-identical for identical arguments at *any* thread
+//! count. `--report-out` writes that deterministic report to a file (CI
+//! `cmp`s it across thread counts); `--json-out` writes
+//! `BENCH_checker[_chaos].json`, the same report plus informational
+//! host-timing gauges. Exits nonzero if any run violated any oracle.
 
-use slice_check::sweep_with;
+use slice_check::sweep_with_threads;
 
 fn arg_after(flag: &str, default: u64) -> u64 {
     let mut args = std::env::args();
@@ -31,19 +36,32 @@ fn arg_after(flag: &str, default: u64) -> u64 {
     default
 }
 
+fn arg_path(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(args.next().unwrap_or_else(|| panic!("{flag} wants a path")));
+        }
+    }
+    None
+}
+
 fn main() {
     let n_seeds = arg_after("--seeds", 8);
     let n_schedules = arg_after("--schedules", 4) as usize;
+    let threads = arg_after("--threads", slice_sim::default_threads() as u64) as usize;
     let chaos = std::env::args().any(|a| a == "--chaos");
     let seeds: Vec<u64> = (1..=n_seeds).collect();
 
     println!(
-        "checker: sweeping {} seeds x {} {} schedules (+1 reference each)",
+        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}",
         seeds.len(),
         n_schedules,
-        if chaos { "chaos" } else { "standard" }
+        if chaos { "chaos" } else { "standard" },
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
-    let report = sweep_with(&seeds, n_schedules, chaos);
+    let report = sweep_with_threads(&seeds, n_schedules, chaos, threads);
     println!(
         "checker: {} runs, {} client-visible ops checked, {} failing",
         report.runs,
@@ -61,9 +79,13 @@ fn main() {
         }
     }
     println!("{}", report.json);
+    if let Some(path) = arg_path("--report-out") {
+        std::fs::write(&path, &report.json).unwrap_or_else(|e| panic!("write report {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
     slice_bench::maybe_write_json(
         if chaos { "checker_chaos" } else { "checker" },
-        &report.json,
+        &report.timed_json,
     );
     if !report.passed() {
         std::process::exit(1);

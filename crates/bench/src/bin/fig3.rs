@@ -6,10 +6,14 @@
 //! (no logging) but its single CPU saturates quickly; Slice-N scales with
 //! more directory servers, each saturating near 6000 ops/s.
 //!
-//! Usage: `fig3 [--full | --files N]` — default creates 3,600 files/dirs
-//! per process (a documented 1/10 scale of the paper's 36,000); `--full`
-//! runs the paper's size, and `--files N` sets an explicit per-process
-//! count (used by the cross-process determinism test to keep runs short).
+//! Usage: `fig3 [--full | --files N] [--threads T]` — default creates
+//! 3,600 files/dirs per process (a documented 1/10 scale of the paper's
+//! 36,000); `--full` runs the paper's size, and `--files N` sets an
+//! explicit per-process count (used by the cross-process determinism test
+//! to keep runs short). The 20 grid cells are independent simulations and
+//! fan out over the slice-par worker pool (`--threads`, default available
+//! parallelism); series are rebuilt in grid order, so the printed table
+//! and JSON are byte-identical at any thread count.
 
 use slice_core::EnsemblePolicy;
 use slice_sim::Series;
@@ -23,30 +27,61 @@ fn main() {
             .get(i + 1)
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
-                eprintln!("usage: fig3 [--full | --files N] [--json-out]");
+                eprintln!("usage: fig3 [--full | --files N] [--threads T] [--json-out]");
                 std::process::exit(2);
             });
     }
-    let process_counts = [1usize, 2, 4, 8, 16];
-    let mut mfs = Series::new("N-MFS");
-    let mut slice_n: Vec<Series> = [1usize, 2, 4]
+    let threads = argv
         .iter()
-        .map(|n| Series::new(format!("Slice-{n}")))
-        .collect();
+        .position(|a| a == "--threads")
+        .map(|i| {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--threads wants a number")
+        })
+        .unwrap_or_else(slice_sim::default_threads);
+    let process_counts = [1usize, 2, 4, 8, 16];
+    let dir_counts = [1usize, 2, 4];
+
+    // Flatten the grid into (procs, Option<dirs>) cells — None is the
+    // N-MFS baseline — and fan out. Each cell is a self-contained
+    // deterministic run, so only the merge order matters for output
+    // stability, and run_indexed merges by cell index.
+    let mut cells: Vec<(usize, Option<usize>)> = Vec::new();
     for &procs in &process_counts {
-        mfs.push(procs as f64, slice_bench::run_untar_mfs(procs, files));
-        for (i, &dirs) in [1usize, 2, 4].iter().enumerate() {
+        cells.push((procs, None));
+        for &dirs in &dir_counts {
+            cells.push((procs, Some(dirs)));
+        }
+    }
+    let latencies = slice_sim::run_indexed(threads, cells.clone(), |_, (procs, dirs)| match dirs {
+        None => slice_bench::run_untar_mfs(procs, files),
+        Some(dirs) => {
             // The paper uses p = 1/N for mkdir switching.
             let p_millis = (1000 / dirs as u32).max(1);
-            let lat = slice_bench::run_untar_slice(
+            slice_bench::run_untar_slice(
                 procs,
                 dirs,
                 files,
                 EnsemblePolicy::MkdirSwitching {
                     redirect_millis: p_millis,
                 },
-            );
-            slice_n[i].push(procs as f64, lat);
+            )
+        }
+    });
+
+    let mut mfs = Series::new("N-MFS");
+    let mut slice_n: Vec<Series> = dir_counts
+        .iter()
+        .map(|n| Series::new(format!("Slice-{n}")))
+        .collect();
+    for ((procs, dirs), lat) in cells.into_iter().zip(latencies) {
+        match dirs {
+            None => mfs.push(procs as f64, lat),
+            Some(d) => {
+                let i = dir_counts.iter().position(|&x| x == d).unwrap();
+                slice_n[i].push(procs as f64, lat);
+            }
         }
     }
     println!("Figure 3: directory service scaling — mean untar latency (s) per process");

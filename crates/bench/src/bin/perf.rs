@@ -4,45 +4,79 @@
 //! and a saturating mirrored bulk-I/O run end-to-end on the host, then
 //! emits `BENCH_perf.json` with wall-clock seconds, simulated packet and
 //! event throughput per host second, the event slab's high-water mark,
-//! and the payload copy counters from `ByteBuf`. Every PR gets a
-//! trajectory point; CI's `perf-smoke` job fails when the untar
-//! wall-clock regresses more than 25% against the committed reference
-//! (`ci/perf_reference.txt`).
+//! and the payload copy counters from `ByteBuf`. The untar grid's 20
+//! independent configurations fan out over the slice-par worker pool;
+//! the deterministic counters are identical at any thread count.
 //!
-//! Usage: `perf [--full] [--check <reference-file>]`
+//! Every PR gets a trajectory point; CI's `perf-smoke` job fails when any
+//! *deterministic* counter (packets, bytes, events, payload copies)
+//! regresses against the committed reference (`ci/perf_reference.txt`).
+//! Wall-clock is machine-dependent — it would flake on slower CI runners
+//! — so it is reported but never gated on.
+//!
+//! Usage: `perf [--full] [--threads T] [--check <reference-file>]`
 //!
 //! * `--full` — paper-scale untar (36,000 files/process) and 256 MB bulk
 //!   files instead of the 1/10-scale defaults.
-//! * `--check <file>` — exit nonzero if the untar wall-clock exceeds the
-//!   reference seconds stored in `<file>` (a bare decimal; `#` lines are
-//!   comments) by more than 25%.
+//! * `--threads T` — worker threads for the untar grid (default: available
+//!   parallelism).
+//! * `--check <file>` — exit nonzero if a deterministic counter exceeds
+//!   its reference value by more than 25% (plus a small absolute slack so
+//!   near-zero references don't gate on noise-sized drifts). Lines are
+//!   `<name> <value>`; `#` starts a comment; a `wall_s` entry is
+//!   informational only.
 
 use slice_bench::EngineTotals;
 use slice_core::EnsemblePolicy;
 use std::time::Instant;
 
-/// Wall-clock regression tolerance for `--check`: fail above
-/// `reference * (1 + PERF_TOLERANCE)`.
+/// Relative headroom for `--check`: fail above `reference * (1 + 0.25)`.
 const PERF_TOLERANCE: f64 = 0.25;
+/// Absolute slack added on top, so a reference of (say) zero deep copies
+/// doesn't fail on a handful of incidental ones.
+const PERF_ABS_SLACK: u64 = 65_536;
 
 struct PhaseReport {
     wall_s: f64,
     totals: EngineTotals,
 }
 
-/// The fig3 grid: N-MFS plus Slice-{1,2,4} across the process sweep.
-fn untar_phase(files: u64) -> PhaseReport {
+/// One cell of the fig3 grid: `dirs == None` is the N-MFS baseline.
+#[derive(Clone, Copy)]
+struct Cell {
+    procs: usize,
+    dirs: Option<usize>,
+}
+
+/// The fig3 grid: N-MFS plus Slice-{1,2,4} across the process sweep,
+/// fanned out over the slice-par pool. Cells are independent runs;
+/// totals are folded in cell order (they are sums and maxes, so the
+/// result is thread-count-invariant).
+fn untar_phase(files: u64, threads: usize) -> PhaseReport {
     let start = Instant::now();
-    let mut totals = EngineTotals::default();
+    let mut cells = Vec::new();
     for &procs in &[1usize, 2, 4, 8, 16] {
-        totals.absorb(slice_bench::run_untar_mfs_stats(procs, files).1);
+        cells.push(Cell { procs, dirs: None });
         for &dirs in &[1usize, 2, 4] {
+            cells.push(Cell {
+                procs,
+                dirs: Some(dirs),
+            });
+        }
+    }
+    let per_cell = slice_sim::run_indexed(threads, cells, |_, cell| match cell.dirs {
+        None => slice_bench::run_untar_mfs_stats(cell.procs, files).1,
+        Some(dirs) => {
             let p_millis = (1000 / dirs as u32).max(1);
             let policy = EnsemblePolicy::MkdirSwitching {
                 redirect_millis: p_millis,
             };
-            totals.absorb(slice_bench::run_untar_slice_stats(procs, dirs, files, policy).1);
+            slice_bench::run_untar_slice_stats(cell.procs, dirs, files, policy).1
         }
+    });
+    let mut totals = EngineTotals::default();
+    for t in per_cell {
+        totals.absorb(t);
     }
     PhaseReport {
         wall_s: start.elapsed().as_secs_f64(),
@@ -83,9 +117,62 @@ fn fold_phase(reg: &mut slice_obs::Registry, name: &str, ph: &PhaseReport) {
     }
 }
 
+/// Checks measured counters against a `<name> <value>` reference file.
+/// Returns the failure messages (empty = pass). Wall-clock entries are
+/// compared informationally but never fail the gate.
+fn check_counters(text: &str, measured: &[(&str, u64)], untar_wall_s: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+            failures.push(format!("malformed reference line: {line:?}"));
+            continue;
+        };
+        if name == "wall_s" {
+            let reference: f64 = value.parse().unwrap_or(0.0);
+            eprintln!(
+                "perf: untar wall {untar_wall_s:.3}s vs reference {reference:.3}s (informational)"
+            );
+            continue;
+        }
+        let reference: u64 = match value.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                failures.push(format!("bad reference value for {name}: {e}"));
+                continue;
+            }
+        };
+        let Some(&(_, got)) = measured.iter().find(|(n, _)| *n == name) else {
+            failures.push(format!("reference names unknown counter {name}"));
+            continue;
+        };
+        let limit = (reference as f64 * (1.0 + PERF_TOLERANCE)) as u64 + PERF_ABS_SLACK;
+        if got > limit {
+            failures.push(format!(
+                "{name} = {got} exceeds reference {reference} by more than {:.0}% (limit {limit})",
+                PERF_TOLERANCE * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--threads wants a number")
+        })
+        .unwrap_or_else(slice_sim::default_threads);
     let check_ref = args
         .iter()
         .position(|a| a == "--check")
@@ -94,17 +181,18 @@ fn main() {
     let bulk_bytes: u64 = if full { 256 << 20 } else { 32 << 20 };
 
     slice_nfsproto::bytes::reset_clone_stats();
-    let untar = untar_phase(files);
+    let untar = untar_phase(files, threads);
     let bulk = bulk_phase(bulk_bytes);
     let (shallow, deep, deep_bytes) = slice_nfsproto::bytes::clone_stats();
 
     println!(
-        "perf: hot-path wall-clock baseline ({})",
+        "perf: hot-path wall-clock baseline ({}, {threads} thread{})",
         if full {
             "full scale"
         } else {
             "default 1/10 scale"
-        }
+        },
+        if threads == 1 { "" } else { "s" }
     );
     for (name, ph) in [("untar", &untar), ("bulk", &bulk)] {
         println!(
@@ -124,6 +212,7 @@ fn main() {
         reg.set("perf.payload.shallow_clones", shallow);
         reg.set("perf.payload.deep_copies", deep);
         reg.set("perf.payload.deep_copy_bytes", deep_bytes);
+        reg.set_gauge("perf.threads", threads as f64);
         reg.set_gauge("perf.total.wall_s", untar.wall_s + bulk.wall_s);
     });
     println!("{json}");
@@ -132,27 +221,26 @@ fn main() {
     if let Some(path) = check_ref {
         let text =
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read reference {path}: {e}"));
-        let value_line = text
-            .lines()
-            .map(str::trim)
-            .find(|l| !l.is_empty() && !l.starts_with('#'))
-            .unwrap_or_else(|| panic!("reference {path} has no value line"));
-        let reference: f64 = value_line
-            .parse()
-            .unwrap_or_else(|e| panic!("parse reference {path} ({value_line:?}): {e}"));
-        let limit = reference * (1.0 + PERF_TOLERANCE);
-        if untar.wall_s > limit {
-            eprintln!(
-                "perf: REGRESSION — untar wall {:.3}s exceeds reference {reference:.3}s by more \
-                 than {:.0}% (limit {limit:.3}s)",
-                untar.wall_s,
-                PERF_TOLERANCE * 100.0
-            );
+        let measured = [
+            ("untar.packets", untar.totals.packets),
+            ("untar.bytes", untar.totals.bytes),
+            ("untar.events", untar.totals.events),
+            ("bulk.packets", bulk.totals.packets),
+            ("bulk.bytes", bulk.totals.bytes),
+            ("bulk.events", bulk.totals.events),
+            ("payload.shallow_clones", shallow),
+            ("payload.deep_copies", deep),
+            ("payload.deep_copy_bytes", deep_bytes),
+        ];
+        let failures = check_counters(&text, &measured, untar.wall_s);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perf: REGRESSION — {f}");
+            }
             std::process::exit(1);
         }
         eprintln!(
-            "perf: untar wall {:.3}s within {:.0}% of reference {reference:.3}s",
-            untar.wall_s,
+            "perf: all deterministic counters within {:.0}% of reference",
             PERF_TOLERANCE * 100.0
         );
     }

@@ -120,6 +120,33 @@ pub fn run_bulk_stats(
 /// Table 3: replay an untar-shaped packet stream through a real µproxy and
 /// report measured CPU fractions at the paper's 6250 packets/second rate.
 pub fn run_uproxy_phases(pairs: usize) -> PhaseStats {
+    run_uproxy_phases_par(pairs, 1)
+}
+
+/// Parallel Table 3: splits the file range across workers, each replaying
+/// its slice through a private µproxy (disjoint file ids, its own xid
+/// stream), then sums the phase timers in range order. Packet counts are
+/// thread-count-invariant; the nanosecond timers are host measurements
+/// and vary run to run regardless of threads.
+pub fn run_uproxy_phases_par(pairs: usize, threads: usize) -> PhaseStats {
+    let files = pairs / 7;
+    let workers = threads.clamp(1, files.max(1));
+    let per = files.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * per, ((w + 1) * per).min(files)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    let parts = slice_sim::run_indexed(threads, ranges, |_, (lo, hi)| run_uproxy_range(lo, hi));
+    let mut total = PhaseStats::default();
+    for p in &parts {
+        total.absorb(p);
+    }
+    total
+}
+
+/// Replays the untar seven-op sequence for file indices `[lo, hi)`
+/// through a fresh µproxy and returns its phase timers.
+fn run_uproxy_range(lo: usize, hi: usize) -> PhaseStats {
     use slice_nfsproto::{NfsRequest, Sattr3, SetTime, SockAddr};
     let cfg = ProxyConfig {
         dir_sites: (0..4)
@@ -137,7 +164,7 @@ pub fn run_uproxy_phases(pairs: usize) -> PhaseStats {
     let mut now = SimTime::ZERO;
     let mut xid = 1u32;
     // The untar seven-op sequence per created file.
-    for i in 0..pairs / 7 {
+    for i in lo..hi {
         let name = format!("src{i}.c");
         let file = slice_nfsproto::Fhandle::new(1000 + i as u64, 0, 0, 7 * i as u64, 0);
         let reqs = [

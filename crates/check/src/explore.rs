@@ -829,8 +829,13 @@ pub struct SweepReport {
     pub ops_checked: usize,
     /// Every failing run.
     pub failures: Vec<SweepFailure>,
-    /// Deterministic slice-obs JSON: same seeds → byte-identical output.
+    /// Deterministic slice-obs JSON: same seeds → byte-identical output,
+    /// for any thread count. This is the document CI `cmp`s.
     pub json: String,
+    /// The same document plus informational host-timing gauges
+    /// (`checker.wall_s`, `checker.threads`, `checker.runs_per_host_s`).
+    /// Not deterministic across hosts or runs — never `cmp` this one.
+    pub timed_json: String,
 }
 
 impl SweepReport {
@@ -852,30 +857,49 @@ pub fn sweep(seeds: &[u64], schedules_per_seed: usize) -> SweepReport {
 /// [`standard_schedules`] for [`chaos_schedules`] (duplication and
 /// reordering windows, stacked storage crashes).
 pub fn sweep_with(seeds: &[u64], schedules_per_seed: usize, chaos: bool) -> SweepReport {
-    let mut obs = Obs::new();
-    let mut failures = Vec::new();
-    let mut runs = 0usize;
-    let mut ops_checked = 0usize;
+    sweep_with_threads(seeds, schedules_per_seed, chaos, 1)
+}
 
-    for &seed in seeds {
+/// Everything one seed's portion of the sweep produced, harvested on a
+/// worker thread and merged on the caller's thread in seed order.
+struct SeedOutcome {
+    runs: usize,
+    ops_checked: usize,
+    violations: u64,
+    stalled: u64,
+    failures: Vec<SweepFailure>,
+}
+
+/// [`sweep_with`] fanned out over the slice-par runtime: each seed's
+/// reference run and schedule replays execute as one independent task
+/// (every run builds a fresh ensemble, so tasks share nothing), and the
+/// per-seed outcomes are folded into the report strictly in seed order.
+/// The exported JSON is byte-identical for any `threads`, including the
+/// sequential `threads == 1` path, because the folded counters are sums
+/// of per-seed values that do not depend on scheduling.
+pub fn sweep_with_threads(
+    seeds: &[u64],
+    schedules_per_seed: usize,
+    chaos: bool,
+    threads: usize,
+) -> SweepReport {
+    let start = std::time::Instant::now();
+    let outcomes = slice_sim::par::run_indexed(threads, seeds.to_vec(), |_, seed| {
         let scenario = generate_scenario(seed, 96);
         let reference = run_schedule(seed, &scenario, &Schedule::default(), None);
-        runs += 1;
-        ops_checked += reference.completed_ops;
-        let tag = format!("checker.seed.{seed}");
-        obs.registry.add(&format!("{tag}.runs"), 1);
-        obs.registry
-            .add(&format!("{tag}.ops"), reference.completed_ops as u64);
-        obs.registry.add(
-            &format!("{tag}.violations"),
-            reference.violations.len() as u64,
-        );
+        let mut o = SeedOutcome {
+            runs: 1,
+            ops_checked: reference.completed_ops,
+            violations: reference.violations.len() as u64,
+            stalled: 0,
+            failures: Vec::new(),
+        };
         if !reference.violations.is_empty() {
-            failures.push(SweepFailure {
+            o.failures.push(SweepFailure {
                 seed,
                 schedule: None,
                 schedule_desc: "crash-free".to_string(),
-                violations: reference.violations,
+                violations: reference.violations.clone(),
             });
         }
 
@@ -887,18 +911,14 @@ pub fn sweep_with(seeds: &[u64], schedules_per_seed: usize, chaos: bool) -> Swee
         };
         for (j, sched) in schedules.iter().enumerate() {
             let out = run_schedule(seed, &scenario, sched, Some(&reference.snapshot));
-            runs += 1;
-            ops_checked += out.completed_ops;
-            obs.registry.add(&format!("{tag}.runs"), 1);
-            obs.registry
-                .add(&format!("{tag}.ops"), out.completed_ops as u64);
-            obs.registry
-                .add(&format!("{tag}.violations"), out.violations.len() as u64);
+            o.runs += 1;
+            o.ops_checked += out.completed_ops;
+            o.violations += out.violations.len() as u64;
             if out.stalled {
-                obs.registry.add(&format!("{tag}.stalled"), 1);
+                o.stalled += 1;
             }
             if !out.violations.is_empty() {
-                failures.push(SweepFailure {
+                o.failures.push(SweepFailure {
                     seed,
                     schedule: Some(j),
                     schedule_desc: sched.describe(),
@@ -906,6 +926,27 @@ pub fn sweep_with(seeds: &[u64], schedules_per_seed: usize, chaos: bool) -> Swee
                 });
             }
         }
+        o
+    });
+
+    // Merge in seed order. Counter folds are sums, so the final registry
+    // matches what the serial loop would have produced, entry for entry.
+    let mut obs = Obs::new();
+    let mut failures = Vec::new();
+    let mut runs = 0usize;
+    let mut ops_checked = 0usize;
+    for (&seed, o) in seeds.iter().zip(outcomes) {
+        let tag = format!("checker.seed.{seed}");
+        obs.registry.add(&format!("{tag}.runs"), o.runs as u64);
+        obs.registry
+            .add(&format!("{tag}.ops"), o.ops_checked as u64);
+        obs.registry.add(&format!("{tag}.violations"), o.violations);
+        if o.stalled > 0 {
+            obs.registry.add(&format!("{tag}.stalled"), o.stalled);
+        }
+        runs += o.runs;
+        ops_checked += o.ops_checked;
+        failures.extend(o.failures);
     }
 
     obs.registry.add("checker.runs", runs as u64);
@@ -914,11 +955,23 @@ pub fn sweep_with(seeds: &[u64], schedules_per_seed: usize, chaos: bool) -> Swee
         .add("checker.failing_runs", failures.len() as u64);
     let json = obs.export_json(0);
 
+    // Informational host-timing gauges ride in a second export so the
+    // deterministic document above stays byte-comparable.
+    let wall_s = start.elapsed().as_secs_f64();
+    obs.registry.set_gauge("checker.wall_s", wall_s);
+    obs.registry.set_gauge("checker.threads", threads as f64);
+    if wall_s > 0.0 {
+        obs.registry
+            .set_gauge("checker.runs_per_host_s", runs as f64 / wall_s);
+    }
+    let timed_json = obs.export_json(0);
+
     SweepReport {
         runs,
         ops_checked,
         failures,
         json,
+        timed_json,
     }
 }
 

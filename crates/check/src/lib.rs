@@ -31,8 +31,8 @@ pub mod state;
 
 pub use explore::{
     chaos_schedules, generate_scenario, minimize, run_schedule, standard_schedules, sweep,
-    sweep_with, DriverWorkload, GenOp, Injection, RunOutcome, Scenario, Schedule, ScheduleEvent,
-    SweepFailure, SweepReport,
+    sweep_with, sweep_with_threads, DriverWorkload, GenOp, Injection, RunOutcome, Scenario,
+    Schedule, ScheduleEvent, SweepFailure, SweepReport,
 };
 pub use oracle::{check_histories, OracleStats};
 pub use state::{

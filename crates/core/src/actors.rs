@@ -59,6 +59,16 @@ fn payload_cpu(bytes: usize, per_4k: SimDuration) -> SimDuration {
 /// against non-idempotent retransmissions: replies to recent requests are
 /// cached by (client, xid) and replayed verbatim; requests still being
 /// processed are dropped so a retry cannot re-execute them.
+///
+/// The cache stashes the *decoded* reply, not the encoded packet, and the
+/// replay path re-encodes (deterministic, so the retransmitted bytes are
+/// identical to the originals). Stashing the packet would keep a second
+/// reference to its payload alive, which forced the µproxy's in-flight
+/// attribute patch into a copy-on-write deep copy on *every* directory
+/// reply — millions of copies per untar run to protect against a
+/// retransmission that almost never comes. The decoded form shares
+/// nothing with the wire path, so the packet the server actually sends is
+/// the payload's sole owner and the µproxy patches it in place.
 #[derive(Debug, Default)]
 pub struct ReplyCache {
     /// One map holds both phases of an entry's life (in progress, then
@@ -71,7 +81,7 @@ pub struct ReplyCache {
 #[derive(Debug)]
 enum DrcEntry {
     InProgress,
-    Done(Packet),
+    Done(slice_nfsproto::NfsReply),
 }
 
 /// DRC capacity (completed entries).
@@ -83,8 +93,9 @@ pub enum DrcCheck {
     Fresh,
     /// Retransmission of a request still being served: drop it.
     InProgress,
-    /// Retransmission of a completed request: replay this reply.
-    Replay(Packet),
+    /// Retransmission of a completed request: re-encode and replay this
+    /// reply (byte-identical to the original — same xid, same encoder).
+    Replay(slice_nfsproto::NfsReply),
 }
 
 impl ReplyCache {
@@ -107,7 +118,7 @@ impl ReplyCache {
     }
 
     /// Records the reply for a completed request.
-    pub fn complete(&mut self, dst: SockAddr, xid: u32, reply: &Packet) {
+    pub fn complete(&mut self, dst: SockAddr, xid: u32, reply: &slice_nfsproto::NfsReply) {
         let key = Self::key(dst, xid);
         let prev = self.entries.insert(key, DrcEntry::Done(reply.clone()));
         if !matches!(prev, Some(DrcEntry::Done(_))) {
@@ -286,8 +297,11 @@ impl DirActor {
                     let Some((dst, xid)) = self.tokens.remove(&token) else {
                         continue;
                     };
+                    // Stash the decoded reply before encoding: the sent
+                    // packet keeps sole ownership of its payload, so the
+                    // µproxy's attribute patch mutates it in place.
+                    self.drc.complete(dst, xid, &reply);
                     let pkt = Packet::new(self.addr, dst, encode_reply(xid, &reply));
-                    self.drc.complete(dst, xid, &pkt);
                     if let Some(node) = self.router.try_node_of(dst) {
                         self.deferred.send_at(ctx, at, node, Wire::Udp(pkt));
                     }
@@ -352,8 +366,9 @@ impl Actor<Wire> for DirActor {
                 }
                 match self.drc.admit(pkt.src, hdr.xid) {
                     DrcCheck::Replay(reply) => {
+                        let out = Packet::new(self.addr, pkt.src, encode_reply(hdr.xid, &reply));
                         if let Some(node) = self.router.try_node_of(pkt.src) {
-                            ctx.send(node, Wire::Udp(reply));
+                            ctx.send(node, Wire::Udp(out));
                         }
                         return;
                     }

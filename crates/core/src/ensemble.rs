@@ -111,6 +111,13 @@ pub struct SliceEnsemble {
     pub storage: Vec<NodeId>,
     /// Coordinator node ids.
     pub coords: Vec<NodeId>,
+    /// This thread's payload copy counters sampled at build time; the
+    /// delta at `collect_obs` attributes copy traffic to this ensemble.
+    /// Valid because an ensemble is built, run, and harvested on one
+    /// thread (the slice-par runtime keeps each scenario on one worker);
+    /// the process-wide atomics in `slice-nfsproto` stay available as a
+    /// cross-check that no traffic escaped attribution.
+    payload_base: (u64, u64, u64),
 }
 
 impl SliceEnsemble {
@@ -299,6 +306,7 @@ impl SliceEnsemble {
             sfs: sf_ids,
             storage: storage_ids,
             coords: coord_ids,
+            payload_base: slice_nfsproto::bytes::local_clone_stats(),
         }
     }
 
@@ -443,6 +451,16 @@ impl SliceEnsemble {
             }
             self.engine.obs_mut().registry = reg;
         }
+
+        // Per-engine payload copy accounting: the delta of this thread's
+        // copy counters since build is this ensemble's own traffic
+        // (scenarios never migrate threads mid-run). Saturating guards
+        // the degenerate build-on-one-thread, collect-on-another case.
+        let (s0, d0, b0) = self.payload_base;
+        let (s1, d1, b1) = slice_nfsproto::bytes::local_clone_stats();
+        counters.push(("payload.shallow_clones".to_string(), s1.saturating_sub(s0)));
+        counters.push(("payload.deep_copies".to_string(), d1.saturating_sub(d0)));
+        counters.push(("payload.deep_copy_bytes".to_string(), b1.saturating_sub(b0)));
 
         let reg = &mut self.engine.obs_mut().registry;
         for (k, v) in counters {

@@ -10,10 +10,16 @@
 //! copy-on-write escape hatch that only copies when the buffer is
 //! actually shared.
 //!
-//! Copy traffic is counted in process-wide relaxed atomics so the `perf`
-//! benchmark can report how many payload bytes were deep-copied versus
-//! shared; see [`clone_stats`].
+//! Copy traffic is counted twice over: in process-wide relaxed atomics
+//! (exact totals under any threading; see [`clone_stats`]) and in
+//! thread-local counters (see [`local_clone_stats`]) that attribute
+//! copies to an individual simulation run. Under `slice-par` each
+//! scenario builds, runs, and is harvested on a single worker thread, so
+//! a before/after delta of the thread-local counters is that scenario's
+//! own copy traffic; the global atomics remain the cross-check that no
+//! traffic escaped attribution.
 
+use std::cell::Cell;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -21,6 +27,26 @@ use std::sync::Arc;
 static SHALLOW_CLONES: AtomicU64 = AtomicU64::new(0);
 static DEEP_COPIES: AtomicU64 = AtomicU64::new(0);
 static DEEP_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_SHALLOW_CLONES: Cell<u64> = const { Cell::new(0) };
+    static TL_DEEP_COPIES: Cell<u64> = const { Cell::new(0) };
+    static TL_DEEP_COPY_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count_shallow() {
+    SHALLOW_CLONES.fetch_add(1, Ordering::Relaxed);
+    TL_SHALLOW_CLONES.with(|c| c.set(c.get() + 1));
+}
+
+#[inline]
+fn count_deep(bytes: u64) {
+    DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
+    DEEP_COPY_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    TL_DEEP_COPIES.with(|c| c.set(c.get() + 1));
+    TL_DEEP_COPY_BYTES.with(|c| c.set(c.get() + bytes));
+}
 
 /// Snapshot of process-wide payload copy counters: `(shallow clones,
 /// deep copies, deep-copied bytes)`. Shallow clones are refcount bumps
@@ -34,7 +60,22 @@ pub fn clone_stats() -> (u64, u64, u64) {
     )
 }
 
+/// Snapshot of this thread's payload copy counters, same shape as
+/// [`clone_stats`]. Monotonic for the thread's lifetime; callers take
+/// before/after deltas to attribute copy traffic to one simulation run
+/// (valid because a run executes entirely on one thread).
+pub fn local_clone_stats() -> (u64, u64, u64) {
+    (
+        TL_SHALLOW_CLONES.with(Cell::get),
+        TL_DEEP_COPIES.with(Cell::get),
+        TL_DEEP_COPY_BYTES.with(Cell::get),
+    )
+}
+
 /// Resets the process-wide copy counters (benchmark phase boundaries).
+/// The thread-local counters are deliberately left alone: they are
+/// delta-sampled, never reset, so concurrent runs cannot clobber each
+/// other's baselines.
 pub fn reset_clone_stats() {
     SHALLOW_CLONES.store(0, Ordering::Relaxed);
     DEEP_COPIES.store(0, Ordering::Relaxed);
@@ -59,7 +100,7 @@ pub struct ByteBuf {
 
 impl Clone for ByteBuf {
     fn clone(&self) -> Self {
-        SHALLOW_CLONES.fetch_add(1, Ordering::Relaxed);
+        count_shallow();
         ByteBuf {
             data: Arc::clone(&self.data),
             off: self.off,
@@ -96,7 +137,7 @@ impl ByteBuf {
     /// Panics if the range exceeds this buffer's window.
     pub fn slice(&self, start: usize, len: usize) -> Self {
         assert!(start + len <= self.len, "slice out of bounds");
-        SHALLOW_CLONES.fetch_add(1, Ordering::Relaxed);
+        count_shallow();
         ByteBuf {
             data: Arc::clone(&self.data),
             off: self.off + start,
@@ -105,20 +146,20 @@ impl ByteBuf {
     }
 
     /// Mutable access to the window, copying first only when the backing
-    /// allocation is shared (or windowed). The hot case — a packet fresh
-    /// off the wire with a single owner — mutates in place.
+    /// allocation is shared. The hot cases — a packet fresh off the wire
+    /// with a single owner, windowed or not — mutate in place; only a
+    /// buffer another holder can still observe pays the copy.
     pub fn make_mut(&mut self) -> &mut [u8] {
-        let whole = self.off == 0 && self.len == self.data.len();
-        if !(whole && Arc::get_mut(&mut self.data).is_some()) {
-            DEEP_COPIES.fetch_add(1, Ordering::Relaxed);
-            DEEP_COPY_BYTES.fetch_add(self.len as u64, Ordering::Relaxed);
+        if Arc::get_mut(&mut self.data).is_none() {
+            count_deep(self.len as u64);
             self.data = Arc::new(self.data[self.off..self.off + self.len].to_vec());
             self.off = 0;
         }
-        // The arc is now unique and un-windowed.
-        Arc::get_mut(&mut self.data)
+        // The arc is unique; mutate the window in place.
+        let (off, len) = (self.off, self.len);
+        &mut Arc::get_mut(&mut self.data)
             .expect("unique after COW")
-            .as_mut_slice()
+            .as_mut_slice()[off..off + len]
     }
 
     /// Copies the window out into an owned `Vec`.
@@ -214,6 +255,37 @@ mod tests {
         a.make_mut()[0] = 1;
         assert_eq!(a[0], 1);
         assert_eq!(b[0], 7, "clone unaffected by COW mutation");
+    }
+
+    #[test]
+    fn unique_window_mutates_in_place() {
+        let a = ByteBuf::from_vec((0..32u8).collect());
+        let mut w = a.slice(8, 8);
+        drop(a);
+        // Sole owner of a windowed buffer: no copy, no reallocation.
+        // Thread-local counters make this assertion immune to other
+        // tests running concurrently in this process.
+        let (_, deep_before, bytes_before) = local_clone_stats();
+        let ptr = Arc::as_ptr(&w.data);
+        w.make_mut()[0] = 99;
+        let (_, deep_after, bytes_after) = local_clone_stats();
+        assert_eq!(deep_after, deep_before, "unique window must not copy");
+        assert_eq!(bytes_after, bytes_before);
+        assert_eq!(Arc::as_ptr(&w.data), ptr, "must not reallocate");
+        assert_eq!(w[0], 99);
+        assert_eq!(w[1], 9, "rest of window intact");
+    }
+
+    #[test]
+    fn shared_window_copy_is_counted_locally() {
+        let a = ByteBuf::from_vec(vec![3u8; 24]);
+        let mut w = a.slice(4, 16);
+        let (_, deep_before, bytes_before) = local_clone_stats();
+        w.make_mut()[0] = 1;
+        let (_, deep_after, bytes_after) = local_clone_stats();
+        assert_eq!(deep_after, deep_before + 1);
+        assert_eq!(bytes_after, bytes_before + 16);
+        assert_eq!(a[4], 3, "parent untouched by COW");
     }
 
     #[test]

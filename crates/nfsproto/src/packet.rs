@@ -128,6 +128,14 @@ impl Packet {
             "rewrite out of bounds"
         );
         let old = &self.payload[offset..offset + new_bytes.len()];
+        if old == new_bytes {
+            // The patch is a no-op (the cached attributes already match
+            // the reply's authoritative block, the common case right
+            // after a create or store). Skipping it keeps the payload
+            // shared: no checksum work and, crucially, no copy-on-write
+            // fault when the buffer is also stashed elsewhere.
+            return;
+        }
         self.checksum =
             slice_hashes::checksum::incremental_update_bytes(self.checksum, old, new_bytes);
         // Copy-on-write: in the hot case (a reply fresh off the wire with

@@ -24,6 +24,7 @@ pub mod disk;
 pub mod engine;
 pub mod fxmap;
 pub mod net;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -35,6 +36,7 @@ pub use disk::{DiskArray, DiskParams};
 pub use engine::{Actor, Ctx, Engine, MessageSize, NodeId, NodeStats, TimerId, START_TAG};
 pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use net::NetConfig;
+pub use par::{default_threads, run_indexed};
 pub use rng::Rng;
 pub use slice_obs::{EventKind, Obs, Subsystem};
 pub use stats::{render_table, LatencyStats, RateCounter, Series};

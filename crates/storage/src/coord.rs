@@ -168,8 +168,10 @@ pub struct DirtyRange {
 enum ResyncStage {
     /// Waiting for the surviving mirror to return the bytes.
     AwaitData(DirtyRange),
-    /// Waiting for the recovering site to make the bytes durable.
-    AwaitApply(DirtyRange, Vec<u8>),
+    /// Waiting for the recovering site to make the bytes durable. The
+    /// stash is a shared window: retransmitting the apply leg clones a
+    /// refcount, not the payload.
+    AwaitApply(DirtyRange, slice_nfsproto::ByteBuf),
 }
 
 #[derive(Debug, Clone)]
@@ -1444,7 +1446,7 @@ mod tests {
             StorageCtlReply::ResyncData {
                 obj: 9,
                 offset: 0,
-                data: vec![7; 100],
+                data: vec![7; 100].into(),
             },
         );
         assert!(matches!(

@@ -17,8 +17,8 @@
 use slice_sim::FxHashMap;
 
 use slice_nfsproto::{
-    Fattr3, Fhandle, FileType, NfsProc, NfsReply, NfsRequest, NfsStatus, NfsTime, ReplyBody,
-    StableHow,
+    ByteBuf, Fattr3, Fhandle, FileType, NfsProc, NfsReply, NfsRequest, NfsStatus, NfsTime,
+    ReplyBody, StableHow,
 };
 use slice_sim::{DiskArray, DiskParams, LruCache, SimTime};
 
@@ -69,8 +69,10 @@ pub enum StorageCtl {
         obj: u64,
         /// Byte offset.
         offset: u64,
-        /// The bytes copied from the surviving mirror.
-        data: Vec<u8>,
+        /// The bytes copied from the surviving mirror (shared: the
+        /// coordinator's in-flight stash and its retransmissions clone
+        /// the window, never the bytes).
+        data: ByteBuf,
     },
 }
 
@@ -93,7 +95,7 @@ pub enum StorageCtlReply {
         /// Byte offset.
         offset: u64,
         /// The bytes (short when the object is shorter than asked).
-        data: Vec<u8>,
+        data: ByteBuf,
     },
     /// A resynchronized range is durable on the recovering replica.
     ResyncApplied {
@@ -521,7 +523,9 @@ impl StorageNode {
                     StorageCtlReply::ResyncData {
                         obj: *obj,
                         offset: *offset,
-                        data,
+                        // One materialization off the disk model; every
+                        // hop after this shares the allocation.
+                        data: data.into(),
                     },
                 )
             }

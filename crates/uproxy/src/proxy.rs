@@ -234,6 +234,17 @@ pub struct PhaseStats {
     pub packets: u64,
 }
 
+impl PhaseStats {
+    /// Accumulates another measurement (all fields are sums).
+    pub fn absorb(&mut self, other: &PhaseStats) {
+        self.intercept_ns += other.intercept_ns;
+        self.decode_ns += other.decode_ns;
+        self.rewrite_ns += other.rewrite_ns;
+        self.soft_ns += other.soft_ns;
+        self.packets += other.packets;
+    }
+}
+
 /// The µproxy state machine.
 #[derive(Debug)]
 pub struct Uproxy {

@@ -22,9 +22,11 @@
 //! same write workload, used for the undegraded write-latency and
 //! completion-time comparison gauges.
 //!
-//! Usage: `availability [--mb N] [--crash-ms T] [--threads T] [--json-out]`
-//! (defaults: 48 MiB per client, crash at 100 ms, threads = available
-//! parallelism).
+//! Usage: `availability [--mb N] [--crash-ms T] [--threads T] [--shards S]
+//! [--json-out]` (defaults: 48 MiB per client, crash at 100 ms, threads =
+//! available parallelism, 1 shard). `--shards S` partitions each
+//! ensemble's engine across S time-synchronized shards; the report is
+//! byte-identical at any S — crash/recovery injection is shard-aware.
 
 use slice_bench::{maybe_write_json, obs_doc};
 use slice_core::actors::{CoordActor, StorageActor};
@@ -58,7 +60,7 @@ fn ms_of(t: SimTime) -> f64 {
     t.as_nanos() as f64 / 1e6
 }
 
-fn ha_config() -> SliceConfig {
+fn ha_config(shards: usize) -> SliceConfig {
     SliceConfig {
         clients: CLIENTS,
         retain_data: true,
@@ -66,6 +68,7 @@ fn ha_config() -> SliceConfig {
         // Fast probe cadence so the recovered mirror rejoins within the
         // final read pass.
         probe_interval_ms: 500,
+        shards,
         ..SliceConfig::default()
     }
 }
@@ -147,8 +150,8 @@ struct BaselineOut {
 }
 
 /// Uncrashed run of the same mirrored write workload.
-fn run_clean_baseline(bytes_per_client: u64, deadline: SimTime) -> BaselineOut {
-    let mut ens = SliceEnsemble::build(&ha_config(), build_writers(bytes_per_client));
+fn run_clean_baseline(bytes_per_client: u64, deadline: SimTime, shards: usize) -> BaselineOut {
+    let mut ens = SliceEnsemble::build(&ha_config(shards), build_writers(bytes_per_client));
     ens.start();
     run_phase(&mut ens, deadline);
     for i in 0..CLIENTS {
@@ -172,8 +175,13 @@ fn run_clean_baseline(bytes_per_client: u64, deadline: SimTime) -> BaselineOut {
 }
 
 /// The full four-phase crash/degrade/resync/rejoin timeline.
-fn run_crash_timeline(bytes_per_client: u64, crash_ms: u64, deadline: SimTime) -> CrashOut {
-    let mut ens = SliceEnsemble::build(&ha_config(), build_writers(bytes_per_client));
+fn run_crash_timeline(
+    bytes_per_client: u64,
+    crash_ms: u64,
+    deadline: SimTime,
+    shards: usize,
+) -> CrashOut {
+    let mut ens = SliceEnsemble::build(&ha_config(shards), build_writers(bytes_per_client));
     ens.start();
 
     // Phase 1: crash the victim mid-write; writers finish degraded.
@@ -343,6 +351,7 @@ fn main() {
     let mb = arg_after("--mb", 48);
     let crash_ms = arg_after("--crash-ms", 100);
     let threads = arg_after("--threads", slice_sim::default_threads() as u64) as usize;
+    let shards = arg_after("--shards", 1) as usize;
     let bytes_per_client = mb * 1024 * 1024;
     let deadline = at_ms(600_000);
 
@@ -355,8 +364,11 @@ fn main() {
                     bytes_per_client,
                     crash_ms,
                     deadline,
+                    shards,
                 ))),
-                HaTask::Baseline => HaOut::Baseline(run_clean_baseline(bytes_per_client, deadline)),
+                HaTask::Baseline => {
+                    HaOut::Baseline(run_clean_baseline(bytes_per_client, deadline, shards))
+                }
             },
         );
     let mut outs = outs.into_iter();

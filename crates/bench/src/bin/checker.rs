@@ -10,18 +10,20 @@
 //! namespace equivalence against the reference run.
 //!
 //! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--threads T]
-//! [--json-out] [--report-out FILE]`
-//! (defaults: 8 seeds × 4 schedules, T = available parallelism).
+//! [--shards S] [--json-out] [--report-out FILE]`
+//! (defaults: 8 seeds × 4 schedules, T = available parallelism, 1 shard).
 //! `--chaos` swaps the standard schedule pool for the chaos pool
 //! (datagram duplication and reordering windows, stacked storage
 //! crashes). Seeds fan out over the slice-par worker pool; the printed
 //! report is byte-identical for identical arguments at *any* thread
-//! count. `--report-out` writes that deterministic report to a file (CI
-//! `cmp`s it across thread counts); `--json-out` writes
-//! `BENCH_checker[_chaos].json`, the same report plus informational
-//! host-timing gauges. Exits nonzero if any run violated any oracle.
+//! count *and* any `--shards` value (each run's engine is partitioned
+//! across S time-synchronized shards). `--report-out` writes that
+//! deterministic report to a file (CI `cmp`s it across thread and shard
+//! counts); `--json-out` writes `BENCH_checker[_chaos].json`, the same
+//! report plus informational host-timing gauges. Exits nonzero if any
+//! run violated any oracle.
 
-use slice_check::sweep_with_threads;
+use slice_check::sweep_sharded;
 
 fn arg_after(flag: &str, default: u64) -> u64 {
     let mut args = std::env::args();
@@ -50,18 +52,21 @@ fn main() {
     let n_seeds = arg_after("--seeds", 8);
     let n_schedules = arg_after("--schedules", 4) as usize;
     let threads = arg_after("--threads", slice_sim::default_threads() as u64) as usize;
+    let shards = arg_after("--shards", 1) as usize;
     let chaos = std::env::args().any(|a| a == "--chaos");
     let seeds: Vec<u64> = (1..=n_seeds).collect();
 
     println!(
-        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}",
+        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}, {} shard{}",
         seeds.len(),
         n_schedules,
         if chaos { "chaos" } else { "standard" },
         threads,
-        if threads == 1 { "" } else { "s" }
+        if threads == 1 { "" } else { "s" },
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
-    let report = sweep_with_threads(&seeds, n_schedules, chaos, threads);
+    let report = sweep_sharded(&seeds, n_schedules, chaos, threads, shards);
     println!(
         "checker: {} runs, {} client-visible ops checked, {} failing",
         report.runs,

@@ -6,14 +6,18 @@
 //! (no logging) but its single CPU saturates quickly; Slice-N scales with
 //! more directory servers, each saturating near 6000 ops/s.
 //!
-//! Usage: `fig3 [--full | --files N] [--threads T]` — default creates
-//! 3,600 files/dirs per process (a documented 1/10 scale of the paper's
-//! 36,000); `--full` runs the paper's size, and `--files N` sets an
-//! explicit per-process count (used by the cross-process determinism test
-//! to keep runs short). The 20 grid cells are independent simulations and
-//! fan out over the slice-par worker pool (`--threads`, default available
-//! parallelism); series are rebuilt in grid order, so the printed table
-//! and JSON are byte-identical at any thread count.
+//! Usage: `fig3 [--full | --files N] [--threads T] [--shards S]` —
+//! default creates 3,600 files/dirs per process (a documented 1/10 scale
+//! of the paper's 36,000); `--full` runs the paper's size, and
+//! `--files N` sets an explicit per-process count (used by the
+//! cross-process determinism test to keep runs short). The 20 grid cells
+//! are independent simulations and fan out over the slice-par worker pool
+//! (`--threads`, default available parallelism); series are rebuilt in
+//! grid order, so the printed table and JSON are byte-identical at any
+//! thread count. `--shards S` (default 1) partitions each cell's engine
+//! across S time-synchronized shards; every number is
+//! shard-count-invariant, so the output is byte-identical at any S —
+//! CI compares `--shards 1` against `--shards 4` to prove it.
 
 use slice_core::EnsemblePolicy;
 use slice_sim::Series;
@@ -27,7 +31,9 @@ fn main() {
             .get(i + 1)
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
-                eprintln!("usage: fig3 [--full | --files N] [--threads T] [--json-out]");
+                eprintln!(
+                    "usage: fig3 [--full | --files N] [--threads T] [--shards S] [--json-out]"
+                );
                 std::process::exit(2);
             });
     }
@@ -40,6 +46,15 @@ fn main() {
                 .expect("--threads wants a number")
         })
         .unwrap_or_else(slice_sim::default_threads);
+    let shards: usize = argv
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--shards wants a number")
+        })
+        .unwrap_or(1);
     let process_counts = [1usize, 2, 4, 8, 16];
     let dir_counts = [1usize, 2, 4];
 
@@ -55,18 +70,20 @@ fn main() {
         }
     }
     let latencies = slice_sim::run_indexed(threads, cells.clone(), |_, (procs, dirs)| match dirs {
-        None => slice_bench::run_untar_mfs(procs, files),
+        None => slice_bench::run_untar_mfs_stats(procs, files, shards).0,
         Some(dirs) => {
             // The paper uses p = 1/N for mkdir switching.
             let p_millis = (1000 / dirs as u32).max(1);
-            slice_bench::run_untar_slice(
+            slice_bench::run_untar_slice_stats(
                 procs,
                 dirs,
                 files,
                 EnsemblePolicy::MkdirSwitching {
                     redirect_millis: p_millis,
                 },
+                shards,
             )
+            .0
         }
     });
 

@@ -14,12 +14,18 @@
 //! Wall-clock is machine-dependent — it would flake on slower CI runners
 //! — so it is reported but never gated on.
 //!
-//! Usage: `perf [--full] [--threads T] [--check <reference-file>]`
+//! Usage: `perf [--full] [--threads T] [--shards S] [--check <reference-file>]`
 //!
 //! * `--full` — paper-scale untar (36,000 files/process) and 256 MB bulk
 //!   files instead of the 1/10-scale defaults.
 //! * `--threads T` — worker threads for the untar grid (default: available
 //!   parallelism).
+//! * `--shards S` — shard count for the shard-scaling phase (default:
+//!   available parallelism capped at 4). The phase times the grid's
+//!   biggest untar cell serially and again across S engine shards,
+//!   asserts the deterministic counters match exactly, and reports
+//!   informational `perf.shard_scaling.*` wall-clock/speedup gauges.
+//!   `--shards 1` skips the phase.
 //! * `--check <file>` — exit nonzero if a deterministic counter exceeds
 //!   its reference value by more than 25% (plus a small absolute slack so
 //!   near-zero references don't gate on noise-sized drifts). Lines are
@@ -65,13 +71,13 @@ fn untar_phase(files: u64, threads: usize) -> PhaseReport {
         }
     }
     let per_cell = slice_sim::run_indexed(threads, cells, |_, cell| match cell.dirs {
-        None => slice_bench::run_untar_mfs_stats(cell.procs, files).1,
+        None => slice_bench::run_untar_mfs_stats(cell.procs, files, 1).1,
         Some(dirs) => {
             let p_millis = (1000 / dirs as u32).max(1);
             let policy = EnsemblePolicy::MkdirSwitching {
                 redirect_millis: p_millis,
             };
-            slice_bench::run_untar_slice_stats(cell.procs, dirs, files, policy).1
+            slice_bench::run_untar_slice_stats(cell.procs, dirs, files, policy, 1).1
         }
     });
     let mut totals = EngineTotals::default();
@@ -89,11 +95,49 @@ fn untar_phase(files: u64, threads: usize) -> PhaseReport {
 /// at full load.
 fn bulk_phase(bytes_per_client: u64) -> PhaseReport {
     let start = Instant::now();
-    let (_w, _r, totals) = slice_bench::run_bulk_stats(16, bytes_per_client, true);
+    let (_w, _r, totals) = slice_bench::run_bulk_stats(16, bytes_per_client, true, 1);
     PhaseReport {
         wall_s: start.elapsed().as_secs_f64(),
         totals,
     }
+}
+
+/// Shard scaling: the grid's biggest untar cell (16 processes, Slice-4)
+/// run serially and again across `shards` engine shards. The
+/// deterministic counters must match exactly — sharding is supposed to
+/// change wall-clock only — so any divergence panics here rather than
+/// shipping a bogus baseline. Wall-clock and speedup are informational
+/// gauges (machine-dependent, never gated), so the cell is capped at
+/// 600 files: the equality check does not need full scale, and a host
+/// with fewer cores than shards pays two scheduler round-trips per
+/// window (see DESIGN.md §12's cost model).
+fn shard_scaling_phase(files: u64, shards: usize) -> (PhaseReport, PhaseReport) {
+    let files = files.min(600);
+    let policy = EnsemblePolicy::MkdirSwitching {
+        redirect_millis: 250,
+    };
+    let start = Instant::now();
+    let (lat1, t1) = slice_bench::run_untar_slice_stats(16, 4, files, policy, 1);
+    let wall1 = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let (lat_n, tn) = slice_bench::run_untar_slice_stats(16, 4, files, policy, shards);
+    let wall_n = start.elapsed().as_secs_f64();
+    assert_eq!(lat1, lat_n, "sharded untar latency diverged from serial");
+    assert_eq!(
+        (t1.packets, t1.bytes, t1.events),
+        (tn.packets, tn.bytes, tn.events),
+        "sharded untar counters diverged from serial"
+    );
+    (
+        PhaseReport {
+            wall_s: wall1,
+            totals: t1,
+        },
+        PhaseReport {
+            wall_s: wall_n,
+            totals: tn,
+        },
+    )
 }
 
 fn fold_phase(reg: &mut slice_obs::Registry, name: &str, ph: &PhaseReport) {
@@ -173,6 +217,15 @@ fn main() {
                 .expect("--threads wants a number")
         })
         .unwrap_or_else(slice_sim::default_threads);
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--shards wants a number")
+        })
+        .unwrap_or_else(|| slice_sim::default_threads().min(4));
     let check_ref = args
         .iter()
         .position(|a| a == "--check")
@@ -184,6 +237,7 @@ fn main() {
     let untar = untar_phase(files, threads);
     let bulk = bulk_phase(bulk_bytes);
     let (shallow, deep, deep_bytes) = slice_nfsproto::bytes::clone_stats();
+    let scaling = (shards > 1).then(|| shard_scaling_phase(files, shards));
 
     println!(
         "perf: hot-path wall-clock baseline ({}, {threads} thread{})",
@@ -205,6 +259,14 @@ fn main() {
         );
     }
     println!("  payload: {shallow} shallow clones, {deep} deep copies ({deep_bytes} bytes copied)");
+    if let Some((serial, sharded)) = &scaling {
+        println!(
+            "  shard scaling (16-proc Slice-4 untar): {:.3}s serial vs {:.3}s at {shards} shards ({:.2}x)",
+            serial.wall_s,
+            sharded.wall_s,
+            serial.wall_s / sharded.wall_s.max(1e-9),
+        );
+    }
 
     let json = slice_bench::obs_doc(|reg| {
         fold_phase(reg, "untar", &untar);
@@ -214,6 +276,16 @@ fn main() {
         reg.set("perf.payload.deep_copy_bytes", deep_bytes);
         reg.set_gauge("perf.threads", threads as f64);
         reg.set_gauge("perf.total.wall_s", untar.wall_s + bulk.wall_s);
+        if let Some((serial, sharded)) = &scaling {
+            reg.set_gauge("perf.shard_scaling.shards", shards as f64);
+            reg.set_gauge("perf.shard_scaling.serial_wall_s", serial.wall_s);
+            reg.set_gauge("perf.shard_scaling.sharded_wall_s", sharded.wall_s);
+            reg.set_gauge(
+                "perf.shard_scaling.speedup",
+                serial.wall_s / sharded.wall_s.max(1e-9),
+            );
+            reg.set("perf.shard_scaling.events", sharded.totals.events);
+        }
     });
     println!("{json}");
     slice_bench::write_json("perf", &json);

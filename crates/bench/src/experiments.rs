@@ -42,18 +42,22 @@ impl BulkResult {
 /// of `bytes_per_client`, mirrored or not. Returns (write, read) aggregate
 /// bandwidth.
 pub fn run_bulk(clients: usize, bytes_per_client: u64, mirrored: bool) -> (BulkResult, BulkResult) {
-    let (w, r, _) = run_bulk_stats(clients, bytes_per_client, mirrored);
+    let (w, r, _) = run_bulk_stats(clients, bytes_per_client, mirrored, 1);
     (w, r)
 }
 
-/// [`run_bulk`] variant that also harvests engine totals.
+/// [`run_bulk`] variant that also harvests engine totals. `shards`
+/// partitions the engine across worker threads; all counters are
+/// shard-count-invariant.
 pub fn run_bulk_stats(
     clients: usize,
     bytes_per_client: u64,
     mirrored: bool,
+    shards: usize,
 ) -> (BulkResult, BulkResult, EngineTotals) {
     let cfg = SliceConfig {
         clients,
+        shards,
         ..bench_config()
     };
     let writers: Vec<Box<dyn slice_core::Workload>> = (0..clients)
@@ -243,7 +247,9 @@ pub struct EngineTotals {
 }
 
 impl EngineTotals {
-    fn harvest<M: slice_sim::MessageSize + Clone + 'static>(engine: &slice_sim::Engine<M>) -> Self {
+    fn harvest<M: slice_sim::MessageSize + Clone + Send + 'static>(
+        engine: &slice_sim::Engine<M>,
+    ) -> Self {
         EngineTotals {
             packets: engine.packets_sent(),
             bytes: engine.bytes_sent(),
@@ -270,20 +276,24 @@ pub fn run_untar_slice(
     files_per_process: u64,
     policy: EnsemblePolicy,
 ) -> f64 {
-    run_untar_slice_stats(processes, dir_servers, files_per_process, policy).0
+    run_untar_slice_stats(processes, dir_servers, files_per_process, policy, 1).0
 }
 
 /// [`run_untar_slice`] variant that also harvests engine totals.
+/// `shards` partitions the engine across worker threads; results and
+/// counters are shard-count-invariant.
 pub fn run_untar_slice_stats(
     processes: usize,
     dir_servers: usize,
     files_per_process: u64,
     policy: EnsemblePolicy,
+    shards: usize,
 ) -> (f64, EngineTotals) {
     let cfg = SliceConfig {
         clients: processes,
         dir_servers,
         policy,
+        shards,
         ..bench_config()
     };
     let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
@@ -311,15 +321,22 @@ pub fn run_untar_slice_stats(
 
 /// Figure 3 baseline: untar against the MFS memory file server.
 pub fn run_untar_mfs(processes: usize, files_per_process: u64) -> f64 {
-    run_untar_mfs_stats(processes, files_per_process).0
+    run_untar_mfs_stats(processes, files_per_process, 1).0
 }
 
-/// [`run_untar_mfs`] variant that also harvests engine totals.
-pub fn run_untar_mfs_stats(processes: usize, files_per_process: u64) -> (f64, EngineTotals) {
+/// [`run_untar_mfs`] variant that also harvests engine totals. `shards`
+/// partitions the engine across worker threads (server on shard 0,
+/// clients round-robin); results are shard-count-invariant.
+pub fn run_untar_mfs_stats(
+    processes: usize,
+    files_per_process: u64,
+    shards: usize,
+) -> (f64, EngineTotals) {
     let workloads: Vec<Box<dyn slice_core::Workload>> = (0..processes)
         .map(|i| Box::new(Untar::new(i as u64, files_per_process)) as Box<dyn slice_core::Workload>)
         .collect();
     let mut ens = BaselineEnsemble::build(BaselineKind::Mfs, 8, false, true, 42, workloads);
+    ens.set_shards(shards);
     ens.start();
     ens.run_to_completion(deadline_secs(36_000));
     let mut total = 0.0;

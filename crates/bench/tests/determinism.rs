@@ -11,9 +11,11 @@
 
 use std::process::Command;
 
-fn run_fig3() -> String {
+fn run_fig3(extra: &[&str]) -> String {
+    let mut args = vec!["--files", "100"];
+    args.extend_from_slice(extra);
     let out = Command::new(env!("CARGO_BIN_EXE_fig3"))
-        .args(["--files", "100"])
+        .args(&args)
         .output()
         .expect("spawn fig3");
     assert!(
@@ -26,8 +28,8 @@ fn run_fig3() -> String {
 
 #[test]
 fn fig3_is_byte_identical_across_processes() {
-    let a = run_fig3();
-    let b = run_fig3();
+    let a = run_fig3(&[]);
+    let b = run_fig3(&[]);
     assert!(
         a == b,
         "fig3 stdout differs between two separate processes:\n--- run 1\n{a}\n--- run 2\n{b}"
@@ -38,4 +40,66 @@ fn fig3_is_byte_identical_across_processes() {
     let jb = b.lines().rev().find(|l| l.starts_with('{'));
     assert!(ja.is_some(), "fig3 stdout lost its obs JSON line");
     assert_eq!(ja, jb, "obs JSON differs across processes");
+}
+
+/// The sharded engine's determinism contract at figure scale: the whole
+/// fig3 grid — every cell an N-MFS or Slice ensemble partitioned across
+/// S time-synchronized shards — must print byte-identical output at any
+/// shard count, because every counter and latency is merged in the same
+/// deterministic (time, src, seq) order regardless of which thread ran
+/// which node.
+#[test]
+fn fig3_is_byte_identical_across_shard_counts() {
+    let serial = run_fig3(&["--shards", "1"]);
+    for shards in ["2", "4"] {
+        let sharded = run_fig3(&["--shards", shards]);
+        assert!(
+            serial == sharded,
+            "fig3 stdout differs between --shards 1 and --shards {shards}:\n--- shards 1\n{serial}\n--- shards {shards}\n{sharded}"
+        );
+    }
+}
+
+/// Same contract for the consistency checker under the chaos pool: the
+/// deterministic sweep report (crash, loss, duplication, reordering
+/// injections included) is identical whether each run's engine is serial
+/// or sharded.
+#[test]
+fn chaos_checker_report_is_shard_count_invariant() {
+    let run = |shards: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_checker"))
+            .args([
+                "--seeds",
+                "2",
+                "--schedules",
+                "3",
+                "--chaos",
+                "--threads",
+                "2",
+                "--shards",
+                shards,
+            ])
+            .output()
+            .expect("spawn checker");
+        assert!(
+            out.status.success(),
+            "checker --shards {shards} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("checker stdout is UTF-8");
+        // Compare the deterministic JSON report line, not the banner
+        // (which names the shard count).
+        stdout
+            .lines()
+            .rev()
+            .find(|l| l.starts_with('{'))
+            .expect("checker stdout lost its report JSON line")
+            .to_string()
+    };
+    let serial = run("1");
+    let sharded = run("4");
+    assert_eq!(
+        serial, sharded,
+        "chaos sweep report differs between --shards 1 and --shards 4"
+    );
 }

@@ -521,7 +521,7 @@ enum Act {
 /// directory sites (so reconfig/multisite paths are live), the default
 /// four storage nodes with block maps on, and data retention for the
 /// structural oracles.
-fn explorer_config(seed: u64) -> SliceConfig {
+fn explorer_config(seed: u64, shards: usize) -> SliceConfig {
     SliceConfig {
         clients: 1,
         dir_servers: 2,
@@ -529,6 +529,7 @@ fn explorer_config(seed: u64) -> SliceConfig {
         retain_data: true,
         use_block_maps: true,
         seed,
+        shards,
         ..SliceConfig::default()
     }
 }
@@ -544,7 +545,22 @@ pub fn run_schedule(
     schedule: &Schedule,
     reference: Option<&VolumeSnapshot>,
 ) -> RunOutcome {
-    let cfg = explorer_config(seed);
+    run_schedule_sharded(seed, scenario, schedule, reference, 1)
+}
+
+/// [`run_schedule`] with the ensemble's engine partitioned across
+/// `shards` time-synchronized shards. The outcome — every oracle
+/// verdict, the finish time, the final namespace snapshot — is
+/// shard-count-invariant; CI sweeps `--shards 1` against `--shards 4`
+/// and `cmp`s the reports to prove it.
+pub fn run_schedule_sharded(
+    seed: u64,
+    scenario: &Scenario,
+    schedule: &Schedule,
+    reference: Option<&VolumeSnapshot>,
+    shards: usize,
+) -> RunOutcome {
+    let cfg = explorer_config(seed, shards);
     let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(DriverWorkload::new(scenario.clone()))]);
     ens.start();
 
@@ -757,10 +773,13 @@ pub fn standard_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule>
 
 /// Generates `m` deterministic chaos schedules: the standard injection
 /// kinds plus datagram duplication and reordering windows, with every
-/// third schedule stacking a storage crash on top of a network fault so
-/// failover, degraded writes, and resync all run under message chaos.
-/// Times are drawn inside `horizon_ms`, like [`standard_schedules`]
-/// (which is left unchanged so existing sweep outputs stay stable).
+/// third schedule stacking a second crash on top of the base fault —
+/// the stacked crash cycles through the node classes (storage,
+/// directory, coordinator, small-file), so failover, degraded writes,
+/// resync, reconfiguration, and intent recovery all run under message
+/// chaos and multi-class failures. Times are drawn inside `horizon_ms`,
+/// like [`standard_schedules`] (which is left unchanged so existing
+/// sweep outputs stay stable).
 pub fn chaos_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
     let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9fb2_1c65_1e98_df25) ^ 0xc4a05);
     let horizon = horizon_ms.max(100);
@@ -794,12 +813,25 @@ pub fn chaos_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
                 inject,
             });
             if j % 3 == 2 {
+                let down_ms = rng.gen_range(1500..2500u64);
+                let stacked = match (j / 3) % 4 {
+                    0 => Injection::CrashStorage {
+                        site: rng.gen_range(0..4u64) as usize,
+                        down_ms,
+                    },
+                    1 => Injection::CrashDir {
+                        site: rng.gen_range(0..2u64) as usize,
+                        down_ms,
+                    },
+                    2 => Injection::CrashCoord { site: 0, down_ms },
+                    _ => Injection::CrashSf {
+                        site: rng.gen_range(0..2u64) as usize,
+                        down_ms,
+                    },
+                };
                 events.push(ScheduleEvent {
                     at_ms: at(&mut rng),
-                    inject: Injection::CrashStorage {
-                        site: rng.gen_range(0..4u64) as usize,
-                        down_ms: rng.gen_range(1500..2500u64),
-                    },
+                    inject: stacked,
                 });
             }
             Schedule { events }
@@ -883,10 +915,25 @@ pub fn sweep_with_threads(
     chaos: bool,
     threads: usize,
 ) -> SweepReport {
+    sweep_sharded(seeds, schedules_per_seed, chaos, threads, 1)
+}
+
+/// [`sweep_with_threads`] with each run's engine partitioned across
+/// `shards` shards. The deterministic report is shard-count-invariant,
+/// so `shards` only changes how much of the host each individual run
+/// uses; combining `threads > 1` with `shards > 1` oversubscribes the
+/// host and is only useful for cross-checking determinism.
+pub fn sweep_sharded(
+    seeds: &[u64],
+    schedules_per_seed: usize,
+    chaos: bool,
+    threads: usize,
+    shards: usize,
+) -> SweepReport {
     let start = std::time::Instant::now();
     let outcomes = slice_sim::par::run_indexed(threads, seeds.to_vec(), |_, seed| {
         let scenario = generate_scenario(seed, 96);
-        let reference = run_schedule(seed, &scenario, &Schedule::default(), None);
+        let reference = run_schedule_sharded(seed, &scenario, &Schedule::default(), None, shards);
         let mut o = SeedOutcome {
             runs: 1,
             ops_checked: reference.completed_ops,
@@ -910,7 +957,8 @@ pub fn sweep_with_threads(
             standard_schedules(seed, schedules_per_seed, horizon_ms)
         };
         for (j, sched) in schedules.iter().enumerate() {
-            let out = run_schedule(seed, &scenario, sched, Some(&reference.snapshot));
+            let out =
+                run_schedule_sharded(seed, &scenario, sched, Some(&reference.snapshot), shards);
             o.runs += 1;
             o.ops_checked += out.completed_ops;
             o.violations += out.violations.len() as u64;
@@ -979,11 +1027,36 @@ pub fn sweep_with_threads(
 /// loop), then by dropping single events, re-running the oracles after
 /// each candidate. Returns the smallest schedule that still fails (or the
 /// input unchanged if it does not fail at all). Bounded at ~32 runs.
+/// Candidate probes fan out over the slice-par pool at the host's
+/// available parallelism; see [`minimize_with_threads`].
 pub fn minimize(
     seed: u64,
     scenario: &Scenario,
     schedule: &Schedule,
     reference: &VolumeSnapshot,
+) -> Schedule {
+    minimize_with_threads(
+        seed,
+        scenario,
+        schedule,
+        reference,
+        slice_sim::default_threads(),
+    )
+}
+
+/// [`minimize`] with an explicit probe-pool width. Each shrinking step's
+/// candidate schedules are independent runs, so they probe concurrently
+/// over `run_indexed`; the serial scan order decides which failing
+/// candidate is adopted and how much of the ~32-run budget each step
+/// charges, so the result is identical to the sequential algorithm at
+/// any `threads` — probes the serial loop would never have reached are
+/// computed speculatively but never consulted.
+pub fn minimize_with_threads(
+    seed: u64,
+    scenario: &Scenario,
+    schedule: &Schedule,
+    reference: &VolumeSnapshot,
+    threads: usize,
 ) -> Schedule {
     let fails = |s: &Schedule| {
         !run_schedule(seed, scenario, s, Some(reference))
@@ -995,38 +1068,56 @@ pub fn minimize(
     }
     let mut cur = schedule.clone();
     let mut budget = 32usize;
+    // Halving: probe both halves at once, but consult the second verdict
+    // only when the serial loop would have had budget left to probe it.
     while cur.events.len() > 1 && budget > 0 {
         let mid = cur.events.len() / 2;
-        let first = Schedule {
+        let probe_second = budget >= 2;
+        let mut candidates = vec![Schedule {
             events: cur.events[..mid].to_vec(),
-        };
+        }];
+        if probe_second {
+            candidates.push(Schedule {
+                events: cur.events[mid..].to_vec(),
+            });
+        }
+        let verdicts = slice_sim::run_indexed(threads, candidates.clone(), |_, s| fails(&s));
+        let mut candidates = candidates.into_iter();
         budget -= 1;
-        if fails(&first) {
-            cur = first;
+        if verdicts[0] {
+            cur = candidates.next().expect("first half");
             continue;
         }
-        let second = Schedule {
-            events: cur.events[mid..].to_vec(),
-        };
-        if budget == 0 {
+        if !probe_second {
             break;
         }
         budget -= 1;
-        if fails(&second) {
-            cur = second;
+        if verdicts[1] {
+            cur = candidates.nth(1).expect("second half");
             continue;
         }
         break;
     }
+    // Single-event drops: the serial scan probes positions i, i+1, ... in
+    // order against an unchanged schedule until one fails, so a batch over
+    // the remaining positions (capped at the budget) reproduces it exactly
+    // — adopt the first failing position, charge for the probes up to it,
+    // and rescan from there.
     let mut i = 0;
     while i < cur.events.len() && cur.events.len() > 1 && budget > 0 {
-        let mut t = cur.clone();
-        t.events.remove(i);
-        budget -= 1;
-        if fails(&t) {
-            cur = t;
-        } else {
-            i += 1;
+        let positions: Vec<usize> = (i..cur.events.len()).take(budget).collect();
+        let verdicts = slice_sim::run_indexed(threads, positions.clone(), |_, j| {
+            let mut t = cur.clone();
+            t.events.remove(j);
+            fails(&t)
+        });
+        match verdicts.iter().position(|&f| f) {
+            Some(k) => {
+                budget -= k + 1;
+                i = positions[k];
+                cur.events.remove(i);
+            }
+            None => break,
         }
     }
     cur
@@ -1054,6 +1145,44 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 8);
         assert!(a.iter().all(|s| !s.events.is_empty()));
+    }
+
+    #[test]
+    fn sharded_schedule_run_matches_serial() {
+        let scenario = generate_scenario(13, 40);
+        let schedule = Schedule {
+            events: vec![
+                ScheduleEvent {
+                    at_ms: 40,
+                    inject: Injection::CrashStorage {
+                        site: 1,
+                        down_ms: 1500,
+                    },
+                },
+                ScheduleEvent {
+                    at_ms: 60,
+                    inject: Injection::LossWindow {
+                        permille: 20,
+                        dur_ms: 500,
+                    },
+                },
+            ],
+        };
+        let serial = run_schedule(13, &scenario, &schedule, None);
+        for shards in [2usize, 4] {
+            let sharded = run_schedule_sharded(13, &scenario, &schedule, None, shards);
+            assert_eq!(serial.finish, sharded.finish, "shards={shards}");
+            assert_eq!(serial.stalled, sharded.stalled, "shards={shards}");
+            assert_eq!(
+                serial.completed_ops, sharded.completed_ops,
+                "shards={shards}"
+            );
+            assert_eq!(serial.violations, sharded.violations, "shards={shards}");
+            assert!(
+                crate::state::snapshot_diff(&serial.snapshot, &sharded.snapshot).is_empty(),
+                "shards={shards}: final namespace diverged"
+            );
+        }
     }
 
     #[test]

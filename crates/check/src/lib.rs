@@ -30,9 +30,10 @@ pub mod oracle;
 pub mod state;
 
 pub use explore::{
-    chaos_schedules, generate_scenario, minimize, run_schedule, standard_schedules, sweep,
-    sweep_with, sweep_with_threads, DriverWorkload, GenOp, Injection, RunOutcome, Scenario,
-    Schedule, ScheduleEvent, SweepFailure, SweepReport,
+    chaos_schedules, generate_scenario, minimize, minimize_with_threads, run_schedule,
+    run_schedule_sharded, standard_schedules, sweep, sweep_sharded, sweep_with, sweep_with_threads,
+    DriverWorkload, GenOp, Injection, RunOutcome, Scenario, Schedule, ScheduleEvent, SweepFailure,
+    SweepReport,
 };
 pub use oracle::{check_histories, OracleStats};
 pub use state::{

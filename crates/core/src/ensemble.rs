@@ -64,6 +64,12 @@ pub struct SliceConfig {
     /// µproxy suspected-site probe cadence in milliseconds (how quickly a
     /// recovered mirror can rejoin the read rotation).
     pub probe_interval_ms: u64,
+    /// Engine shards: partitions the nodes across this many worker
+    /// threads (conservative windowed parallel DES). Output is
+    /// byte-identical at any value; 1 runs serially. Each node class is
+    /// distributed round-robin so every shard carries a mix of clients,
+    /// servers, and storage.
+    pub shards: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -90,9 +96,23 @@ impl Default for SliceConfig {
             stripe_unit: 64 * 1024,
             wal_group_commit: true,
             probe_interval_ms: 2000,
+            shards: 1,
             seed: 42,
         }
     }
+}
+
+/// Distributes each node class round-robin across `shards` shards, so the
+/// heavy classes (clients, storage) spread evenly instead of clumping.
+fn round_robin_assignment(classes: &[&[NodeId]], shards: usize) -> Vec<u32> {
+    let total: usize = classes.iter().map(|c| c.len()).sum();
+    let mut assignment = vec![0u32; total];
+    for ids in classes {
+        for (j, &id) in ids.iter().enumerate() {
+            assignment[id.0 as usize] = (j % shards) as u32;
+        }
+    }
+    assignment
 }
 
 /// A built Slice ensemble.
@@ -298,6 +318,19 @@ impl SliceEnsemble {
                 .actor_mut::<ClientActor>(c)
                 .set_dir_table_source(dir_ids[0]);
         }
+        let total_nodes =
+            client_ids.len() + dir_ids.len() + sf_ids.len() + storage_ids.len() + coord_ids.len();
+        let shards = cfg.shards.max(1).min(total_nodes.max(1));
+        if shards > 1 {
+            let assignment = round_robin_assignment(
+                &[&client_ids, &dir_ids, &sf_ids, &storage_ids, &coord_ids],
+                shards,
+            );
+            engine.set_shards(shards, &assignment);
+        }
+        engine.set_payload_probe(std::sync::Arc::new(
+            slice_nfsproto::bytes::local_clone_stats,
+        ));
         SliceEnsemble {
             engine,
             plan,
@@ -458,9 +491,22 @@ impl SliceEnsemble {
         // the degenerate build-on-one-thread, collect-on-another case.
         let (s0, d0, b0) = self.payload_base;
         let (s1, d1, b1) = slice_nfsproto::bytes::local_clone_stats();
-        counters.push(("payload.shallow_clones".to_string(), s1.saturating_sub(s0)));
-        counters.push(("payload.deep_copies".to_string(), d1.saturating_sub(d0)));
-        counters.push(("payload.deep_copy_bytes".to_string(), b1.saturating_sub(b0)));
+        // Shard worker threads keep their own thread-local payload
+        // counters; the engine harvests them at the end of each parallel
+        // run, so the total is this thread's delta plus the workers'.
+        let (ws, wd, wb) = self.engine.worker_payload();
+        counters.push((
+            "payload.shallow_clones".to_string(),
+            s1.saturating_sub(s0) + ws,
+        ));
+        counters.push((
+            "payload.deep_copies".to_string(),
+            d1.saturating_sub(d0) + wd,
+        ));
+        counters.push((
+            "payload.deep_copy_bytes".to_string(),
+            b1.saturating_sub(b0) + wb,
+        ));
 
         let reg = &mut self.engine.obs_mut().registry;
         for (k, v) in counters {
@@ -581,6 +627,20 @@ impl BaselineEnsemble {
             clients: client_ids,
             server: server_id,
         }
+    }
+
+    /// Partitions the deployment across `shards` engine shards: the
+    /// server stays on shard 0 and clients round-robin across all shards.
+    /// Must be called before [`BaselineEnsemble::start`]. A no-op at 1.
+    pub fn set_shards(&mut self, shards: usize) {
+        let total = self.clients.len() + 1;
+        let shards = shards.max(1).min(total);
+        if shards <= 1 {
+            return;
+        }
+        let mut assignment = round_robin_assignment(&[&self.clients], shards);
+        assignment.push(0); // server
+        self.engine.set_shards(shards, &assignment);
     }
 
     /// Starts every client's workload.

@@ -1,5 +1,5 @@
 //! Discrete-event engine: nodes, CPU service queues, timers, and the
-//! switched-LAN network model.
+//! switched-LAN network model — shardable across OS threads.
 //!
 //! Every Slice component (client + embedded µproxy, storage node, directory
 //! server, small-file server, baseline NFS/MFS servers) is an [`Actor`]
@@ -11,16 +11,61 @@
 //! server pegging its CPU, a client NFS stack topping out below 40 MB/s —
 //! emerge from the model rather than being painted on.
 //!
-//! The engine is deterministic: ties in the event queue break on insertion
-//! order and all randomness flows from one seeded RNG.
+//! # Sharding
+//!
+//! The engine partitions its nodes into [`Shard`]s, each owning a disjoint
+//! subset of nodes together with their pending events (its own slab + 4-ary
+//! heap). Shards advance in lock-step *windows*: every shard runs all events
+//! strictly before a common bound `w1 = w0 + lookahead`, where `w0` is the
+//! global minimum pending-event time and the lookahead is the network's
+//! [`NetConfig::min_hop_latency`] — no event executed inside a window can
+//! affect another shard earlier than the window's end, so shards never see
+//! a straggler from the past (conservative parallel DES). Cross-shard
+//! messages are exchanged at window barriers (see [`crate::shard`]) and
+//! merged in deterministic key order.
+//!
+//! # Determinism
+//!
+//! Simulation output is byte-identical at any shard count, including one.
+//! Three rules make that hold:
+//!
+//! * **Keys.** Every event is keyed `(time, src, seq)` where `src` is the
+//!   node whose per-node `seq` counter stamped it. A node's events are
+//!   created only while dispatching that node's own events (or at driver
+//!   time, which is serial), so its seq subsequence — and therefore every
+//!   key — is independent of shard layout.
+//! * **RNG.** Every node draws from its own [`Rng::stream`]; loss and
+//!   duplication are drawn from the *sender's* stream, reorder jitter from
+//!   the *receiver's*, always during that node's own dispatches.
+//! * **Contention points.** Each destination's switch port is charged in
+//!   [`Event::SwitchArrive`] order (a receiver-side event), not in send
+//!   order, so port queueing resolves identically however sends interleave
+//!   across shards.
+//!
+//! The clock `now` advances only when an event *dispatches* (cancelled
+//! timers surfacing from the heap do not count), so `Engine::now` and
+//! [`Engine::events_executed`] are also shard-invariant.
+//!
+//! # Crash semantics
+//!
+//! Failing a node bumps its *incarnation*; queued local work ([`Event::Process`])
+//! and armed timers ([`Event::TimerFire`]) carry the incarnation they were
+//! created under and are silently discarded if it no longer matches — a
+//! timer armed before a crash can never fire into a recovered node's new
+//! life. In-flight network packets ([`Event::Arrive`]) carry no incarnation:
+//! the wire does not know the host rebooted, so a packet that arrives while
+//! the node is down is lost, and one that arrives after recovery is
+//! delivered.
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use slice_obs::{EventKind, Obs, Subsystem};
 
 use crate::net::NetConfig;
 use crate::rng::Rng;
+use crate::shard;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a node (one actor) in the simulation.
@@ -72,8 +117,9 @@ impl MessageSize for Vec<u8> {
 /// Handlers run to completion at a single instant; the CPU time they declare
 /// with [`Ctx::use_cpu`] delays their *outputs* and any queued work behind
 /// them. Implementors must also provide `Any` access so test and experiment
-/// harnesses can inspect actor state after a run.
-pub trait Actor<M>: 'static {
+/// harnesses can inspect actor state after a run. Actors must be `Send`:
+/// the sharded engine moves them to worker threads for parallel windows.
+pub trait Actor<M>: Send + 'static {
     /// Handles a message delivered from `from`.
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
 
@@ -112,24 +158,45 @@ enum QueueItem<M> {
 
 enum Event<M> {
     /// A message finishes its network journey and joins the node's queue.
+    /// Deliberately incarnation-free: packets on the wire survive a crash
+    /// of their destination (they are simply lost if it is still down).
     Arrive { to: NodeId, from: NodeId, msg: M },
-    /// The node's CPU is free to process the next queued item.
-    Process { node: NodeId },
-    /// A timer fires (unless its slab slot was cancelled).
-    TimerFire { node: NodeId, tag: u64 },
+    /// A message reaches the switch egress port toward `to`; port
+    /// serialization is charged here, on the *receiver's* shard, so port
+    /// contention resolves in arrival order regardless of shard layout.
+    SwitchArrive { to: NodeId, from: NodeId, msg: M },
+    /// The node's CPU is free to process the next queued item. Discarded
+    /// if the node's incarnation no longer matches (crashed since).
+    Process { node: NodeId, epoch: u32 },
+    /// A timer fires (unless its slab slot was cancelled or the node has
+    /// crashed since the arm — the incarnation check).
+    TimerFire { node: NodeId, tag: u64, epoch: u32 },
+}
+
+impl<M> Event<M> {
+    /// The node whose shard must dispatch this event.
+    fn dest(&self) -> NodeId {
+        match *self {
+            Event::Arrive { to, .. } | Event::SwitchArrive { to, .. } => to,
+            Event::Process { node, .. } | Event::TimerFire { node, .. } => node,
+        }
+    }
 }
 
 /// Min-heap key: the event payload itself lives in the slab, so the heap
-/// only shuffles 24-byte keys. Ties break FIFO on `seq` (insertion order).
+/// only shuffles small keys. Ordering is `(time, src, seq)` — `src` is the
+/// node whose counter issued `seq`, making the total order identical at
+/// any shard count. Ties on one node break FIFO by `seq`.
 struct HeapKey {
     time: SimTime,
+    src: u32,
     seq: u64,
     slot: u32,
 }
 
 impl PartialEq for HeapKey {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.src == other.src && self.seq == other.seq
     }
 }
 impl Eq for HeapKey {}
@@ -140,7 +207,7 @@ impl PartialOrd for HeapKey {
 }
 impl Ord for HeapKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.src, self.seq).cmp(&(other.time, other.src, other.seq))
     }
 }
 
@@ -151,7 +218,7 @@ impl Ord for HeapKey {
 const HEAP_ARITY: usize = 4;
 
 /// In-tree 4-ary min-heap of [`HeapKey`]s (the event payloads live in the
-/// slab, so this only shuffles 24-byte keys).
+/// slab, so this only shuffles small keys).
 struct EventHeap {
     keys: Vec<HeapKey>,
 }
@@ -312,7 +379,19 @@ struct NodeState<M> {
     busy_until: SimTime,
     /// Egress link occupied until this instant.
     egress_free: SimTime,
+    /// Switch egress port toward this node occupied until this instant.
+    /// Lives on the receiver so only its owning shard ever touches it.
+    switch_port_free: SimTime,
     up: bool,
+    /// Bumped on every crash; events carrying an older incarnation are
+    /// discarded when they surface.
+    incarnation: u32,
+    /// Issues this node's event sequence numbers (heap tie-break); the
+    /// draw order is shard-invariant because all draws happen while
+    /// dispatching this node's own events.
+    seq: u64,
+    /// This node's private RNG stream.
+    rng: Rng,
     /// Total CPU busy time, for utilization reporting.
     cpu_busy: SimDuration,
     messages_handled: u64,
@@ -329,42 +408,126 @@ pub struct NodeStats {
     pub messages_handled: u64,
 }
 
-struct Core<M> {
+/// A cross-shard event in flight: a [`Event::SwitchArrive`] bound for a
+/// node on another shard, key preserved verbatim so the destination heap
+/// orders it exactly as a single-shard run would.
+pub(crate) struct Cross<M> {
+    pub(crate) time: SimTime,
+    pub(crate) src: u32,
+    pub(crate) seq: u64,
+    pub(crate) to: NodeId,
+    pub(crate) from: NodeId,
+    pub(crate) msg: M,
+}
+
+/// The event-owning half of a shard: clock, heap, slab, node states, and
+/// counters. Split from the actors so a handler (which borrows its actor
+/// mutably) can still reach the engine through [`Ctx`].
+pub(crate) struct ShardCore<M> {
+    /// This shard's index in the engine.
+    id: u32,
     now: SimTime,
-    seq: u64,
     events: EventHeap,
     slab: EventSlab<M>,
-    nodes: Vec<NodeState<M>>,
-    /// Switch egress port towards each node occupied until this instant.
-    switch_egress_free: Vec<SimTime>,
+    /// Full-length: `nodes[i]` is `Some` iff node `i` lives on this shard.
+    nodes: Vec<Option<NodeState<M>>>,
+    /// Owning shard of every node (replicated to each shard for routing).
+    owner: Vec<u32>,
     net: NetConfig,
-    rng: Rng,
     packets_sent: u64,
     packets_dropped: u64,
     packets_duplicated: u64,
     bytes_sent: u64,
-    events_executed: u64,
+    /// Events dispatched (cancelled pops excluded) — shard-invariant.
+    dispatched: u64,
     /// Cancelled timers whose keys are still in the heap; when they
     /// outnumber live entries the heap is compacted (see
     /// [`EventHeap::compact`]).
     cancelled_in_heap: usize,
     obs: Obs,
+    /// Outgoing cross-shard events, one bucket per destination shard,
+    /// drained at window barriers.
+    outbox: Vec<Vec<Cross<M>>>,
 }
 
-impl<M: MessageSize + Clone> Core<M> {
-    fn push(&mut self, time: SimTime, event: Event<M>) {
+impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
+    fn new(id: u32, shards: usize, net: NetConfig) -> Self {
+        ShardCore {
+            id,
+            now: SimTime::ZERO,
+            events: EventHeap::new(),
+            slab: EventSlab::new(),
+            nodes: Vec::new(),
+            owner: Vec::new(),
+            net,
+            packets_sent: 0,
+            packets_dropped: 0,
+            packets_duplicated: 0,
+            bytes_sent: 0,
+            dispatched: 0,
+            cancelled_in_heap: 0,
+            obs: Obs::new(),
+            outbox: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &NodeState<M> {
+        self.nodes[id.idx()]
+            .as_ref()
+            .expect("node not on this shard")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut NodeState<M> {
+        self.nodes[id.idx()]
+            .as_mut()
+            .expect("node not on this shard")
+    }
+
+    /// Draws the next sequence number from `src`'s counter.
+    fn next_seq(&mut self, src: NodeId) -> u64 {
+        let n = self.node_mut(src);
+        let seq = n.seq;
+        n.seq += 1;
+        seq
+    }
+
+    /// Schedules `event` at `time`, keyed by `src`'s next sequence number.
+    fn push_from(&mut self, time: SimTime, src: NodeId, event: Event<M>) {
+        debug_assert_eq!(
+            self.owner[event.dest().idx()],
+            self.id,
+            "event routed to wrong shard"
+        );
+        let seq = self.next_seq(src);
         let slot = self.slab.alloc(SlotState::Scheduled {
             event,
             cancelled: false,
         });
-        self.push_key(time, slot);
+        self.events.push(HeapKey {
+            time,
+            src: src.0,
+            seq,
+            slot,
+        });
     }
 
-    /// Schedules an already-allocated slot (armed timers at output flush).
-    fn push_key(&mut self, time: SimTime, slot: u32) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(HeapKey { time, seq, slot });
+    /// Enqueues a cross-shard event under its original key.
+    pub(crate) fn push_cross(&mut self, c: Cross<M>) {
+        debug_assert!(c.time >= self.now, "cross-shard event from the past");
+        let slot = self.slab.alloc(SlotState::Scheduled {
+            event: Event::SwitchArrive {
+                to: c.to,
+                from: c.from,
+                msg: c.msg,
+            },
+            cancelled: false,
+        });
+        self.events.push(HeapKey {
+            time: c.time,
+            src: c.src,
+            seq: c.seq,
+            slot,
+        });
     }
 
     /// Compacts the heap once cancelled entries outnumber live ones, so
@@ -392,24 +555,30 @@ impl<M: MessageSize + Clone> Core<M> {
         self.cancelled_in_heap = 0;
     }
 
-    /// Models the two-hop (host link, switch port) path and schedules the
-    /// arrival. `depart` is when the first bit may leave the source NIC.
+    /// Models the sender half of the network path (NIC serialization) and
+    /// schedules the switch-arrival on the destination's shard. `depart`
+    /// is when the first bit may leave the source NIC. Loss and
+    /// duplication draw from the *sender's* RNG stream; the switch egress
+    /// port is charged later, by [`Event::SwitchArrive`] on the receiver.
     fn transmit(&mut self, from: NodeId, to: NodeId, msg: M, depart: SimTime) {
         self.packets_sent += 1;
         let size = msg.wire_size();
         self.bytes_sent += size as u64;
-        if self.net.loss_prob > 0.0 && self.rng.gen::<f64>() < self.net.loss_prob {
-            self.packets_dropped += 1;
-            self.obs.record(
-                self.now.as_nanos(),
-                Subsystem::Net,
-                EventKind::PacketDropped {
-                    from: from.idx(),
-                    to: to.idx(),
-                    bytes: size,
-                },
-            );
-            return;
+        if self.net.loss_prob > 0.0 {
+            let p: f64 = self.node_mut(from).rng.gen();
+            if p < self.net.loss_prob {
+                self.packets_dropped += 1;
+                self.obs.record(
+                    self.now.as_nanos(),
+                    Subsystem::Net,
+                    EventKind::PacketDropped {
+                        from: from.idx(),
+                        to: to.idx(),
+                        bytes: size,
+                    },
+                );
+                return;
+            }
         }
         self.obs.record(
             self.now.as_nanos(),
@@ -422,16 +591,18 @@ impl<M: MessageSize + Clone> Core<M> {
         );
         let tx = self.net.tx_time(size);
         // Source NIC serialization.
-        let src_start = self.nodes[from.idx()].egress_free.max(depart);
+        let src_start = self.node(from).egress_free.max(depart);
         let src_done = src_start + tx;
-        self.nodes[from.idx()].egress_free = src_done;
-        // Store-and-forward at the switch, then serialization on the egress
-        // port toward the destination. Injected duplication delivers a
-        // second copy that takes its own slot on the egress port.
+        self.node_mut(from).egress_free = src_done;
+        // Store-and-forward: the packet reaches the switch egress port
+        // toward `to` after propagation and the forwarding decision.
+        // Injected duplication delivers a second copy that will take its
+        // own slot on the egress port.
         let at_switch = src_done + self.net.prop_delay + self.net.switch_latency;
         let datagram = msg.datagram();
-        let copies =
-            if datagram && self.net.dup_prob > 0.0 && self.rng.gen::<f64>() < self.net.dup_prob {
+        let copies = if datagram && self.net.dup_prob > 0.0 {
+            let p: f64 = self.node_mut(from).rng.gen();
+            if p < self.net.dup_prob {
                 self.packets_duplicated += 1;
                 self.obs.record(
                     self.now.as_nanos(),
@@ -445,7 +616,11 @@ impl<M: MessageSize + Clone> Core<M> {
                 2
             } else {
                 1
-            };
+            }
+        } else {
+            1
+        };
+        let dst_shard = self.owner[to.idx()];
         let mut msg = Some(msg);
         for copy in 0..copies {
             let m = if copy + 1 == copies {
@@ -453,31 +628,78 @@ impl<M: MessageSize + Clone> Core<M> {
             } else {
                 msg.as_ref().expect("copy accounting").clone()
             };
-            let port_start = self.switch_egress_free[to.idx()].max(at_switch);
-            let port_done = port_start + tx;
-            self.switch_egress_free[to.idx()] = port_done;
-            let mut arrive = port_done + self.net.prop_delay;
-            // Bounded reordering: an extra uniformly-drawn queueing delay
-            // lets packets overtake each other by at most the window.
-            let window = self.net.reorder_window.as_nanos();
-            if datagram && window > 0 {
-                arrive += SimDuration::from_nanos(self.rng.gen_range(0..window));
+            let seq = self.next_seq(from);
+            if dst_shard == self.id {
+                let slot = self.slab.alloc(SlotState::Scheduled {
+                    event: Event::SwitchArrive { to, from, msg: m },
+                    cancelled: false,
+                });
+                self.events.push(HeapKey {
+                    time: at_switch,
+                    src: from.0,
+                    seq,
+                    slot,
+                });
+            } else {
+                self.outbox[dst_shard as usize].push(Cross {
+                    time: at_switch,
+                    src: from.0,
+                    seq,
+                    to,
+                    from,
+                    msg: m,
+                });
             }
-            self.push(arrive, Event::Arrive { to, from, msg: m });
         }
     }
 
+    /// Receiver half of the network path: serialization on the switch
+    /// egress port toward `to` (charged in arrival order), propagation,
+    /// and optional bounded-reorder jitter from the *receiver's* stream.
+    fn switch_deliver(&mut self, to: NodeId, from: NodeId, msg: M) {
+        let tx = self.net.tx_time(msg.wire_size());
+        let datagram = msg.datagram();
+        let prop = self.net.prop_delay;
+        let window = self.net.reorder_window.as_nanos();
+        let now = self.now;
+        let n = self.node_mut(to);
+        let port_start = n.switch_port_free.max(now);
+        let port_done = port_start + tx;
+        n.switch_port_free = port_done;
+        let mut arrive = port_done + prop;
+        if datagram && window > 0 {
+            // Bounded reordering: an extra uniformly-drawn queueing delay
+            // lets packets overtake each other by at most the window.
+            arrive += SimDuration::from_nanos(n.rng.gen_range(0..window));
+        }
+        self.push_from(arrive, to, Event::Arrive { to, from, msg });
+    }
+
     fn enqueue_local(&mut self, to: NodeId, item: QueueItem<M>, at: SimTime) {
-        let node = &mut self.nodes[to.idx()];
-        if !node.up {
+        let epoch = {
+            let n = self.node(to);
+            if !n.up {
+                return;
+            }
+            n.incarnation
+        };
+        let n = self.node_mut(to);
+        n.queue.push_back(item);
+        if !n.process_scheduled {
+            n.process_scheduled = true;
+            let when = n.busy_until.max(at);
+            self.push_from(when, to, Event::Process { node: to, epoch });
+        }
+    }
+
+    /// Dispatches a timer-fire: discarded if the node crashed since the
+    /// arm (incarnation mismatch) — the fix for the stale-timer leak.
+    fn timer_fire(&mut self, node: NodeId, tag: u64, epoch: u32) {
+        if self.node(node).incarnation != epoch {
             return;
         }
-        node.queue.push_back(item);
-        if !node.process_scheduled {
-            node.process_scheduled = true;
-            let when = node.busy_until.max(at);
-            self.push(when, Event::Process { node: to });
-        }
+        let now = self.now;
+        self.enqueue_local(node, QueueItem::Timer { tag }, now);
     }
 }
 
@@ -500,13 +722,13 @@ enum Output<M> {
 
 /// Handler-side view of the engine: clock, RNG, sends, timers, CPU charge.
 pub struct Ctx<'a, M> {
-    core: &'a mut Core<M>,
+    core: &'a mut ShardCore<M>,
     node: NodeId,
     cpu_used: SimDuration,
     outputs: Vec<Output<M>>,
 }
 
-impl<'a, M: MessageSize + Clone> Ctx<'a, M> {
+impl<'a, M: MessageSize + Clone + Send + 'static> Ctx<'a, M> {
     /// Current simulated time (the instant this handler runs).
     pub fn now(&self) -> SimTime {
         self.core.now
@@ -529,7 +751,8 @@ impl<'a, M: MessageSize + Clone> Ctx<'a, M> {
     }
 
     /// Delivers `msg` to `to` bypassing the network (host-internal path,
-    /// e.g. a coordinator co-located with a storage node).
+    /// e.g. a coordinator co-located with a storage node). The two nodes
+    /// must live on the same shard.
     pub fn send_local(&mut self, to: NodeId, msg: M) {
         self.outputs.push(Output::SendLocal { to, msg });
     }
@@ -570,13 +793,16 @@ impl<'a, M: MessageSize + Clone> Ctx<'a, M> {
         }
     }
 
-    /// The simulation's seeded RNG.
+    /// This node's private RNG stream (deterministic per `(seed, node)`,
+    /// independent of other nodes' event interleavings).
     pub fn rng(&mut self) -> &mut Rng {
-        &mut self.core.rng
+        &mut self.core.node_mut(self.node).rng
     }
 
-    /// The engine-wide observability sink. Handlers record trace events
+    /// This shard's observability sink. Handlers record trace events
     /// and registry updates here; timestamps are the simulated clock.
+    /// Per-shard sinks are folded into the engine-wide sink after every
+    /// run, so driver-side readers see one merged view.
     pub fn obs(&mut self) -> &mut Obs {
         &mut self.core.obs
     }
@@ -589,179 +815,96 @@ impl<'a, M: MessageSize + Clone> Ctx<'a, M> {
     }
 }
 
-/// The discrete-event simulator.
-pub struct Engine<M> {
-    core: Core<M>,
+/// One shard: a disjoint subset of nodes, their pending events, and their
+/// actors. With one shard the engine is exactly the serial simulator.
+pub(crate) struct Shard<M> {
+    core: ShardCore<M>,
+    /// Full-length: `actors[i]` is `Some` iff node `i` lives here.
     actors: Vec<Option<Box<dyn Actor<M>>>>,
 }
 
-impl<M: MessageSize + Clone + 'static> Engine<M> {
-    /// Creates an engine with the given network model and RNG seed.
-    pub fn new(net: NetConfig, seed: u64) -> Self {
-        Engine {
-            core: Core {
-                now: SimTime::ZERO,
-                seq: 0,
-                events: EventHeap::new(),
-                slab: EventSlab::new(),
-                nodes: Vec::new(),
-                switch_egress_free: Vec::new(),
-                net,
-                rng: Rng::seed_from_u64(seed),
-                packets_sent: 0,
-                packets_dropped: 0,
-                packets_duplicated: 0,
-                bytes_sent: 0,
-                events_executed: 0,
-                cancelled_in_heap: 0,
-                obs: Obs::new(),
-            },
+impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
+    fn new(id: u32, shards: usize, net: NetConfig) -> Self {
+        Shard {
+            core: ShardCore::new(id, shards, net),
             actors: Vec::new(),
         }
     }
 
-    /// Adds a node running `actor`; returns its id.
-    pub fn add_node(&mut self, name: &str, actor: Box<dyn Actor<M>>) -> NodeId {
-        let id = NodeId(self.core.nodes.len() as u32);
-        self.core.nodes.push(NodeState {
-            name: name.to_string(),
-            queue: VecDeque::new(),
-            process_scheduled: false,
-            busy_until: SimTime::ZERO,
-            egress_free: SimTime::ZERO,
-            up: true,
-            cpu_busy: SimDuration::ZERO,
-            messages_handled: 0,
-        });
-        self.core.switch_egress_free.push(SimTime::ZERO);
-        self.actors.push(Some(actor));
-        id
+    /// Earliest pending event time, cancelled entries included (they only
+    /// make the window conservative, never unsafe).
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        self.core.events.peek().map(|k| k.time)
     }
 
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.core.now
+    /// Takes the outgoing cross-shard batch for `dst`.
+    pub(crate) fn drain_outbox(&mut self, dst: usize) -> Vec<Cross<M>> {
+        std::mem::take(&mut self.core.outbox[dst])
     }
 
-    /// Network loss probability control (failure injection).
-    pub fn set_loss_prob(&mut self, p: f64) {
-        self.core.net.loss_prob = p;
+    /// Enqueues a cross-shard event under its original key.
+    pub(crate) fn push_cross(&mut self, c: Cross<M>) {
+        self.core.push_cross(c);
     }
 
-    /// Network duplication probability control (failure injection).
-    pub fn set_dup_prob(&mut self, p: f64) {
-        self.core.net.dup_prob = p;
-    }
-
-    /// Bounded-reordering window control (failure injection); `ZERO`
-    /// restores in-order delivery.
-    pub fn set_reorder_window(&mut self, w: SimDuration) {
-        self.core.net.reorder_window = w;
-    }
-
-    /// Delivers `on_timer(START_TAG)` to `node` at the current time;
-    /// conventionally starts workload generators.
-    pub fn kick(&mut self, node: NodeId) {
-        let now = self.core.now;
-        self.core.push(
-            now,
-            Event::TimerFire {
-                node,
-                tag: START_TAG,
-            },
-        );
-    }
-
-    /// Injects a message from outside the simulation.
-    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
-        let now = self.core.now;
-        self.core.transmit(from, to, msg, now);
-    }
-
-    /// Crashes `node`: volatile state is dropped via [`Actor::on_fail`],
-    /// queued and in-flight work addressed to it is lost.
-    pub fn fail_node(&mut self, node: NodeId) {
-        let now = self.core.now;
-        let n = &mut self.core.nodes[node.idx()];
-        n.up = false;
-        n.queue.clear();
-        if let Some(actor) = self.actors[node.idx()].as_mut() {
-            actor.on_fail(now);
-        }
-        self.core.obs.record(
-            now.as_nanos(),
-            Subsystem::Engine,
-            EventKind::Crash { node: node.idx() },
-        );
-    }
-
-    /// Restarts a failed node; the actor's [`Actor::on_restart`] hook runs
-    /// (as a queued item) so it can begin recovery.
-    pub fn recover_node(&mut self, node: NodeId) {
-        let now = self.core.now;
-        {
-            let n = &mut self.core.nodes[node.idx()];
-            n.up = true;
-            n.busy_until = now;
-        }
-        self.core.enqueue_local(node, QueueItem::Restart, now);
-        self.core.obs.record(
-            now.as_nanos(),
-            Subsystem::Engine,
-            EventKind::Recover { node: node.idx() },
-        );
-    }
-
-    /// True if the node is currently up.
-    pub fn is_up(&self, node: NodeId) -> bool {
-        self.core.nodes[node.idx()].up
-    }
-
-    /// Runs a single event; returns false when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        let Some(key) = self.core.events.pop() else {
-            return false;
-        };
-        debug_assert!(key.time >= self.core.now, "time went backwards");
-        self.core.now = key.time;
-        self.core.events_executed += 1;
-        // Freeing the slot here is what makes cancellation O(1) overall:
-        // a cancelled entry is reclaimed the moment it surfaces, and the
-        // generation bump turns any still-held TimerId into a rejected
-        // stale cancel.
-        let (event, cancelled) = match self.core.slab.take(key.slot) {
-            SlotState::Scheduled { event, cancelled } => (event, cancelled),
-            _ => unreachable!("heap key points at unscheduled slot"),
-        };
-        if cancelled {
-            self.core.cancelled_in_heap -= 1;
-            return true;
-        }
-        match event {
-            Event::Arrive { to, from, msg } => {
-                let now = self.core.now;
-                self.core
-                    .enqueue_local(to, QueueItem::Message { from, msg }, now);
+    /// Runs every event strictly before `bound`; returns how many
+    /// dispatched. The clock advances only on dispatched events, so it is
+    /// independent of when cancelled entries happen to surface.
+    pub(crate) fn run_window(&mut self, bound: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.core.events.peek() {
+                Some(k) if k.time < bound => {}
+                _ => break,
             }
-            Event::TimerFire { node, tag } => {
-                let now = self.core.now;
-                self.core.enqueue_local(node, QueueItem::Timer { tag }, now);
+            let key = self.core.events.pop().expect("peeked");
+            // Freeing the slot here is what makes cancellation O(1)
+            // overall: a cancelled entry is reclaimed the moment it
+            // surfaces, and the generation bump turns any still-held
+            // TimerId into a rejected stale cancel.
+            let (event, cancelled) = match self.core.slab.take(key.slot) {
+                SlotState::Scheduled { event, cancelled } => (event, cancelled),
+                _ => unreachable!("heap key points at unscheduled slot"),
+            };
+            if cancelled {
+                self.core.cancelled_in_heap -= 1;
+                continue;
             }
-            Event::Process { node } => {
-                self.process(node);
+            debug_assert!(key.time >= self.core.now, "time went backwards");
+            self.core.now = key.time;
+            self.core.dispatched += 1;
+            n += 1;
+            match event {
+                Event::Arrive { to, from, msg } => {
+                    let now = self.core.now;
+                    self.core
+                        .enqueue_local(to, QueueItem::Message { from, msg }, now);
+                }
+                Event::SwitchArrive { to, from, msg } => {
+                    self.core.switch_deliver(to, from, msg);
+                }
+                Event::TimerFire { node, tag, epoch } => {
+                    self.core.timer_fire(node, tag, epoch);
+                }
+                Event::Process { node, epoch } => {
+                    self.process(node, epoch);
+                }
             }
         }
-        true
+        n
     }
 
-    fn process(&mut self, node: NodeId) {
+    fn process(&mut self, node: NodeId, epoch: u32) {
         let item = {
-            let n = &mut self.core.nodes[node.idx()];
-            n.process_scheduled = false;
-            if !n.up {
-                n.queue.clear();
+            let n = self.core.node_mut(node);
+            if n.incarnation != epoch {
+                // Scheduled before a crash: the queue entry it pointed at
+                // died with the old incarnation (fail_node cleared both
+                // the queue and the process_scheduled flag).
                 return;
             }
+            debug_assert!(n.up, "live-incarnation Process on a down node");
+            n.process_scheduled = false;
             match n.queue.pop_front() {
                 Some(item) => item,
                 None => return,
@@ -785,18 +928,25 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
         self.actors[node.idx()] = Some(actor);
 
         let done = self.core.now + cpu;
-        {
-            let n = &mut self.core.nodes[node.idx()];
+        let epoch = {
+            let n = self.core.node_mut(node);
             n.busy_until = done;
             n.cpu_busy += cpu;
             n.messages_handled += 1;
-        }
+            n.incarnation
+        };
         for out in outputs {
             match out {
                 Output::Send { to, msg } => self.core.transmit(node, to, msg, done),
                 Output::SendLocal { to, msg } => {
-                    self.core.push(
+                    assert_eq!(
+                        self.core.owner[to.idx()],
+                        self.core.id,
+                        "send_local requires co-sharded nodes"
+                    );
+                    self.core.push_from(
                         done,
+                        node,
                         Event::Arrive {
                             to,
                             from: node,
@@ -815,43 +965,400 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
                         continue;
                     }
                     self.core.slab.slots[slot as usize].state = SlotState::Scheduled {
-                        event: Event::TimerFire { node, tag },
+                        event: Event::TimerFire { node, tag, epoch },
                         cancelled: false,
                     };
-                    self.core.push_key(done + delay, slot);
+                    let seq = self.core.next_seq(node);
+                    self.core.events.push(HeapKey {
+                        time: done + delay,
+                        src: node.0,
+                        seq,
+                        slot,
+                    });
                 }
             }
         }
         // Serve the next queued item once the CPU frees up.
-        let more = !self.core.nodes[node.idx()].queue.is_empty();
+        let more = !self.core.node(node).queue.is_empty();
         if more {
-            self.core.nodes[node.idx()].process_scheduled = true;
-            self.core.push(done, Event::Process { node });
+            self.core.node_mut(node).process_scheduled = true;
+            self.core
+                .push_from(done, node, Event::Process { node, epoch });
+        }
+    }
+}
+
+/// The discrete-event simulator: one or more time-synchronized [`Shard`]s.
+pub struct Engine<M> {
+    shards: Vec<Shard<M>>,
+    /// Owning shard of every node.
+    owner: Vec<u32>,
+    now: SimTime,
+    seed: u64,
+    /// Conservative window width: no event can cross shards faster than
+    /// this ([`NetConfig::min_hop_latency`]).
+    lookahead: SimDuration,
+    /// Harvests thread-local payload statistics from worker threads at
+    /// the end of each parallel run (see [`Engine::set_payload_probe`]).
+    payload_probe: Option<shard::Probe>,
+    worker_payload: (u64, u64, u64),
+    /// Persistent worker threads for shards `1..n`, created on the first
+    /// parallel run. Keeping them across runs makes short budgeted runs
+    /// (driver probe loops, stepped schedules) cost a channel hand-off
+    /// instead of a thread spawn and join per call.
+    pool: Option<shard::WorkerPool<M>>,
+}
+
+impl<M: MessageSize + Clone + Send + 'static> Engine<M> {
+    /// Creates a single-shard engine with the given network model and RNG
+    /// seed. Call [`Engine::set_shards`] after adding nodes to partition it.
+    pub fn new(net: NetConfig, seed: u64) -> Self {
+        let lookahead = net.min_hop_latency();
+        Engine {
+            shards: vec![Shard::new(0, 1, net)],
+            owner: Vec::new(),
+            now: SimTime::ZERO,
+            seed,
+            lookahead,
+            payload_probe: None,
+            worker_payload: (0, 0, 0),
+            pool: None,
         }
     }
 
-    /// Runs until the event queue drains or `limit` events execute.
+    /// Adds a node running `actor`; returns its id. Nodes are always added
+    /// to an unsharded engine (shard 0) and distributed by
+    /// [`Engine::set_shards`].
+    pub fn add_node(&mut self, name: &str, actor: Box<dyn Actor<M>>) -> NodeId {
+        assert_eq!(self.shards.len(), 1, "add_node after set_shards");
+        let id = NodeId(self.owner.len() as u32);
+        let shard = &mut self.shards[0];
+        shard.core.nodes.push(Some(NodeState {
+            name: name.to_string(),
+            queue: VecDeque::new(),
+            process_scheduled: false,
+            busy_until: SimTime::ZERO,
+            egress_free: SimTime::ZERO,
+            switch_port_free: SimTime::ZERO,
+            up: true,
+            incarnation: 0,
+            seq: 0,
+            rng: Rng::stream(self.seed, u64::from(id.0)),
+            cpu_busy: SimDuration::ZERO,
+            messages_handled: 0,
+        }));
+        shard.core.owner.push(0);
+        shard.actors.push(Some(actor));
+        self.owner.push(0);
+        id
+    }
+
+    /// Partitions the engine into `shards` shards; `assignment[i]` is the
+    /// shard owning node `i`. Must be called before any event dispatches
+    /// (typically right after topology construction); pending start events
+    /// migrate with their keys intact, so the run is byte-identical to an
+    /// unsharded one.
     ///
-    /// Returns the number of events executed.
-    pub fn run_until_idle(&mut self, limit: u64) -> u64 {
-        let mut n = 0;
-        while n < limit && self.step() {
-            n += 1;
+    /// # Panics
+    ///
+    /// Panics if called twice, after events have run, or with an
+    /// out-of-range assignment.
+    pub fn set_shards(&mut self, shards: usize, assignment: &[u32]) {
+        assert_eq!(self.shards.len(), 1, "set_shards may only be called once");
+        assert!(shards >= 1, "need at least one shard");
+        assert_eq!(assignment.len(), self.owner.len(), "one entry per node");
+        assert!(
+            assignment.iter().all(|&s| (s as usize) < shards),
+            "assignment out of range"
+        );
+        assert_eq!(
+            self.shards[0].core.dispatched, 0,
+            "set_shards after events ran"
+        );
+        if shards == 1 {
+            return;
         }
-        n
+        let old = self.shards.pop().expect("one shard");
+        let Shard {
+            mut core,
+            mut actors,
+        } = old;
+        let nnodes = assignment.len();
+        let mut new_shards: Vec<Shard<M>> = (0..shards)
+            .map(|sid| {
+                let mut s = Shard::new(sid as u32, shards, core.net.clone());
+                s.core.nodes = (0..nnodes).map(|_| None).collect();
+                s.core.owner = assignment.to_vec();
+                s.actors = (0..nnodes).map(|_| None).collect();
+                s
+            })
+            .collect();
+        // Shard 0 inherits the engine-wide sink and any driver-time
+        // counters accumulated before partitioning.
+        new_shards[0].core.obs = std::mem::take(&mut core.obs);
+        new_shards[0].core.packets_sent = core.packets_sent;
+        new_shards[0].core.packets_dropped = core.packets_dropped;
+        new_shards[0].core.packets_duplicated = core.packets_duplicated;
+        new_shards[0].core.bytes_sent = core.bytes_sent;
+        for (i, (node, actor)) in core.nodes.drain(..).zip(actors.drain(..)).enumerate() {
+            let sid = assignment[i] as usize;
+            new_shards[sid].core.nodes[i] = node;
+            new_shards[sid].actors[i] = actor;
+        }
+        // Migrate pending start events (kicks, injects) with their keys
+        // preserved verbatim. No handler has run yet, so no timers can be
+        // armed or cancelled and no TimerId can be outstanding.
+        while let Some(key) = core.events.pop() {
+            match core.slab.take(key.slot) {
+                SlotState::Scheduled { event, cancelled } => {
+                    debug_assert!(!cancelled, "cancelled event before any dispatch");
+                    let sid = assignment[event.dest().idx()] as usize;
+                    let slot = new_shards[sid].core.slab.alloc(SlotState::Scheduled {
+                        event,
+                        cancelled: false,
+                    });
+                    new_shards[sid].core.events.push(HeapKey {
+                        time: key.time,
+                        src: key.src,
+                        seq: key.seq,
+                        slot,
+                    });
+                }
+                _ => unreachable!("heap key points at unscheduled slot"),
+            }
+        }
+        assert_eq!(core.slab.live, 0, "armed timers cannot survive resharding");
+        self.owner = assignment.to_vec();
+        self.shards = new_shards;
+    }
+
+    /// Number of shards (1 unless [`Engine::set_shards`] partitioned it).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative window width used for parallel runs.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Installs a probe that reads the calling thread's payload statistics
+    /// (shallow clones, deep copies, deep-copied bytes); the engine calls
+    /// it on each worker thread after a parallel run and accumulates the
+    /// result into [`Engine::worker_payload`], so thread-local counters
+    /// from shard workers are not lost.
+    pub fn set_payload_probe(&mut self, probe: Arc<dyn Fn() -> (u64, u64, u64) + Send + Sync>) {
+        self.payload_probe = Some(probe);
+    }
+
+    /// Payload statistics harvested from worker threads so far.
+    pub fn worker_payload(&self) -> (u64, u64, u64) {
+        self.worker_payload
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network loss probability control (failure injection).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        for s in &mut self.shards {
+            s.core.net.loss_prob = p;
+        }
+    }
+
+    /// Network duplication probability control (failure injection).
+    pub fn set_dup_prob(&mut self, p: f64) {
+        for s in &mut self.shards {
+            s.core.net.dup_prob = p;
+        }
+    }
+
+    /// Bounded-reordering window control (failure injection); `ZERO`
+    /// restores in-order delivery. Jitter is applied on the receiver side
+    /// of the switch, so this never affects the cross-shard lookahead.
+    pub fn set_reorder_window(&mut self, w: SimDuration) {
+        for s in &mut self.shards {
+            s.core.net.reorder_window = w;
+        }
+    }
+
+    /// Delivers `on_timer(START_TAG)` to `node` at the current time;
+    /// conventionally starts workload generators.
+    pub fn kick(&mut self, node: NodeId) {
+        let now = self.now;
+        let core = &mut self.shards[self.owner[node.idx()] as usize].core;
+        let epoch = core.node(node).incarnation;
+        core.push_from(
+            now,
+            node,
+            Event::TimerFire {
+                node,
+                tag: START_TAG,
+                epoch,
+            },
+        );
+    }
+
+    /// Injects a message from outside the simulation.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let now = self.now;
+        let core = &mut self.shards[self.owner[from.idx()] as usize].core;
+        core.transmit(from, to, msg, now);
+    }
+
+    /// Crashes `node`: volatile state is dropped via [`Actor::on_fail`],
+    /// queued work is lost, and the incarnation bump invalidates every
+    /// armed timer and in-flight `Process` — they are discarded when they
+    /// surface instead of firing into the node's next life.
+    pub fn fail_node(&mut self, node: NodeId) {
+        let now = self.now;
+        let shard = &mut self.shards[self.owner[node.idx()] as usize];
+        {
+            let n = shard.core.node_mut(node);
+            n.up = false;
+            n.incarnation = n.incarnation.wrapping_add(1);
+            n.process_scheduled = false;
+            n.queue.clear();
+        }
+        if let Some(actor) = shard.actors[node.idx()].as_mut() {
+            actor.on_fail(now);
+        }
+        self.shards[0].core.obs.record(
+            now.as_nanos(),
+            Subsystem::Engine,
+            EventKind::Crash { node: node.idx() },
+        );
+    }
+
+    /// Restarts a failed node; the actor's [`Actor::on_restart`] hook runs
+    /// (as a queued item) so it can begin recovery.
+    pub fn recover_node(&mut self, node: NodeId) {
+        let now = self.now;
+        let core = &mut self.shards[self.owner[node.idx()] as usize].core;
+        {
+            let n = core.node_mut(node);
+            n.up = true;
+            n.busy_until = now;
+        }
+        core.enqueue_local(node, QueueItem::Restart, now);
+        self.shards[0].core.obs.record(
+            now.as_nanos(),
+            Subsystem::Engine,
+            EventKind::Recover { node: node.idx() },
+        );
+    }
+
+    /// True if the node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.shards[self.owner[node.idx()] as usize]
+            .core
+            .node(node)
+            .up
+    }
+
+    /// Delivers driver-time cross-shard sends ([`Engine::inject`] between
+    /// runs) before the next windowed run starts.
+    fn flush_driver_outboxes(&mut self) {
+        let n = self.shards.len();
+        if n == 1 {
+            return;
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                let batch = self.shards[src].drain_outbox(dst);
+                for c in batch {
+                    self.shards[dst].push_cross(c);
+                }
+            }
+        }
+    }
+
+    /// Shared body of [`Engine::run_until_idle`] and [`Engine::run_until`]:
+    /// runs lookahead-wide windows until idle, the dispatch budget is
+    /// spent, or the horizon passes `until`. The budget is checked between
+    /// windows only (never mid-window), at *every* shard count — that
+    /// window granularity is what keeps a budgeted run identical at any
+    /// `--shards`.
+    fn run_bounded(&mut self, limit: u64, until: Option<SimTime>) -> u64 {
+        self.flush_driver_outboxes();
+        let total = if self.shards.len() == 1 {
+            let shard = &mut self.shards[0];
+            let mut total = 0u64;
+            while total < limit {
+                let Some(w0) = shard.next_time() else { break };
+                if let Some(t) = until {
+                    if w0 > t {
+                        break;
+                    }
+                }
+                let mut w1 = w0 + self.lookahead;
+                if let Some(t) = until {
+                    let cap = t + SimDuration::from_nanos(1);
+                    if w1 > cap {
+                        w1 = cap;
+                    }
+                }
+                total += shard.run_window(w1);
+            }
+            total
+        } else {
+            if self.pool.is_none() {
+                self.pool = Some(shard::WorkerPool::new(self.shards.len(), self.lookahead));
+            }
+            let pool = self.pool.as_mut().expect("pool just ensured");
+            let (total, payload) =
+                pool.run(&mut self.shards, limit, until, self.payload_probe.as_ref());
+            self.worker_payload.0 += payload.0;
+            self.worker_payload.1 += payload.1;
+            self.worker_payload.2 += payload.2;
+            // Fold per-shard sinks into the engine-wide one (shard 0),
+            // preserving each shard's trace configuration for the next run.
+            let (root, rest) = self.shards.split_first_mut().expect("shards");
+            let mut batches = Vec::with_capacity(rest.len());
+            for s in rest.iter_mut() {
+                root.core
+                    .obs
+                    .registry
+                    .absorb(std::mem::take(&mut s.core.obs.registry));
+                batches.push(s.core.obs.trace.take_events());
+            }
+            root.core.obs.trace.absorb_sorted(batches);
+            total
+        };
+        // All remaining events sit at or beyond the last window bound, so
+        // aligning every shard's clock to the global maximum preserves the
+        // no-event-in-the-past invariant and gives driver-time operations
+        // (kick, inject, fail) one consistent timestamp.
+        let mut now = self.now;
+        for s in &self.shards {
+            now = now.max(s.core.now);
+        }
+        if let Some(t) = until {
+            now = now.max(t);
+        }
+        self.now = now;
+        for s in &mut self.shards {
+            s.core.now = now;
+        }
+        total
+    }
+
+    /// Runs until the event queue drains or at least `limit` events
+    /// dispatch (checked at window granularity).
+    ///
+    /// Returns the number of events dispatched by this call.
+    pub fn run_until_idle(&mut self, limit: u64) -> u64 {
+        self.run_bounded(limit, None)
     }
 
     /// Runs until simulated time reaches `t` (events at exactly `t` run).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(e) = self.core.events.peek() {
-            if e.time > t {
-                break;
-            }
-            self.step();
-        }
-        if self.core.now < t {
-            self.core.now = t;
-        }
+        self.run_bounded(u64::MAX, Some(t));
     }
 
     /// Immutable access to an actor's concrete type.
@@ -860,7 +1367,7 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
     ///
     /// Panics if the node id is out of range or the type does not match.
     pub fn actor<T: Actor<M>>(&self, node: NodeId) -> &T {
-        self.actors[node.idx()]
+        self.shards[self.owner[node.idx()] as usize].actors[node.idx()]
             .as_ref()
             .expect("actor checked out")
             .as_any()
@@ -874,7 +1381,7 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
     ///
     /// Panics if the node id is out of range or the type does not match.
     pub fn actor_mut<T: Actor<M>>(&mut self, node: NodeId) -> &mut T {
-        self.actors[node.idx()]
+        self.shards[self.owner[node.idx()] as usize].actors[node.idx()]
             .as_mut()
             .expect("actor checked out")
             .as_any_mut()
@@ -884,7 +1391,7 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
 
     /// Per-node statistics.
     pub fn node_stats(&self, node: NodeId) -> NodeStats {
-        let n = &self.core.nodes[node.idx()];
+        let n = self.shards[self.owner[node.idx()] as usize].core.node(node);
         NodeStats {
             name: n.name.clone(),
             cpu_busy: n.cpu_busy,
@@ -894,61 +1401,64 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
 
     /// Total packets handed to the network model.
     pub fn packets_sent(&self) -> u64 {
-        self.core.packets_sent
+        self.shards.iter().map(|s| s.core.packets_sent).sum()
     }
 
     /// Packets dropped by loss injection.
     pub fn packets_dropped(&self) -> u64 {
-        self.core.packets_dropped
+        self.shards.iter().map(|s| s.core.packets_dropped).sum()
     }
 
     /// Packets delivered twice by duplication injection.
     pub fn packets_duplicated(&self) -> u64 {
-        self.core.packets_duplicated
+        self.shards.iter().map(|s| s.core.packets_duplicated).sum()
     }
 
     /// Total payload bytes handed to the network model.
     pub fn bytes_sent(&self) -> u64 {
-        self.core.bytes_sent
+        self.shards.iter().map(|s| s.core.bytes_sent).sum()
     }
 
-    /// Events executed since creation.
+    /// Events dispatched since creation (cancelled pops excluded) —
+    /// identical at any shard count.
     pub fn events_executed(&self) -> u64 {
-        self.core.events_executed
+        self.shards.iter().map(|s| s.core.dispatched).sum()
     }
 
-    /// Events currently live in the slab (scheduled or armed).
+    /// Events currently live in the slabs (scheduled or armed).
     pub fn live_events(&self) -> usize {
-        self.core.slab.live
+        self.shards.iter().map(|s| s.core.slab.live).sum()
     }
 
-    /// High-water mark of concurrently live events — the slab never
-    /// shrinks below its peak, so this bounds the queue's memory.
+    /// High-water mark of concurrently live events. With multiple shards
+    /// this sums per-shard peaks, which may overstate the true concurrent
+    /// peak (the shards need not peak at the same instant).
     pub fn peak_live_events(&self) -> usize {
-        self.core.slab.peak_live
+        self.shards.iter().map(|s| s.core.slab.peak_live).sum()
     }
 
     /// Total slab slots ever allocated (peak capacity). Long runs that
     /// arm and cancel millions of timers stay at the concurrency
     /// high-water mark; growth here would mean a slot leak.
     pub fn event_slab_slots(&self) -> usize {
-        self.core.slab.slots.len()
+        self.shards.iter().map(|s| s.core.slab.slots.len()).sum()
     }
 
     /// Current free-list length (recyclable slots).
     pub fn event_slab_free(&self) -> usize {
-        self.core.slab.free.len()
+        self.shards.iter().map(|s| s.core.slab.free.len()).sum()
     }
 
-    /// The engine-wide observability sink.
+    /// The engine-wide observability sink (shard 0's; per-shard sinks are
+    /// folded into it after every run).
     pub fn obs(&self) -> &Obs {
-        &self.core.obs
+        &self.shards[0].core.obs
     }
 
     /// Mutable access to the observability sink (for configuring trace
     /// flags or folding external statistics before export).
     pub fn obs_mut(&mut self) -> &mut Obs {
-        &mut self.core.obs
+        &mut self.shards[0].core.obs
     }
 
     /// Folds engine-level statistics into the registry with absolute
@@ -956,26 +1466,40 @@ impl<M: MessageSize + Clone + 'static> Engine<M> {
     /// then returns the snapshot JSON stamped with the current sim time.
     pub fn export_obs_json(&mut self) -> String {
         self.fold_engine_metrics();
-        self.core.obs.export_json(self.core.now.as_nanos())
+        let now_ns = self.now.as_nanos();
+        self.shards[0].core.obs.export_json(now_ns)
     }
 
     /// Folds engine counters (packets, bytes, events, per-node CPU) into
     /// the registry without exporting.
     pub fn fold_engine_metrics(&mut self) {
-        let reg = &mut self.core.obs.registry;
-        reg.set("engine.events_executed", self.core.events_executed);
-        reg.set("engine.peak_live_events", self.core.slab.peak_live as u64);
-        reg.set("net.packets_sent", self.core.packets_sent);
-        reg.set("net.packets_dropped", self.core.packets_dropped);
-        reg.set("net.packets_duplicated", self.core.packets_duplicated);
-        reg.set("net.bytes_sent", self.core.bytes_sent);
-        let elapsed = self.core.now.as_secs_f64();
-        for (i, n) in self.core.nodes.iter().enumerate() {
-            let prefix = format!("node.{}.{}", i, n.name);
-            reg.set(&format!("{prefix}.messages_handled"), n.messages_handled);
-            reg.set(&format!("{prefix}.cpu_busy_ns"), n.cpu_busy.as_nanos());
+        let events_executed = self.events_executed();
+        let peak_live = self.peak_live_events();
+        let packets_sent = self.packets_sent();
+        let packets_dropped = self.packets_dropped();
+        let packets_duplicated = self.packets_duplicated();
+        let bytes_sent = self.bytes_sent();
+        let elapsed = self.now.as_secs_f64();
+        let mut rows = Vec::with_capacity(self.owner.len());
+        for i in 0..self.owner.len() {
+            let n = self.shards[self.owner[i] as usize]
+                .core
+                .node(NodeId(i as u32));
+            rows.push((n.name.clone(), n.messages_handled, n.cpu_busy));
+        }
+        let reg = &mut self.shards[0].core.obs.registry;
+        reg.set("engine.events_executed", events_executed);
+        reg.set("engine.peak_live_events", peak_live as u64);
+        reg.set("net.packets_sent", packets_sent);
+        reg.set("net.packets_dropped", packets_dropped);
+        reg.set("net.packets_duplicated", packets_duplicated);
+        reg.set("net.bytes_sent", bytes_sent);
+        for (i, (name, handled, cpu_busy)) in rows.into_iter().enumerate() {
+            let prefix = format!("node.{i}.{name}");
+            reg.set(&format!("{prefix}.messages_handled"), handled);
+            reg.set(&format!("{prefix}.cpu_busy_ns"), cpu_busy.as_nanos());
             if elapsed > 0.0 {
-                let util = n.cpu_busy.as_nanos() as f64 / 1e9 / elapsed;
+                let util = cpu_busy.as_nanos() as f64 / 1e9 / elapsed;
                 reg.set_gauge(&format!("{prefix}.cpu_utilization"), util);
             }
         }
@@ -1478,5 +2002,329 @@ mod tests {
             "arrived too fast: {}",
             s.last
         );
+    }
+
+    /// Arms one long timer at start; records every non-start fire.
+    struct Armer {
+        fired: Vec<u64>,
+    }
+
+    impl Actor<Vec<u8>> for Armer {
+        fn on_message(&mut self, _c: &mut Ctx<'_, Vec<u8>>, _f: NodeId, _m: Vec<u8>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, tag: u64) {
+            if tag == START_TAG {
+                ctx.set_timer(SimDuration::from_micros(100), 7);
+            } else {
+                self.fired.push(tag);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn stale_incarnation_timer_never_fires_after_crash() {
+        // Regression for the crash-incarnation timer leak: a timer armed
+        // in incarnation N must not fire into incarnation N+1 after a
+        // fail/recover cycle that happens before its deadline.
+        let mut eng = Engine::new(net(), 1);
+        let node = eng.add_node("armer", Box::new(Armer { fired: vec![] }));
+        eng.kick(node);
+        // Let the arm happen, then crash and recover well before the
+        // 100 µs deadline.
+        eng.run_until(SimTime::from_nanos(10_000));
+        eng.fail_node(node);
+        eng.recover_node(node);
+        eng.run_until_idle(10_000);
+        assert_eq!(
+            eng.actor::<Armer>(node).fired,
+            Vec::<u64>::new(),
+            "timer from a dead incarnation fired after recovery"
+        );
+        // The recovered node is fully functional: a fresh kick re-arms and
+        // the new-incarnation timer fires normally.
+        eng.kick(node);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Armer>(node).fired, vec![7]);
+    }
+
+    #[test]
+    fn in_flight_packet_outcome_depends_on_receiver_state_at_arrival() {
+        // Network packets carry no incarnation: one already on the wire
+        // when the receiver crashes is delivered if the receiver is back
+        // up by arrival time, and lost if it is still down.
+        let build = || {
+            let mut eng = Engine::new(net(), 1);
+            let echo = eng.add_node(
+                "echo",
+                Box::new(Echo {
+                    service: SimDuration::ZERO,
+                    seen: vec![],
+                }),
+            );
+            let src = eng.add_node(
+                "src",
+                Box::new(Pinger {
+                    peer: echo,
+                    count: 0,
+                    replies: vec![],
+                }),
+            );
+            (eng, echo, src)
+        };
+        // Recovered before arrival: delivered.
+        let (mut eng, echo, src) = build();
+        eng.inject(src, echo, vec![1]);
+        eng.fail_node(echo);
+        eng.recover_node(echo);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echo).seen.len(), 1);
+        // Still down at arrival: lost, and recovery does not resurrect it.
+        let (mut eng, echo, src) = build();
+        eng.inject(src, echo, vec![1]);
+        eng.fail_node(echo);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echo).seen.len(), 0);
+        eng.recover_node(echo);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echo).seen.len(), 0);
+    }
+
+    #[test]
+    fn queued_local_work_dies_with_the_incarnation() {
+        // Two messages queue behind a slow handler; the crash hits while
+        // the second is still queued. The stale Process event must not
+        // resurrect it, and the node must serve new work after recovery.
+        let mut eng = Engine::new(net(), 1);
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::from_millis(1),
+                seen: vec![],
+            }),
+        );
+        let src = eng.add_node(
+            "src",
+            Box::new(Pinger {
+                peer: echo,
+                count: 0,
+                replies: vec![],
+            }),
+        );
+        eng.inject(src, echo, vec![1]);
+        eng.inject(src, echo, vec![2]);
+        // First message is handled (~7 µs) and occupies the CPU for 1 ms;
+        // the second sits in the queue at the 500 µs mark.
+        eng.run_until(SimTime::from_nanos(500_000));
+        assert_eq!(eng.actor::<Echo>(echo).seen.len(), 1);
+        eng.fail_node(echo);
+        eng.recover_node(echo);
+        eng.run_until_idle(10_000);
+        assert_eq!(
+            eng.actor::<Echo>(echo).seen.len(),
+            1,
+            "queued work must die with the crash"
+        );
+        eng.inject(src, echo, vec![3]);
+        eng.run_until_idle(10_000);
+        let seen = &eng.actor::<Echo>(echo).seen;
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[1].1, vec![3]);
+    }
+
+    /// Builds `pairs` independent echo/pinger pairs and returns the engine plus
+    /// the node ids, optionally partitioned across `shards` shards with
+    /// echoes and pingers interleaved round-robin.
+    fn sharded_pairs(
+        pairs: usize,
+        shards: usize,
+        seed: u64,
+    ) -> (Engine<Vec<u8>>, Vec<NodeId>, Vec<NodeId>) {
+        let mut eng = Engine::new(net(), seed);
+        let mut echoes = Vec::new();
+        let mut pingers = Vec::new();
+        for i in 0..pairs {
+            let echo = eng.add_node(
+                &format!("echo{i}"),
+                Box::new(Echo {
+                    service: SimDuration::from_micros(5),
+                    seen: vec![],
+                }),
+            );
+            echoes.push(echo);
+            pingers.push(eng.add_node(
+                &format!("pinger{i}"),
+                Box::new(Pinger {
+                    peer: echo,
+                    count: 8,
+                    replies: vec![],
+                }),
+            ));
+        }
+        let assignment: Vec<u32> = (0..2 * pairs).map(|i| (i % shards) as u32).collect();
+        eng.set_shards(shards, &assignment);
+        for &p in &pingers {
+            eng.kick(p);
+        }
+        (eng, echoes, pingers)
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_exactly() {
+        // The same scenario at 1, 2, and 3 shards must produce identical
+        // timings, counters, and final clock — the cross-shard pairs make
+        // every ping/reply a cross-shard event at S > 1.
+        let run = |shards: usize| {
+            let (mut eng, echoes, pingers) = sharded_pairs(4, shards, 77);
+            eng.run_until_idle(u64::MAX);
+            let replies: Vec<Vec<SimTime>> = pingers
+                .iter()
+                .map(|&p| eng.actor::<Pinger>(p).replies.clone())
+                .collect();
+            let seen: Vec<Vec<(SimTime, Vec<u8>)>> = echoes
+                .iter()
+                .map(|&e| eng.actor::<Echo>(e).seen.clone())
+                .collect();
+            (
+                replies,
+                seen,
+                eng.now(),
+                eng.packets_sent(),
+                eng.bytes_sent(),
+                eng.events_executed(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "2 shards diverged from serial");
+        assert_eq!(serial, run(3), "3 shards diverged from serial");
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_with_fault_injection() {
+        // Loss, duplication, and reordering draw from per-node streams, so
+        // they too must be shard-invariant.
+        let run = |shards: usize| {
+            let mut cfg = net();
+            cfg.loss_prob = 0.2;
+            cfg.dup_prob = 0.2;
+            cfg.reorder_window = SimDuration::from_micros(50);
+            let mut eng = Engine::new(cfg, 1234);
+            let mut nodes = Vec::new();
+            for i in 0..6 {
+                let echo = eng.add_node(
+                    &format!("echo{i}"),
+                    Box::new(Echo {
+                        service: SimDuration::from_micros(3),
+                        seen: vec![],
+                    }),
+                );
+                nodes.push(echo);
+            }
+            let pinger = eng.add_node(
+                "pinger",
+                Box::new(Pinger {
+                    peer: nodes[0],
+                    count: 12,
+                    replies: vec![],
+                }),
+            );
+            let assignment: Vec<u32> = (0..7).map(|i| (i % shards) as u32).collect();
+            eng.set_shards(shards, &assignment);
+            eng.kick(pinger);
+            eng.run_until_idle(u64::MAX);
+            let seen: Vec<usize> = nodes
+                .iter()
+                .map(|&e| eng.actor::<Echo>(e).seen.len())
+                .collect();
+            (
+                seen,
+                eng.now(),
+                eng.packets_sent(),
+                eng.packets_dropped(),
+                eng.packets_duplicated(),
+                eng.events_executed(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2), "fault injection diverged at 2 shards");
+        assert_eq!(serial, run(4), "fault injection diverged at 4 shards");
+    }
+
+    #[test]
+    fn cross_shard_events_merge_in_key_order() {
+        // Cross-shard batches arriving out of order must still dispatch in
+        // global (time, src, seq) order on the destination shard.
+        let mut eng = Engine::new(net(), 5);
+        let echo = eng.add_node(
+            "echo",
+            Box::new(Echo {
+                service: SimDuration::ZERO,
+                seen: vec![],
+            }),
+        );
+        let a = eng.add_node(
+            "a",
+            Box::new(Pinger {
+                peer: echo,
+                count: 0,
+                replies: vec![],
+            }),
+        );
+        let b = eng.add_node(
+            "b",
+            Box::new(Pinger {
+                peer: echo,
+                count: 0,
+                replies: vec![],
+            }),
+        );
+        eng.set_shards(2, &[0, 1, 1]);
+        let t = SimTime::from_nanos(10_000);
+        // Shuffled injection order; expected dispatch order is
+        // (t, a, 3) < (t, a, 5) < (t, b, 0).
+        for (src, seq, from, tagbyte) in [
+            (a.0, 5u64, a, 2u8),
+            (b.0, 0u64, b, 3u8),
+            (a.0, 3u64, a, 1u8),
+        ] {
+            eng.shards[0].push_cross(Cross {
+                time: t,
+                src,
+                seq,
+                to: echo,
+                from,
+                msg: vec![tagbyte],
+            });
+        }
+        eng.run_until_idle(10_000);
+        let order: Vec<u8> = eng
+            .actor::<Echo>(echo)
+            .seen
+            .iter()
+            .map(|(_, m)| m[0])
+            .collect();
+        assert_eq!(order, vec![1, 2, 3], "merge broke (time, src, seq) order");
+    }
+
+    #[test]
+    fn sharded_fail_and_recover_route_to_owner() {
+        let (mut eng, echoes, pingers) = sharded_pairs(2, 2, 9);
+        eng.run_until_idle(u64::MAX);
+        let before = eng.actor::<Echo>(echoes[1]).seen.len();
+        assert_eq!(before, 8);
+        eng.fail_node(echoes[1]);
+        assert!(!eng.is_up(echoes[1]));
+        eng.inject(pingers[1], echoes[1], vec![9]);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echoes[1]).seen.len(), before);
+        eng.recover_node(echoes[1]);
+        assert!(eng.is_up(echoes[1]));
+        eng.inject(pingers[1], echoes[1], vec![9]);
+        eng.run_until_idle(10_000);
+        assert_eq!(eng.actor::<Echo>(echoes[1]).seen.len(), before + 1);
     }
 }

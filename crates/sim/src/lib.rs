@@ -26,6 +26,7 @@ pub mod fxmap;
 pub mod net;
 pub mod par;
 pub mod rng;
+pub(crate) mod shard;
 pub mod stats;
 pub mod time;
 

@@ -56,6 +56,19 @@ impl NetConfig {
         let wire_bytes = size + frames * self.frame_overhead;
         SimDuration::from_secs_f64(wire_bytes as f64 / self.bandwidth_bps)
     }
+
+    /// Minimum latency from a send decision on one node to the switch
+    /// egress port of any other node: one empty frame of sender-side
+    /// serialization plus propagation and switch forwarding.
+    ///
+    /// This is the conservative lookahead of the sharded engine: no event
+    /// executed now on one node can affect another node's switch port
+    /// earlier than `now + min_hop_latency()`, so shards may safely run
+    /// ahead of each other by one such window. Always strictly positive
+    /// (an empty message still occupies a frame of overhead).
+    pub fn min_hop_latency(&self) -> SimDuration {
+        self.tx_time(0) + self.prop_delay + self.switch_latency
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +83,19 @@ mod tests {
         assert!(t >= SimDuration::from_micros(72) && t <= SimDuration::from_micros(73));
         // An empty message still occupies one frame of overhead.
         assert!(net.tx_time(0) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_hop_latency_is_positive_and_bounds_any_packet() {
+        let net = NetConfig::gigabit();
+        let hop = net.min_hop_latency();
+        assert!(hop > SimDuration::ZERO);
+        // Any real packet takes at least the empty-frame hop time to
+        // reach the destination's switch port.
+        for size in [0usize, 1, 128, 9000, 65536] {
+            let at_switch = net.tx_time(size) + net.prop_delay + net.switch_latency;
+            assert!(at_switch >= hop);
+        }
     }
 
     #[test]

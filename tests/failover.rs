@@ -608,3 +608,101 @@ fn run_is_deterministic() {
     };
     assert_eq!(run(5), run(5), "same seed, same trace");
 }
+
+/// Crash-window hazards at system scale: three different node classes
+/// crash back-to-back while requests are in flight, so wire packets
+/// outlive their destination's crash (and are dropped at arrival if the
+/// node is still down), while queued local work and pending timers die
+/// with the old incarnation instead of firing into the new one. Every
+/// oracle passes, and the outcome is identical whether the engine runs
+/// serially or sharded.
+#[test]
+fn mid_flight_crash_windows_pass_oracles_at_any_shard_count() {
+    use slice::check::{
+        generate_scenario, run_schedule, run_schedule_sharded, Injection, Schedule, ScheduleEvent,
+    };
+    let scenario = generate_scenario(33, 48);
+    let reference = run_schedule(33, &scenario, &Schedule::default(), None);
+    assert!(
+        reference.violations.is_empty(),
+        "reference run violated: {:?}",
+        reference.violations
+    );
+    // Land the crashes mid-workload, with client requests in flight.
+    let t0 = (reference.finish.as_nanos() / 1_000_000) / 4;
+    let schedule = Schedule {
+        events: vec![
+            ScheduleEvent {
+                at_ms: t0,
+                inject: Injection::CrashDir {
+                    site: 0,
+                    down_ms: 400,
+                },
+            },
+            ScheduleEvent {
+                at_ms: t0 + 1,
+                inject: Injection::CrashStorage {
+                    site: 0,
+                    down_ms: 400,
+                },
+            },
+            ScheduleEvent {
+                at_ms: t0 + 3,
+                inject: Injection::CrashCoord {
+                    site: 0,
+                    down_ms: 300,
+                },
+            },
+        ],
+    };
+    let serial = run_schedule(33, &scenario, &schedule, Some(&reference.snapshot));
+    assert!(
+        serial.violations.is_empty(),
+        "crash-window run violated: {:?}",
+        serial.violations
+    );
+    assert!(!serial.stalled, "crash-window run stalled");
+    for shards in [2usize, 3] {
+        let sharded =
+            run_schedule_sharded(33, &scenario, &schedule, Some(&reference.snapshot), shards);
+        assert_eq!(serial.finish, sharded.finish, "shards={shards}");
+        assert_eq!(
+            serial.completed_ops, sharded.completed_ops,
+            "shards={shards}"
+        );
+        assert_eq!(serial.violations, sharded.violations, "shards={shards}");
+    }
+}
+
+/// Two crash/recover cycles of the same storage node in quick succession
+/// while mirrored writes are flowing: each crash bumps the node's
+/// incarnation, so timers and queued work from the first life cannot
+/// fire into the second. The workload finishes, resync drains the dirty
+/// log, and every oracle passes.
+#[test]
+fn rapid_double_crash_recover_discards_stale_incarnation_work() {
+    use slice::core::Workload;
+    use slice::sim::SimTime;
+    use slice::workloads::BulkIo;
+    let cfg = SliceConfig {
+        record_history: true,
+        retain_data: true,
+        ..Default::default()
+    };
+    let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(BulkIo::writer("dd0", 4 << 20, true))]);
+    ens.start();
+    for k in 0..2u64 {
+        ens.engine
+            .run_until(SimTime::from_nanos((20 + k * 15) * 1_000_000));
+        ens.engine.fail_node(ens.storage[0]);
+        ens.engine
+            .run_until(SimTime::from_nanos((28 + k * 15) * 1_000_000));
+        ens.recover_storage_node(0);
+    }
+    ens.run_to_completion(deadline());
+    let w = common::workload_of::<BulkIo>(&ens, 0);
+    assert!(w.finished(), "writer did not finish after double crash");
+    let mut violations = slice::check::check_structural(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+}

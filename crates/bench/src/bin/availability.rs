@@ -22,11 +22,17 @@
 //! same write workload, used for the undegraded write-latency and
 //! completion-time comparison gauges.
 //!
-//! Usage: `availability [--mb N] [--crash-ms T] [--threads T] [--shards S]
-//! [--json-out]` (defaults: 48 MiB per client, crash at 100 ms, threads =
-//! available parallelism, 1 shard). `--shards S` partitions each
-//! ensemble's engine across S time-synchronized shards; the report is
-//! byte-identical at any S — crash/recovery injection is shard-aware.
+//! Usage: `availability [--mb N] [--crash-ms T] [--grid-ms A,B,...]
+//! [--threads T] [--shards S] [--json-out]` (defaults: 48 MiB per client,
+//! crash at 100 ms, grid 50,150,400,800 ms, threads = available
+//! parallelism, 1 shard). Besides the primary `--crash-ms` point, the
+//! bench replays the crash timeline at every `--grid-ms` instant and
+//! emits the degraded-window curve — how failover time, degraded writes,
+//! and their latency cost vary with where in the write stream the crash
+//! lands — as `availability.grid.<ms>.*` gauges (`--grid-ms 0` disables
+//! the grid). `--shards S` partitions each ensemble's engine across S
+//! time-synchronized shards; the report is byte-identical at any S —
+//! crash/recovery injection is shard-aware.
 
 use slice_bench::{maybe_write_json, obs_doc};
 use slice_core::actors::{CoordActor, StorageActor};
@@ -50,6 +56,21 @@ fn arg_after(flag: &str, default: u64) -> u64 {
         }
     }
     default
+}
+
+fn arg_list(flag: &str, default: &[u64]) -> Vec<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            let raw = args.next().unwrap_or_else(|| panic!("{flag} wants a list"));
+            return raw
+                .split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .filter(|&ms| ms > 0)
+                .collect();
+        }
+    }
+    default.to_vec()
 }
 
 fn at_ms(ms: u64) -> SimTime {
@@ -336,45 +357,54 @@ fn run_crash_timeline(
     }
 }
 
-/// The two independent runs, as slice-par work items.
+/// The independent runs, as slice-par work items.
 enum HaTask {
     Crash,
     Baseline,
+    /// A grid replay of the crash timeline at a different crash instant.
+    Grid(u64),
 }
 
 enum HaOut {
     Crash(Box<CrashOut>),
     Baseline(BaselineOut),
+    Grid(u64, Box<CrashOut>),
 }
 
 fn main() {
     let mb = arg_after("--mb", 48);
     let crash_ms = arg_after("--crash-ms", 100);
+    let grid_ms = arg_list("--grid-ms", &[50, 150, 400, 800]);
     let threads = arg_after("--threads", slice_sim::default_threads() as u64) as usize;
     let shards = arg_after("--shards", 1) as usize;
     let bytes_per_client = mb * 1024 * 1024;
     let deadline = at_ms(600_000);
 
-    let outs =
-        slice_sim::run_indexed(
-            threads,
-            vec![HaTask::Crash, HaTask::Baseline],
-            |_, task| match task {
-                HaTask::Crash => HaOut::Crash(Box::new(run_crash_timeline(
-                    bytes_per_client,
-                    crash_ms,
-                    deadline,
-                    shards,
-                ))),
-                HaTask::Baseline => {
-                    HaOut::Baseline(run_clean_baseline(bytes_per_client, deadline, shards))
-                }
-            },
-        );
+    let mut tasks = vec![HaTask::Crash, HaTask::Baseline];
+    tasks.extend(grid_ms.iter().map(|&ms| HaTask::Grid(ms)));
+    let outs = slice_sim::run_indexed(threads, tasks, |_, task| match task {
+        HaTask::Crash => HaOut::Crash(Box::new(run_crash_timeline(
+            bytes_per_client,
+            crash_ms,
+            deadline,
+            shards,
+        ))),
+        HaTask::Baseline => HaOut::Baseline(run_clean_baseline(bytes_per_client, deadline, shards)),
+        HaTask::Grid(ms) => HaOut::Grid(
+            ms,
+            Box::new(run_crash_timeline(bytes_per_client, ms, deadline, shards)),
+        ),
+    });
     let mut outs = outs.into_iter();
     let (Some(HaOut::Crash(t)), Some(HaOut::Baseline(base))) = (outs.next(), outs.next()) else {
         unreachable!("run_indexed merges by input index");
     };
+    let grid: Vec<(u64, Box<CrashOut>)> = outs
+        .map(|o| match o {
+            HaOut::Grid(ms, g) => (ms, g),
+            _ => unreachable!("grid tasks follow the first two"),
+        })
+        .collect();
 
     let failover_ms = t.suspected_at.map(|s| ms_of(s) - crash_ms as f64);
     let resync_ms = t.resync_done.map(|d| ms_of(d) - ms_of(t.recover_at));
@@ -419,6 +449,23 @@ fn main() {
         ms_of(t.write_done),
         mean_us(base.writes)
     );
+    if !grid.is_empty() {
+        println!("  degraded-window curve (crash instant sweep):");
+        for (ms, g) in &grid {
+            println!(
+                "    crash@{ms} ms: failover +{:.2} ms, {} degraded writes at {:.0} us \
+                 (vs {:.0} us normal), window {:.2} ms, {} resync bytes",
+                g.suspected_at
+                    .map(|s| ms_of(s) - *ms as f64)
+                    .unwrap_or(f64::NAN),
+                g.degraded_writes,
+                mean_us(g.degraded),
+                mean_us(g.normal),
+                ms_of(g.write_done) - *ms as f64,
+                g.resync_bytes
+            );
+        }
+    }
 
     let json = obs_doc(|reg| {
         reg.set_gauge("availability.crash_ms", crash_ms as f64);
@@ -468,6 +515,29 @@ fn main() {
             ms_of(base.write_done),
         );
         reg.set_gauge("availability.write_latency_clean_us", mean_us(base.writes));
+        // The degraded-window curve: one gauge family per crash instant.
+        for (ms, g) in &grid {
+            let tag = format!("availability.grid.{ms}");
+            reg.set_gauge(
+                &format!("{tag}.time_to_failover_ms"),
+                g.suspected_at
+                    .map(|s| ms_of(s) - *ms as f64)
+                    .unwrap_or(-1.0),
+            );
+            reg.set_gauge(
+                &format!("{tag}.degraded_window_ms"),
+                ms_of(g.write_done) - *ms as f64,
+            );
+            reg.set_gauge(&format!("{tag}.degraded_writes"), g.degraded_writes as f64);
+            reg.set_gauge(&format!("{tag}.degraded_bytes"), g.degraded_bytes as f64);
+            reg.set_gauge(
+                &format!("{tag}.write_latency_degraded_us"),
+                mean_us(g.degraded),
+            );
+            reg.set_gauge(&format!("{tag}.write_latency_normal_us"), mean_us(g.normal));
+            reg.set_gauge(&format!("{tag}.resync_bytes"), g.resync_bytes as f64);
+            reg.set_gauge(&format!("{tag}.client_timeouts"), g.timeouts as f64);
+        }
     });
     println!("{json}");
     maybe_write_json("availability", &json);

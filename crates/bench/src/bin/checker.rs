@@ -9,12 +9,15 @@
 //! invariants, coordinator block maps, attr-cache audit, and WAL-replay
 //! namespace equivalence against the reference run.
 //!
-//! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--threads T]
-//! [--shards S] [--json-out] [--report-out FILE]`
+//! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--coded]
+//! [--threads T] [--shards S] [--json-out] [--report-out FILE]`
 //! (defaults: 8 seeds × 4 schedules, T = available parallelism, 1 shard).
 //! `--chaos` swaps the standard schedule pool for the chaos pool
 //! (datagram duplication and reordering windows, stacked storage
-//! crashes). Seeds fan out over the slice-par worker pool; the printed
+//! crashes). `--coded` runs every ensemble with (4,2) erasure coding for
+//! mapped files — the coded-reconstruction oracle then vets every stripe
+//! — and with `--chaos` widens the pool with stacked storage crashes.
+//! Seeds fan out over the slice-par worker pool; the printed
 //! report is byte-identical for identical arguments at *any* thread
 //! count *and* any `--shards` value (each run's engine is partitioned
 //! across S time-synchronized shards). `--report-out` writes that
@@ -23,7 +26,7 @@
 //! report plus informational host-timing gauges. Exits nonzero if any
 //! run violated any oracle.
 
-use slice_check::sweep_sharded;
+use slice_check::sweep_coded;
 
 fn arg_after(flag: &str, default: u64) -> u64 {
     let mut args = std::env::args();
@@ -54,19 +57,21 @@ fn main() {
     let threads = arg_after("--threads", slice_sim::default_threads() as u64) as usize;
     let shards = arg_after("--shards", 1) as usize;
     let chaos = std::env::args().any(|a| a == "--chaos");
+    let coded = std::env::args().any(|a| a == "--coded");
     let seeds: Vec<u64> = (1..=n_seeds).collect();
 
     println!(
-        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}, {} shard{}",
+        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}, {} shard{}{}",
         seeds.len(),
         n_schedules,
         if chaos { "chaos" } else { "standard" },
         threads,
         if threads == 1 { "" } else { "s" },
         shards,
-        if shards == 1 { "" } else { "s" }
+        if shards == 1 { "" } else { "s" },
+        if coded { ", coded (4,2)" } else { "" }
     );
-    let report = sweep_sharded(&seeds, n_schedules, chaos, threads, shards);
+    let report = sweep_coded(&seeds, n_schedules, chaos, threads, shards, coded);
     println!(
         "checker: {} runs, {} client-visible ops checked, {} failing",
         report.runs,
@@ -89,7 +94,12 @@ fn main() {
         eprintln!("wrote {path}");
     }
     slice_bench::maybe_write_json(
-        if chaos { "checker_chaos" } else { "checker" },
+        match (chaos, coded) {
+            (false, false) => "checker",
+            (true, false) => "checker_chaos",
+            (false, true) => "checker_coded",
+            (true, true) => "checker_chaos_coded",
+        },
         &report.timed_json,
     );
     if !report.passed() {

@@ -140,6 +140,50 @@ fn shard_scaling_phase(files: u64, shards: usize) -> (PhaseReport, PhaseReport) 
     )
 }
 
+/// Live-state sizes at the end of a mapped mirrored bulk run: coordinator
+/// block-map entries, µproxy soft-state entries (pending ops, map-cache
+/// fragments, cached attrs, parked packets, coded ops), and the engine's
+/// peak live events — the simulator's working-set gauges for capacity
+/// planning. All three are deterministic.
+fn live_state_phase(bytes_per_client: u64, shards: usize) -> (u64, u64, u64) {
+    use slice_core::actors::CoordActor;
+    use slice_core::ensemble::{SliceConfig, SliceEnsemble};
+    use slice_core::Workload;
+    use slice_workloads::BulkIo;
+    const CLIENTS: usize = 4;
+    let cfg = SliceConfig {
+        clients: CLIENTS,
+        use_block_maps: true,
+        shards,
+        ..SliceConfig::default()
+    };
+    let writers: Vec<Box<dyn Workload>> = (0..CLIENTS)
+        .map(|i| {
+            Box::new(BulkIo::writer(&format!("ls{i}"), bytes_per_client, true)) as Box<dyn Workload>
+        })
+        .collect();
+    let mut ens = SliceEnsemble::build(&cfg, writers);
+    ens.start();
+    ens.run_to_completion(slice_sim::SimTime::ZERO + slice_sim::SimDuration::from_secs(600));
+    for i in 0..CLIENTS {
+        assert!(ens.client(i).finished(), "live-state writer {i} stalled");
+    }
+    let maps: usize = ens
+        .coords
+        .iter()
+        .map(|&c| ens.engine.actor::<CoordActor>(c).coord.map_entries())
+        .sum();
+    let soft: usize = (0..CLIENTS)
+        .filter_map(|i| ens.client(i).proxy())
+        .map(|p| p.soft_state_entries())
+        .sum();
+    (
+        maps as u64,
+        soft as u64,
+        ens.engine.peak_live_events() as u64,
+    )
+}
+
 fn fold_phase(reg: &mut slice_obs::Registry, name: &str, ph: &PhaseReport) {
     reg.set_gauge(&format!("perf.{name}.wall_s"), ph.wall_s);
     reg.set(&format!("perf.{name}.packets"), ph.totals.packets);
@@ -237,6 +281,7 @@ fn main() {
     let untar = untar_phase(files, threads);
     let bulk = bulk_phase(bulk_bytes);
     let (shallow, deep, deep_bytes) = slice_nfsproto::bytes::clone_stats();
+    let (map_entries, soft_entries, live_peak) = live_state_phase(bulk_bytes / 4, 1);
     let scaling = (shards > 1).then(|| shard_scaling_phase(files, shards));
 
     println!(
@@ -259,6 +304,10 @@ fn main() {
         );
     }
     println!("  payload: {shallow} shallow clones, {deep} deep copies ({deep_bytes} bytes copied)");
+    println!(
+        "  live state: {map_entries} coordinator map entries, {soft_entries} uproxy soft-state \
+         entries, {live_peak} peak live events (mapped bulk)"
+    );
     if let Some((serial, sharded)) = &scaling {
         println!(
             "  shard scaling (16-proc Slice-4 untar): {:.3}s serial vs {:.3}s at {shards} shards ({:.2}x)",
@@ -274,6 +323,9 @@ fn main() {
         reg.set("perf.payload.shallow_clones", shallow);
         reg.set("perf.payload.deep_copies", deep);
         reg.set("perf.payload.deep_copy_bytes", deep_bytes);
+        reg.set("perf.live_state.coord_map_entries", map_entries);
+        reg.set("perf.live_state.uproxy_soft_state_entries", soft_entries);
+        reg.set("perf.live_state.peak_live_events", live_peak);
         reg.set_gauge("perf.threads", threads as f64);
         reg.set_gauge("perf.total.wall_s", untar.wall_s + bulk.wall_s);
         if let Some((serial, sharded)) = &scaling {

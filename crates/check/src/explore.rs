@@ -521,13 +521,14 @@ enum Act {
 /// directory sites (so reconfig/multisite paths are live), the default
 /// four storage nodes with block maps on, and data retention for the
 /// structural oracles.
-fn explorer_config(seed: u64, shards: usize) -> SliceConfig {
+fn explorer_config(seed: u64, shards: usize, coded: bool) -> SliceConfig {
     SliceConfig {
         clients: 1,
         dir_servers: 2,
         record_history: true,
         retain_data: true,
         use_block_maps: true,
+        coded: coded.then_some((4, 2)),
         seed,
         shards,
         ..SliceConfig::default()
@@ -560,7 +561,23 @@ pub fn run_schedule_sharded(
     reference: Option<&VolumeSnapshot>,
     shards: usize,
 ) -> RunOutcome {
-    let cfg = explorer_config(seed, shards);
+    run_schedule_coded(seed, scenario, schedule, reference, shards, false)
+}
+
+/// [`run_schedule_sharded`] with a placement choice: `coded` runs the
+/// ensemble with every mapped file erasure-coded as (4,2) instead of
+/// mirrored, so the same scenarios and fault schedules exercise striped
+/// writes, degraded reads, and shard rebuilds — vetted by the
+/// coded-reconstruction oracle.
+pub fn run_schedule_coded(
+    seed: u64,
+    scenario: &Scenario,
+    schedule: &Schedule,
+    reference: Option<&VolumeSnapshot>,
+    shards: usize,
+    coded: bool,
+) -> RunOutcome {
+    let cfg = explorer_config(seed, shards, coded);
     let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(DriverWorkload::new(scenario.clone()))]);
     ens.start();
 
@@ -839,6 +856,27 @@ pub fn chaos_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
         .collect()
 }
 
+/// [`chaos_schedules`] widened for coded layouts: every third schedule
+/// stacks an additional storage crash, opening double-erasure windows
+/// that an (n,k) code with n−k ≥ 2 must ride out (degraded writes park
+/// the dead legs in the dirty log; reads decode from the k survivors).
+pub fn coded_chaos_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
+    let mut pool = chaos_schedules(seed, m, horizon_ms);
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0xd1b5_4a32_d192_ed03) ^ 0x5ec);
+    let horizon = horizon_ms.max(100);
+    for (j, sched) in pool.iter_mut().enumerate() {
+        if j % 3 == 0 {
+            let down_ms = rng.gen_range(1500..2500u64);
+            let site = rng.gen_range(0..4u64) as usize;
+            sched.events.push(ScheduleEvent {
+                at_ms: horizon / 10 + rng.gen_range(0..horizon.max(2) * 8 / 10),
+                inject: Injection::CrashStorage { site, down_ms },
+            });
+        }
+    }
+    pool
+}
+
 /// One failing run inside a [`SweepReport`].
 #[derive(Debug)]
 pub struct SweepFailure {
@@ -930,10 +968,26 @@ pub fn sweep_sharded(
     threads: usize,
     shards: usize,
 ) -> SweepReport {
+    sweep_coded(seeds, schedules_per_seed, chaos, threads, shards, false)
+}
+
+/// [`sweep_sharded`] with a placement choice: `coded` runs every ensemble
+/// with (4,2) erasure coding for mapped files (see [`run_schedule_coded`])
+/// and — when `chaos` is also set — widens the schedule pool with stacked
+/// storage crashes ([`coded_chaos_schedules`]).
+pub fn sweep_coded(
+    seeds: &[u64],
+    schedules_per_seed: usize,
+    chaos: bool,
+    threads: usize,
+    shards: usize,
+    coded: bool,
+) -> SweepReport {
     let start = std::time::Instant::now();
     let outcomes = slice_sim::par::run_indexed(threads, seeds.to_vec(), |_, seed| {
         let scenario = generate_scenario(seed, 96);
-        let reference = run_schedule_sharded(seed, &scenario, &Schedule::default(), None, shards);
+        let reference =
+            run_schedule_coded(seed, &scenario, &Schedule::default(), None, shards, coded);
         let mut o = SeedOutcome {
             runs: 1,
             ops_checked: reference.completed_ops,
@@ -951,14 +1005,22 @@ pub fn sweep_sharded(
         }
 
         let horizon_ms = reference.finish.as_nanos() / 1_000_000;
-        let schedules = if chaos {
+        let schedules = if chaos && coded {
+            coded_chaos_schedules(seed, schedules_per_seed, horizon_ms)
+        } else if chaos {
             chaos_schedules(seed, schedules_per_seed, horizon_ms)
         } else {
             standard_schedules(seed, schedules_per_seed, horizon_ms)
         };
         for (j, sched) in schedules.iter().enumerate() {
-            let out =
-                run_schedule_sharded(seed, &scenario, sched, Some(&reference.snapshot), shards);
+            let out = run_schedule_coded(
+                seed,
+                &scenario,
+                sched,
+                Some(&reference.snapshot),
+                shards,
+                coded,
+            );
             o.runs += 1;
             o.ops_checked += out.completed_ops;
             o.violations += out.violations.len() as u64;

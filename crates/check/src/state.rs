@@ -12,6 +12,7 @@ use slice_core::actors::{CoordActor, DirActor, StorageActor};
 use slice_core::ensemble::SliceEnsemble;
 use slice_core::ClientActor;
 use slice_dirsvc::{AttrCell, ChildRef, NameCell};
+use slice_ec::{k_subsets, Codec, CodedLayout};
 use slice_hashes::name_fingerprint;
 use slice_nfsproto::{Fhandle, FileType};
 use slice_storage::Placement;
@@ -25,6 +26,7 @@ pub fn check_structural(ens: &SliceEnsemble) -> Vec<Violation> {
     v.extend(check_block_maps(ens, false));
     v.extend(check_attr_cache(ens));
     v.extend(check_mirror_convergence(ens));
+    v.extend(check_coded_reconstruction(ens));
     v
 }
 
@@ -37,6 +39,7 @@ pub fn check_structural_strict(ens: &SliceEnsemble) -> Vec<Violation> {
     v.extend(check_block_maps(ens, true));
     v.extend(check_attr_cache(ens));
     v.extend(check_mirror_convergence(ens));
+    v.extend(check_coded_reconstruction(ens));
     v
 }
 
@@ -83,11 +86,18 @@ pub fn check_mirror_convergence(ens: &SliceEnsemble) -> Vec<Violation> {
     } else {
         slice_smallfile::SF_THRESHOLD
     };
-    // Dynamic placements override the static striping function.
+    // Dynamic placements override the static striping function. Coded
+    // files hold parity, not replicas — byte-compare does not apply to
+    // them (the coded-reconstruction oracle covers them instead).
     let mut mapped: FxHashMap<(u64, u64), Vec<u32>> = FxHashMap::default();
+    let mut coded_files: FxHashSet<u64> = FxHashSet::default();
     for &c in &ens.coords {
         let coord = &ens.engine.actor::<CoordActor>(c).coord;
-        for (file, _placement, blocks) in coord.block_map_dump() {
+        for (file, placement, blocks) in coord.block_map_dump() {
+            if matches!(placement, Placement::Coded { .. }) {
+                coded_files.insert(file);
+                continue;
+            }
             for (block, sites) in blocks {
                 mapped.insert((file, block), sites);
             }
@@ -102,7 +112,12 @@ pub fn check_mirror_convergence(ens: &SliceEnsemble) -> Vec<Violation> {
     let mut seen = FxHashSet::default();
     for (_, _, cell) in &names {
         let fh = cell.child.fhandle();
-        if fh.is_mirrored() && !fh.is_dir() && !fh.is_symlink() && seen.insert(cell.child.file) {
+        if fh.is_mirrored()
+            && !fh.is_dir()
+            && !fh.is_symlink()
+            && !coded_files.contains(&cell.child.file)
+            && seen.insert(cell.child.file)
+        {
             mirrored.push(cell.child.file);
         }
     }
@@ -341,6 +356,17 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
                     ));
                     continue;
                 }
+                if let Placement::Coded { n, .. } = placement {
+                    if replica_sites.len() != n as usize {
+                        v.push(Violation::new(
+                            "block_map_sites",
+                            format!(
+                                "coord {ci}: file {file} block {block} coded n={n} but lists {} sites",
+                                replica_sites.len()
+                            ),
+                        ));
+                    }
+                }
                 let mut seen = FxHashSet::default();
                 for &s in replica_sites {
                     if s >= sites {
@@ -378,6 +404,121 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
                         blocks.len()
                     ),
                 ));
+            }
+        }
+    }
+    v
+}
+
+/// Coded-reconstruction oracle (slice-ec): at quiescence every stripe of
+/// every erasure-coded file must satisfy the code — each parity shard
+/// equals the Cauchy combination of the k data shards, and every k-subset
+/// of the n shards decodes back to the same data — unless the stripe is
+/// still covered by an open dirty-region entry (resync owed; the dirty-log
+/// oracle reports that separately). Holes read as zeros, which the linear
+/// code encodes to zero parity, so sparse stripes need no special-casing.
+/// Like the mirror byte-compare, this is only sound on runs where every
+/// client op eventually completed.
+pub fn check_coded_reconstruction(ens: &SliceEnsemble) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let any_timeouts = ens
+        .clients
+        .iter()
+        .any(|&c| ens.engine.actor::<ClientActor>(c).stats().timeouts > 0);
+    if any_timeouts {
+        return v;
+    }
+    let Some(proxy) = ens
+        .clients
+        .first()
+        .and_then(|&c| ens.engine.actor::<ClientActor>(c).proxy())
+    else {
+        return v;
+    };
+    let stripe_unit = proxy.config().stripe_unit.max(1);
+    // Open dirty ranges excuse a stripe: a leg parked there has not been
+    // resynced yet, so its shards are legitimately stale.
+    let mut dirty: FxHashMap<u64, Vec<(u64, u64)>> = FxHashMap::default();
+    for &c in &ens.coords {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for (_site, obj, offset, len) in coord.dirty_log_dump() {
+            dirty.entry(obj).or_default().push((offset, len));
+        }
+    }
+    let read_at = |site: u32, file: u64, offset: u64, len: usize| -> Vec<u8> {
+        let node = &ens
+            .engine
+            .actor::<StorageActor>(ens.storage[site as usize])
+            .node;
+        match node.store().get(file) {
+            Some(obj) => obj.read(offset, len),
+            None => vec![0u8; len],
+        }
+    };
+    for (ci, &c) in ens.coords.iter().enumerate() {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for (file, placement, blocks) in coord.block_map_dump() {
+            let Placement::Coded { n, k } = placement else {
+                continue;
+            };
+            let layout = CodedLayout::new(n, k, stripe_unit);
+            let codec = Codec::new(n as usize, k as usize);
+            let ssize = layout.shard_size() as usize;
+            for (s, sites) in blocks {
+                if sites.len() != n as usize {
+                    continue; // reported by check_block_maps
+                }
+                let excused = dirty.get(&file).is_some_and(|ranges| {
+                    ranges
+                        .iter()
+                        .any(|&(o, l)| o < (s + 1) * stripe_unit && o + l > s * stripe_unit)
+                });
+                if excused {
+                    continue;
+                }
+                let shards: Vec<Vec<u8>> = (0..n)
+                    .map(|idx| {
+                        read_at(
+                            sites[idx as usize],
+                            file,
+                            layout.shard_obj_offset(s, idx, 0),
+                            ssize,
+                        )
+                    })
+                    .collect();
+                let data: Vec<&[u8]> = shards[..k as usize].iter().map(Vec::as_slice).collect();
+                let mut stripe_ok = true;
+                for p in 0..(n - k) as usize {
+                    if codec.parity_row(p, &data) != shards[k as usize + p] {
+                        v.push(Violation::new(
+                            "coded_parity",
+                            format!(
+                                "coord {ci}: file {file} stripe {s}: parity shard {p} on site {} inconsistent with data",
+                                sites[k as usize + p]
+                            ),
+                        ));
+                        stripe_ok = false;
+                    }
+                }
+                if !stripe_ok {
+                    continue; // k-subset decodes would all re-report the same corruption
+                }
+                for subset in k_subsets(n as usize, k as usize) {
+                    let mut present: Vec<Option<&[u8]>> = vec![None; n as usize];
+                    for &i in &subset {
+                        present[i] = Some(&shards[i]);
+                    }
+                    let decoded = codec.decode(&present);
+                    if decoded.as_deref() != Some(&shards[..k as usize]) {
+                        v.push(Violation::new(
+                            "coded_decode",
+                            format!(
+                                "coord {ci}: file {file} stripe {s}: k-subset {subset:?} fails to reconstruct the data shards"
+                            ),
+                        ));
+                        break; // one violation per stripe is plenty
+                    }
+                }
             }
         }
     }

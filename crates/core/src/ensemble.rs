@@ -5,7 +5,7 @@ use slice_dirsvc::{DirServer, DirServerConfig, NamePolicy};
 use slice_nfsproto::AuthUnix;
 use slice_sim::{Engine, NetConfig, NodeId, SimDuration, SimTime};
 use slice_smallfile::{SmallFileConfig, SmallFileServer};
-use slice_storage::{Coordinator, StorageNode, StorageNodeConfig};
+use slice_storage::{Coordinator, Placement, StorageNode, StorageNodeConfig};
 use slice_uproxy::{ProxyConfig, ProxyNamePolicy, Uproxy};
 
 use crate::actors::{CoordActor, DirActor, SmallFileActor, StorageActor};
@@ -59,6 +59,10 @@ pub struct SliceConfig {
     pub use_block_maps: bool,
     /// Stripe unit for static placement (bytes).
     pub stripe_unit: u64,
+    /// Erasure-coded layout `(n, k)` for mapped files' bulk regions:
+    /// every stripe is split into k data + n−k parity shards across n
+    /// disjoint sites. Implies block maps. `None` keeps mirroring.
+    pub coded: Option<(u32, u32)>,
     /// Group commit on file-manager write-ahead logs (ablation knob).
     pub wal_group_commit: bool,
     /// µproxy suspected-site probe cadence in milliseconds (how quickly a
@@ -94,6 +98,7 @@ impl Default for SliceConfig {
             use_intents: true,
             use_block_maps: false,
             stripe_unit: 64 * 1024,
+            coded: None,
             wal_group_commit: true,
             probe_interval_ms: 2000,
             shards: 1,
@@ -151,6 +156,22 @@ impl SliceEnsemble {
         assert_eq!(workloads.len(), cfg.clients, "one workload per client");
         assert!(cfg.dir_servers > 0, "need at least one directory server");
         assert!(cfg.storage_nodes > 0, "need at least one storage node");
+        // Coded layouts route through coordinator block maps; the µproxy
+        // and coordinator must agree on the placement geometry.
+        let use_block_maps = cfg.use_block_maps || cfg.coded.is_some();
+        if let Some((n, k)) = cfg.coded {
+            assert!(k > 0 && k < n, "invalid coded layout (n,k)=({n},{k})");
+            assert!(
+                cfg.storage_nodes >= n as usize,
+                "coded (n,k)=({n},{k}) needs at least n storage nodes"
+            );
+            assert_eq!(
+                cfg.stripe_unit % u64::from(k),
+                0,
+                "stripe unit must divide into k shards"
+            );
+            assert!(cfg.coordinators > 0, "coded layouts need a coordinator");
+        }
         let plan = AddrPlan::new(
             cfg.clients,
             cfg.dir_servers,
@@ -211,7 +232,8 @@ impl SliceEnsemble {
                 threshold: slice_smallfile::SF_THRESHOLD,
                 stripe_unit: cfg.stripe_unit,
                 mirror_copies: 2,
-                use_block_maps: cfg.use_block_maps,
+                coded: cfg.coded,
+                use_block_maps,
                 use_intents: cfg.use_intents,
                 attr_cache_entries: 4096,
                 writeback_interval: calib::ATTR_WRITEBACK,
@@ -253,7 +275,7 @@ impl SliceEnsemble {
                     batched: cfg.wal_group_commit,
                     ..Default::default()
                 },
-                default_mapped: cfg.use_block_maps,
+                default_mapped: use_block_maps,
             });
             let actor = DirActor::new(
                 ds,
@@ -301,11 +323,12 @@ impl SliceEnsemble {
         }
         // Coordinators.
         for (i, &expect) in coord_ids.iter().enumerate() {
-            let actor = CoordActor::new(
-                Coordinator::new(cfg.storage_nodes as u32),
-                storage_ids.clone(),
-                cfg.charge_cpu,
-            );
+            let mut coordinator = Coordinator::new(cfg.storage_nodes as u32);
+            if let Some((n, k)) = cfg.coded {
+                coordinator.set_default_placement(Placement::Coded { n, k });
+                coordinator.set_stripe_unit(cfg.stripe_unit);
+            }
+            let actor = CoordActor::new(coordinator, storage_ids.clone(), cfg.charge_cpu);
             let id = engine.add_node(&format!("coord{i}"), Box::new(actor));
             assert_eq!(id, expect);
         }

@@ -16,6 +16,7 @@
 //! hosting actor dispatches. Requesters are identified by opaque tokens the
 //! host supplies.
 
+use slice_ec::{Codec, CodedLayout};
 use slice_sim::FxHashMap;
 
 use slice_sim::time::{SimDuration, SimTime};
@@ -33,6 +34,14 @@ pub enum Placement {
     Mirrored {
         /// Replication degree.
         copies: u32,
+    },
+    /// Erasure-code every block (stripe) into k data + n−k parity shards
+    /// across n disjoint sites (geometry in [`slice_ec::CodedLayout`]).
+    Coded {
+        /// Total shards per stripe.
+        n: u32,
+        /// Data shards per stripe.
+        k: u32,
     },
 }
 
@@ -164,10 +173,29 @@ pub struct DirtyRange {
     pub sources: Vec<u32>,
 }
 
+/// An in-flight coded rebuild: k survivor shard windows are gathered,
+/// decoded, and re-encoded into the recovering site's shard.
 #[derive(Debug, Clone)]
+struct ShardRebuild {
+    range: DirtyRange,
+    /// Source legs `(site, shard index, object offset)` — k of them.
+    legs: Vec<(u32, u32, u64)>,
+    /// Windows gathered so far, keyed by source site.
+    got: FxHashMap<u32, slice_nfsproto::ByteBuf>,
+    n: u32,
+    k: u32,
+    /// The recovering site's shard index within the stripe.
+    target_idx: u32,
+}
+
+#[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)]
 enum ResyncStage {
     /// Waiting for the surviving mirror to return the bytes.
     AwaitData(DirtyRange),
+    /// Waiting for k survivor shard windows of a coded stripe; decoding
+    /// them rebuilds the recovering site's shard (data or parity).
+    AwaitShards(ShardRebuild),
     /// Waiting for the recovering site to make the bytes durable. The
     /// stash is a shared window: retransmitting the apply leg clones a
     /// refcount, not the payload.
@@ -344,6 +372,11 @@ pub struct Coordinator {
     fanouts: FxHashMap<u64, PendingFanout>,
     maps: FxHashMap<u64, (Placement, FxHashMap<u64, Vec<u32>>)>,
     storage_sites: u32,
+    /// Placement applied to files that never received a `SetPlacement`
+    /// (configuration, survives crashes like `storage_sites`).
+    default_placement: Placement,
+    /// Stripe (block) size in bytes; coded geometry derives from it.
+    stripe_unit: u64,
     /// Probe intentions older than this.
     pub intent_timeout: SimDuration,
     resolved: Vec<(u64, IntentOutcome)>,
@@ -375,6 +408,8 @@ impl Coordinator {
             fanouts: FxHashMap::default(),
             maps: FxHashMap::default(),
             storage_sites,
+            default_placement: Placement::Striped,
+            stripe_unit: 64 * 1024,
             intent_timeout: SimDuration::from_secs(5),
             resolved: Vec::new(),
             dirty_log: FxHashMap::default(),
@@ -387,9 +422,32 @@ impl Coordinator {
         }
     }
 
+    /// Sets the placement applied to files without an explicit
+    /// `SetPlacement` (configuration; survives coordinator crashes).
+    pub fn set_default_placement(&mut self, placement: Placement) {
+        if let Placement::Coded { n, k } = placement {
+            assert!(
+                k > 0 && k < n && n <= self.storage_sites,
+                "coded (n,k) needs n sites"
+            );
+        }
+        self.default_placement = placement;
+    }
+
+    /// Sets the stripe (block) size coded geometry derives from.
+    pub fn set_stripe_unit(&mut self, stripe_unit: u64) {
+        assert!(stripe_unit > 0);
+        self.stripe_unit = stripe_unit;
+    }
+
     /// Intentions currently open (logged, not completed).
     pub fn open_intents(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Block-map entries held across all files (live soft state).
+    pub fn map_entries(&self) -> usize {
+        self.maps.values().map(|(_, m)| m.len()).sum()
     }
 
     /// The resolution history `(intent, outcome)`.
@@ -495,6 +553,14 @@ impl Coordinator {
                                 (base + (b % u64::from(storage_sites)) as u32 + c) % storage_sites
                             })
                             .collect(),
+                        // n consecutive sites starting at a per-stripe
+                        // rotation: disjoint within the stripe, and load
+                        // spreads over all sites across stripes.
+                        Placement::Coded { n, .. } => (0..n.min(storage_sites))
+                            .map(|c| {
+                                (base + (b % u64::from(storage_sites)) as u32 + c) % storage_sites
+                            })
+                            .collect(),
                     })
                     .clone()
             })
@@ -561,10 +627,11 @@ impl Coordinator {
                 first_block,
                 count,
             } => {
+                let default = self.default_placement;
                 let (placement, map) = self
                     .maps
                     .entry(file)
-                    .or_insert_with(|| (Placement::Striped, FxHashMap::default()));
+                    .or_insert_with(|| (default, FxHashMap::default()));
                 let sites = Self::assign_blocks(
                     *placement,
                     self.storage_sites,
@@ -616,35 +683,47 @@ impl Coordinator {
                         at: at.max(now),
                     }];
                 }
+                let coded = matches!(self.placement_of(obj), Placement::Coded { .. });
                 let mut durable = now;
                 for &site in &missed {
-                    let id = self.next_intent;
-                    self.next_intent += 1;
-                    durable = self.wal.append(
-                        now,
-                        IntentRecord {
-                            id,
-                            kind: IntentKind::DirtyRange {
-                                obj,
-                                offset,
-                                len,
-                                sources: sources.clone(),
+                    // Mirrored ranges are file ranges; coded ranges are
+                    // split per stripe into the site's own shard windows
+                    // (object offsets), so each queued range rebuilds
+                    // exactly one shard.
+                    let windows = if coded {
+                        self.coded_missed_windows(obj, offset, len, site, &sources)
+                    } else {
+                        vec![(offset, len, sources.clone())]
+                    };
+                    for (w_off, w_len, srcs) in windows {
+                        let id = self.next_intent;
+                        self.next_intent += 1;
+                        durable = self.wal.append(
+                            now,
+                            IntentRecord {
+                                id,
+                                kind: IntentKind::DirtyRange {
+                                    obj,
+                                    offset: w_off,
+                                    len: w_len,
+                                    sources: srcs.clone(),
+                                },
+                                participants: vec![site],
+                                is_completion: false,
                             },
-                            participants: vec![site],
-                            is_completion: false,
-                        },
-                        64,
-                    );
-                    self.dirty_log.entry(site).or_default().push(DirtyRange {
-                        id,
-                        obj,
-                        offset,
-                        len,
-                        sources: sources.clone(),
-                    });
-                    // The site is dirty again: any shelved resync must
-                    // restart once the node is back.
-                    self.gave_up.remove(&site);
+                            64,
+                        );
+                        self.dirty_log.entry(site).or_default().push(DirtyRange {
+                            id,
+                            obj,
+                            offset: w_off,
+                            len: w_len,
+                            sources: srcs,
+                        });
+                        // The site is dirty again: any shelved resync
+                        // must restart once the node is back.
+                        self.gave_up.remove(&site);
+                    }
                 }
                 self.marks_acked.insert(op_id, durable);
                 vec![CoordAction::Reply {
@@ -680,6 +759,175 @@ impl Coordinator {
 
     fn site_is_dirty(&self, site: u32) -> bool {
         self.dirty_log.get(&site).is_some_and(|v| !v.is_empty()) || self.resync.contains_key(&site)
+    }
+
+    fn placement_of(&self, obj: u64) -> Placement {
+        self.maps
+            .get(&obj)
+            .map_or(self.default_placement, |(p, _)| *p)
+    }
+
+    /// The (assigned-if-absent) site list of one stripe of `file` — the
+    /// same deterministic assignment `MapGet` hands the µproxy.
+    fn stripe_sites(&mut self, file: u64, stripe: u64) -> Vec<u32> {
+        let default = self.default_placement;
+        let (placement, map) = self
+            .maps
+            .entry(file)
+            .or_insert_with(|| (default, FxHashMap::default()));
+        Self::assign_blocks(
+            *placement,
+            self.storage_sites,
+            file,
+            stripe..stripe + 1,
+            map,
+        )
+        .pop()
+        .unwrap_or_default()
+    }
+
+    /// The object windows `site` missed from a coded write of
+    /// `[offset, offset+len)`: one `(object offset, len, stripe sources)`
+    /// per overlapped stripe the site participates in — its own data
+    /// window when it holds a data shard, the parity hull when it holds
+    /// parity.
+    fn coded_missed_windows(
+        &mut self,
+        obj: u64,
+        offset: u64,
+        len: u64,
+        site: u32,
+        sources: &[u32],
+    ) -> Vec<(u64, u64, Vec<u32>)> {
+        let Placement::Coded { n, k } = self.placement_of(obj) else {
+            return vec![];
+        };
+        if len == 0 {
+            return vec![];
+        }
+        let layout = CodedLayout::new(n, k, self.stripe_unit);
+        let mut out = Vec::new();
+        for s in offset / self.stripe_unit..=(offset + len - 1) / self.stripe_unit {
+            let sites = self.stripe_sites(obj, s);
+            let Some(idx) = sites.iter().position(|&x| x == site) else {
+                continue;
+            };
+            let idx = idx as u32;
+            let (lo, hi) = if idx < k {
+                layout.data_window(s, idx, offset, len)
+            } else {
+                layout.parity_window(s, offset, len)
+            };
+            if lo >= hi {
+                continue;
+            }
+            let srcs: Vec<u32> = sites
+                .iter()
+                .copied()
+                .filter(|&x| x != site && sources.contains(&x))
+                .collect();
+            out.push((layout.shard_obj_offset(s, idx, lo), hi - lo, srcs));
+        }
+        out
+    }
+
+    /// Queues a parity rebuild of the boundary stripe after a mid-stripe
+    /// truncate of a coded file: the surviving parity bytes still encode
+    /// the clipped data, so re-encode from the k data shards (the other
+    /// parity shards are equally stale and must not serve as sources).
+    fn queue_truncate_parity_rebuild(&mut self, now: SimTime, file: u64, size: u64) {
+        let Placement::Coded { n, k } = self.placement_of(file) else {
+            return;
+        };
+        if size.is_multiple_of(self.stripe_unit) {
+            return;
+        }
+        let layout = CodedLayout::new(n, k, self.stripe_unit);
+        let stripe = size / self.stripe_unit;
+        let sites = self.stripe_sites(file, stripe);
+        if sites.len() < n as usize {
+            return;
+        }
+        let data_sites: Vec<u32> = sites[..k as usize].to_vec();
+        for p in k..n {
+            let site = sites[p as usize];
+            let offset = layout.shard_obj_offset(stripe, p, 0);
+            let len = layout.shard_size();
+            let id = self.next_intent;
+            self.next_intent += 1;
+            self.wal.append(
+                now,
+                IntentRecord {
+                    id,
+                    kind: IntentKind::DirtyRange {
+                        obj: file,
+                        offset,
+                        len,
+                        sources: data_sites.clone(),
+                    },
+                    participants: vec![site],
+                    is_completion: false,
+                },
+                64,
+            );
+            self.dirty_log.entry(site).or_default().push(DirtyRange {
+                id,
+                obj: file,
+                offset,
+                len,
+                sources: data_sites.clone(),
+            });
+            self.gave_up.remove(&site);
+        }
+    }
+
+    /// Plans a coded rebuild of `range` for recovering site `target`:
+    /// resolves the stripe geometry and picks k live source shards,
+    /// rotated by `rotation` so retries route around a dead source.
+    /// `None` means the range cannot be rebuilt (the site left the
+    /// stripe, or too few sources survive) and should be drained.
+    fn shard_rebuild(
+        &mut self,
+        target: u32,
+        range: &DirtyRange,
+        rotation: u32,
+    ) -> Option<ShardRebuild> {
+        let Placement::Coded { n, k } = self.placement_of(range.obj) else {
+            return None;
+        };
+        let layout = CodedLayout::new(n, k, self.stripe_unit);
+        let stripe = range.offset / self.stripe_unit;
+        let sites = self.stripe_sites(range.obj, stripe);
+        let target_idx = sites.iter().position(|&s| s == target)? as u32;
+        let pos = range
+            .offset
+            .checked_sub(layout.shard_obj_offset(stripe, target_idx, 0))?;
+        if pos + range.len > layout.shard_size() {
+            return None;
+        }
+        let eligible: Vec<(u32, u32)> = sites
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| i as u32 != target_idx && range.sources.contains(&s))
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        if eligible.len() < k as usize {
+            return None;
+        }
+        let legs = (0..k as usize)
+            .map(|i| {
+                let (site, idx) = eligible[(rotation as usize + i) % eligible.len()];
+                (site, idx, layout.shard_obj_offset(stripe, idx, pos))
+            })
+            .collect();
+        Some(ShardRebuild {
+            range: range.clone(),
+            legs,
+            got: FxHashMap::default(),
+            n,
+            k,
+            target_idx,
+        })
     }
 
     fn fanout(
@@ -775,6 +1023,16 @@ impl Coordinator {
                 }
                 if let Some(id) = finished {
                     let f = self.fanouts.remove(&id).expect("finished fanout");
+                    // A completed truncate of a coded file leaves stale
+                    // parity in the boundary stripe; queue its rebuild
+                    // now that every site holds the clipped data.
+                    let trunc = match self.pending.get(&f.intent).map(|p| &p.kind) {
+                        Some(&IntentKind::Truncate { obj, size }) => Some((obj, size)),
+                        _ => None,
+                    };
+                    if let Some((obj, size)) = trunc {
+                        self.queue_truncate_parity_rebuild(now, obj, size);
+                    }
                     let mut actions =
                         self.handle(now, 0, CoordMsg::CompleteIntent { intent: f.intent });
                     actions.push(CoordAction::Reply {
@@ -832,6 +1090,14 @@ impl Coordinator {
                         },
                         32,
                     );
+                    // A probed truncate that (partially) happened clips
+                    // coded data shards: rebuild the boundary stripe's
+                    // parity unless no site truncated at all.
+                    if let IntentKind::Truncate { obj, size } = &p.kind {
+                        if outcome != IntentOutcome::Aborted {
+                            self.queue_truncate_parity_rebuild(now, *obj, *size);
+                        }
+                    }
                     // Repair for remove/truncate: re-issue to every site
                     // (idempotent); writes are resolved by NFS V3
                     // uncommitted-write semantics.
@@ -891,6 +1157,70 @@ impl Coordinator {
                         }];
                     }
                 }
+                // Coded path: a rebuild gathering survivor shard windows
+                // may expect this `(site, offset)` leg.
+                let mut targets: Vec<u32> = self.resync.keys().copied().collect();
+                targets.sort_unstable();
+                for target in targets {
+                    let job = self.resync.get_mut(&target).expect("listed job");
+                    let hit = matches!(
+                        &job.stage,
+                        Some(ResyncStage::AwaitShards(sr))
+                            if sr.range.obj == obj && !sr.got.contains_key(&site)
+                                && sr.legs.iter().any(|&(s, _, o)| s == site && o == offset)
+                    );
+                    if !hit {
+                        continue;
+                    }
+                    let Some(ResyncStage::AwaitShards(mut sr)) = job.stage.take() else {
+                        unreachable!("matched above");
+                    };
+                    // Short reads are holes: pad to the window — zeros
+                    // are exactly what the code sees for never-written
+                    // bytes.
+                    let mut bytes = data.to_vec();
+                    bytes.resize(sr.range.len as usize, 0);
+                    sr.got.insert(site, bytes.into());
+                    if sr.got.len() < sr.k as usize {
+                        job.stage = Some(ResyncStage::AwaitShards(sr));
+                        return vec![];
+                    }
+                    // All k windows present: decode the stripe and
+                    // regenerate the recovering site's shard.
+                    let mut slots: Vec<Option<&[u8]>> = vec![None; sr.n as usize];
+                    for &(s, idx, _) in &sr.legs {
+                        if let Some(b) = sr.got.get(&s) {
+                            slots[idx as usize] = Some(&b[..]);
+                        }
+                    }
+                    let codec = Codec::new(sr.n as usize, sr.k as usize);
+                    let rebuilt = codec.reconstruct_shard(&slots, sr.target_idx as usize);
+                    let range = sr.range.clone();
+                    match rebuilt {
+                        Some(shard) => {
+                            let buf: slice_nfsproto::ByteBuf = shard.into();
+                            job.stage = Some(ResyncStage::AwaitApply(range.clone(), buf.clone()));
+                            job.last_attempt = now;
+                            job.attempts = 0;
+                            return vec![CoordAction::SendCtl {
+                                site: target,
+                                ctl: StorageCtl::ResyncWrite {
+                                    obj,
+                                    offset: range.offset,
+                                    data: buf,
+                                },
+                            }];
+                        }
+                        None => {
+                            // Unreachable for a Cauchy code with k
+                            // distinct shards; drain defensively rather
+                            // than wedge the queue.
+                            job.stage = None;
+                            self.complete_range(now, target, &range);
+                            return self.advance_resync(now, target);
+                        }
+                    }
+                }
                 vec![]
             }
             StorageCtlReply::ResyncApplied { obj, offset } => {
@@ -939,30 +1269,47 @@ impl Coordinator {
         }
     }
 
-    /// The current in-flight leg of `site`'s resync, for (re)sending.
-    fn resync_leg(&self, site: u32) -> Option<CoordAction> {
-        let job = self.resync.get(&site)?;
-        match job.stage.as_ref()? {
-            ResyncStage::AwaitData(r) => {
+    /// The current in-flight legs of `site`'s resync, for (re)sending.
+    fn resync_leg(&self, site: u32) -> Vec<CoordAction> {
+        let Some(job) = self.resync.get(&site) else {
+            return vec![];
+        };
+        match job.stage.as_ref() {
+            None => vec![],
+            Some(ResyncStage::AwaitData(r)) => {
                 // Rotate over sources on retries in case one died too.
                 let src = r.sources[job.attempts as usize % r.sources.len()];
-                Some(CoordAction::SendCtl {
+                vec![CoordAction::SendCtl {
                     site: src,
                     ctl: StorageCtl::ResyncRead {
                         obj: r.obj,
                         offset: r.offset,
                         len: r.len,
                     },
-                })
+                }]
             }
-            ResyncStage::AwaitApply(r, data) => Some(CoordAction::SendCtl {
+            // Re-read only the survivor windows still missing.
+            Some(ResyncStage::AwaitShards(sr)) => sr
+                .legs
+                .iter()
+                .filter(|(s, _, _)| !sr.got.contains_key(s))
+                .map(|&(src, _, off)| CoordAction::SendCtl {
+                    site: src,
+                    ctl: StorageCtl::ResyncRead {
+                        obj: sr.range.obj,
+                        offset: off,
+                        len: sr.range.len,
+                    },
+                })
+                .collect(),
+            Some(ResyncStage::AwaitApply(r, data)) => vec![CoordAction::SendCtl {
                 site,
                 ctl: StorageCtl::ResyncWrite {
                     obj: r.obj,
                     offset: r.offset,
                     data: data.clone(),
                 },
-            }),
+            }],
         }
     }
 
@@ -981,11 +1328,25 @@ impl Coordinator {
                     self.complete_range(now, site, &range);
                 }
                 Some(range) => {
+                    let stage = if let Placement::Coded { .. } = self.placement_of(range.obj) {
+                        match self.shard_rebuild(site, &range, 0) {
+                            Some(sr) => ResyncStage::AwaitShards(sr),
+                            None => {
+                                // Unrebuildable (site left the stripe,
+                                // too few sources): drain rather than
+                                // stall forever.
+                                self.complete_range(now, site, &range);
+                                continue;
+                            }
+                        }
+                    } else {
+                        ResyncStage::AwaitData(range)
+                    };
                     let job = self.resync.get_mut(&site).expect("present");
-                    job.stage = Some(ResyncStage::AwaitData(range));
+                    job.stage = Some(stage);
                     job.last_attempt = now;
                     job.attempts = 0;
-                    return self.resync_leg(site).into_iter().collect();
+                    return self.resync_leg(site);
                 }
                 None => {
                     let job = self.resync.remove(&site).expect("present");
@@ -1046,6 +1407,19 @@ impl Coordinator {
                 continue;
             }
             job.last_attempt = now;
+            // A coded rebuild retries with a rotated source set (one of
+            // the k chosen survivors may itself have died) and regathers
+            // every window.
+            let rotate = match &job.stage {
+                Some(ResyncStage::AwaitShards(sr)) => Some((sr.range.clone(), job.attempts)),
+                _ => None,
+            };
+            if let Some((range, attempts)) = rotate {
+                if let Some(fresh) = self.shard_rebuild(site, &range, attempts) {
+                    let job = self.resync.get_mut(&site).expect("listed job");
+                    job.stage = Some(ResyncStage::AwaitShards(fresh));
+                }
+            }
             actions.extend(self.resync_leg(site));
         }
         actions
@@ -1554,6 +1928,177 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// A (4,2) coordinator with 4-shard stripes of 8 bytes (shards of
+    /// 4), plus the site list of stripe 0 of `file`.
+    fn coded_coord(file: u64) -> (Coordinator, Vec<u32>) {
+        let mut c = Coordinator::new(4);
+        c.set_default_placement(Placement::Coded { n: 4, k: 2 });
+        c.set_stripe_unit(8);
+        let acts = c.handle(
+            t(0),
+            1,
+            CoordMsg::MapGet {
+                file,
+                first_block: 0,
+                count: 1,
+            },
+        );
+        let sites = match &acts[0] {
+            CoordAction::Reply {
+                reply: CoordReply::MapFragment { sites, .. },
+                ..
+            } => sites[0].clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        (c, sites)
+    }
+
+    #[test]
+    fn coded_placement_yields_n_disjoint_sites() {
+        let (_, sites) = coded_coord(10);
+        assert_eq!(sites.len(), 4);
+        let mut uniq = sites.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "shard sites must be disjoint");
+    }
+
+    #[test]
+    fn coded_mark_dirty_splits_into_shard_windows() {
+        let (mut c, sites) = coded_coord(10);
+        // A full-stripe write missed by the second parity site: its
+        // window is object [4, 8) (p=1), not the file range [0, 8).
+        c.handle(
+            t(0),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 1,
+                obj: 10,
+                offset: 0,
+                len: 8,
+                missed: vec![sites[3]],
+                sources: vec![sites[0], sites[1], sites[2]],
+            },
+        );
+        assert_eq!(
+            c.dirty_log_dump(),
+            vec![(sites[3], 10, 4, 4)],
+            "parity shard window, in object offsets"
+        );
+    }
+
+    #[test]
+    fn coded_resync_rebuilds_shard_from_k_survivors() {
+        let (mut c, sites) = coded_coord(10);
+        let codec = slice_ec::Codec::new(4, 2);
+        let d0 = [1u8, 2, 3, 4];
+        let d1 = [5u8, 6, 7, 8];
+        let parity = codec.encode(&[&d0, &d1]);
+        // The site holding data shard 0 missed a full-stripe write.
+        c.handle(
+            t(0),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 1,
+                obj: 10,
+                offset: 0,
+                len: 8,
+                missed: vec![sites[0]],
+                sources: vec![sites[1], sites[2], sites[3]],
+            },
+        );
+        assert_eq!(c.dirty_log_dump(), vec![(sites[0], 10, 0, 4)]);
+        // The sweep reads the same position window of k=2 survivors:
+        // data shard 1 (object [4,8)) and parity p=0 (object [0,4)).
+        let acts = c.check_timeouts(t(1000));
+        assert!(acts.contains(&CoordAction::SendCtl {
+            site: sites[1],
+            ctl: StorageCtl::ResyncRead {
+                obj: 10,
+                offset: 4,
+                len: 4
+            }
+        }));
+        assert!(acts.contains(&CoordAction::SendCtl {
+            site: sites[2],
+            ctl: StorageCtl::ResyncRead {
+                obj: 10,
+                offset: 0,
+                len: 4
+            }
+        }));
+        assert_eq!(acts.len(), 2);
+        // Feed both windows back; the rebuilt shard must be d0.
+        let acts = c.handle_ctl_reply(
+            t(1001),
+            sites[1],
+            StorageCtlReply::ResyncData {
+                obj: 10,
+                offset: 4,
+                data: d1.to_vec().into(),
+            },
+        );
+        assert!(acts.is_empty(), "one of two windows is not enough");
+        let acts = c.handle_ctl_reply(
+            t(1002),
+            sites[2],
+            StorageCtlReply::ResyncData {
+                obj: 10,
+                offset: 0,
+                data: parity[0].clone().into(),
+            },
+        );
+        assert_eq!(
+            acts,
+            vec![CoordAction::SendCtl {
+                site: sites[0],
+                ctl: StorageCtl::ResyncWrite {
+                    obj: 10,
+                    offset: 0,
+                    data: d0.to_vec().into()
+                }
+            }],
+            "decoded shard goes back to the recovering site"
+        );
+        c.handle_ctl_reply(
+            t(1003),
+            sites[0],
+            StorageCtlReply::ResyncApplied { obj: 10, offset: 0 },
+        );
+        assert_eq!(c.dirty_ranges(), 0);
+        assert_eq!(c.resync_bytes(), 4);
+    }
+
+    #[test]
+    fn mid_stripe_truncate_queues_parity_rebuild() {
+        let (mut c, sites) = coded_coord(10);
+        c.handle(
+            t(0),
+            7,
+            CoordMsg::TruncateFile {
+                req_id: 1,
+                file: 10,
+                size: 4,
+            },
+        );
+        assert_eq!(c.dirty_ranges(), 0, "rebuild waits for the truncate");
+        for site in 0..4 {
+            c.handle_ctl_reply(t(1), site, StorageCtlReply::Done);
+        }
+        // Both parity shards of the boundary stripe are queued, sourced
+        // from the data sites only (the other parity is equally stale).
+        let dump = c.dirty_log_dump();
+        assert_eq!(
+            dump,
+            {
+                let mut want = vec![(sites[2], 10, 0, 4), (sites[3], 10, 4, 4)];
+                want.sort_unstable();
+                want
+            },
+            "one rebuild window per parity shard"
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@ use slice_xdr::XdrEncoder;
 use crate::attrcache::AttrCache;
 use crate::tables::RoutingTable;
 
+mod coded;
+use coded::{CodedLegRole, CodedOp};
+
 /// Name-space routing policy at the µproxy (paper §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProxyNamePolicy {
@@ -68,6 +71,11 @@ pub struct ProxyConfig {
     pub stripe_unit: u64,
     /// Replication degree for mirrored files.
     pub mirror_copies: u32,
+    /// Erasure-coded layout `(n, k)` for mapped files' bulk regions.
+    /// `None` keeps the mirrored/striped layouts. Requires
+    /// [`ProxyConfig::use_block_maps`] and a coordinator running the same
+    /// coded default placement.
+    pub coded: Option<(u32, u32)>,
     /// Route bulk I/O through coordinator block maps instead of the
     /// static placement function.
     pub use_block_maps: bool,
@@ -109,6 +117,7 @@ impl ProxyConfig {
             threshold: 64 * 1024,
             stripe_unit: 64 * 1024,
             mirror_copies: 2,
+            coded: None,
             use_block_maps: false,
             use_intents: true,
             attr_cache_entries: 4096,
@@ -217,6 +226,8 @@ struct PendingReq {
     /// (file, attr version) for µproxy-initiated attribute write-backs:
     /// the entry is cleaned only when this push is acknowledged.
     push: Option<(u64, u64)>,
+    /// Set on internal legs of an erasure-coded op: (parent xid, role).
+    coded: Option<(u32, CodedLegRole)>,
 }
 
 /// Real-time cost accounting for the four µproxy phases (Table 3).
@@ -268,6 +279,13 @@ pub struct Uproxy {
     degrade_ok: FxHashMap<u32, Vec<u32>>,
     /// Suspicion transitions `(when, site, suspected)` for benchmarks.
     suspicion_log: Vec<(SimTime, u32, bool)>,
+    /// Erasure-coded ops in flight, keyed by the client's (parent) xid.
+    coded_ops: FxHashMap<u32, CodedOp>,
+    /// Per-(file, stripe) exclusive locks held by coded ops that gather
+    /// and decode (read-modify-write serialization).
+    stripe_locks: FxHashMap<(u64, u64), u32>,
+    /// Coded requests parked on a stripe lock, in arrival order.
+    coded_waiters: Vec<((u64, u64), Packet)>,
     mirror_rr: u64,
     next_own_xid: u32,
     cred: AuthUnix,
@@ -281,6 +299,11 @@ pub struct Uproxy {
     degraded_writes: u64,
     degraded_bytes: u64,
     probes_sent: u64,
+    coded_reads: u64,
+    coded_writes: u64,
+    ec_degraded_reads: u64,
+    ec_reconstructions: u64,
+    ec_reconstructed_bytes: u64,
 }
 
 impl Uproxy {
@@ -302,6 +325,9 @@ impl Uproxy {
             degrade_pending: FxHashMap::default(),
             degrade_ok: FxHashMap::default(),
             suspicion_log: Vec::new(),
+            coded_ops: FxHashMap::default(),
+            stripe_locks: FxHashMap::default(),
+            coded_waiters: Vec::new(),
             mirror_rr: 0,
             next_own_xid: 0x8000_0000,
             cred: AuthUnix {
@@ -318,6 +344,11 @@ impl Uproxy {
             degraded_writes: 0,
             degraded_bytes: 0,
             probes_sent: 0,
+            coded_reads: 0,
+            coded_writes: 0,
+            ec_degraded_reads: 0,
+            ec_reconstructions: 0,
+            ec_reconstructed_bytes: 0,
             cfg,
         }
     }
@@ -393,6 +424,12 @@ impl Uproxy {
         set(reg, "ha.degraded_writes", self.degraded_writes);
         set(reg, "ha.degraded_bytes", self.degraded_bytes);
         set(reg, "ha.probes_sent", self.probes_sent);
+        set(reg, "ec.coded_reads", self.coded_reads);
+        set(reg, "ec.coded_writes", self.coded_writes);
+        set(reg, "ec.degraded_reads", self.ec_degraded_reads);
+        set(reg, "ec.reconstructions", self.ec_reconstructions);
+        set(reg, "ec.reconstructed_bytes", self.ec_reconstructed_bytes);
+        set(reg, "soft_state.entries", self.soft_state_entries() as u64);
         set(reg, "phase.packets", self.phases.packets);
         set(reg, "phase.intercept_ns", self.phases.intercept_ns);
         set(reg, "phase.decode_ns", self.phases.decode_ns);
@@ -459,6 +496,9 @@ impl Uproxy {
         self.intent_waiters.clear();
         self.degrade_pending.clear();
         self.degrade_ok.clear();
+        self.coded_ops.clear();
+        self.stripe_locks.clear();
+        self.coded_waiters.clear();
         // Suspicion is a hint; rebuilt from observed retransmissions.
         for h in &mut self.health {
             *h = SiteHealth::new();
@@ -480,6 +520,34 @@ impl Uproxy {
         &self.suspicion_log
     }
 
+    /// (coded reads, coded writes, degraded reads, reconstructions,
+    /// reconstructed bytes) for the erasure-coded layout.
+    pub fn ec_stats(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.coded_reads,
+            self.coded_writes,
+            self.ec_degraded_reads,
+            self.ec_reconstructions,
+            self.ec_reconstructed_bytes,
+        )
+    }
+
+    /// Total soft-state entries currently held (pending requests, block-map
+    /// fragments, cached attributes, parked packets, coded ops): the
+    /// µproxy's live working-set size for capacity benchmarks.
+    pub fn soft_state_entries(&self) -> usize {
+        self.pending.len()
+            + self.map_cache.len()
+            + self.attrs.len()
+            + self.map_waiters.values().map(Vec::len).sum::<usize>()
+            + self.intent_waiters.len()
+            + self.degrade_pending.len()
+            + self.degrade_ok.len()
+            + self.coded_ops.len()
+            + self.coded_waiters.len()
+            + self.stripe_locks.len()
+    }
+
     /// (read failovers, degraded writes, degraded bytes, probes sent).
     pub fn ha_stats(&self) -> (u64, u64, u64, u64) {
         (
@@ -496,6 +564,14 @@ impl Uproxy {
     /// all of them, being interposed on the packet path).
     pub fn note_retransmit(&mut self, now: SimTime, xid: u32) -> Vec<ProxyOut> {
         let mut out = Vec::new();
+        // A coded op's storage legs carry internal xids; the client only
+        // retransmits the parent, so strike the legs' sites here.
+        if let Some(op) = self.coded_ops.get(&xid) {
+            for site in op.awaiting.clone() {
+                self.strike(now, &mut out, site);
+            }
+            return out;
+        }
         let awaiting = match self.pending.get(&xid) {
             Some(r) if r.class == Class::Storage => r.awaiting.clone(),
             _ => return out,
@@ -682,6 +758,7 @@ impl Uproxy {
                 awaiting: Vec::new(),
                 merge: None,
                 push: Some((entry.fh.file_id(), entry.version)),
+                coded: None,
             },
         );
         self.initiated += 1;
@@ -715,7 +792,7 @@ impl Uproxy {
 
     fn route_call(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         out: &mut Vec<ProxyOut>,
         pkt: Packet,
         xid: u32,
@@ -725,6 +802,31 @@ impl Uproxy {
         let client_src = pkt.src;
         // Phase 4 pieces are timed inside; phase 3 around the rewrites.
         match &req {
+            // Erasure-coded layouts intercept all bulk (and straddling)
+            // I/O on mapped files: the µproxy stripes it into shard legs.
+            NfsRequest::Read { fh, offset, count }
+                if self.coded_geom(fh).is_some()
+                    && self.coded_touches_bulk(*offset, u64::from(*count)) =>
+            {
+                let (fh, offset, count) = (*fh, *offset, *count);
+                let t4 = self.phase_start();
+                self.coded_read(now, out, pkt, xid, fh, offset, count);
+                self.phases.soft_ns += Self::elapsed_ns(t4);
+            }
+            NfsRequest::Write {
+                fh,
+                offset,
+                data,
+                stable,
+            } if self.coded_geom(fh).is_some()
+                && self.coded_touches_bulk(*offset, data.len() as u64) =>
+            {
+                let (fh, offset, stable) = (*fh, *offset, *stable);
+                let data = data.clone();
+                let t4 = self.phase_start();
+                self.coded_write(now, out, pkt, xid, fh, offset, data, stable);
+                self.phases.soft_ns += Self::elapsed_ns(t4);
+            }
             // I/O that straddles the threshold offset is split: the head
             // belongs to a small-file server, the tail to the storage
             // array. The halves share the xid; replies are reassembled.
@@ -790,6 +892,7 @@ impl Uproxy {
                             high: None,
                         }),
                         push: None,
+                        coded: None,
                     },
                 );
                 self.phases.soft_ns += Self::elapsed_ns(t4);
@@ -866,6 +969,7 @@ impl Uproxy {
                             total: data.len() as u32,
                         }),
                         push: None,
+                        coded: None,
                     },
                 );
                 self.phases.soft_ns += Self::elapsed_ns(t4);
@@ -907,6 +1011,7 @@ impl Uproxy {
                         awaiting: vec![site],
                         merge: None,
                         push: None,
+                        coded: None,
                     },
                 );
                 self.phases.soft_ns += Self::elapsed_ns(t4);
@@ -962,6 +1067,7 @@ impl Uproxy {
                         awaiting: sites.clone(),
                         merge: None,
                         push: None,
+                        coded: None,
                     },
                 );
                 self.phases.soft_ns += Self::elapsed_ns(t4);
@@ -1032,6 +1138,7 @@ impl Uproxy {
                         awaiting: Vec::new(),
                         merge: None,
                         push: None,
+                        coded: None,
                     },
                 );
                 self.phases.soft_ns += Self::elapsed_ns(t4);
@@ -1157,6 +1264,7 @@ impl Uproxy {
                 awaiting,
                 merge: None,
                 push: None,
+                coded: None,
             },
         );
     }
@@ -1270,6 +1378,17 @@ impl Uproxy {
             } else if !self.health[s as usize].suspected {
                 self.health[s as usize].strikes = 0;
             }
+        }
+        // Internal legs of an erasure-coded op are absorbed here and
+        // drive the parent op's state machine instead of the generic
+        // bookkeeping below.
+        if let Some((parent, role)) = rec.coded {
+            let t4 = self.phase_start();
+            self.pending.remove(&xid);
+            self.absorbed += 1;
+            self.coded_leg_reply(now, &mut out, parent, role, src_site, reply);
+            self.phases.soft_ns += Self::elapsed_ns(t4);
+            return out;
         }
         // Phase 4: soft state — multi-reply bookkeeping + attribute cache.
         let t4 = self.phase_start();

@@ -706,3 +706,175 @@ fn rapid_double_crash_recover_discards_stale_incarnation_work() {
     violations.extend(slice::check::check_histories(&ens.histories()).0);
     assert!(violations.is_empty(), "oracle violations: {violations:?}");
 }
+
+/// Clean coded roundtrip: pipelined writes to an erasure-coded file are
+/// striped into k data + n−k parity shards, reads come back byte-exact,
+/// and the coded-reconstruction oracle verifies every stripe decodes from
+/// every k-subset of its shards.
+#[test]
+fn coded_write_read_roundtrip() {
+    let cfg = SliceConfig {
+        coded: Some((4, 2)),
+        record_history: true,
+        ..Default::default()
+    };
+    let mut script = vec![Step::Create {
+        parent: 0,
+        name: "ec0".into(),
+        save: 1,
+        mode_extra: 0,
+    }];
+    for i in 0..8u64 {
+        script.push(Step::Write {
+            fh: 1,
+            offset: 64 * 1024 + i * 32768,
+            len: 32768,
+            pattern: 0x60 + i as u8,
+            stable: StableHow::FileSync,
+        });
+    }
+    for i in 0..8u64 {
+        script.push(Step::Read {
+            fh: 1,
+            offset: 64 * 1024 + i * 32768,
+            len: 32768,
+            verify: Some(0x60 + i as u8),
+        });
+    }
+    let ens = common::run_script(&cfg, ScriptWorkload::new(script, 4));
+    assert_eq!(ens.client(0).stats().timeouts, 0);
+    let proxy = ens.client(0).proxy().expect("slice client");
+    let (coded_reads, coded_writes, degraded, recon, _) = proxy.ec_stats();
+    assert!(coded_writes >= 8, "bulk writes must take the coded path");
+    assert!(coded_reads >= 8, "bulk reads must take the coded path");
+    assert_eq!(degraded, 0, "no degraded reads on a healthy ensemble");
+    assert_eq!(recon, 0, "no reconstruction on a healthy ensemble");
+    let mut violations = slice::check::check_structural_strict(&ens);
+    violations.extend(slice::check::check_histories(&ens.histories()).0);
+    assert!(violations.is_empty(), "oracle violations: {violations:?}");
+}
+
+/// With one storage node down and never recovered, reads of a coded file
+/// reconstruct the missing shards from any k survivors: the workload
+/// completes with zero timeouts and byte-exact data.
+#[test]
+fn coded_reads_reconstruct_while_node_stays_down() {
+    let cfg = SliceConfig {
+        coded: Some((4, 2)),
+        ..Default::default()
+    };
+    let mut phase1 = vec![Step::Create {
+        parent: 0,
+        name: "ec1".into(),
+        save: 1,
+        mode_extra: 0,
+    }];
+    for i in 0..8u64 {
+        phase1.push(Step::Write {
+            fh: 1,
+            offset: 64 * 1024 + i * 32768,
+            len: 32768,
+            pattern: 0x70 + i as u8,
+            stable: StableHow::FileSync,
+        });
+    }
+    let mut phase2 = vec![Step::Lookup {
+        parent: 0,
+        name: "ec1".into(),
+        save: 1,
+        expect_ok: true,
+    }];
+    for i in 0..8u64 {
+        phase2.push(Step::Read {
+            fh: 1,
+            offset: 64 * 1024 + i * 32768,
+            len: 32768,
+            verify: Some(0x70 + i as u8),
+        });
+    }
+    let ens = two_phase(
+        &cfg,
+        phase1,
+        2,
+        |ens| {
+            let s = ens.storage[0];
+            ens.engine.fail_node(s);
+        },
+        phase2,
+        2,
+    );
+    assert_eq!(
+        ens.client(0).stats().timeouts,
+        0,
+        "reads must reconstruct, not time out"
+    );
+    let proxy = ens.client(0).proxy().expect("slice client");
+    assert!(
+        proxy.suspected_sites().contains(&0),
+        "the dead site must be under suspicion"
+    );
+    let (_, _, degraded, recon, recon_bytes) = proxy.ec_stats();
+    assert!(degraded > 0, "reads of victim-held shards must degrade");
+    assert!(recon > 0, "degraded reads must decode from k survivors");
+    assert!(recon_bytes > 0, "reconstruction must account its bytes");
+}
+
+/// A coded write issued while one shard holder is down completes at
+/// reduced redundancy, parks the dead legs in the dirty-region log, and
+/// the post-recovery resync rebuilds the missing shards from k survivors
+/// — after which every stripe again decodes from every k-subset.
+#[test]
+fn coded_degraded_write_resyncs_and_restores_redundancy() {
+    use slice::core::actors::CoordActor;
+    use slice::workloads::BulkIo;
+
+    let cfg = SliceConfig {
+        clients: 1,
+        coded: Some((4, 2)),
+        record_history: true,
+        probe_interval_ms: 300,
+        ..Default::default()
+    };
+    let total = 8 * 1024 * 1024u64;
+    let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(BulkIo::writer("ec2", total, true))]);
+    ens.start();
+    ens.engine
+        .run_until(ens.engine.now() + SimDuration::from_millis(50));
+    ens.engine.fail_node(ens.storage[0]);
+    ens.run_to_completion(deadline());
+    assert!(ens.client(0).finished(), "degraded writer must finish");
+    assert_eq!(ens.client(0).stats().timeouts, 0);
+    let dirty: usize = ens
+        .coords
+        .iter()
+        .map(|&c| {
+            ens.engine
+                .actor::<CoordActor>(c)
+                .coord
+                .dirty_log_dump()
+                .len()
+        })
+        .sum();
+    assert!(dirty > 0, "missed shard writes must be logged as dirty");
+
+    ens.recover_storage_node(0);
+    ens.engine
+        .run_until(ens.engine.now() + SimDuration::from_secs(20));
+    for &c in &ens.coords {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        assert_eq!(
+            coord.dirty_log_dump().len(),
+            0,
+            "shard rebuild must drain the log"
+        );
+        assert!(
+            coord.resync_history().iter().any(|&(s, _, _, _)| s == 0),
+            "a rebuild of the victim must be on record"
+        );
+    }
+    let violations = slice::check::check_structural(&ens);
+    assert!(
+        violations.is_empty(),
+        "stripes must re-satisfy the code after rebuild: {violations:?}"
+    );
+}

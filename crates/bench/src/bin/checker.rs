@@ -10,13 +10,17 @@
 //! namespace equivalence against the reference run.
 //!
 //! Usage: `checker [--seeds N] [--schedules M] [--chaos] [--coded]
-//! [--threads T] [--shards S] [--json-out] [--report-out FILE]`
+//! [--reconf] [--threads T] [--shards S] [--json-out] [--report-out FILE]`
 //! (defaults: 8 seeds × 4 schedules, T = available parallelism, 1 shard).
 //! `--chaos` swaps the standard schedule pool for the chaos pool
 //! (datagram duplication and reordering windows, stacked storage
 //! crashes). `--coded` runs every ensemble with (4,2) erasure coding for
 //! mapped files — the coded-reconstruction oracle then vets every stripe
 //! — and with `--chaos` widens the pool with stacked storage crashes.
+//! `--reconf` runs every ensemble with a fifth standby storage site and
+//! swaps the pool for reconfiguration schedules (joins, planned drains,
+//! hot-set widening, rebalance-mid-crash stacks); the drain oracle then
+//! proves no chunk is stranded and no map entry orphaned after removal.
 //! Seeds fan out over the slice-par worker pool; the printed
 //! report is byte-identical for identical arguments at *any* thread
 //! count *and* any `--shards` value (each run's engine is partitioned
@@ -26,7 +30,7 @@
 //! report plus informational host-timing gauges. Exits nonzero if any
 //! run violated any oracle.
 
-use slice_check::sweep_coded;
+use slice_check::sweep_reconf;
 
 fn arg_after(flag: &str, default: u64) -> u64 {
     let mut args = std::env::args();
@@ -58,20 +62,28 @@ fn main() {
     let shards = arg_after("--shards", 1) as usize;
     let chaos = std::env::args().any(|a| a == "--chaos");
     let coded = std::env::args().any(|a| a == "--coded");
+    let reconf = std::env::args().any(|a| a == "--reconf");
     let seeds: Vec<u64> = (1..=n_seeds).collect();
 
     println!(
-        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}, {} shard{}{}",
+        "checker: sweeping {} seeds x {} {} schedules (+1 reference each) on {} thread{}, {} shard{}{}{}",
         seeds.len(),
         n_schedules,
-        if chaos { "chaos" } else { "standard" },
+        if reconf {
+            "reconf"
+        } else if chaos {
+            "chaos"
+        } else {
+            "standard"
+        },
         threads,
         if threads == 1 { "" } else { "s" },
         shards,
         if shards == 1 { "" } else { "s" },
-        if coded { ", coded (4,2)" } else { "" }
+        if coded { ", coded (4,2)" } else { "" },
+        if reconf { ", standby site 4" } else { "" }
     );
-    let report = sweep_coded(&seeds, n_schedules, chaos, threads, shards, coded);
+    let report = sweep_reconf(&seeds, n_schedules, chaos, threads, shards, coded, reconf);
     println!(
         "checker: {} runs, {} client-visible ops checked, {} failing",
         report.runs,
@@ -94,11 +106,15 @@ fn main() {
         eprintln!("wrote {path}");
     }
     slice_bench::maybe_write_json(
-        match (chaos, coded) {
-            (false, false) => "checker",
-            (true, false) => "checker_chaos",
-            (false, true) => "checker_coded",
-            (true, true) => "checker_chaos_coded",
+        if reconf {
+            "checker_reconf"
+        } else {
+            match (chaos, coded) {
+                (false, false) => "checker",
+                (true, false) => "checker_chaos",
+                (false, true) => "checker_coded",
+                (true, true) => "checker_chaos_coded",
+            }
         },
         &report.timed_json,
     );

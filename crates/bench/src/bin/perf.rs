@@ -141,11 +141,13 @@ fn shard_scaling_phase(files: u64, shards: usize) -> (PhaseReport, PhaseReport) 
 }
 
 /// Live-state sizes at the end of a mapped mirrored bulk run: coordinator
-/// block-map entries, µproxy soft-state entries (pending ops, map-cache
-/// fragments, cached attrs, parked packets, coded ops), and the engine's
-/// peak live events — the simulator's working-set gauges for capacity
-/// planning. All three are deterministic.
-fn live_state_phase(bytes_per_client: u64, shards: usize) -> (u64, u64, u64) {
+/// block-map entries and open dirty ranges, µproxy soft-state entries
+/// (pending ops, map-cache fragments, cached attrs, parked packets,
+/// coded ops) and suspected sites, and the engine's peak live events —
+/// the simulator's working-set gauges for capacity planning, and the
+/// leak canaries for the per-site soft state that planned removal must
+/// purge. All are deterministic.
+fn live_state_phase(bytes_per_client: u64, shards: usize) -> (u64, u64, u64, u64, u64) {
     use slice_core::actors::CoordActor;
     use slice_core::ensemble::{SliceConfig, SliceEnsemble};
     use slice_core::Workload;
@@ -173,13 +175,30 @@ fn live_state_phase(bytes_per_client: u64, shards: usize) -> (u64, u64, u64) {
         .iter()
         .map(|&c| ens.engine.actor::<CoordActor>(c).coord.map_entries())
         .sum();
+    let dirty: usize = ens
+        .coords
+        .iter()
+        .map(|&c| {
+            ens.engine
+                .actor::<CoordActor>(c)
+                .coord
+                .dirty_log_dump()
+                .len()
+        })
+        .sum();
     let soft: usize = (0..CLIENTS)
         .filter_map(|i| ens.client(i).proxy())
         .map(|p| p.soft_state_entries())
         .sum();
+    let suspected: usize = (0..CLIENTS)
+        .filter_map(|i| ens.client(i).proxy())
+        .map(|p| p.suspected_sites().len())
+        .sum();
     (
         maps as u64,
+        dirty as u64,
         soft as u64,
+        suspected as u64,
         ens.engine.peak_live_events() as u64,
     )
 }
@@ -281,7 +300,8 @@ fn main() {
     let untar = untar_phase(files, threads);
     let bulk = bulk_phase(bulk_bytes);
     let (shallow, deep, deep_bytes) = slice_nfsproto::bytes::clone_stats();
-    let (map_entries, soft_entries, live_peak) = live_state_phase(bulk_bytes / 4, 1);
+    let (map_entries, dirty_ranges, soft_entries, suspected_sites, live_peak) =
+        live_state_phase(bulk_bytes / 4, 1);
     let scaling = (shards > 1).then(|| shard_scaling_phase(files, shards));
 
     println!(
@@ -324,7 +344,9 @@ fn main() {
         reg.set("perf.payload.deep_copies", deep);
         reg.set("perf.payload.deep_copy_bytes", deep_bytes);
         reg.set("perf.live_state.coord_map_entries", map_entries);
+        reg.set("perf.live_state.coord_dirty_ranges", dirty_ranges);
         reg.set("perf.live_state.uproxy_soft_state_entries", soft_entries);
+        reg.set("perf.live_state.uproxy_suspected_sites", suspected_sites);
         reg.set("perf.live_state.peak_live_events", live_peak);
         reg.set_gauge("perf.threads", threads as f64);
         reg.set_gauge("perf.total.wall_s", untar.wall_s + bulk.wall_s);

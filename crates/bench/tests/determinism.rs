@@ -60,6 +60,55 @@ fn fig3_is_byte_identical_across_shard_counts() {
     }
 }
 
+fn run_reconfigure(extra: &[&str]) -> String {
+    let mut args = vec!["--mb", "4", "--reads", "1"];
+    args.extend_from_slice(extra);
+    let out = Command::new(env!("CARGO_BIN_EXE_reconfigure"))
+        .args(&args)
+        .output()
+        .expect("spawn reconfigure");
+    assert!(
+        out.status.success(),
+        "reconfigure failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("reconfigure stdout is UTF-8")
+}
+
+/// The reconfiguration bench — hot-set detection, widening, join
+/// rebalance, drain — must be byte-identical across thread counts (the
+/// parallel tasks are independent ensembles merged by input index) and
+/// across two separate processes of the same arguments.
+#[test]
+fn reconfigure_is_byte_identical_across_thread_counts() {
+    let one = run_reconfigure(&["--threads", "1"]);
+    let four = run_reconfigure(&["--threads", "4"]);
+    assert!(
+        one == four,
+        "reconfigure stdout differs between --threads 1 and --threads 4:\n--- threads 1\n{one}\n--- threads 4\n{four}"
+    );
+    let again = run_reconfigure(&["--threads", "1"]);
+    assert_eq!(one, again, "reconfigure differs across processes");
+    assert!(
+        one.lines().rev().any(|l| l.starts_with('{')),
+        "reconfigure stdout lost its obs JSON line"
+    );
+}
+
+/// Same contract across engine shard counts: every ensemble in the bench
+/// partitioned across 2 time-synchronized shards must reproduce the
+/// serial timeline exactly — reconfiguration actions (join, drain,
+/// widen) are injected shard-aware.
+#[test]
+fn reconfigure_is_byte_identical_across_shard_counts() {
+    let serial = run_reconfigure(&["--shards", "1"]);
+    let sharded = run_reconfigure(&["--shards", "2"]);
+    assert!(
+        serial == sharded,
+        "reconfigure stdout differs between --shards 1 and --shards 2:\n--- shards 1\n{serial}\n--- shards 2\n{sharded}"
+    );
+}
+
 /// Same contract for the consistency checker under the chaos pool: the
 /// deterministic sweep report (crash, loss, duplication, reordering
 /// injections included) is identical whether each run's engine is serial

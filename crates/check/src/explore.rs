@@ -451,6 +451,18 @@ pub enum Injection {
     /// Reorder datagram arrivals within a `window_ms` jitter window for
     /// `dur_ms`.
     ReorderWindow { window_ms: u64, dur_ms: u64 },
+    /// Bring standby storage site `site` into the placement rotation and
+    /// rebalance a share of existing block-map entries onto it. Only
+    /// meaningful against the reconf ensemble (five sites, four active).
+    JoinStorage { site: usize },
+    /// Planned drain of storage site `site`: migrate every block-map
+    /// entry off it, then retire it (distinct from a crash — the site
+    /// serves reads while draining). The drain oracle verifies no chunk
+    /// is stranded and no map entry orphaned afterwards.
+    DrainStorage { site: usize },
+    /// Widen the hottest file (per the µproxies' sliding hot window) by
+    /// one pinned replica; a no-op when nothing is hot yet.
+    WidenHot,
 }
 
 /// An [`Injection`] pinned to a simulated time.
@@ -515,13 +527,16 @@ enum Act {
     DupOff,
     ReorderOn(u64),
     ReorderOff,
+    Join(usize),
+    Drain(usize),
+    WidenHot,
 }
 
 /// The ensemble every schedule runs against: one recorded client, two
 /// directory sites (so reconfig/multisite paths are live), the default
 /// four storage nodes with block maps on, and data retention for the
 /// structural oracles.
-fn explorer_config(seed: u64, shards: usize, coded: bool) -> SliceConfig {
+fn explorer_config(seed: u64, shards: usize, coded: bool, reconf: bool) -> SliceConfig {
     SliceConfig {
         clients: 1,
         dir_servers: 2,
@@ -529,6 +544,14 @@ fn explorer_config(seed: u64, shards: usize, coded: bool) -> SliceConfig {
         retain_data: true,
         use_block_maps: true,
         coded: coded.then_some((4, 2)),
+        // The reconf ensemble carries a fifth storage site held in
+        // standby so join/drain schedules have somewhere to rebalance
+        // to, and two-way mirrored mapped placement so widening and join
+        // rebalance have replica sets to operate on; the base ensemble
+        // is unchanged so existing sweep outputs stay stable.
+        storage_nodes: if reconf { 5 } else { 4 },
+        active_storage: reconf.then_some(4),
+        mapped_mirror: reconf && !coded,
         seed,
         shards,
         ..SliceConfig::default()
@@ -577,7 +600,24 @@ pub fn run_schedule_coded(
     shards: usize,
     coded: bool,
 ) -> RunOutcome {
-    let cfg = explorer_config(seed, shards, coded);
+    run_schedule_reconf(seed, scenario, schedule, reference, shards, coded, false)
+}
+
+/// [`run_schedule_coded`] against the reconfiguration ensemble: a fifth
+/// storage site starts in standby, `JoinStorage`/`DrainStorage`/`WidenHot`
+/// injections are honored, and the drain oracle
+/// ([`crate::state::check_drained`]) runs over every drained site at
+/// quiescence.
+pub fn run_schedule_reconf(
+    seed: u64,
+    scenario: &Scenario,
+    schedule: &Schedule,
+    reference: Option<&VolumeSnapshot>,
+    shards: usize,
+    coded: bool,
+    reconf: bool,
+) -> RunOutcome {
+    let cfg = explorer_config(seed, shards, coded, reconf);
     let mut ens = SliceEnsemble::build(&cfg, vec![Box::new(DriverWorkload::new(scenario.clone()))]);
     ens.start();
 
@@ -620,10 +660,18 @@ pub fn run_schedule_coded(
                 timeline.push((ev.at_ms, i, Act::ReorderOn(window_ms)));
                 timeline.push((ev.at_ms + dur_ms, i, Act::ReorderOff));
             }
+            Injection::JoinStorage { site } => {
+                timeline.push((ev.at_ms, i, Act::Join(site % ens.storage.len())));
+            }
+            Injection::DrainStorage { site } => {
+                timeline.push((ev.at_ms, i, Act::Drain(site % ens.storage.len())));
+            }
+            Injection::WidenHot => timeline.push((ev.at_ms, i, Act::WidenHot)),
         }
     }
     timeline.sort_by_key(|(ms, ord, _)| (*ms, *ord));
 
+    let mut drained: Vec<usize> = Vec::new();
     for (ms, _, act) in timeline {
         ens.engine.run_until(SimTime::from_nanos(ms * 1_000_000));
         match act {
@@ -636,9 +684,29 @@ pub fn run_schedule_coded(
             Act::DupOff => ens.engine.set_dup_prob(0.0),
             Act::ReorderOn(ms) => ens.engine.set_reorder_window(SimDuration::from_millis(ms)),
             Act::ReorderOff => ens.engine.set_reorder_window(SimDuration::ZERO),
+            Act::Join(i) => {
+                ens.join_storage_node(i);
+            }
+            Act::Drain(i) => {
+                ens.drain_storage_node(i);
+                if !drained.contains(&i) {
+                    drained.push(i);
+                }
+            }
+            Act::WidenHot => {
+                if let Some(&(file, _)) = ens.hot_files(1).first() {
+                    ens.widen_file(file);
+                }
+            }
         }
     }
     let finish = ens.run_to_completion(SimTime::from_nanos(RUN_DEADLINE_SECS * 1_000_000_000));
+    // The client-side half of every drain: once the migration log
+    // drained, retire the site at the µproxies so the drain oracle can
+    // check the suspicion purge too.
+    for &s in &drained {
+        ens.retire_storage_node(s);
+    }
 
     let stalled = !ens.client(0).finished();
     let mut violations = Vec::new();
@@ -666,6 +734,9 @@ pub fn run_schedule_coded(
     } else {
         check_structural(&ens)
     });
+    if !drained.is_empty() && !stalled {
+        violations.extend(crate::state::check_drained(&ens, &drained));
+    }
 
     let snap = snapshot(&ens);
     if let Some(reference) = reference {
@@ -877,6 +948,92 @@ pub fn coded_chaos_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedu
     pool
 }
 
+/// Generates `m` deterministic reconfiguration schedules: joins of the
+/// standby fifth site, planned drains, hot-set widening, and — the
+/// rebalance-mid-crash case — a node or coordinator crash landing while
+/// migrations are in flight. Only meaningful against the reconf ensemble
+/// ([`run_schedule_reconf`] with `reconf = true`); every schedule with a
+/// drain is vetted by the drain oracle at quiescence.
+pub fn reconf_schedules(seed: u64, m: usize, horizon_ms: u64) -> Vec<Schedule> {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x8f9a_6c44_0b1e_77d3) ^ 0x1d7a2);
+    let horizon = horizon_ms.max(100);
+    let at = |rng: &mut Rng| horizon / 10 + rng.gen_range(0..horizon.max(2) * 8 / 10);
+    (0..m)
+        .map(|j| {
+            let mut events = Vec::new();
+            match j % 4 {
+                0 => {
+                    // Full capacity cycle: join the spare, then drain an
+                    // original site onto the widened rotation.
+                    let t = at(&mut rng);
+                    events.push(ScheduleEvent {
+                        at_ms: t,
+                        inject: Injection::JoinStorage { site: 4 },
+                    });
+                    events.push(ScheduleEvent {
+                        at_ms: t + rng.gen_range(200..800u64),
+                        inject: Injection::DrainStorage {
+                            site: rng.gen_range(0..4u64) as usize,
+                        },
+                    });
+                }
+                1 => {
+                    // Rebalance mid-crash: a neighbor of the draining
+                    // site crashes while its migrations are in flight.
+                    let t = at(&mut rng);
+                    let drain_site = rng.gen_range(0..4u64) as usize;
+                    events.push(ScheduleEvent {
+                        at_ms: t,
+                        inject: Injection::JoinStorage { site: 4 },
+                    });
+                    events.push(ScheduleEvent {
+                        at_ms: t + 100,
+                        inject: Injection::DrainStorage { site: drain_site },
+                    });
+                    events.push(ScheduleEvent {
+                        at_ms: t + rng.gen_range(150..600u64),
+                        inject: Injection::CrashStorage {
+                            site: (drain_site + 1) % 4,
+                            down_ms: rng.gen_range(1500..2500u64),
+                        },
+                    });
+                }
+                2 => {
+                    // Demand-driven replication under packet loss.
+                    events.push(ScheduleEvent {
+                        at_ms: at(&mut rng),
+                        inject: Injection::WidenHot,
+                    });
+                    events.push(ScheduleEvent {
+                        at_ms: at(&mut rng),
+                        inject: Injection::LossWindow {
+                            permille: 20,
+                            dur_ms: rng.gen_range(1000..3000u64),
+                        },
+                    });
+                }
+                _ => {
+                    // Rebalance across a coordinator crash: migration
+                    // intents and site changes replay from the WAL.
+                    let t = at(&mut rng);
+                    events.push(ScheduleEvent {
+                        at_ms: t,
+                        inject: Injection::JoinStorage { site: 4 },
+                    });
+                    events.push(ScheduleEvent {
+                        at_ms: t + rng.gen_range(50..400u64),
+                        inject: Injection::CrashCoord {
+                            site: 0,
+                            down_ms: rng.gen_range(1500..2500u64),
+                        },
+                    });
+                }
+            }
+            Schedule { events }
+        })
+        .collect()
+}
+
 /// One failing run inside a [`SweepReport`].
 #[derive(Debug)]
 pub struct SweepFailure {
@@ -983,11 +1140,43 @@ pub fn sweep_coded(
     shards: usize,
     coded: bool,
 ) -> SweepReport {
+    sweep_reconf(
+        seeds,
+        schedules_per_seed,
+        chaos,
+        threads,
+        shards,
+        coded,
+        false,
+    )
+}
+
+/// [`sweep_coded`] with a reconfiguration choice: `reconf` runs every
+/// ensemble with a fifth standby storage site (see [`run_schedule_reconf`])
+/// and swaps the schedule pool for [`reconf_schedules`] — joins, planned
+/// drains, hot-set widening, and rebalance-mid-crash stacks — with the
+/// drain oracle vetting every drained site at quiescence.
+pub fn sweep_reconf(
+    seeds: &[u64],
+    schedules_per_seed: usize,
+    chaos: bool,
+    threads: usize,
+    shards: usize,
+    coded: bool,
+    reconf: bool,
+) -> SweepReport {
     let start = std::time::Instant::now();
     let outcomes = slice_sim::par::run_indexed(threads, seeds.to_vec(), |_, seed| {
         let scenario = generate_scenario(seed, 96);
-        let reference =
-            run_schedule_coded(seed, &scenario, &Schedule::default(), None, shards, coded);
+        let reference = run_schedule_reconf(
+            seed,
+            &scenario,
+            &Schedule::default(),
+            None,
+            shards,
+            coded,
+            reconf,
+        );
         let mut o = SeedOutcome {
             runs: 1,
             ops_checked: reference.completed_ops,
@@ -1005,7 +1194,9 @@ pub fn sweep_coded(
         }
 
         let horizon_ms = reference.finish.as_nanos() / 1_000_000;
-        let schedules = if chaos && coded {
+        let schedules = if reconf {
+            reconf_schedules(seed, schedules_per_seed, horizon_ms)
+        } else if chaos && coded {
             coded_chaos_schedules(seed, schedules_per_seed, horizon_ms)
         } else if chaos {
             chaos_schedules(seed, schedules_per_seed, horizon_ms)
@@ -1013,13 +1204,14 @@ pub fn sweep_coded(
             standard_schedules(seed, schedules_per_seed, horizon_ms)
         };
         for (j, sched) in schedules.iter().enumerate() {
-            let out = run_schedule_coded(
+            let out = run_schedule_reconf(
                 seed,
                 &scenario,
                 sched,
                 Some(&reference.snapshot),
                 shards,
                 coded,
+                reconf,
             );
             o.runs += 1;
             o.ops_checked += out.completed_ops;
@@ -1258,5 +1450,94 @@ mod tests {
             out.violations
         );
         assert!(out.completed_ops >= 40);
+    }
+
+    #[test]
+    fn reconf_schedules_are_deterministic_and_cover_drains() {
+        let a = reconf_schedules(5, 8, 4000);
+        let b = reconf_schedules(5, 8, 4000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().any(|s| s
+            .events
+            .iter()
+            .any(|e| matches!(e.inject, Injection::DrainStorage { .. }))));
+        assert!(a.iter().any(|s| s
+            .events
+            .iter()
+            .any(|e| matches!(e.inject, Injection::WidenHot))));
+    }
+
+    /// The acceptance criterion for planned removal: run a join + drain
+    /// schedule over a real workload and let the drain oracle prove no
+    /// chunk is stranded on and no map entry still names the drained
+    /// site, with every oracle from the crash pool still in force.
+    #[test]
+    fn join_then_drain_passes_drain_oracle() {
+        let scenario = generate_scenario(17, 40);
+        let reference =
+            run_schedule_reconf(17, &scenario, &Schedule::default(), None, 1, false, true);
+        assert!(
+            reference.violations.is_empty(),
+            "reconf reference run violated: {:?}",
+            reference.violations
+        );
+        let schedule = Schedule {
+            events: vec![
+                ScheduleEvent {
+                    at_ms: 50,
+                    inject: Injection::JoinStorage { site: 4 },
+                },
+                ScheduleEvent {
+                    at_ms: 300,
+                    inject: Injection::DrainStorage { site: 1 },
+                },
+            ],
+        };
+        let out = run_schedule_reconf(
+            17,
+            &scenario,
+            &schedule,
+            Some(&reference.snapshot),
+            1,
+            false,
+            true,
+        );
+        assert!(!out.stalled, "join+drain schedule stalled");
+        assert!(
+            out.violations.is_empty(),
+            "join+drain violated: {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn reconf_run_is_shard_invariant() {
+        let scenario = generate_scenario(19, 40);
+        let schedule = Schedule {
+            events: vec![
+                ScheduleEvent {
+                    at_ms: 60,
+                    inject: Injection::JoinStorage { site: 4 },
+                },
+                ScheduleEvent {
+                    at_ms: 200,
+                    inject: Injection::WidenHot,
+                },
+                ScheduleEvent {
+                    at_ms: 400,
+                    inject: Injection::DrainStorage { site: 2 },
+                },
+            ],
+        };
+        let serial = run_schedule_reconf(19, &scenario, &schedule, None, 1, false, true);
+        let sharded = run_schedule_reconf(19, &scenario, &schedule, None, 2, false, true);
+        assert_eq!(serial.finish, sharded.finish);
+        assert_eq!(serial.completed_ops, sharded.completed_ops);
+        assert_eq!(serial.violations, sharded.violations);
+        assert!(
+            crate::state::snapshot_diff(&serial.snapshot, &sharded.snapshot).is_empty(),
+            "final namespace diverged across shard counts"
+        );
     }
 }

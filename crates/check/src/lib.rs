@@ -31,14 +31,15 @@ pub mod state;
 
 pub use explore::{
     chaos_schedules, coded_chaos_schedules, generate_scenario, minimize, minimize_with_threads,
-    run_schedule, run_schedule_coded, run_schedule_sharded, standard_schedules, sweep, sweep_coded,
-    sweep_sharded, sweep_with, sweep_with_threads, DriverWorkload, GenOp, Injection, RunOutcome,
-    Scenario, Schedule, ScheduleEvent, SweepFailure, SweepReport,
+    reconf_schedules, run_schedule, run_schedule_coded, run_schedule_reconf, run_schedule_sharded,
+    standard_schedules, sweep, sweep_coded, sweep_reconf, sweep_sharded, sweep_with,
+    sweep_with_threads, DriverWorkload, GenOp, Injection, RunOutcome, Scenario, Schedule,
+    ScheduleEvent, SweepFailure, SweepReport,
 };
 pub use oracle::{check_histories, OracleStats};
 pub use state::{
-    check_coded_reconstruction, check_structural, check_structural_strict, snapshot, snapshot_diff,
-    SnapEntry, VolumeSnapshot,
+    check_coded_reconstruction, check_drained, check_structural, check_structural_strict, snapshot,
+    snapshot_diff, SnapEntry, VolumeSnapshot,
 };
 
 /// One oracle violation: which oracle fired and a human-readable detail.

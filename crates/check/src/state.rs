@@ -323,10 +323,14 @@ pub fn check_dirsvc(ens: &SliceEnsemble) -> Vec<Violation> {
 /// Coordinator block maps: replica site lists must be valid (in range,
 /// non-empty, distinct). With `strict`, every map for a file whose
 /// authoritative size reaches into the striped region must be backed by a
-/// storage object, and mirrored placements must hold a copy on every
-/// listed site. Files at or below the small-file threshold live entirely
-/// on the small-file servers, so a map assigned for them (e.g. by a
-/// truncate routed through the bulk path) legitimately has no object.
+/// storage object, and every block of a mirrored placement must hold
+/// byte-identical data on every listed site — compared block by block,
+/// because `MapGet` assigns whole 16-block fragments eagerly, so a
+/// sparsely written file legitimately maps never-written blocks (which
+/// read as zeros everywhere). Files at or below the small-file threshold
+/// live entirely on the small-file servers, so a map assigned for them
+/// (e.g. by a truncate routed through the bulk path) legitimately has no
+/// object.
 pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
     let mut v = Vec::new();
     let sites = ens.storage.len() as u32;
@@ -337,12 +341,28 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
             .node;
         node.store().get(file).is_some()
     };
+    let read_block = |site: u32, file: u64, offset: u64, len: u64| -> Option<Vec<u8>> {
+        let node = &ens
+            .engine
+            .actor::<StorageActor>(ens.storage[site as usize])
+            .node;
+        if !node.store().retains_data() {
+            return None;
+        }
+        Some(
+            node.store()
+                .get(file)
+                .map(|o| o.read(offset, len as usize))
+                .unwrap_or_else(|| vec![0u8; len as usize]),
+        )
+    };
     let mut authoritative_size: FxHashMap<u64, u64> = FxHashMap::default();
     for (_, file, cell) in dir_dumps(ens).1 {
         authoritative_size.insert(file, cell.attr.size);
     }
     for (ci, &c) in ens.coords.iter().enumerate() {
         let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        let unit = coord.stripe_unit();
         for (file, placement, blocks) in coord.block_map_dump() {
             let expect_backing = authoritative_size
                 .get(&file)
@@ -383,16 +403,30 @@ pub fn check_block_maps(ens: &SliceEnsemble, strict: bool) -> Vec<Violation> {
                         ));
                     } else if holds(s, file) {
                         any_backed = true;
-                    } else if strict
-                        && expect_backing
-                        && matches!(placement, Placement::Mirrored { .. })
-                    {
-                        v.push(Violation::new(
-                            "block_map_object",
-                            format!(
-                                "coord {ci}: file {file} block {block} mirrored on site {s}, object missing there"
-                            ),
-                        ));
+                    }
+                }
+                // Mirror byte-compare: at quiescence every listed
+                // replica of this block must read back identically (a
+                // missing object or a hole reads as zeros, so eagerly
+                // assigned never-written blocks pass trivially).
+                if strict && expect_backing && matches!(placement, Placement::Mirrored { .. }) {
+                    let mut replicas = replica_sites.iter().filter(|&&s| s < sites);
+                    if let Some(&first) = replicas.next() {
+                        let want = read_block(first, file, block * unit, unit);
+                        for &s in replicas {
+                            let got = read_block(s, file, block * unit, unit);
+                            if let (Some(want), Some(got)) = (&want, &got) {
+                                if want != got {
+                                    v.push(Violation::new(
+                                        "block_map_object",
+                                        format!(
+                                            "coord {ci}: file {file} block {block} mirrored on \
+                                             sites {first} and {s}, but the copies diverge"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -519,6 +553,99 @@ pub fn check_coded_reconstruction(ens: &SliceEnsemble) -> Vec<Violation> {
                         break; // one violation per stripe is plenty
                     }
                 }
+            }
+        }
+    }
+    v
+}
+
+/// Drain oracle (online reconfiguration): after a planned removal, the
+/// drained sites must be fully evacuated — no chunk stranded, no map
+/// entry orphaned. Concretely, for every site in `sites`:
+/// every coordinator reports it retired; no block-map entry or durable
+/// pin references it; its storage node holds no object that any block
+/// map still names (bytes were migrated, then removed); the
+/// coordinator's dirty-region/migration soft state for it has been
+/// purged; and no µproxy still suspects it (retirement purges the
+/// suspicion table, closing the O(ever-seen) soft-state leak).
+pub fn check_drained(ens: &SliceEnsemble, sites: &[usize]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    // Which objects does any coordinator still map (to any site)?
+    let mut mapped_objs: FxHashSet<u64> = FxHashSet::default();
+    for &c in &ens.coords {
+        let coord = &ens.engine.actor::<CoordActor>(c).coord;
+        for (file, _, _) in coord.block_map_dump() {
+            mapped_objs.insert(file);
+        }
+    }
+    for &site in sites {
+        let s32 = site as u32;
+        for (ci, &c) in ens.coords.iter().enumerate() {
+            let coord = &ens.engine.actor::<CoordActor>(c).coord;
+            if !coord.is_retired(s32) {
+                v.push(Violation::new(
+                    "drain_incomplete",
+                    format!("coord {ci}: site {site} not retired at quiescence"),
+                ));
+            }
+            for (file, _, blocks) in coord.block_map_dump() {
+                for (block, replica_sites) in blocks {
+                    if replica_sites.contains(&s32) {
+                        v.push(Violation::new(
+                            "drain_orphan_map",
+                            format!(
+                                "coord {ci}: file {file} block {block} still maps retired site {site}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            for (file, block, pinned) in coord.pinned_entries_dump() {
+                if pinned.contains(&s32) {
+                    v.push(Violation::new(
+                        "drain_orphan_pin",
+                        format!(
+                            "coord {ci}: file {file} block {block} pin still names retired site {site}"
+                        ),
+                    ));
+                }
+            }
+            for (d_site, obj, offset, len) in coord.dirty_log_dump() {
+                if d_site == s32 {
+                    v.push(Violation::new(
+                        "drain_soft_state",
+                        format!(
+                            "coord {ci}: dirty-region entry for retired site {site} \
+                             (file {obj} [{offset}, +{len})) survived the purge"
+                        ),
+                    ));
+                }
+            }
+        }
+        let node = &ens.engine.actor::<StorageActor>(ens.storage[site]).node;
+        for obj in node.store().ids() {
+            if mapped_objs.contains(&obj) {
+                v.push(Violation::new(
+                    "drain_stranded_chunk",
+                    format!("retired site {site} still holds mapped object {obj}"),
+                ));
+            }
+        }
+        for (i, &c) in ens.clients.iter().enumerate() {
+            let Some(proxy) = ens.engine.actor::<ClientActor>(c).proxy() else {
+                continue;
+            };
+            if proxy.suspected_sites().contains(&s32) {
+                v.push(Violation::new(
+                    "drain_soft_state",
+                    format!("client {i}: µproxy still suspects retired site {site}"),
+                ));
+            }
+            if !proxy.retired_sites().contains(&s32) {
+                v.push(Violation::new(
+                    "drain_incomplete",
+                    format!("client {i}: µproxy never learned site {site} retired"),
+                ));
             }
         }
     }

@@ -654,6 +654,10 @@ pub struct CoordActor {
     /// while intentions are open — an idle coordinator must not keep the
     /// event queue alive forever.
     sweep_armed: bool,
+    /// Actions produced by quiesced direct mutation (the ensemble's
+    /// reconfiguration drivers call into `coord` between engine steps);
+    /// dispatched at the next kick, when a `Ctx` is available.
+    pending_reconf: Vec<CoordAction>,
 }
 
 impl CoordActor {
@@ -667,7 +671,14 @@ impl CoordActor {
             last_seen: SimTime::ZERO,
             crashed_wal: None,
             sweep_armed: false,
+            pending_reconf: Vec::new(),
         }
+    }
+
+    /// Queues coordinator actions produced outside an engine step; they
+    /// are dispatched at the next kick (`START_TAG`).
+    pub fn stash_reconf(&mut self, actions: Vec<CoordAction>) {
+        self.pending_reconf.extend(actions);
     }
 
     fn arm_sweep_if_busy(&mut self, ctx: &mut Ctx<'_, Wire>) {
@@ -754,6 +765,10 @@ impl Actor<Wire> for CoordActor {
             return;
         }
         if tag == START_TAG {
+            if !self.pending_reconf.is_empty() {
+                let stashed = std::mem::take(&mut self.pending_reconf);
+                self.dispatch(ctx, stashed);
+            }
             self.arm_sweep_if_busy(ctx);
             return;
         }
@@ -764,6 +779,9 @@ impl Actor<Wire> for CoordActor {
         let wal = self.coord.crash();
         self.crashed_wal = Some((wal, now));
         self.deferred.stash.clear();
+        // Undelivered reconfiguration actions die with the crash; WAL
+        // replay reconstructs the retirement state that produced them.
+        self.pending_reconf.clear();
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Wire>) {

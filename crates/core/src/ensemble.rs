@@ -63,11 +63,22 @@ pub struct SliceConfig {
     /// every stripe is split into k data + n−k parity shards across n
     /// disjoint sites. Implies block maps. `None` keeps mirroring.
     pub coded: Option<(u32, u32)>,
+    /// Give mapped (block-map) files two-way mirrored placement instead
+    /// of single-copy striping. Required for demand-driven replica
+    /// widening and join rebalance, which operate on mirrored entries.
+    /// Ignored when `coded` is set.
+    pub mapped_mirror: bool,
     /// Group commit on file-manager write-ahead logs (ablation knob).
     pub wal_group_commit: bool,
     /// µproxy suspected-site probe cadence in milliseconds (how quickly a
     /// recovered mirror can rejoin the read rotation).
     pub probe_interval_ms: u64,
+    /// Storage sites initially in the placement rotation; the rest start
+    /// as standby spares eligible for online join. `None` activates all.
+    pub active_storage: Option<usize>,
+    /// µproxy hot-set detection window in milliseconds (two half-window
+    /// buckets; see `Uproxy::hot_files`).
+    pub hot_window_ms: u64,
     /// Engine shards: partitions the nodes across this many worker
     /// threads (conservative windowed parallel DES). Output is
     /// byte-identical at any value; 1 runs serially. Each node class is
@@ -99,11 +110,76 @@ impl Default for SliceConfig {
             use_block_maps: false,
             stripe_unit: 64 * 1024,
             coded: None,
+            mapped_mirror: false,
             wal_group_commit: true,
             probe_interval_ms: 2000,
+            active_storage: None,
+            hot_window_ms: 10_000,
             shards: 1,
             seed: 42,
         }
+    }
+}
+
+impl SliceConfig {
+    /// Checks the configuration for geometric consistency before any
+    /// ensemble state is built. [`SliceEnsemble::build`] calls this and
+    /// panics with the returned message; callers that accept untrusted
+    /// shapes (CLI flags, sweep generators) should call it themselves and
+    /// surface the `Err` instead of hitting an assert deep inside the
+    /// erasure-coding layout.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dir_servers == 0 {
+            return Err("need at least one directory server".into());
+        }
+        if self.storage_nodes == 0 {
+            return Err("need at least one storage node".into());
+        }
+        let active = self.active_storage.unwrap_or(self.storage_nodes);
+        if active == 0 || active > self.storage_nodes {
+            return Err(format!(
+                "active_storage={active} must be in 1..={} (total storage nodes)",
+                self.storage_nodes
+            ));
+        }
+        if let Some((n, k)) = self.coded {
+            if k == 0 || k >= n || n > 128 {
+                return Err(format!(
+                    "invalid coded layout (n,k)=({n},{k}): need 0 < k < n <= 128 \
+                     (k data shards plus n-k parity shards per stripe)"
+                ));
+            }
+            if n - k > k {
+                return Err(format!(
+                    "invalid coded layout (n,k)=({n},{k}): n-k={} parity shards exceed \
+                     the k={k} data shards, so parity offsets would spill past the \
+                     stripe's extent; choose n <= 2k",
+                    n - k
+                ));
+            }
+            if active < n as usize {
+                return Err(format!(
+                    "coded (n,k)=({n},{k}) needs at least n={n} active storage sites, \
+                     have {active}"
+                ));
+            }
+            if !self.stripe_unit.is_multiple_of(u64::from(k)) {
+                return Err(format!(
+                    "stripe unit {} must divide into k={k} equal shards",
+                    self.stripe_unit
+                ));
+            }
+            if self.coordinators == 0 {
+                return Err("coded layouts need a coordinator".into());
+            }
+        }
+        if self.mapped_mirror && self.coded.is_none() && active < 2 {
+            return Err(format!(
+                "mapped_mirror needs at least 2 active storage sites for the \
+                 two-way mirror, have {active}"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -154,24 +230,12 @@ impl SliceEnsemble {
     /// one is required.
     pub fn build(cfg: &SliceConfig, workloads: Vec<Box<dyn Workload>>) -> Self {
         assert_eq!(workloads.len(), cfg.clients, "one workload per client");
-        assert!(cfg.dir_servers > 0, "need at least one directory server");
-        assert!(cfg.storage_nodes > 0, "need at least one storage node");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SliceConfig: {e}");
+        }
         // Coded layouts route through coordinator block maps; the µproxy
         // and coordinator must agree on the placement geometry.
         let use_block_maps = cfg.use_block_maps || cfg.coded.is_some();
-        if let Some((n, k)) = cfg.coded {
-            assert!(k > 0 && k < n, "invalid coded layout (n,k)=({n},{k})");
-            assert!(
-                cfg.storage_nodes >= n as usize,
-                "coded (n,k)=({n},{k}) needs at least n storage nodes"
-            );
-            assert_eq!(
-                cfg.stripe_unit % u64::from(k),
-                0,
-                "stripe unit must divide into k shards"
-            );
-            assert!(cfg.coordinators > 0, "coded layouts need a coordinator");
-        }
         let plan = AddrPlan::new(
             cfg.clients,
             cfg.dir_servers,
@@ -239,6 +303,7 @@ impl SliceEnsemble {
                 writeback_interval: calib::ATTR_WRITEBACK,
                 suspect_after: 2,
                 probe_interval: SimDuration::from_millis(cfg.probe_interval_ms.max(1)),
+                hot_window: SimDuration::from_millis(cfg.hot_window_ms.max(1)),
                 // Wall-clock phase timing would inject nondeterminism
                 // into the seeded simulation; Table 3 measures it in a
                 // standalone harness instead.
@@ -324,8 +389,14 @@ impl SliceEnsemble {
         // Coordinators.
         for (i, &expect) in coord_ids.iter().enumerate() {
             let mut coordinator = Coordinator::new(cfg.storage_nodes as u32);
+            if let Some(a) = cfg.active_storage {
+                coordinator.set_active_sites(a as u32);
+            }
             if let Some((n, k)) = cfg.coded {
                 coordinator.set_default_placement(Placement::Coded { n, k });
+                coordinator.set_stripe_unit(cfg.stripe_unit);
+            } else if cfg.mapped_mirror {
+                coordinator.set_default_placement(Placement::Mirrored { copies: 2 });
                 coordinator.set_stripe_unit(cfg.stripe_unit);
             }
             let actor = CoordActor::new(coordinator, storage_ids.clone(), cfg.charge_cpu);
@@ -417,6 +488,155 @@ impl SliceEnsemble {
         }
     }
 
+    /// Flushes every client µproxy's block-map cache (the routing-table
+    /// epoch swap of paper §3.3): the next mapped I/O re-fetches the
+    /// reconfigured entries from the coordinator.
+    pub fn flush_map_caches(&mut self) {
+        for &c in &self.clients.clone() {
+            if let Some(p) = self.engine.actor_mut::<ClientActor>(c).proxy_mut() {
+                p.flush_map_cache();
+            }
+        }
+    }
+
+    /// Re-arms every coordinator's sweep timer; stashed reconfiguration
+    /// actions flush on the kick and open migrations drive to completion.
+    fn kick_coords(&mut self) {
+        for &c in &self.coords.clone() {
+            self.engine.kick(c);
+        }
+    }
+
+    /// Widens the named file's mirror set by one replica per coordinator
+    /// holding it: the new copy is pinned into the block map and filled
+    /// through the dirty-region resync path, and µproxy read rotation
+    /// picks it up once the migration log drains. Returns the number of
+    /// block migrations queued.
+    pub fn widen_file(&mut self, file: u64) -> usize {
+        let now = self.engine.now();
+        let mut queued = 0;
+        for &c in &self.coords.clone() {
+            queued += self
+                .engine
+                .actor_mut::<CoordActor>(c)
+                .coord
+                .widen_file(now, file);
+        }
+        self.flush_map_caches();
+        self.kick_coords();
+        queued
+    }
+
+    /// Brings a standby storage site into the placement rotation and
+    /// queues the background rebalance that moves a share of existing
+    /// block-map entries onto it. Returns the migrations queued.
+    pub fn join_storage_node(&mut self, i: usize) -> usize {
+        let now = self.engine.now();
+        let mut queued = 0;
+        for &c in &self.coords.clone() {
+            queued += self
+                .engine
+                .actor_mut::<CoordActor>(c)
+                .coord
+                .join_site(now, i as u32);
+        }
+        self.flush_map_caches();
+        self.kick_coords();
+        queued
+    }
+
+    /// Starts a planned drain of a storage site: every block-map entry
+    /// referencing it is migrated to a replacement replica, and the site
+    /// retires once its migration log drains (distinct from a crash — the
+    /// site keeps serving reads while draining). Returns the migrations
+    /// queued; poll [`SliceEnsemble::migrations_pending`] and then call
+    /// [`SliceEnsemble::retire_storage_node`] to finish the client side.
+    pub fn drain_storage_node(&mut self, i: usize) -> usize {
+        let now = self.engine.now();
+        let mut queued = 0;
+        for &c in &self.coords.clone() {
+            let actor = self.engine.actor_mut::<CoordActor>(c);
+            let (q, actions) = actor.coord.drain_site(now, i as u32);
+            actor.stash_reconf(actions);
+            queued += q;
+        }
+        self.flush_map_caches();
+        self.kick_coords();
+        queued
+    }
+
+    /// Completes the client-visible half of a drain once every
+    /// coordinator reports the site retired: µproxies drop it from the
+    /// read rotation and fan-outs and purge its suspicion soft state.
+    /// Returns false (and does nothing) while any coordinator still holds
+    /// the site un-retired.
+    pub fn retire_storage_node(&mut self, i: usize) -> bool {
+        let all_retired = self.coords.iter().all(|&c| {
+            self.engine
+                .actor::<CoordActor>(c)
+                .coord
+                .is_retired(i as u32)
+        });
+        if !all_retired {
+            return false;
+        }
+        let now = self.engine.now();
+        for &c in &self.clients.clone() {
+            if let Some(p) = self.engine.actor_mut::<ClientActor>(c).proxy_mut() {
+                p.retire_site(now, i as u32);
+            }
+        }
+        self.flush_map_caches();
+        true
+    }
+
+    /// Outstanding migration ranges across every coordinator.
+    pub fn migrations_pending(&self) -> usize {
+        self.coords
+            .iter()
+            .map(|&c| {
+                self.engine
+                    .actor::<CoordActor>(c)
+                    .coord
+                    .migrations_pending()
+            })
+            .sum()
+    }
+
+    /// Bytes copied by completed migrations across every coordinator.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.coords
+            .iter()
+            .map(|&c| self.engine.actor::<CoordActor>(c).coord.migrated_bytes())
+            .sum()
+    }
+
+    /// Files whose data-op count over the sliding hot window reaches
+    /// `min`, merged across every client µproxy; hottest first.
+    pub fn hot_files(&self, min: u64) -> Vec<(u64, u64)> {
+        self.merge_hot(min, |p| p.hot_files(1))
+    }
+
+    /// Directories whose name-op count over the sliding hot window
+    /// reaches `min`, merged across every client µproxy; hottest first.
+    pub fn hot_dirs(&self, min: u64) -> Vec<(u64, u64)> {
+        self.merge_hot(min, |p| p.hot_dirs(1))
+    }
+
+    fn merge_hot(&self, min: u64, f: impl Fn(&Uproxy) -> Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for &c in &self.clients {
+            if let Some(p) = self.engine.actor::<ClientActor>(c).proxy() {
+                for (id, n) in f(p) {
+                    *merged.entry(id).or_insert(0) += n;
+                }
+            }
+        }
+        let mut out: Vec<(u64, u64)> = merged.into_iter().filter(|&(_, n)| n >= min).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
     /// Every client's recorded op history, in client order (empty unless
     /// the ensemble was built with `record_history`).
     pub fn histories(&self) -> Vec<&crate::history::OpHistory> {
@@ -491,6 +711,20 @@ impl SliceEnsemble {
             counters.push((format!("{p}.dirty_ranges"), coord.dirty_ranges() as u64));
             counters.push((format!("{p}.resyncs"), coord.resync_history().len() as u64));
             counters.push((format!("{p}.resync_bytes"), coord.resync_bytes()));
+            counters.push((
+                format!("{p}.migrations_pending"),
+                coord.migrations_pending() as u64,
+            ));
+            counters.push((format!("{p}.migrated_bytes"), coord.migrated_bytes()));
+            counters.push((format!("{p}.pinned_entries"), coord.pinned_entries() as u64));
+            counters.push((
+                format!("{p}.retired_sites"),
+                coord.retired_sites().len() as u64,
+            ));
+            counters.push((
+                format!("{p}.drains_done"),
+                coord.reconf_history().len() as u64,
+            ));
             let (appends, bytes, syncs) = coord.wal_stats();
             counters.push((format!("{p}.wal.appends"), appends));
             counters.push((format!("{p}.wal.bytes"), bytes));
@@ -691,5 +925,69 @@ impl BaselineEnsemble {
     /// Client actor access.
     pub fn client(&self, i: usize) -> &ClientActor {
         self.engine.actor::<ClientActor>(self.clients[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_excess_parity() {
+        // n-k > k: parity shard offsets would spill past the stripe.
+        let cfg = SliceConfig {
+            storage_nodes: 8,
+            coded: Some((6, 2)),
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("n-k=4"), "spell out the geometry: {err}");
+        assert!(err.contains("n <= 2k"), "state the constraint: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_more_shards_than_sites() {
+        // n > available sites: nowhere to place disjoint shards.
+        let cfg = SliceConfig {
+            storage_nodes: 4,
+            coded: Some((6, 4)),
+            ..Default::default()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("at least n=6"), "name the shortfall: {err}");
+
+        // Enough physical sites but too few *active* ones fails the same
+        // way: standby spares don't hold shards until they join.
+        let cfg = SliceConfig {
+            storage_nodes: 8,
+            active_storage: Some(4),
+            coded: Some((6, 4)),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shapes() {
+        for coded in [Some((4, 0)), Some((4, 4)), Some((200, 100))] {
+            let cfg = SliceConfig {
+                storage_nodes: 250,
+                coded,
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_err(), "{coded:?} must be rejected");
+        }
+        let cfg = SliceConfig {
+            active_storage: Some(0),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SliceConfig {
+            active_storage: Some(5),
+            storage_nodes: 4,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(SliceConfig::default().validate().is_ok());
     }
 }

@@ -24,6 +24,50 @@ use slice_sim::time::{SimDuration, SimTime};
 use crate::node::{StorageCtl, StorageCtlReply};
 use crate::wal::{Wal, WalParams};
 
+/// Lifecycle of a logical storage site under online reconfiguration.
+///
+/// Transitions are WAL-logged ([`IntentKind::SiteChange`]) so a recovered
+/// coordinator rebuilds the same active set its block maps were assigned
+/// over. `Active` sites take new block assignments; `Standby` sites are
+/// provisioned but hold nothing until a join; `Draining` sites keep
+/// serving while their map entries migrate away; `Retired` sites hold
+/// nothing and are never assigned again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteState {
+    /// Serving traffic and eligible for new block assignments.
+    Active,
+    /// Provisioned but not yet joined: no assignments, no data.
+    Standby,
+    /// Planned removal in progress: entries migrating away, still serving.
+    Draining,
+    /// Fully drained: objects removed, never assigned again.
+    Retired,
+}
+
+impl SiteState {
+    fn to_u8(self) -> u8 {
+        match self {
+            SiteState::Active => 0,
+            SiteState::Standby => 1,
+            SiteState::Draining => 2,
+            SiteState::Retired => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => SiteState::Standby,
+            2 => SiteState::Draining,
+            3 => SiteState::Retired,
+            _ => SiteState::Active,
+        }
+    }
+}
+
+/// `origin` value in [`IntentKind::Migration`] for migrations not tied to
+/// a drain (replica widening, join rebalance).
+const NO_ORIGIN: u32 = u32::MAX;
+
 /// Placement policy recorded per file in the coordinator's maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
@@ -90,6 +134,44 @@ pub enum IntentKind {
         len: u64,
         /// Live replica sites holding the bytes.
         sources: Vec<u32>,
+    },
+    /// A reconfiguration copy: like [`IntentKind::DirtyRange`] but created
+    /// by a planned migration (widening, join rebalance, drain) rather
+    /// than a degraded write. `origin` names the draining site whose
+    /// retirement waits on this range ([`NO_ORIGIN`] otherwise).
+    Migration {
+        /// Object id.
+        obj: u64,
+        /// Byte offset.
+        offset: u64,
+        /// Byte length.
+        len: u64,
+        /// Replica sites holding the bytes.
+        sources: Vec<u32>,
+        /// Draining site this migration empties, or [`NO_ORIGIN`].
+        origin: u32,
+    },
+    /// A block-map entry pinned by a migration, overriding the
+    /// deterministic assignment (widened or drained entries are no longer
+    /// derivable from the file hash and active set).
+    MapPin {
+        /// File / object id.
+        file: u64,
+        /// Logical block.
+        block: u64,
+        /// The pinned replica site list.
+        sites: Vec<u32>,
+    },
+    /// A site lifecycle transition ([`SiteState`] as `u8`). `Draining`
+    /// records carry the mapped objects the site held, so retirement can
+    /// remove them even across a coordinator crash.
+    SiteChange {
+        /// Logical storage site.
+        site: u32,
+        /// New [`SiteState`], encoded with [`SiteState::to_u8`].
+        state: u8,
+        /// Mapped objects held at drain initiation (empty otherwise).
+        objs: Vec<u64>,
     },
 }
 
@@ -216,6 +298,19 @@ struct ResyncJob {
 /// `(site, done, at, bytes)` — `done == false` marks the start.
 pub type ResyncEvent = (u32, bool, SimTime, u64);
 
+/// Bookkeeping for one in-progress planned drain.
+#[derive(Debug, Clone)]
+struct DrainInfo {
+    started: SimTime,
+    /// Migration ranges still outstanding before retirement.
+    pending: usize,
+    /// Mapped objects the site held at drain initiation (removed from the
+    /// site at retirement).
+    objs: std::collections::BTreeSet<u64>,
+    /// Bytes migrated away so far.
+    bytes: u64,
+}
+
 /// Messages addressed to the coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoordMsg {
@@ -309,6 +404,12 @@ pub enum CoordReply {
         first_block: u64,
         /// Per-block replica site lists.
         sites: Vec<Vec<u32>>,
+        /// Per-block subsets of `sites` still owed a copy (an open
+        /// dirty-region or migration range overlaps the block). Writes
+        /// fan out to them as usual, but the µproxy keeps them out of the
+        /// mirror-read rotation until the log drains — a freshly pinned
+        /// migration target holds no bytes yet.
+        warming: Vec<Vec<u32>>,
     },
     /// Placement recorded.
     PlacementSet {
@@ -396,6 +497,24 @@ pub struct Coordinator {
     resync_events: Vec<ResyncEvent>,
     /// Completed resyncs: `(site, started, finished, bytes)`.
     resync_history: Vec<(u32, SimTime, SimTime, u64)>,
+    /// Per-site lifecycle; rebuilt from `SiteChange` records on recovery.
+    site_state: Vec<SiteState>,
+    /// The configured (pre-reconfiguration) states `crash` resets to
+    /// before the WAL replays the logged transitions.
+    initial_state: Vec<SiteState>,
+    /// Pinned block-map entries `(file -> block -> (record id, sites))`,
+    /// WAL-durable; they override the deterministic assignment.
+    pins: FxHashMap<u64, std::collections::BTreeMap<u64, (u64, Vec<u32>)>>,
+    /// In-flight planned drains, keyed by draining site.
+    drains: FxHashMap<u32, DrainInfo>,
+    /// Migration range id -> draining site whose retirement waits on it.
+    drain_waiting: FxHashMap<u64, u32>,
+    /// Ids of all outstanding migration ranges (widen + join + drain).
+    migration_ranges: std::collections::BTreeSet<u64>,
+    /// Bytes copied by completed migration ranges.
+    migrated_bytes: u64,
+    /// Completed drains: `(site, started, retired, bytes migrated)`.
+    reconf_history: Vec<(u32, SimTime, SimTime, u64)>,
 }
 
 impl Coordinator {
@@ -419,7 +538,90 @@ impl Coordinator {
             marks_acked: FxHashMap::default(),
             resync_events: Vec::new(),
             resync_history: Vec::new(),
+            site_state: vec![SiteState::Active; storage_sites as usize],
+            initial_state: vec![SiteState::Active; storage_sites as usize],
+            pins: FxHashMap::default(),
+            drains: FxHashMap::default(),
+            drain_waiting: FxHashMap::default(),
+            migration_ranges: std::collections::BTreeSet::new(),
+            migrated_bytes: 0,
+            reconf_history: Vec::new(),
         }
+    }
+
+    /// Configures the first `active` sites as `Active` and the rest as
+    /// `Standby` (awaiting a join). Configuration, not a logged
+    /// transition: it is the state `crash` resets to before WAL replay.
+    pub fn set_active_sites(&mut self, active: u32) {
+        let active = (active.max(1)).min(self.storage_sites) as usize;
+        for (i, s) in self.site_state.iter_mut().enumerate() {
+            *s = if i < active {
+                SiteState::Active
+            } else {
+                SiteState::Standby
+            };
+        }
+        self.initial_state = self.site_state.clone();
+    }
+
+    /// Per-site lifecycle states.
+    pub fn site_states(&self) -> &[SiteState] {
+        &self.site_state
+    }
+
+    /// True once `site` finished a planned drain.
+    pub fn is_retired(&self, site: u32) -> bool {
+        self.site_state
+            .get(site as usize)
+            .is_some_and(|&s| s == SiteState::Retired)
+    }
+
+    /// Sites that finished a planned drain, sorted.
+    pub fn retired_sites(&self) -> Vec<u32> {
+        (0..self.storage_sites)
+            .filter(|&s| self.is_retired(s))
+            .collect()
+    }
+
+    /// Sites new block assignments may land on, sorted.
+    fn assignable_sites(&self) -> Vec<u32> {
+        (0..self.storage_sites)
+            .filter(|&s| self.site_state[s as usize] == SiteState::Active)
+            .collect()
+    }
+
+    /// Outstanding migration ranges (widen + rebalance + drain copies).
+    pub fn migrations_pending(&self) -> usize {
+        self.migration_ranges.len()
+    }
+
+    /// Bytes copied by completed migration ranges.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes
+    }
+
+    /// Completed drains: `(site, started, retired, bytes migrated)`.
+    pub fn reconf_history(&self) -> &[(u32, SimTime, SimTime, u64)] {
+        &self.reconf_history
+    }
+
+    /// Pinned block-map entries held (live soft state).
+    pub fn pinned_entries(&self) -> usize {
+        self.pins.values().map(|m| m.len()).sum()
+    }
+
+    /// Every durable pin: `(file, block, sites)`, sorted by file then
+    /// block (for the drain oracle and deterministic audits).
+    pub fn pinned_entries_dump(&self) -> Vec<(u64, u64, Vec<u32>)> {
+        let mut files: Vec<u64> = self.pins.keys().copied().collect();
+        files.sort_unstable();
+        let mut out = Vec::new();
+        for f in files {
+            for (&b, (_, sites)) in &self.pins[&f] {
+                out.push((f, b, sites.clone()));
+            }
+        }
+        out
     }
 
     /// Sets the placement applied to files without an explicit
@@ -438,6 +640,11 @@ impl Coordinator {
     pub fn set_stripe_unit(&mut self, stripe_unit: u64) {
         assert!(stripe_unit > 0);
         self.stripe_unit = stripe_unit;
+    }
+
+    /// The block size map entries are keyed on (audit/oracle use).
+    pub fn stripe_unit(&self) -> u64 {
+        self.stripe_unit
     }
 
     /// Intentions currently open (logged, not completed).
@@ -533,38 +740,56 @@ impl Coordinator {
         out
     }
 
+    /// The deterministic assignment of one block over `active` sites
+    /// (logical slots rotate over the active list, so with every site
+    /// active this is the historical all-sites assignment).
+    fn compute_sites(placement: Placement, active: &[u32], file: u64, b: u64) -> Vec<u32> {
+        let n = active.len() as u32;
+        let base = (slice_hashes::fnv1a(&file.to_le_bytes()) % u64::from(n)) as u32;
+        let slot = |c: u32| active[((base + (b % u64::from(n)) as u32 + c) % n) as usize];
+        match placement {
+            Placement::Striped => vec![slot(0)],
+            Placement::Mirrored { copies } => (0..copies.min(n)).map(slot).collect(),
+            // n consecutive sites starting at a per-stripe rotation:
+            // disjoint within the stripe, and load spreads over all
+            // sites across stripes.
+            Placement::Coded { n: cn, .. } => (0..cn.min(n)).map(slot).collect(),
+        }
+    }
+
     fn assign_blocks(
         placement: Placement,
-        storage_sites: u32,
+        active: &[u32],
         file: u64,
         blocks: std::ops::Range<u64>,
         map: &mut FxHashMap<u64, Vec<u32>>,
     ) -> Vec<Vec<u32>> {
-        let base = (slice_hashes::fnv1a(&file.to_le_bytes()) % u64::from(storage_sites)) as u32;
         blocks
             .map(|b| {
                 map.entry(b)
-                    .or_insert_with(|| match placement {
-                        Placement::Striped => {
-                            vec![(base + (b % u64::from(storage_sites)) as u32) % storage_sites]
-                        }
-                        Placement::Mirrored { copies } => (0..copies.min(storage_sites))
-                            .map(|c| {
-                                (base + (b % u64::from(storage_sites)) as u32 + c) % storage_sites
-                            })
-                            .collect(),
-                        // n consecutive sites starting at a per-stripe
-                        // rotation: disjoint within the stripe, and load
-                        // spreads over all sites across stripes.
-                        Placement::Coded { n, .. } => (0..n.min(storage_sites))
-                            .map(|c| {
-                                (base + (b % u64::from(storage_sites)) as u32 + c) % storage_sites
-                            })
-                            .collect(),
-                    })
+                    .or_insert_with(|| Self::compute_sites(placement, active, file, b))
                     .clone()
             })
             .collect()
+    }
+
+    /// The file's map slot, created on first use with its pinned entries
+    /// seeded (pins override the deterministic assignment, and a lazily
+    /// rebuilt map — e.g. after a coordinator crash — must honor them).
+    fn file_map(&mut self, file: u64) -> &mut (Placement, FxHashMap<u64, Vec<u32>>) {
+        let default = self.default_placement;
+        let entry = self
+            .maps
+            .entry(file)
+            .or_insert_with(|| (default, FxHashMap::default()));
+        if entry.1.is_empty() {
+            if let Some(pinned) = self.pins.get(&file) {
+                for (&b, (_, sites)) in pinned {
+                    entry.1.insert(b, sites.clone());
+                }
+            }
+        }
+        entry
     }
 
     /// Handles a request from `requester` (an opaque host token); returns
@@ -627,33 +852,56 @@ impl Coordinator {
                 first_block,
                 count,
             } => {
-                let default = self.default_placement;
-                let (placement, map) = self
-                    .maps
-                    .entry(file)
-                    .or_insert_with(|| (default, FxHashMap::default()));
+                let active = self.assignable_sites();
+                let (placement, map) = self.file_map(file);
+                let placement = *placement;
                 let sites = Self::assign_blocks(
-                    *placement,
-                    self.storage_sites,
+                    placement,
+                    &active,
                     file,
                     first_block..first_block + u64::from(count),
                     map,
                 );
+                // Mirrored replicas with an open dirty/migration range
+                // over the block are "warming": a pinned migration target
+                // has no bytes until resync copies them, so reads must
+                // not rotate onto it yet. Coded placements repair per
+                // shard through degraded reads instead.
+                let warming: Vec<Vec<u32>> = if matches!(placement, Placement::Coded { .. }) {
+                    vec![Vec::new(); sites.len()]
+                } else {
+                    (0..sites.len() as u64)
+                        .map(|i| {
+                            let lo = (first_block + i) * self.stripe_unit;
+                            let hi = lo + self.stripe_unit;
+                            let mut w: Vec<u32> = self
+                                .dirty_log
+                                .iter()
+                                .filter(|(_, ranges)| {
+                                    ranges.iter().any(|r| {
+                                        r.obj == file && r.offset < hi && r.offset + r.len > lo
+                                    })
+                                })
+                                .map(|(&site, _)| site)
+                                .collect();
+                            w.sort_unstable();
+                            w
+                        })
+                        .collect()
+                };
                 vec![CoordAction::Reply {
                     to: requester,
                     reply: CoordReply::MapFragment {
                         file,
                         first_block,
                         sites,
+                        warming,
                     },
                     at: now,
                 }]
             }
             CoordMsg::SetPlacement { file, placement } => {
-                self.maps
-                    .entry(file)
-                    .or_insert_with(|| (placement, FxHashMap::default()))
-                    .0 = placement;
+                self.file_map(file).0 = placement;
                 vec![CoordAction::Reply {
                     to: requester,
                     reply: CoordReply::PlacementSet { file },
@@ -686,6 +934,11 @@ impl Coordinator {
                 let coded = matches!(self.placement_of(obj), Placement::Coded { .. });
                 let mut durable = now;
                 for &site in &missed {
+                    // A retired site never returns: queuing copy-back for
+                    // it would leak soft state forever.
+                    if self.is_retired(site) {
+                        continue;
+                    }
                     // Mirrored ranges are file ranges; coded ranges are
                     // split per stripe into the site's own shard windows
                     // (object offsets), so each queued range rebuilds
@@ -770,20 +1023,12 @@ impl Coordinator {
     /// The (assigned-if-absent) site list of one stripe of `file` — the
     /// same deterministic assignment `MapGet` hands the µproxy.
     fn stripe_sites(&mut self, file: u64, stripe: u64) -> Vec<u32> {
-        let default = self.default_placement;
-        let (placement, map) = self
-            .maps
-            .entry(file)
-            .or_insert_with(|| (default, FxHashMap::default()));
-        Self::assign_blocks(
-            *placement,
-            self.storage_sites,
-            file,
-            stripe..stripe + 1,
-            map,
-        )
-        .pop()
-        .unwrap_or_default()
+        let active = self.assignable_sites();
+        let (placement, map) = self.file_map(file);
+        let placement = *placement;
+        Self::assign_blocks(placement, &active, file, stripe..stripe + 1, map)
+            .pop()
+            .unwrap_or_default()
     }
 
     /// The object windows `site` missed from a coded write of
@@ -930,6 +1175,427 @@ impl Coordinator {
         })
     }
 
+    /// Logs one migration range and queues it on the target's dirty log
+    /// (the copy rides the ordinary resync path). Returns the record id.
+    #[allow(clippy::too_many_arguments)]
+    fn queue_migration(
+        &mut self,
+        now: SimTime,
+        target: u32,
+        obj: u64,
+        offset: u64,
+        len: u64,
+        sources: Vec<u32>,
+        origin: u32,
+    ) -> u64 {
+        let id = self.next_intent;
+        self.next_intent += 1;
+        self.wal.append(
+            now,
+            IntentRecord {
+                id,
+                kind: IntentKind::Migration {
+                    obj,
+                    offset,
+                    len,
+                    sources: sources.clone(),
+                    origin,
+                },
+                participants: vec![target],
+                is_completion: false,
+            },
+            64,
+        );
+        self.dirty_log.entry(target).or_default().push(DirtyRange {
+            id,
+            obj,
+            offset,
+            len,
+            sources,
+        });
+        self.migration_ranges.insert(id);
+        if origin != NO_ORIGIN {
+            self.drain_waiting.insert(id, origin);
+        }
+        self.gave_up.remove(&target);
+        id
+    }
+
+    /// Durably pins `file`'s `block` entry to `sites`, completing any
+    /// previous pin of the same block so replay keeps only the newest.
+    fn pin_entry(&mut self, now: SimTime, file: u64, block: u64, sites: Vec<u32>) {
+        let id = self.next_intent;
+        self.next_intent += 1;
+        if let Some((old_id, old_sites)) = self
+            .pins
+            .entry(file)
+            .or_default()
+            .insert(block, (id, sites.clone()))
+        {
+            self.wal.append(
+                now,
+                IntentRecord {
+                    id: old_id,
+                    kind: IntentKind::MapPin {
+                        file,
+                        block,
+                        sites: old_sites,
+                    },
+                    participants: vec![],
+                    is_completion: true,
+                },
+                32,
+            );
+        }
+        self.wal.append(
+            now,
+            IntentRecord {
+                id,
+                kind: IntentKind::MapPin { file, block, sites },
+                participants: vec![],
+                is_completion: false,
+            },
+            64,
+        );
+    }
+
+    fn log_site_change(&mut self, now: SimTime, site: u32, state: SiteState, objs: Vec<u64>) {
+        let id = self.next_intent;
+        self.next_intent += 1;
+        self.wal.append(
+            now,
+            IntentRecord {
+                id,
+                kind: IntentKind::SiteChange {
+                    site,
+                    state: state.to_u8(),
+                    objs,
+                },
+                participants: vec![],
+                is_completion: false,
+            },
+            64,
+        );
+        self.site_state[site as usize] = state;
+    }
+
+    /// Pins every materialized block-map entry. Membership changes alter
+    /// the deterministic assignment function, so entries materialized
+    /// under the old site set must be made durable before the set
+    /// changes — otherwise a coordinator crash would rebuild them
+    /// differently and strand the bytes.
+    fn pin_all_entries(&mut self, now: SimTime) {
+        let mut files: Vec<u64> = self.maps.keys().copied().collect();
+        files.sort_unstable();
+        for file in files {
+            let mut blocks: Vec<(u64, Vec<u32>)> = self.maps[&file]
+                .1
+                .iter()
+                .map(|(&b, s)| (b, s.clone()))
+                .collect();
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            for (block, sites) in blocks {
+                if self.pins.get(&file).is_some_and(|p| p.contains_key(&block)) {
+                    continue;
+                }
+                self.pin_entry(now, file, block, sites);
+            }
+        }
+    }
+
+    /// Widens every mirrored block entry of `file` by one replica on an
+    /// active site (demand-driven replication of a hot file): the entry
+    /// is pinned with the extra site immediately and the bytes flow to it
+    /// through the dirty-region resync path, so readers pick up the new
+    /// replica only after the log drains. Returns ranges queued.
+    pub fn widen_file(&mut self, now: SimTime, file: u64) -> usize {
+        if !matches!(self.placement_of(file), Placement::Mirrored { .. }) {
+            return 0;
+        }
+        let active = self.assignable_sites();
+        let blocks: Vec<(u64, Vec<u32>)> = match self.maps.get(&file) {
+            Some((_, map)) => {
+                let mut v: Vec<_> = map.iter().map(|(&b, s)| (b, s.clone())).collect();
+                v.sort_unstable_by_key(|&(b, _)| b);
+                v
+            }
+            None => return 0,
+        };
+        let unit = self.stripe_unit;
+        let mut queued = 0;
+        for (block, old) in blocks {
+            let candidates: Vec<u32> = active
+                .iter()
+                .copied()
+                .filter(|s| !old.contains(s))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            // Rotate the extra replica across candidates by block so the
+            // widened load spreads instead of piling on one site.
+            let target = candidates[(block % candidates.len() as u64) as usize];
+            let mut sites = old.clone();
+            sites.push(target);
+            self.pin_entry(now, file, block, sites.clone());
+            if let Some((_, map)) = self.maps.get_mut(&file) {
+                map.insert(block, sites);
+            }
+            self.queue_migration(now, target, file, block * unit, unit, old, NO_ORIGIN);
+            queued += 1;
+        }
+        queued
+    }
+
+    /// Joins a standby `site` and rebalances: mirrored entries whose
+    /// fresh assignment over the widened active set lands on the new site
+    /// move one replica onto it (pinned, bytes copied online through the
+    /// resync path; the surviving old replica keeps serving reads until
+    /// the log drains). Returns ranges queued.
+    pub fn join_site(&mut self, now: SimTime, site: u32) -> usize {
+        if self
+            .site_state
+            .get(site as usize)
+            .is_none_or(|&s| s != SiteState::Standby)
+        {
+            return 0;
+        }
+        // Entries pinned before the join (widen/drain placements) are
+        // deliberate and stay put; `pin_all_entries` below pins the rest
+        // only for crash durability of the old assignment.
+        let pre_pinned: FxHashMap<u64, std::collections::BTreeSet<u64>> = self
+            .pins
+            .iter()
+            .map(|(&f, p)| (f, p.keys().copied().collect()))
+            .collect();
+        self.pin_all_entries(now);
+        self.log_site_change(now, site, SiteState::Active, vec![]);
+        let active = self.assignable_sites();
+        let unit = self.stripe_unit;
+        let mut files: Vec<u64> = self.maps.keys().copied().collect();
+        files.sort_unstable();
+        let mut queued = 0;
+        for file in files {
+            let (placement, map) = self.maps.get(&file).expect("listed file");
+            let placement = *placement;
+            if !matches!(placement, Placement::Mirrored { .. }) {
+                continue;
+            }
+            let mut blocks: Vec<(u64, Vec<u32>)> =
+                map.iter().map(|(&b, s)| (b, s.clone())).collect();
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            for (block, old) in blocks {
+                if old.len() < 2
+                    || old.contains(&site)
+                    || pre_pinned.get(&file).is_some_and(|p| p.contains(&block))
+                {
+                    continue;
+                }
+                let fresh = Self::compute_sites(placement, &active, file, block);
+                if !fresh.contains(&site) {
+                    continue;
+                }
+                // Move the last replica; the first keeps serving reads
+                // while the new one syncs.
+                let mut sites = old.clone();
+                *sites.last_mut().expect("non-empty entry") = site;
+                self.pin_entry(now, file, block, sites.clone());
+                if let Some((_, map)) = self.maps.get_mut(&file) {
+                    map.insert(block, sites);
+                }
+                self.queue_migration(now, site, file, block * unit, unit, old, NO_ORIGIN);
+                queued += 1;
+            }
+        }
+        queued
+    }
+
+    /// Starts a planned drain of `site` (migrate-then-retire, distinct
+    /// from a crash): every non-coded map entry referencing it is
+    /// re-pointed at a replacement site, the bytes are copied online
+    /// through the resync path (the draining site stays live and serves
+    /// as first source), and when the last migration completes the site
+    /// retires — its mapped objects are removed and its per-site soft
+    /// state purged. Returns `(ranges queued, immediate actions)`; the
+    /// actions are non-empty only when nothing referenced the site and it
+    /// retires on the spot.
+    pub fn drain_site(&mut self, now: SimTime, site: u32) -> (usize, Vec<CoordAction>) {
+        if self
+            .site_state
+            .get(site as usize)
+            .is_none_or(|&s| s != SiteState::Active)
+        {
+            return (0, vec![]);
+        }
+        self.pin_all_entries(now);
+        let mut files: Vec<u64> = self.maps.keys().copied().collect();
+        files.sort_unstable();
+        let mut objs = std::collections::BTreeSet::new();
+        let mut moves: Vec<(u64, u64, Vec<u32>)> = Vec::new();
+        for &file in &files {
+            let (placement, map) = self.maps.get(&file).expect("listed file");
+            if matches!(placement, Placement::Coded { .. }) {
+                continue;
+            }
+            let mut blocks: Vec<(u64, Vec<u32>)> = map
+                .iter()
+                .filter(|(_, s)| s.contains(&site))
+                .map(|(&b, s)| (b, s.clone()))
+                .collect();
+            if blocks.is_empty() {
+                continue;
+            }
+            objs.insert(file);
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            for (b, old) in blocks {
+                moves.push((file, b, old));
+            }
+        }
+        self.log_site_change(
+            now,
+            site,
+            SiteState::Draining,
+            objs.iter().copied().collect(),
+        );
+        self.drains.insert(
+            site,
+            DrainInfo {
+                started: now,
+                pending: 0,
+                objs,
+                bytes: 0,
+            },
+        );
+        let active = self.assignable_sites();
+        let unit = self.stripe_unit;
+        let mut queued = 0;
+        for (file, block, old) in moves {
+            let candidates: Vec<u32> = active
+                .iter()
+                .copied()
+                .filter(|s| !old.contains(s))
+                .collect();
+            if candidates.is_empty() {
+                // No replacement capacity: the entry keeps referencing the
+                // site and the drain stays open (visible via gauges).
+                continue;
+            }
+            let replacement = candidates[(block % candidates.len() as u64) as usize];
+            let fresh: Vec<u32> = old
+                .iter()
+                .map(|&s| if s == site { replacement } else { s })
+                .collect();
+            self.pin_entry(now, file, block, fresh.clone());
+            if let Some((_, map)) = self.maps.get_mut(&file) {
+                map.insert(block, fresh);
+            }
+            // The draining site is alive and authoritative: it leads the
+            // source list.
+            let sources: Vec<u32> = std::iter::once(site)
+                .chain(old.iter().copied().filter(|&s| s != site))
+                .collect();
+            self.queue_migration(now, replacement, file, block * unit, unit, sources, site);
+            queued += 1;
+        }
+        self.drains.get_mut(&site).expect("just inserted").pending = queued;
+        if queued == 0 {
+            let actions = self.finish_drain(now, site);
+            (0, actions)
+        } else {
+            (queued, vec![])
+        }
+    }
+
+    /// Retires a fully drained site: logs the transition, purges its
+    /// per-site soft state (the dirty log, resync job, shelf, and probe
+    /// waiters a never-returning node would otherwise leak), and removes
+    /// its mapped objects.
+    fn finish_drain(&mut self, now: SimTime, site: u32) -> Vec<CoordAction> {
+        // Only retire once nothing references the site (a move that found
+        // no replacement capacity leaves the drain open).
+        let referenced = self
+            .maps
+            .values()
+            .any(|(_, m)| m.values().any(|s| s.contains(&site)))
+            || self
+                .pins
+                .values()
+                .any(|p| p.values().any(|(_, s)| s.contains(&site)));
+        if referenced {
+            return vec![];
+        }
+        let Some(info) = self.drains.remove(&site) else {
+            return vec![];
+        };
+        self.log_site_change(now, site, SiteState::Retired, vec![]);
+        for r in self.dirty_log.remove(&site).unwrap_or_default() {
+            // Ranges still queued *for* the retired site are moot; complete
+            // them durably so they cannot replay.
+            self.migration_ranges.remove(&r.id);
+            self.drain_waiting.remove(&r.id);
+            self.wal.append(
+                now,
+                IntentRecord {
+                    id: r.id,
+                    kind: IntentKind::DirtyRange {
+                        obj: r.obj,
+                        offset: r.offset,
+                        len: r.len,
+                        sources: r.sources.clone(),
+                    },
+                    participants: vec![site],
+                    is_completion: true,
+                },
+                32,
+            );
+        }
+        self.resync.remove(&site);
+        self.gave_up.remove(&site);
+        self.site_probes.remove(&site);
+        self.reconf_history
+            .push((site, info.started, now, info.bytes));
+        info.objs
+            .iter()
+            .map(|&obj| CoordAction::SendCtl {
+                site,
+                ctl: StorageCtl::Remove { obj },
+            })
+            .collect()
+    }
+
+    /// Live sources for a mirrored range derived from the *current* block
+    /// map: after a rebalance the replica set can differ from the one
+    /// recorded when the range was logged. Sites that are the target,
+    /// retired, or themselves dirty over the same bytes are excluded; the
+    /// recorded set is the fallback when nothing usable is mapped (the
+    /// old replica may still physically hold the bytes).
+    fn map_sources(&self, target: u32, range: &DirtyRange) -> Vec<u32> {
+        let block = range.offset / self.stripe_unit;
+        let Some(sites) = self.maps.get(&range.obj).and_then(|(_, m)| m.get(&block)) else {
+            return range.sources.clone();
+        };
+        let derived: Vec<u32> = sites
+            .iter()
+            .copied()
+            .filter(|&s| {
+                s != target
+                    && !self.is_retired(s)
+                    && !self.dirty_log.get(&s).is_some_and(|rs| {
+                        rs.iter().any(|r| {
+                            r.obj == range.obj
+                                && r.offset < range.offset + range.len
+                                && range.offset < r.offset + r.len
+                        })
+                    })
+            })
+            .collect();
+        if derived.is_empty() {
+            range.sources.clone()
+        } else {
+            derived
+        }
+    }
+
     fn fanout(
         &mut self,
         now: SimTime,
@@ -941,7 +1607,34 @@ impl Coordinator {
     ) -> Vec<CoordAction> {
         let id = self.next_intent;
         self.next_intent += 1;
-        let participants: Vec<u32> = (0..self.storage_sites).collect();
+        // Standby sites never held data and retired sites are gone; a
+        // fan-out waiting on either would wedge for nothing.
+        let participants: Vec<u32> = (0..self.storage_sites)
+            .filter(|&s| {
+                matches!(
+                    self.site_state[s as usize],
+                    SiteState::Active | SiteState::Draining
+                )
+            })
+            .collect();
+        if is_remove {
+            // The file's pinned entries die with it (durably: a recovered
+            // coordinator must not resurrect the map of a removed file).
+            if let Some(pinned) = self.pins.remove(&file) {
+                for (block, (pin_id, sites)) in pinned {
+                    self.wal.append(
+                        now,
+                        IntentRecord {
+                            id: pin_id,
+                            kind: IntentKind::MapPin { file, block, sites },
+                            participants: vec![],
+                            is_completion: true,
+                        },
+                        32,
+                    );
+                }
+            }
+        }
         let kind = if is_remove {
             IntentKind::Remove { obj: file }
         } else {
@@ -1216,8 +1909,9 @@ impl Coordinator {
                             // distinct shards; drain defensively rather
                             // than wedge the queue.
                             job.stage = None;
-                            self.complete_range(now, target, &range);
-                            return self.advance_resync(now, target);
+                            let mut acts = self.complete_range(now, target, &range);
+                            acts.extend(self.advance_resync(now, target));
+                            return acts;
                         }
                     }
                 }
@@ -1237,15 +1931,17 @@ impl Coordinator {
                     unreachable!("matched above");
                 };
                 job.bytes += range.len;
-                self.complete_range(now, site, &range);
-                self.advance_resync(now, site)
+                let mut acts = self.complete_range(now, site, &range);
+                acts.extend(self.advance_resync(now, site));
+                acts
             }
         }
     }
 
-    /// Logs a durable completion for a resynced range and drops it from
-    /// the dirty log.
-    fn complete_range(&mut self, now: SimTime, site: u32, range: &DirtyRange) {
+    /// Logs a durable completion for a resynced range, drops it from the
+    /// dirty log, and settles any migration/drain bookkeeping riding on
+    /// it (retiring the origin site when its last migration lands).
+    fn complete_range(&mut self, now: SimTime, site: u32, range: &DirtyRange) -> Vec<CoordAction> {
         self.wal.append(
             now,
             IntentRecord {
@@ -1267,6 +1963,20 @@ impl Coordinator {
                 self.dirty_log.remove(&site);
             }
         }
+        let mut actions = Vec::new();
+        if self.migration_ranges.remove(&range.id) {
+            self.migrated_bytes += range.len;
+            if let Some(origin) = self.drain_waiting.remove(&range.id) {
+                if let Some(info) = self.drains.get_mut(&origin) {
+                    info.bytes += range.len;
+                    info.pending = info.pending.saturating_sub(1);
+                    if info.pending == 0 {
+                        actions = self.finish_drain(now, origin);
+                    }
+                }
+            }
+        }
+        actions
     }
 
     /// The current in-flight legs of `site`'s resync, for (re)sending.
@@ -1316,16 +2026,17 @@ impl Coordinator {
     /// Pulls the next range off `site`'s resync queue (finishing the job
     /// when it drains) and emits the read leg for it.
     fn advance_resync(&mut self, now: SimTime, site: u32) -> Vec<CoordAction> {
+        let mut actions = Vec::new();
         loop {
             let popped = match self.resync.get_mut(&site) {
                 Some(job) => job.queue.pop_front(),
-                None => return vec![],
+                None => return actions,
             };
             match popped {
                 Some(range) if range.sources.is_empty() => {
                     // No live source recorded: nothing can be copied, so
                     // drain the record rather than stall forever.
-                    self.complete_range(now, site, &range);
+                    actions.extend(self.complete_range(now, site, &range));
                 }
                 Some(range) => {
                     let stage = if let Placement::Coded { .. } = self.placement_of(range.obj) {
@@ -1335,25 +2046,30 @@ impl Coordinator {
                                 // Unrebuildable (site left the stripe,
                                 // too few sources): drain rather than
                                 // stall forever.
-                                self.complete_range(now, site, &range);
+                                actions.extend(self.complete_range(now, site, &range));
                                 continue;
                             }
                         }
                     } else {
-                        ResyncStage::AwaitData(range)
+                        // Re-derive the source set from the current block
+                        // map: a rebalance between the mark and this copy
+                        // can move the live replicas.
+                        let sources = self.map_sources(site, &range);
+                        ResyncStage::AwaitData(DirtyRange { sources, ..range })
                     };
                     let job = self.resync.get_mut(&site).expect("present");
                     job.stage = Some(stage);
                     job.last_attempt = now;
                     job.attempts = 0;
-                    return self.resync_leg(site);
+                    actions.extend(self.resync_leg(site));
+                    return actions;
                 }
                 None => {
                     let job = self.resync.remove(&site).expect("present");
                     self.resync_history
                         .push((site, job.started, now, job.bytes));
                     self.resync_events.push((site, true, now, job.bytes));
-                    return vec![];
+                    return actions;
                 }
             }
         }
@@ -1458,6 +2174,11 @@ impl Coordinator {
         self.site_probes.clear();
         self.marks_acked.clear();
         self.resync_events.clear();
+        self.pins.clear();
+        self.drains.clear();
+        self.drain_waiting.clear();
+        self.migration_ranges.clear();
+        self.site_state = self.initial_state.clone();
         std::mem::replace(&mut self.wal, Wal::new(WalParams::default()))
     }
 
@@ -1503,6 +2224,71 @@ impl Coordinator {
                 });
                 continue;
             }
+            // Reconfiguration records replay into soft state directly;
+            // none of them involve a storage-side intention to probe.
+            match r.kind {
+                IntentKind::Migration {
+                    obj,
+                    offset,
+                    len,
+                    ref sources,
+                    origin,
+                } => {
+                    let site = r.participants.first().copied().unwrap_or(0);
+                    self.dirty_log.entry(site).or_default().push(DirtyRange {
+                        id,
+                        obj,
+                        offset,
+                        len,
+                        sources: sources.clone(),
+                    });
+                    self.migration_ranges.insert(id);
+                    if origin != NO_ORIGIN {
+                        self.drain_waiting.insert(id, origin);
+                    }
+                    continue;
+                }
+                IntentKind::MapPin {
+                    file,
+                    block,
+                    ref sites,
+                } => {
+                    self.pins
+                        .entry(file)
+                        .or_default()
+                        .insert(block, (id, sites.clone()));
+                    continue;
+                }
+                IntentKind::SiteChange {
+                    site,
+                    state,
+                    ref objs,
+                } => {
+                    let state = SiteState::from_u8(state);
+                    if let Some(slot) = self.site_state.get_mut(site as usize) {
+                        *slot = state;
+                    }
+                    match state {
+                        SiteState::Draining => {
+                            self.drains.insert(
+                                site,
+                                DrainInfo {
+                                    started: now,
+                                    pending: 0,
+                                    objs: objs.iter().copied().collect(),
+                                    bytes: 0,
+                                },
+                            );
+                        }
+                        SiteState::Retired => {
+                            self.drains.remove(&site);
+                        }
+                        _ => {}
+                    }
+                    continue;
+                }
+                _ => {}
+            }
             self.pending.insert(
                 id,
                 PendingIntent {
@@ -1518,6 +2304,18 @@ impl Coordinator {
                     site,
                     ctl: StorageCtl::Probe { intent: id },
                 });
+            }
+        }
+        // Recount each replayed drain's pending migrations; a drain whose
+        // last migration completed just before the crash retires now.
+        let mut draining: Vec<u32> = self.drains.keys().copied().collect();
+        draining.sort_unstable();
+        for site in draining {
+            let pending = self.drain_waiting.values().filter(|&&o| o == site).count();
+            self.drains.get_mut(&site).expect("listed drain").pending = pending;
+            if pending == 0 {
+                let acts = self.finish_drain(now, site);
+                actions.extend(acts);
             }
         }
         actions
@@ -2110,5 +2908,271 @@ mod tests {
         let actions = c.recover(t(10), wal, t(0));
         assert!(actions.is_empty());
         assert_eq!(c.open_intents(), 0);
+    }
+
+    /// Materializes `blocks` mirrored map entries for `file`.
+    fn mirrored_file(c: &mut Coordinator, file: u64, blocks: u32) {
+        c.handle(
+            t(0),
+            1,
+            CoordMsg::SetPlacement {
+                file,
+                placement: Placement::Mirrored { copies: 2 },
+            },
+        );
+        c.handle(
+            t(1),
+            1,
+            CoordMsg::MapGet {
+                file,
+                first_block: 0,
+                count: blocks,
+            },
+        );
+    }
+
+    /// Drives every outstanding resync to completion by faithfully
+    /// answering the coordinator's control legs; returns the non-resync
+    /// actions it emitted along the way (e.g. retirement removals).
+    fn pump_to_quiescence(c: &mut Coordinator, start_ms: u64) -> Vec<CoordAction> {
+        let mut extra = Vec::new();
+        let mut ms = start_ms;
+        for _ in 0..200 {
+            ms += 2100;
+            let mut queue = c.check_timeouts(t(ms));
+            while let Some(act) = queue.pop() {
+                match act {
+                    CoordAction::SendCtl {
+                        site,
+                        ctl: StorageCtl::ResyncRead { obj, offset, len },
+                    } => queue.extend(c.handle_ctl_reply(
+                        t(ms),
+                        site,
+                        StorageCtlReply::ResyncData {
+                            obj,
+                            offset,
+                            data: vec![1u8; len as usize].into(),
+                        },
+                    )),
+                    CoordAction::SendCtl {
+                        site,
+                        ctl: StorageCtl::ResyncWrite { obj, offset, .. },
+                    } => queue.extend(c.handle_ctl_reply(
+                        t(ms),
+                        site,
+                        StorageCtlReply::ResyncApplied { obj, offset },
+                    )),
+                    other => extra.push(other),
+                }
+            }
+            if c.dirty_ranges() == 0 && !c.needs_sweep() {
+                break;
+            }
+        }
+        assert_eq!(c.dirty_ranges(), 0, "pump must converge");
+        extra
+    }
+
+    #[test]
+    fn widen_pins_extra_replica_and_copies_online() {
+        let mut c = Coordinator::new(4);
+        mirrored_file(&mut c, 3, 2);
+        assert_eq!(c.widen_file(t(10), 3), 2);
+        assert_eq!(c.migrations_pending(), 2);
+        assert_eq!(c.pinned_entries(), 2);
+        for (_, _, blocks) in c.block_map_dump() {
+            for (_, sites) in blocks {
+                assert_eq!(sites.len(), 3, "each entry gains one replica");
+            }
+        }
+        pump_to_quiescence(&mut c, 10);
+        assert_eq!(c.migrations_pending(), 0);
+        assert_eq!(c.migrated_bytes(), 2 * 64 * 1024);
+    }
+
+    #[test]
+    fn drain_migrates_entries_then_retires_and_purges() {
+        let mut c = Coordinator::new(4);
+        mirrored_file(&mut c, 3, 2);
+        let victim = c.block_map_dump()[0].2[0].1[0];
+        let (queued, acts) = c.drain_site(t(10), victim);
+        assert!(queued > 0, "the victim held replicas");
+        assert!(acts.is_empty(), "retirement waits for the log to drain");
+        assert!(!c.is_retired(victim));
+        let extra = pump_to_quiescence(&mut c, 10);
+        assert!(c.is_retired(victim), "drain retires once copies land");
+        assert!(
+            extra.iter().any(|a| matches!(
+                a,
+                CoordAction::SendCtl {
+                    site,
+                    ctl: StorageCtl::Remove { obj: 3 }
+                } if *site == victim
+            )),
+            "retirement removes the site's objects"
+        );
+        for (_, _, blocks) in c.block_map_dump() {
+            for (_, sites) in blocks {
+                assert!(!sites.contains(&victim), "no map entry is orphaned");
+            }
+        }
+        assert_eq!(c.reconf_history().len(), 1);
+        // Soft state for the retired site cannot re-accumulate: a stale
+        // degraded-write mark against it is dropped.
+        c.handle(
+            t(90_000),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 50,
+                obj: 3,
+                offset: 0,
+                len: 100,
+                missed: vec![victim],
+                sources: vec![0, 1, 2, 3]
+                    .into_iter()
+                    .filter(|&s| s != victim)
+                    .collect(),
+            },
+        );
+        assert_eq!(c.dirty_ranges(), 0, "retired sites take no dirty ranges");
+    }
+
+    #[test]
+    fn join_rebalances_mirrored_entries_onto_new_site() {
+        let mut c = Coordinator::new(4);
+        c.set_active_sites(3);
+        mirrored_file(&mut c, 3, 4);
+        for (_, _, blocks) in c.block_map_dump() {
+            for (_, sites) in blocks {
+                assert!(!sites.contains(&3), "standby site takes no entries");
+            }
+        }
+        let queued = c.join_site(t(10), 3);
+        assert!(queued > 0, "rebalance moves entries onto the joiner");
+        pump_to_quiescence(&mut c, 10);
+        assert_eq!(c.migrations_pending(), 0);
+        let on_joiner: usize = c
+            .block_map_dump()
+            .iter()
+            .flat_map(|(_, _, blocks)| blocks.iter())
+            .filter(|(_, sites)| sites.contains(&3))
+            .count();
+        assert_eq!(on_joiner, queued, "moved entries now reference the joiner");
+    }
+
+    #[test]
+    fn reconfigured_maps_survive_coordinator_crash() {
+        let mut c = Coordinator::new(4);
+        // Placement via the durable default (as the ha ensemble runs):
+        // per-file placement records are volatile, pins are not.
+        c.set_default_placement(Placement::Mirrored { copies: 2 });
+        c.handle(
+            t(1),
+            1,
+            CoordMsg::MapGet {
+                file: 3,
+                first_block: 0,
+                count: 2,
+            },
+        );
+        assert_eq!(c.widen_file(t(10), 3), 2);
+        let before = c.block_map_dump();
+        let wal = c.crash();
+        c.recover(t(5000), wal, t(4000));
+        assert_eq!(
+            c.migrations_pending(),
+            2,
+            "in-flight migrations replay from the log"
+        );
+        // Touch the map again: pinned entries win over recomputation.
+        c.handle(
+            t(5001),
+            1,
+            CoordMsg::MapGet {
+                file: 3,
+                first_block: 0,
+                count: 2,
+            },
+        );
+        assert_eq!(c.block_map_dump(), before, "pins reinstate widened entries");
+        pump_to_quiescence(&mut c, 5001);
+        assert_eq!(c.migrations_pending(), 0);
+    }
+
+    #[test]
+    fn drain_retirement_completes_across_coordinator_crash() {
+        let mut c = Coordinator::new(4);
+        mirrored_file(&mut c, 3, 2);
+        let victim = c.block_map_dump()[0].2[0].1[0];
+        let (queued, _) = c.drain_site(t(10), victim);
+        assert!(queued > 0);
+        let wal = c.crash();
+        assert!(!c.is_retired(victim), "crash resets to configured states");
+        c.recover(t(5000), wal, t(4000));
+        assert!(
+            c.site_states()[victim as usize] == SiteState::Draining,
+            "the logged drain replays"
+        );
+        let extra = pump_to_quiescence(&mut c, 5000);
+        assert!(c.is_retired(victim));
+        assert!(extra.iter().any(|a| matches!(
+            a,
+            CoordAction::SendCtl {
+                site,
+                ctl: StorageCtl::Remove { obj: 3 }
+            } if *site == victim
+        )));
+    }
+
+    #[test]
+    fn resync_sources_follow_current_block_map() {
+        let mut c = Coordinator::new(4);
+        mirrored_file(&mut c, 3, 1);
+        let entry = c.block_map_dump()[0].2[0].1.clone();
+        let (keeper, old_src) = (entry[0], entry[1]);
+        // Rebalance the second replica away and retire its old home.
+        let (queued, _) = c.drain_site(t(10), old_src);
+        assert!(queued > 0);
+        pump_to_quiescence(&mut c, 10);
+        assert!(c.is_retired(old_src));
+        let new_src = c.block_map_dump()[0].2[0]
+            .1
+            .iter()
+            .copied()
+            .find(|&s| s != keeper)
+            .expect("replacement replica");
+        // A client with a pre-rebalance view marks the surviving replica
+        // dirty against the *retired* source. The copy-back must derive
+        // its source from the current map, not the recorded snapshot.
+        c.handle(
+            t(600_000),
+            7,
+            CoordMsg::MarkDirty {
+                op_id: 51,
+                obj: 3,
+                offset: 0,
+                len: 100,
+                missed: vec![keeper],
+                sources: vec![old_src],
+            },
+        );
+        let acts = c.check_timeouts(t(610_000));
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                CoordAction::SendCtl {
+                    site,
+                    ctl: StorageCtl::ResyncRead { obj: 3, .. }
+                } if *site == new_src
+            )),
+            "copy-back reads from the live replica, got {acts:?}"
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(
+                a,
+                CoordAction::SendCtl { site, .. } if *site == old_src
+            )),
+            "nothing is asked of the retired site"
+        );
     }
 }

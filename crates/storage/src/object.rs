@@ -189,6 +189,13 @@ impl ObjectStore {
         self.objects.get(&id)
     }
 
+    /// Object ids present, sorted (for deterministic audits).
+    pub fn ids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.objects.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Writes `data` at `offset` within object `id`, creating it if absent.
     pub fn write(&mut self, id: u64, offset: u64, data: &[u8]) {
         self.bytes_written += data.len() as u64;

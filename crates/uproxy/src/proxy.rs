@@ -92,6 +92,10 @@ pub struct ProxyConfig {
     /// Interval between liveness probes of a suspected site (also the
     /// probe retry deadline when a coordinator does not answer).
     pub probe_interval: SimDuration,
+    /// Sliding window for hot-set detection: per-file data-op and
+    /// per-directory name-op counts are kept over roughly the last
+    /// window (two half-window buckets).
+    pub hot_window: SimDuration,
     /// Measure real per-phase CPU cost with `Instant::now` (Table 3
     /// benchmarking). Off by default: wall-clock reads are nondeterminism
     /// smuggled into an otherwise seeded simulation, and they cost two
@@ -124,6 +128,7 @@ impl ProxyConfig {
             writeback_interval: SimDuration::from_secs(3),
             suspect_after: 2,
             probe_interval: SimDuration::from_secs(2),
+            hot_window: SimDuration::from_secs(10),
             measure_phases: false,
         }
     }
@@ -179,6 +184,65 @@ impl SiteHealth {
             awaiting_votes: 0,
             clean_votes: 0,
         }
+    }
+}
+
+/// Sliding-window operation counter over two half-window buckets: the
+/// reported count for an id is its total over the current and previous
+/// half windows, so the view always spans between one and two half
+/// windows of history with O(1) roll-over cost.
+#[derive(Debug)]
+struct HotTracker {
+    half: SimDuration,
+    epoch_start: SimTime,
+    cur: FxHashMap<u64, u64>,
+    prev: FxHashMap<u64, u64>,
+}
+
+impl HotTracker {
+    fn new(window: SimDuration) -> Self {
+        HotTracker {
+            half: SimDuration::from_nanos((window.as_nanos() / 2).max(1)),
+            epoch_start: SimTime::ZERO,
+            cur: FxHashMap::default(),
+            prev: FxHashMap::default(),
+        }
+    }
+
+    fn roll(&mut self, now: SimTime) {
+        if now < self.epoch_start + self.half {
+            return;
+        }
+        if now >= self.epoch_start + self.half + self.half {
+            // Idle gap longer than the window: both buckets are stale.
+            self.cur.clear();
+            self.prev.clear();
+            self.epoch_start = now;
+            return;
+        }
+        self.prev = std::mem::take(&mut self.cur);
+        self.epoch_start += self.half;
+    }
+
+    fn note(&mut self, now: SimTime, id: u64) {
+        self.roll(now);
+        *self.cur.entry(id).or_insert(0) += 1;
+    }
+
+    /// Ids with at least `min` ops in the window, hottest first (count
+    /// descending, id ascending — deterministic).
+    fn hot(&self, min: u64) -> Vec<(u64, u64)> {
+        let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for (&id, &n) in self.prev.iter().chain(self.cur.iter()) {
+            *merged.entry(id).or_insert(0) += n;
+        }
+        let mut out: Vec<(u64, u64)> = merged.into_iter().filter(|&(_, n)| n >= min).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn entries(&self) -> usize {
+        self.cur.len() + self.prev.len()
     }
 }
 
@@ -266,12 +330,26 @@ pub struct Uproxy {
     attrs: AttrCache,
     /// Cached block-map fragments: (file, block) -> replica sites.
     map_cache: FxHashMap<(u64, u64), Vec<u32>>,
+    /// Replicas still owed a resync/migration copy per the coordinator's
+    /// last fragment: writes fan out to them, reads skip them until the
+    /// log drains (and the next epoch flush refetches the fragment).
+    warming_cache: FxHashMap<(u64, u64), Vec<u32>>,
     /// Requests parked on a block-map fetch, keyed by (file, block).
     map_waiters: FxHashMap<(u64, u64), Vec<Packet>>,
     /// Commit packets parked on an intent ack, keyed by xid.
     intent_waiters: FxHashMap<u64, Packet>,
     /// Failure-suspicion table, one entry per storage site.
     health: Vec<SiteHealth>,
+    /// Sites removed by a planned drain: never routed to, never struck,
+    /// never probed — their suspicion soft state is purged for good.
+    retired: Vec<bool>,
+    /// Routing-table epoch: bumped on every reconfiguration flush so
+    /// observers can tell when new block-map entries took effect.
+    map_epoch: u64,
+    /// Per-file data-op counts over a sliding window (hot-set detection).
+    hot_data: HotTracker,
+    /// Per-directory name-op counts over a sliding window.
+    hot_name: HotTracker,
     /// Mirrored writes parked on a coordinator dirty-region ack.
     degrade_pending: FxHashMap<u32, ParkedWrite>,
     /// Writes cleared to proceed at reduced redundancy: xid -> live
@@ -317,11 +395,16 @@ impl Uproxy {
             pending: FxHashMap::default(),
             attrs: AttrCache::new(cfg.attr_cache_entries),
             map_cache: FxHashMap::default(),
+            warming_cache: FxHashMap::default(),
             map_waiters: FxHashMap::default(),
             intent_waiters: FxHashMap::default(),
             health: (0..cfg.storage_sites.len())
                 .map(|_| SiteHealth::new())
                 .collect(),
+            retired: vec![false; cfg.storage_sites.len()],
+            map_epoch: 0,
+            hot_data: HotTracker::new(cfg.hot_window),
+            hot_name: HotTracker::new(cfg.hot_window),
             degrade_pending: FxHashMap::default(),
             degrade_ok: FxHashMap::default(),
             suspicion_log: Vec::new(),
@@ -430,6 +513,17 @@ impl Uproxy {
         set(reg, "ec.reconstructions", self.ec_reconstructions);
         set(reg, "ec.reconstructed_bytes", self.ec_reconstructed_bytes);
         set(reg, "soft_state.entries", self.soft_state_entries() as u64);
+        set(reg, "reconf.map_epoch", self.map_epoch);
+        set(
+            reg,
+            "reconf.retired_sites",
+            self.retired_sites().len() as u64,
+        );
+        set(
+            reg,
+            "reconf.hot_tracked",
+            (self.hot_data.entries() + self.hot_name.entries()) as u64,
+        );
         set(reg, "phase.packets", self.phases.packets);
         set(reg, "phase.intercept_ns", self.phases.intercept_ns);
         set(reg, "phase.decode_ns", self.phases.decode_ns);
@@ -492,6 +586,7 @@ impl Uproxy {
         self.pending.clear();
         self.attrs.clear();
         self.map_cache.clear();
+        self.warming_cache.clear();
         self.map_waiters.clear();
         self.intent_waiters.clear();
         self.degrade_pending.clear();
@@ -503,6 +598,65 @@ impl Uproxy {
         for h in &mut self.health {
             *h = SiteHealth::new();
         }
+        // Hot-set counters are observations; rebuilt from traffic.
+        self.hot_data = HotTracker::new(self.cfg.hot_window);
+        self.hot_name = HotTracker::new(self.cfg.hot_window);
+        // `retired` survives: like the routing tables it is loaded from
+        // the reconfiguration plane, not inferred from traffic.
+    }
+
+    /// Removes a drained site from every routing decision: it is never
+    /// read from, written to, struck, or probed again, and its suspicion
+    /// soft state is purged (a retired node never returns, so keeping
+    /// the entry would leak it forever).
+    pub fn retire_site(&mut self, now: SimTime, site: u32) {
+        let Some(flag) = self.retired.get_mut(site as usize) else {
+            return;
+        };
+        *flag = true;
+        let h = &mut self.health[site as usize];
+        if h.suspected {
+            self.suspicion_log.push((now, site, false));
+        }
+        *h = SiteHealth::new();
+    }
+
+    /// Sites retired by a planned drain, sorted.
+    pub fn retired_sites(&self) -> Vec<u32> {
+        self.retired
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Drops every cached block-map fragment and bumps the routing
+    /// epoch: the next bulk I/O re-fetches fresh entries from the
+    /// coordinators, picking up reconfigured (widened/rebalanced)
+    /// replica sets. The paper's tables-are-hints rule makes this safe
+    /// at any time.
+    pub fn flush_map_cache(&mut self) {
+        self.map_cache.clear();
+        self.warming_cache.clear();
+        self.map_epoch += 1;
+    }
+
+    /// Routing-table epoch (count of reconfiguration flushes).
+    pub fn map_epoch(&self) -> u64 {
+        self.map_epoch
+    }
+
+    /// Files with at least `min` data operations over the sliding hot
+    /// window, hottest first.
+    pub fn hot_files(&self, min: u64) -> Vec<(u64, u64)> {
+        self.hot_data.hot(min)
+    }
+
+    /// Directories with at least `min` name operations over the sliding
+    /// hot window, hottest first.
+    pub fn hot_dirs(&self, min: u64) -> Vec<(u64, u64)> {
+        self.hot_name.hot(min)
     }
 
     /// Storage sites currently suspected down.
@@ -538,6 +692,7 @@ impl Uproxy {
     pub fn soft_state_entries(&self) -> usize {
         self.pending.len()
             + self.map_cache.len()
+            + self.warming_cache.len()
             + self.attrs.len()
             + self.map_waiters.values().map(Vec::len).sum::<usize>()
             + self.intent_waiters.len()
@@ -583,6 +738,9 @@ impl Uproxy {
     }
 
     fn strike(&mut self, now: SimTime, out: &mut Vec<ProxyOut>, site: u32) {
+        if self.retired.get(site as usize).copied().unwrap_or(false) {
+            return;
+        }
         let Some(h) = self.health.get_mut(site as usize) else {
             return;
         };
@@ -605,17 +763,32 @@ impl Uproxy {
         let mut live = Vec::new();
         let mut missed = Vec::new();
         for &s in sites {
-            if self.health.get(s as usize).is_some_and(|h| h.suspected) {
+            if self.site_retired(s) || self.health.get(s as usize).is_some_and(|h| h.suspected) {
                 missed.push(s);
             } else {
                 live.push(s);
             }
         }
         if live.is_empty() {
-            (sites.to_vec(), Vec::new())
+            // Retired sites stay excluded even from the all-suspected
+            // fallback: they hold no data and never answer.
+            let present: Vec<u32> = sites
+                .iter()
+                .copied()
+                .filter(|&s| !self.site_retired(s))
+                .collect();
+            if present.is_empty() {
+                (sites.to_vec(), Vec::new())
+            } else {
+                (present, Vec::new())
+            }
         } else {
             (live, missed)
         }
+    }
+
+    fn site_retired(&self, site: u32) -> bool {
+        self.retired.get(site as usize).copied().unwrap_or(false)
     }
 
     /// Degraded-write gate. A mirrored write whose replica set includes
@@ -799,6 +972,21 @@ impl Uproxy {
         req: NfsRequest,
     ) {
         self.requests_routed += 1;
+        // Hot-set tracking for demand-driven replication: data ops count
+        // against the file, name ops against the parent directory.
+        match &req {
+            NfsRequest::Read { fh, .. } | NfsRequest::Write { fh, .. } => {
+                self.hot_data.note(now, fh.file_id());
+            }
+            NfsRequest::Lookup { dir, .. }
+            | NfsRequest::Create { dir, .. }
+            | NfsRequest::Mkdir { dir, .. }
+            | NfsRequest::Remove { dir, .. }
+            | NfsRequest::Rmdir { dir, .. } => {
+                self.hot_name.note(now, dir.file_id());
+            }
+            _ => {}
+        }
         let client_src = pkt.src;
         // Phase 4 pieces are timed inside; phase 3 around the rewrites.
         match &req {
@@ -856,7 +1044,7 @@ impl Uproxy {
                         .push(pkt);
                     return;
                 };
-                let site = self.pick_read_site(out, &sites, split, xid);
+                let site = self.pick_read_site(out, fh.file_id(), &sites, split, xid);
                 let t3 = self.phase_start();
                 let low_pkt = Packet::new(
                     client_src,
@@ -990,7 +1178,7 @@ impl Uproxy {
                 // load: replica choice flips every full placement rotation,
                 // so each node serves half of the blocks it stores and the
                 // rest of its prefetched data goes unused (Table 2).
-                let site = self.pick_read_site(out, &sites, *offset, xid);
+                let site = self.pick_read_site(out, fh.file_id(), &sites, *offset, xid);
                 let t3 = self.phase_start();
                 let mut p = pkt;
                 p.rewrite_dst(self.cfg.storage_sites[site as usize]);
@@ -1168,14 +1356,24 @@ impl Uproxy {
     /// by placement rotation (each node serves half of what it stores).
     /// Suspected sites are skipped — the read fails over to the first
     /// live mirror instead of stalling through the suspected site's
-    /// retransmission timeouts.
+    /// retransmission timeouts. Warming replicas (a migration or resync
+    /// copy still owed per the coordinator's fragment) are skipped too:
+    /// a freshly pinned replica joins the rotation only after the log
+    /// drains and an epoch flush refetches the fragment.
     fn pick_read_site(
         &mut self,
         out: &mut Vec<ProxyOut>,
+        file: u64,
         sites: &[u32],
         offset: u64,
         xid: u32,
     ) -> u32 {
+        let block = offset / self.cfg.stripe_unit;
+        let warming = self
+            .warming_cache
+            .get(&(file, block))
+            .cloned()
+            .unwrap_or_default();
         let idx = if sites.len() > 1 {
             let stripe = offset / self.cfg.stripe_unit;
             let rotation = stripe / self.cfg.storage_sites.len() as u64;
@@ -1185,12 +1383,18 @@ impl Uproxy {
             0
         };
         let preferred = sites[idx];
-        if !self.health[preferred as usize].suspected {
+        if !self.health[preferred as usize].suspected
+            && !self.site_retired(preferred)
+            && !warming.contains(&preferred)
+        {
             return preferred;
         }
         for k in 1..sites.len() {
             let cand = sites[(idx + k) % sites.len()];
-            if !self.health[cand as usize].suspected {
+            if !self.health[cand as usize].suspected
+                && !self.site_retired(cand)
+                && !warming.contains(&cand)
+            {
                 self.read_failovers += 1;
                 out.push(ProxyOut::Trace(slice_obs::EventKind::ReadFailover {
                     site: preferred as usize,
@@ -1231,9 +1435,13 @@ impl Uproxy {
         // crashed node would never complete. Any unstable data a merely
         // slow (not crashed) site holds stays unstable until a later
         // commit — the register model treats it as optional.
-        let any_live = self.health.iter().any(|h| !h.suspected);
+        let any_live = self
+            .health
+            .iter()
+            .enumerate()
+            .any(|(i, h)| !h.suspected && !self.retired[i]);
         for (i, site) in self.cfg.storage_sites.iter().enumerate() {
-            if any_live && self.health[i].suspected {
+            if self.retired[i] || (any_live && self.health[i].suspected) {
                 continue;
             }
             let mut p = pkt.clone();
@@ -1655,10 +1863,19 @@ impl Uproxy {
                 file,
                 first_block,
                 sites,
+                warming,
             } => {
                 for (i, s) in sites.iter().enumerate() {
                     self.map_cache
                         .insert((file, first_block + i as u64), s.clone());
+                }
+                for (i, w) in warming.iter().enumerate() {
+                    let key = (file, first_block + i as u64);
+                    if w.is_empty() {
+                        self.warming_cache.remove(&key);
+                    } else {
+                        self.warming_cache.insert(key, w.clone());
+                    }
                 }
                 // Release parked requests covered by the fragment.
                 let keys: Vec<(u64, u64)> = self
@@ -1740,6 +1957,9 @@ impl Uproxy {
         // next interval — probe_at doubles as the retry deadline.
         if self.cfg.coord_sites > 0 {
             for site in 0..self.health.len() as u32 {
+                if self.retired[site as usize] {
+                    continue;
+                }
                 let h = &mut self.health[site as usize];
                 if h.suspected && now >= h.probe_at {
                     h.probe_at = now + self.cfg.probe_interval;

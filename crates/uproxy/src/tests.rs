@@ -590,13 +590,15 @@ fn block_map_routing_parks_and_releases() {
     let (file, first, count) = mapget.expect("MapGet emitted");
     assert_eq!(file, 90);
     // Fragment arrives: the parked read is released to the mapped site.
-    let sites = (0..count).map(|_| vec![2u32]).collect();
+    let sites: Vec<Vec<u32>> = (0..count).map(|_| vec![2u32]).collect();
+    let warming = vec![Vec::new(); sites.len()];
     let out = u.coord_reply(
         t(1),
         CoordReply::MapFragment {
             file,
             first_block: first,
             sites,
+            warming,
         },
     );
     let pkts = net_pkts(&out);
@@ -841,4 +843,194 @@ fn straddling_read_splits_and_reassembles() {
         }
         other => panic!("unexpected {other:?}"),
     }
+}
+
+#[test]
+fn warming_replica_stays_out_of_read_rotation_until_epoch_flush() {
+    let mut c = cfg();
+    c.use_block_maps = true;
+    let mut u = Uproxy::new(c.clone());
+    let mapped = Fhandle::new(91, 0, slice_nfsproto::FH_FLAG_MAPPED, 0, 0);
+    let read_at = |off: u64| NfsRequest::Read {
+        fh: mapped,
+        offset: off,
+        count: 32768,
+    };
+    // Park the first read, then answer with a fragment whose entries all
+    // mirror on sites {2, 3} with 3 still warming (migration copy owed).
+    let out = u.outbound(t(0), call_pkt(&c, 1, &read_at(128 * 1024)));
+    assert!(net_pkts(&out).is_empty());
+    let (file, first, count) = out
+        .iter()
+        .find_map(|o| match o {
+            ProxyOut::Coord {
+                msg:
+                    CoordMsg::MapGet {
+                        file,
+                        first_block,
+                        count,
+                    },
+                ..
+            } => Some((*file, *first_block, *count)),
+            _ => None,
+        })
+        .expect("MapGet emitted");
+    let fragment = |warm: bool| CoordReply::MapFragment {
+        file,
+        first_block: first,
+        sites: (0..count).map(|_| vec![2u32, 3u32]).collect(),
+        warming: (0..count)
+            .map(|_| if warm { vec![3u32] } else { Vec::new() })
+            .collect(),
+    };
+    let out = u.coord_reply(t(1), fragment(true));
+    assert_eq!(net_pkts(&out)[0].dst, c.storage_sites[2]);
+    // Every covered stripe reads from site 2: 3 is warming.
+    for b in 0..u64::from(count) {
+        let out = u.outbound(
+            t(2 + b),
+            call_pkt(&c, 10 + b as u32, &read_at((first + b) * 64 * 1024)),
+        );
+        for p in net_pkts(&out) {
+            assert_ne!(
+                p.dst, c.storage_sites[3],
+                "warming replica must not serve reads"
+            );
+        }
+    }
+    // The log drains; the epoch flush refetches a clean fragment and the
+    // rotation picks the new replica back up.
+    u.flush_map_cache();
+    assert_eq!(u.map_epoch(), 1);
+    let out = u.outbound(t(100), call_pkt(&c, 40, &read_at(128 * 1024)));
+    assert!(net_pkts(&out).is_empty(), "flush forces a refetch");
+    u.coord_reply(t(101), fragment(false));
+    let mut hit3 = false;
+    for b in 0..u64::from(count) {
+        let out = u.outbound(
+            t(102 + b),
+            call_pkt(&c, 50 + b as u32, &read_at((first + b) * 64 * 1024)),
+        );
+        hit3 |= net_pkts(&out).iter().any(|p| p.dst == c.storage_sites[3]);
+    }
+    assert!(hit3, "clean replica rejoins the rotation after the flush");
+}
+
+#[test]
+fn retire_site_purges_suspicion_and_leaves_probe_loop() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    // Drive site 1 into suspicion: route a mirrored read there, then
+    // strike it past the threshold via retransmissions.
+    let mirrored = fh(40, FH_FLAG_MIRRORED);
+    let mut victim = None;
+    for (xid, off) in (0u32..8).map(|i| (i + 1, u64::from(i) * 64 * 1024)) {
+        let out = u.outbound(
+            t(u64::from(xid)),
+            call_pkt(
+                &c,
+                xid,
+                &NfsRequest::Read {
+                    fh: mirrored,
+                    offset: off,
+                    count: 1024,
+                },
+            ),
+        );
+        if net_pkts(&out).first().map(|p| p.dst) == Some(c.storage_sites[1]) {
+            u.note_retransmit(t(100), xid);
+            u.note_retransmit(t(200), xid);
+            victim = Some(xid);
+            break;
+        }
+    }
+    assert!(victim.is_some(), "some stripe must route to site 1");
+    assert_eq!(u.suspected_sites(), vec![1]);
+    assert!(!u.tick(t(3000)).is_empty(), "suspected sites are probed");
+    // Planned removal: suspicion soft state is purged for good and the
+    // probe loop drops the site.
+    u.retire_site(t(4000), 1);
+    assert!(u.suspected_sites().is_empty(), "retire purges suspicion");
+    assert_eq!(u.retired_sites(), vec![1]);
+    assert!(u.tick(t(6000)).is_empty(), "retired sites are never probed");
+    // Reads never route to the retired site again.
+    for (xid, off) in (20u32..40).map(|i| (i, u64::from(i) * 64 * 1024)) {
+        let out = u.outbound(
+            t(10_000 + u64::from(xid)),
+            call_pkt(
+                &c,
+                xid,
+                &NfsRequest::Read {
+                    fh: mirrored,
+                    offset: off,
+                    count: 1024,
+                },
+            ),
+        );
+        for p in net_pkts(&out) {
+            assert_ne!(p.dst, c.storage_sites[1], "retired site must not serve");
+        }
+    }
+}
+
+#[test]
+fn hot_trackers_count_and_age_out() {
+    let c = cfg();
+    let mut u = Uproxy::new(c.clone());
+    // Three data ops on file 7, one on file 8, plus name traffic on dir 3.
+    for i in 0..3u64 {
+        u.outbound(
+            t(i),
+            call_pkt(
+                &c,
+                i as u32 + 1,
+                &NfsRequest::Read {
+                    fh: fh(7, 0),
+                    offset: 128 * 1024,
+                    count: 1024,
+                },
+            ),
+        );
+    }
+    u.outbound(
+        t(5),
+        call_pkt(
+            &c,
+            9,
+            &NfsRequest::Read {
+                fh: fh(8, 0),
+                offset: 128 * 1024,
+                count: 1024,
+            },
+        ),
+    );
+    u.outbound(
+        t(6),
+        call_pkt(
+            &c,
+            10,
+            &NfsRequest::Lookup {
+                dir: fh(3, slice_nfsproto::FH_FLAG_DIR),
+                name: "x".into(),
+            },
+        ),
+    );
+    assert_eq!(u.hot_files(1), vec![(7, 3), (8, 1)]);
+    assert_eq!(u.hot_files(2), vec![(7, 3)]);
+    assert_eq!(u.hot_dirs(1), vec![(3, 1)]);
+    // A quiet gap of two half-windows ages everything out; fresh traffic
+    // starts a new window.
+    u.outbound(
+        t(60_000),
+        call_pkt(
+            &c,
+            11,
+            &NfsRequest::Read {
+                fh: fh(9, 0),
+                offset: 128 * 1024,
+                count: 1024,
+            },
+        ),
+    );
+    assert_eq!(u.hot_files(1), vec![(9, 1)], "stale window must age out");
 }

@@ -6,7 +6,7 @@
 //! (no logging) but its single CPU saturates quickly; Slice-N scales with
 //! more directory servers, each saturating near 6000 ops/s.
 //!
-//! Usage: `fig3 [--full | --files N] [--threads T] [--shards S]` —
+//! Usage: `fig3 [--full | --files N] [--threads T] [--shards S] [--fine]` —
 //! default creates 3,600 files/dirs per process (a documented 1/10 scale
 //! of the paper's 36,000); `--full` runs the paper's size, and
 //! `--files N` sets an explicit per-process count (used by the
@@ -55,17 +55,25 @@ fn main() {
                 .expect("--shards wants a number")
         })
         .unwrap_or(1);
-    let process_counts = [1usize, 2, 4, 8, 16];
-    let dir_counts = [1usize, 2, 4];
+    // `--fine` doubles the sweep resolution (intermediate process counts
+    // and a Slice-3 series) for smoother published curves; the default
+    // grid stays the paper's, so existing baselines remain comparable.
+    let fine = argv.iter().any(|a| a == "--fine");
+    let process_counts: &[usize] = if fine {
+        &[1, 2, 3, 4, 6, 8, 12, 16]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let dir_counts: &[usize] = if fine { &[1, 2, 3, 4] } else { &[1, 2, 4] };
 
     // Flatten the grid into (procs, Option<dirs>) cells — None is the
     // N-MFS baseline — and fan out. Each cell is a self-contained
     // deterministic run, so only the merge order matters for output
     // stability, and run_indexed merges by cell index.
     let mut cells: Vec<(usize, Option<usize>)> = Vec::new();
-    for &procs in &process_counts {
+    for &procs in process_counts {
         cells.push((procs, None));
-        for &dirs in &dir_counts {
+        for &dirs in dir_counts {
             cells.push((procs, Some(dirs)));
         }
     }

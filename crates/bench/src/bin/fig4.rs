@@ -6,19 +6,31 @@
 //! helps (fewer cross-server operations) until load imbalance dominates
 //! near 100 %; balanced distributions need fewer than 20 % of mkdirs
 //! redirected.
+//!
+//! `--fine` doubles the affinity-axis resolution around the knee
+//! (800–1000 ‰) where the curve bends hardest; the default grid stays
+//! the paper's so existing baselines remain comparable.
 
 use slice_core::EnsemblePolicy;
 use slice_sim::Series;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let full = argv.iter().any(|a| a == "--full");
+    let fine = argv.iter().any(|a| a == "--fine");
     let files: u64 = if full { 36_000 } else { 2_400 };
-    let affinities = [0u32, 200, 400, 600, 800, 900, 950, 1000];
+    let affinities: &[u32] = if fine {
+        &[
+            0, 100, 200, 300, 400, 500, 600, 700, 800, 850, 900, 925, 950, 975, 1000,
+        ]
+    } else {
+        &[0, 200, 400, 600, 800, 900, 950, 1000]
+    };
     let mut series: Vec<Series> = [1usize, 4, 8, 16]
         .iter()
         .map(|p| Series::new(format!("{p} procs")))
         .collect();
-    for &aff in &affinities {
+    for &aff in affinities {
         let p_millis = 1000 - aff;
         for (i, &procs) in [1usize, 4, 8, 16].iter().enumerate() {
             let lat = slice_bench::run_untar_slice(

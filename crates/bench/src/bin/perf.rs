@@ -203,6 +203,51 @@ fn live_state_phase(bytes_per_client: u64, shards: usize) -> (u64, u64, u64, u64
     )
 }
 
+/// Window-efficiency probe: a small mirrored bulk run serially and again
+/// across `shards`. The deterministic counters must match; the window
+/// counts must show the allocation-free window machinery at work — the
+/// serial engine covers each driver step with one window, and the sharded
+/// engine's adaptive widening keeps windows well below the conservative
+/// one-lookahead-per-window count (which would exceed the event count
+/// here, since bulk RPC legs span many lookaheads).
+fn shard_window_phase(bytes_per_client: u64, shards: usize) -> (EngineTotals, EngineTotals) {
+    let (_, _, t1) = slice_bench::run_bulk_stats(4, bytes_per_client, true, 1);
+    let (_, _, tn) = slice_bench::run_bulk_stats(4, bytes_per_client, true, shards);
+    assert_eq!(
+        (t1.packets, t1.bytes, t1.events),
+        (tn.packets, tn.bytes, tn.events),
+        "sharded bulk counters diverged from serial"
+    );
+    assert!(
+        t1.windows < t1.events,
+        "serial bulk windows ({}) did not shrink below events ({})",
+        t1.windows,
+        t1.events
+    );
+    assert!(
+        tn.windows < tn.events,
+        "sharded bulk windows ({}) did not shrink below events ({})",
+        tn.windows,
+        tn.events
+    );
+    (t1, tn)
+}
+
+/// Peak resident set in kilobytes from `/proc/self/status` (`VmHWM`).
+/// Linux-only; reported as an informational gauge, zero elsewhere.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
 fn fold_phase(reg: &mut slice_obs::Registry, name: &str, ph: &PhaseReport) {
     reg.set_gauge(&format!("perf.{name}.wall_s"), ph.wall_s);
     reg.set(&format!("perf.{name}.packets"), ph.totals.packets);
@@ -297,12 +342,15 @@ fn main() {
     let bulk_bytes: u64 = if full { 256 << 20 } else { 32 << 20 };
 
     slice_nfsproto::bytes::reset_clone_stats();
+    slice_sim::pool::reset_alloc_stats();
     let untar = untar_phase(files, threads);
     let bulk = bulk_phase(bulk_bytes);
     let (shallow, deep, deep_bytes) = slice_nfsproto::bytes::clone_stats();
+    let (pool_hits, pool_misses, recycled_bytes) = slice_sim::pool::alloc_stats();
     let (map_entries, dirty_ranges, soft_entries, suspected_sites, live_peak) =
         live_state_phase(bulk_bytes / 4, 1);
     let scaling = (shards > 1).then(|| shard_scaling_phase(files, shards));
+    let windows = shard_window_phase(bulk_bytes / 8, shards.max(2));
 
     println!(
         "perf: hot-path wall-clock baseline ({}, {threads} thread{})",
@@ -325,6 +373,19 @@ fn main() {
     }
     println!("  payload: {shallow} shallow clones, {deep} deep copies ({deep_bytes} bytes copied)");
     println!(
+        "  alloc: {pool_hits} pool hits, {pool_misses} pool misses ({recycled_bytes} bytes \
+         recycled, {} held)",
+        slice_sim::pool::held_bytes()
+    );
+    println!(
+        "  windows: bulk serial {} ({} events), at {} shards {} windows / {} barrier rounds",
+        windows.0.windows,
+        windows.0.events,
+        shards.max(2),
+        windows.1.windows,
+        windows.1.barrier_rounds,
+    );
+    println!(
         "  live state: {map_entries} coordinator map entries, {soft_entries} uproxy soft-state \
          entries, {live_peak} peak live events (mapped bulk)"
     );
@@ -343,6 +404,17 @@ fn main() {
         reg.set("perf.payload.shallow_clones", shallow);
         reg.set("perf.payload.deep_copies", deep);
         reg.set("perf.payload.deep_copy_bytes", deep_bytes);
+        reg.set("perf.alloc.pool_hits", pool_hits);
+        reg.set("perf.alloc.pool_misses", pool_misses);
+        reg.set("perf.alloc.recycled_bytes", recycled_bytes);
+        reg.set("perf.alloc.pool_held_bytes", slice_sim::pool::held_bytes());
+        reg.set("perf.shard.windows", windows.1.windows);
+        reg.set("perf.shard.barrier_rounds", windows.1.barrier_rounds);
+        reg.set_gauge(
+            "perf.shard.events_per_window",
+            windows.1.events as f64 / (windows.1.windows.max(1)) as f64,
+        );
+        reg.set("perf.live_state.peak_rss_kb", peak_rss_kb());
         reg.set("perf.live_state.coord_map_entries", map_entries);
         reg.set("perf.live_state.coord_dirty_ranges", dirty_ranges);
         reg.set("perf.live_state.uproxy_soft_state_entries", soft_entries);
@@ -377,6 +449,11 @@ fn main() {
             ("payload.shallow_clones", shallow),
             ("payload.deep_copies", deep),
             ("payload.deep_copy_bytes", deep_bytes),
+            ("alloc.pool_hits", pool_hits),
+            ("alloc.pool_misses", pool_misses),
+            ("alloc.recycled_bytes", recycled_bytes),
+            ("shard.windows", windows.1.windows),
+            ("shard.barrier_rounds", windows.1.barrier_rounds),
         ];
         let failures = check_counters(&text, &measured, untar.wall_s);
         if !failures.is_empty() {

@@ -244,6 +244,10 @@ pub struct EngineTotals {
     pub events: u64,
     /// High-water mark of concurrently live events in the slab.
     pub peak_live_events: usize,
+    /// Time windows executed (serial + barrier-synchronized parallel).
+    pub windows: u64,
+    /// Barrier crossings paid by the parallel window loop.
+    pub barrier_rounds: u64,
 }
 
 impl EngineTotals {
@@ -255,6 +259,8 @@ impl EngineTotals {
             bytes: engine.bytes_sent(),
             events: engine.events_executed(),
             peak_live_events: engine.peak_live_events(),
+            windows: engine.shard_windows(),
+            barrier_rounds: engine.shard_barrier_rounds(),
         }
     }
 
@@ -264,6 +270,8 @@ impl EngineTotals {
         self.bytes += other.bytes;
         self.events += other.events;
         self.peak_live_events = self.peak_live_events.max(other.peak_live_events);
+        self.windows += other.windows;
+        self.barrier_rounds += other.barrier_rounds;
     }
 }
 

@@ -12,12 +12,18 @@
 use std::process::Command;
 
 fn run_fig3(extra: &[&str]) -> String {
+    run_fig3_env(extra, &[])
+}
+
+fn run_fig3_env(extra: &[&str], envs: &[(&str, &str)]) -> String {
     let mut args = vec!["--files", "100"];
     args.extend_from_slice(extra);
-    let out = Command::new(env!("CARGO_BIN_EXE_fig3"))
-        .args(&args)
-        .output()
-        .expect("spawn fig3");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig3"));
+    cmd.args(&args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn fig3");
     assert!(
         out.status.success(),
         "fig3 failed: {}",
@@ -56,6 +62,23 @@ fn fig3_is_byte_identical_across_shard_counts() {
         assert!(
             serial == sharded,
             "fig3 stdout differs between --shards 1 and --shards {shards}:\n--- shards 1\n{serial}\n--- shards {shards}\n{sharded}"
+        );
+    }
+}
+
+/// The payload pool's determinism contract (DESIGN.md §15): recycling
+/// backing stores is capacity-only bookkeeping, so the entire fig3 grid
+/// must print byte-identical output with pooling on and off, at every
+/// shard count. `SLICE_POOL=off` turns the spawned binary's pool into a
+/// plain allocator.
+#[test]
+fn fig3_is_byte_identical_with_pooling_off() {
+    let pooled = run_fig3(&[]);
+    for shards in ["1", "2", "4"] {
+        let unpooled = run_fig3_env(&["--shards", shards], &[("SLICE_POOL", "off")]);
+        assert!(
+            pooled == unpooled,
+            "fig3 stdout differs between pooling on and SLICE_POOL=off --shards {shards}:\n--- pooled\n{pooled}\n--- unpooled\n{unpooled}"
         );
     }
 }

@@ -381,7 +381,7 @@ impl DriverWorkload {
             match self.request_for(self.pc) {
                 Some(req) => {
                     self.issued.push(self.pc);
-                    io.call(self.pc as u64, &req);
+                    io.call(self.pc as u64, req);
                     return;
                 }
                 None => {
@@ -406,7 +406,7 @@ impl Workload for DriverWorkload {
             if let Some(req) = self.request_for(idx) {
                 self.jukebox_reissues += 1;
                 self.issued.push(idx);
-                io.call(tag, &req);
+                io.call(tag, req);
                 return;
             }
         }

@@ -69,13 +69,27 @@ fn payload_cpu(bytes: usize, per_4k: SimDuration) -> SimDuration {
 /// retransmission that almost never comes. The decoded form shares
 /// nothing with the wire path, so the packet the server actually sends is
 /// the payload's sole owner and the µproxy patches it in place.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReplyCache {
     /// One map holds both phases of an entry's life (in progress, then
     /// done): the admit/complete pair on every request costs one hash
     /// lookup each instead of crossing a separate set and map.
     entries: FxHashMap<(u32, u16, u32), DrcEntry>,
     order: std::collections::VecDeque<(u32, u16, u32)>,
+}
+
+impl Default for ReplyCache {
+    fn default() -> Self {
+        // Headroom above the eviction capacity: at steady state every
+        // request inserts one entry and evicts one, and hashbrown turns
+        // each removal into a tombstone. Without slack the table
+        // rehashes in place every ~capacity/2 requests just to reclaim
+        // tombstones; 4x slack makes that reclaim ~8x rarer.
+        ReplyCache {
+            entries: FxHashMap::with_capacity_and_hasher(DRC_CAPACITY * 4, Default::default()),
+            order: std::collections::VecDeque::with_capacity(DRC_CAPACITY + 1),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -193,6 +207,11 @@ impl Actor<Wire> for StorageActor {
                 let out = Packet::new(self.addr, pkt.src, encode_reply(hdr.xid, &reply));
                 if let Some(node) = self.router.try_node_of(pkt.src) {
                     self.deferred.send_at(ctx, done, node, Wire::Udp(out));
+                }
+                // The decoded WRITE payload is dead once applied; recycle
+                // it rather than dropping it on the allocator.
+                if let NfsRequest::Write { data, .. } = req {
+                    slice_sim::pool::give(data);
                 }
             }
             Wire::Ctl(ctl) => {

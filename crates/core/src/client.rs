@@ -98,7 +98,12 @@ pub struct ClientStats {
 struct PendingRpc {
     tag: u64,
     proc: NfsProc,
-    original: Packet,
+    /// The decoded request, kept for timeout retransmission. Re-encoding
+    /// under the original xid reproduces the first transmission byte for
+    /// byte, so stashing the request (moved in, no payload copy) replaces
+    /// the per-RPC packet clone that used to dominate the shallow-clone
+    /// counter — retransmissions are rare; sends are not.
+    request: NfsRequest,
     sent_at: SimTime,
     first_sent_at: SimTime,
     retries: u32,
@@ -168,8 +173,8 @@ impl ClientInner {
         to_client
     }
 
-    fn send_call(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64, req: &NfsRequest) {
-        let write_bytes = match req {
+    fn send_call(&mut self, ctx: &mut Ctx<'_, Wire>, tag: u64, req: NfsRequest) {
+        let write_bytes = match &req {
             NfsRequest::Write { data, .. } => data.len() as u64,
             _ => 0,
         };
@@ -182,7 +187,7 @@ impl ClientInner {
         }
         let xid = self.next_xid;
         self.next_xid = self.next_xid.wrapping_add(1);
-        let payload = encode_call(xid, &self.cfg.cred, req);
+        let payload = encode_call(xid, &self.cfg.cred, &req);
         let pkt = Packet::new(self.cfg.addr, self.cfg.server_addr, payload);
         ctx.trace(
             Subsystem::Client,
@@ -192,7 +197,7 @@ impl ClientInner {
             },
         );
         if self.cfg.record_history {
-            self.history.begin(ctx.now(), xid, req);
+            self.history.begin(ctx.now(), xid, &req);
         }
         let timer = ctx.set_timer(calib::RPC_TIMEOUT, TAG_RPC | u64::from(xid));
         self.pending.insert(
@@ -200,7 +205,7 @@ impl ClientInner {
             PendingRpc {
                 tag,
                 proc: req.proc(),
-                original: pkt.clone(),
+                request: req,
                 sent_at: ctx.now(),
                 first_sent_at: ctx.now(),
                 retries: 0,
@@ -294,7 +299,9 @@ pub struct ClientIo<'a, 'b> {
 
 impl ClientIo<'_, '_> {
     /// Issues an NFS call; the reply arrives at `on_reply` with `tag`.
-    pub fn call(&mut self, tag: u64, req: &NfsRequest) {
+    /// Takes the request by value: it is stashed for retransmission (and
+    /// a WRITE's data moves with it rather than being copied).
+    pub fn call(&mut self, tag: u64, req: NfsRequest) {
         self.inner.send_call(self.ctx, tag, req);
     }
 
@@ -454,7 +461,16 @@ impl ClientActor {
                 .complete(ctx.now(), xid, rec.retries, &reply);
         }
         let tag = rec.tag;
+        // The completed RPC's stashed WRITE data and the reply's READ
+        // payload are both dead now; hand them back to the recycler
+        // instead of dropping them on the allocator.
+        if let NfsRequest::Write { data, .. } = rec.request {
+            slice_sim::pool::give(data);
+        }
         self.with_workload(ctx, |w, io| w.on_reply(io, tag, &reply));
+        if let slice_nfsproto::ReplyBody::Read { data, .. } = reply.body {
+            slice_sim::pool::give(data);
+        }
     }
 }
 
@@ -592,7 +608,11 @@ impl Actor<Wire> for ClientActor {
             let base = calib::RPC_TIMEOUT.mul_f64((1u64 << shift) as f64);
             let backoff = base + base.mul_f64(0.25 * ctx.rng().gen::<f64>());
             rec.timer = ctx.set_timer(backoff, TAG_RPC | u64::from(xid));
-            let pkt = rec.original.clone();
+            // Re-encode the stashed request under its original xid —
+            // byte-identical to the first transmission, without keeping a
+            // packet clone alive for every in-flight RPC.
+            let payload = encode_call(xid, &self.inner.cfg.cred, &rec.request);
+            let pkt = Packet::new(self.inner.cfg.addr, self.inner.cfg.server_addr, payload);
             let retries = rec.retries;
             self.inner.stats.retransmits += 1;
             ctx.trace(

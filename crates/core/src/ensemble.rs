@@ -14,6 +14,13 @@ use crate::calib;
 use crate::client::{ClientActor, ClientConfig, Workload};
 use crate::wire::{AddrPlan, Router, Wire};
 
+/// How far past client completion `run_to_completion` keeps stepping to
+/// drain background work when the event queue never empties (liveness
+/// probes re-arm forever). Must exceed [`calib::ATTR_WRITEBACK`] plus
+/// one maintenance tick so every dirty attribute flushes before the
+/// quiescence oracles run.
+const DRAIN_HORIZON: SimDuration = SimDuration::from_secs(10);
+
 /// Name-space policy for a whole ensemble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnsemblePolicy {
@@ -444,17 +451,43 @@ impl SliceEnsemble {
         }
     }
 
-    /// Runs until every client's workload reports finished, the event
-    /// queue drains, or `deadline` passes. Returns the finish time.
+    /// Runs until every client's workload reports finished and the
+    /// trailing background work (attribute write-backs, probes) drains,
+    /// the event queue empties, or `deadline` passes. Returns the finish
+    /// time.
+    ///
+    /// Advances in whole simulated seconds of *unbudgeted* run
+    /// ([`slice_sim::Engine::run_until`]): an unbudgeted run lets the
+    /// serial engine cover each step with a single window and the sharded
+    /// engine widen windows adaptively, while the between-step check
+    /// keeps idle background timers from being simulated all the way to a
+    /// distant deadline. Once the clients finish, the drain keeps
+    /// stepping until the event queue empties so callers observe
+    /// quiescence (the attr-cache dirty oracle depends on it) — but for
+    /// at most [`DRAIN_HORIZON`] of simulated time, because
+    /// self-rearming periodic timers (liveness probes) never let the
+    /// queue empty and an event-budgeted drain would ride them
+    /// arbitrarily far past the finish. The horizon comfortably covers
+    /// an attribute write-back interval plus the maintenance tick that
+    /// flushes it. Step boundaries — and therefore the returned finish
+    /// time — are shard-count-invariant.
     pub fn run_to_completion(&mut self, deadline: SimTime) -> SimTime {
         loop {
-            let before = self.engine.now();
-            self.engine.run_until_idle(100_000);
+            let step = (self.engine.now() + SimDuration::from_secs(1)).min(deadline);
+            self.engine.run_until(step);
             let done = self
                 .clients
                 .iter()
                 .all(|&c| self.engine.actor::<ClientActor>(c).finished());
-            if done || self.engine.now() >= deadline || self.engine.now() == before {
+            if done {
+                let drain_cap = self.engine.now() + DRAIN_HORIZON;
+                while self.engine.live_events() > 0 && self.engine.now() < drain_cap {
+                    let step = (self.engine.now() + SimDuration::from_secs(1)).min(drain_cap);
+                    self.engine.run_until(step);
+                }
+                return self.engine.now();
+            }
+            if self.engine.now() >= deadline || self.engine.live_events() == 0 {
                 return self.engine.now();
             }
         }
@@ -907,16 +940,26 @@ impl BaselineEnsemble {
         }
     }
 
-    /// Runs until every workload finishes or `deadline` passes.
+    /// Runs until every workload finishes (plus a time-capped drain of
+    /// trailing background work) or `deadline` passes. Same stepping
+    /// scheme as [`SliceEnsemble::run_to_completion`].
     pub fn run_to_completion(&mut self, deadline: SimTime) -> SimTime {
         loop {
-            let before = self.engine.now();
-            self.engine.run_until_idle(100_000);
+            let step = (self.engine.now() + SimDuration::from_secs(1)).min(deadline);
+            self.engine.run_until(step);
             let done = self
                 .clients
                 .iter()
                 .all(|&c| self.engine.actor::<ClientActor>(c).finished());
-            if done || self.engine.now() >= deadline || self.engine.now() == before {
+            if done {
+                let drain_cap = self.engine.now() + DRAIN_HORIZON;
+                while self.engine.live_events() > 0 && self.engine.now() < drain_cap {
+                    let step = (self.engine.now() + SimDuration::from_secs(1)).min(drain_cap);
+                    self.engine.run_until(step);
+                }
+                return self.engine.now();
+            }
+            if self.engine.now() >= deadline || self.engine.live_events() == 0 {
                 return self.engine.now();
             }
         }

@@ -164,7 +164,14 @@ enum Event<M> {
     /// A message reaches the switch egress port toward `to`; port
     /// serialization is charged here, on the *receiver's* shard, so port
     /// contention resolves in arrival order regardless of shard layout.
-    SwitchArrive { to: NodeId, from: NodeId, msg: M },
+    /// `size` is the wire size the sender already computed, so the
+    /// receiver's port charge needs no second walk of the message.
+    SwitchArrive {
+        to: NodeId,
+        from: NodeId,
+        msg: M,
+        size: u32,
+    },
     /// The node's CPU is free to process the next queued item. Discarded
     /// if the node's incarnation no longer matches (crashed since).
     Process { node: NodeId, epoch: u32 },
@@ -187,6 +194,7 @@ impl<M> Event<M> {
 /// only shuffles small keys. Ordering is `(time, src, seq)` — `src` is the
 /// node whose counter issued `seq`, making the total order identical at
 /// any shard count. Ties on one node break FIFO by `seq`.
+#[derive(Clone, Copy)]
 struct HeapKey {
     time: SimTime,
     src: u32,
@@ -418,6 +426,8 @@ pub(crate) struct Cross<M> {
     pub(crate) to: NodeId,
     pub(crate) from: NodeId,
     pub(crate) msg: M,
+    /// Sender-computed wire size (see [`Event::SwitchArrive`]).
+    pub(crate) size: u32,
 }
 
 /// The event-owning half of a shard: clock, heap, slab, node states, and
@@ -448,10 +458,23 @@ pub(crate) struct ShardCore<M> {
     /// Outgoing cross-shard events, one bucket per destination shard,
     /// drained at window barriers.
     outbox: Vec<Vec<Cross<M>>>,
+    /// The conservative window width (min network hop latency), cached
+    /// here so cross-shard deposits can tighten `window_cap`.
+    lookahead: SimDuration,
+    /// Dynamic bound for the window in progress. Reset to `MAX` at
+    /// window start; a cross-shard deposit arriving at the destination
+    /// at `t` tightens it to `t + lookahead` — the earliest instant the
+    /// receiver's reaction could influence this shard. Windows wider
+    /// than the conservative lookahead (see the adaptive widening in
+    /// `shard.rs`) stay safe because the run loop stops at this cap;
+    /// for lookahead-wide windows the cap is provably past the window
+    /// end and never binds.
+    window_cap: SimTime,
 }
 
 impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
     fn new(id: u32, shards: usize, net: NetConfig) -> Self {
+        let lookahead = net.min_hop_latency();
         ShardCore {
             id,
             now: SimTime::ZERO,
@@ -468,6 +491,8 @@ impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
             cancelled_in_heap: 0,
             obs: Obs::new(),
             outbox: (0..shards).map(|_| Vec::new()).collect(),
+            lookahead,
+            window_cap: SimTime::from_nanos(u64::MAX),
         }
     }
 
@@ -519,6 +544,7 @@ impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
                 to: c.to,
                 from: c.from,
                 msg: c.msg,
+                size: c.size,
             },
             cancelled: false,
         });
@@ -631,7 +657,12 @@ impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
             let seq = self.next_seq(from);
             if dst_shard == self.id {
                 let slot = self.slab.alloc(SlotState::Scheduled {
-                    event: Event::SwitchArrive { to, from, msg: m },
+                    event: Event::SwitchArrive {
+                        to,
+                        from,
+                        msg: m,
+                        size: size as u32,
+                    },
                     cancelled: false,
                 });
                 self.events.push(HeapKey {
@@ -641,6 +672,11 @@ impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
                     slot,
                 });
             } else {
+                // The destination shard reacts to this arrival no earlier
+                // than `at_switch`, and its reaction reaches us no earlier
+                // than `at_switch + lookahead`. Under a widened window this
+                // shard must therefore not run past that point.
+                self.window_cap = self.window_cap.min(at_switch + self.lookahead);
                 self.outbox[dst_shard as usize].push(Cross {
                     time: at_switch,
                     src: from.0,
@@ -648,6 +684,7 @@ impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
                     to,
                     from,
                     msg: m,
+                    size: size as u32,
                 });
             }
         }
@@ -656,8 +693,8 @@ impl<M: MessageSize + Clone + Send + 'static> ShardCore<M> {
     /// Receiver half of the network path: serialization on the switch
     /// egress port toward `to` (charged in arrival order), propagation,
     /// and optional bounded-reorder jitter from the *receiver's* stream.
-    fn switch_deliver(&mut self, to: NodeId, from: NodeId, msg: M) {
-        let tx = self.net.tx_time(msg.wire_size());
+    fn switch_deliver(&mut self, to: NodeId, from: NodeId, msg: M, size: u32) {
+        let tx = self.net.tx_time(size as usize);
         let datagram = msg.datagram();
         let prop = self.net.prop_delay;
         let window = self.net.reorder_window.as_nanos();
@@ -821,6 +858,12 @@ pub(crate) struct Shard<M> {
     core: ShardCore<M>,
     /// Full-length: `actors[i]` is `Some` iff node `i` lives here.
     actors: Vec<Option<Box<dyn Actor<M>>>>,
+    /// Reusable buffer for same-timestamp dispatch runs; draining a run
+    /// in one pass avoids re-descending the heap between every pop.
+    batch: Vec<HeapKey>,
+    /// Reusable output buffer loaned to [`Ctx`] per handler invocation,
+    /// so dispatch does not allocate a fresh `Vec` per event.
+    scratch_outputs: Vec<Output<M>>,
 }
 
 impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
@@ -828,6 +871,8 @@ impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
         Shard {
             core: ShardCore::new(id, shards, net),
             actors: Vec::new(),
+            batch: Vec::new(),
+            scratch_outputs: Vec::new(),
         }
     }
 
@@ -851,47 +896,97 @@ impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
     /// dispatched. The clock advances only on dispatched events, so it is
     /// independent of when cancelled entries happen to surface.
     pub(crate) fn run_window(&mut self, bound: SimTime) -> u64 {
+        // Deposits made during this window may tighten the cap (only
+        // binding under adaptively widened windows); a cap left over
+        // from an earlier window must not carry forward.
+        self.core.window_cap = SimTime::from_nanos(u64::MAX);
         let mut n = 0;
+        let mut batch = std::mem::take(&mut self.batch);
         loop {
-            match self.core.events.peek() {
-                Some(k) if k.time < bound => {}
+            let eff = bound.min(self.core.window_cap);
+            let t = match self.core.events.peek() {
+                Some(k) if k.time < eff => k.time,
                 _ => break,
-            }
-            let key = self.core.events.pop().expect("peeked");
-            // Freeing the slot here is what makes cancellation O(1)
-            // overall: a cancelled entry is reclaimed the moment it
-            // surfaces, and the generation bump turns any still-held
-            // TimerId into a rejected stale cancel.
-            let (event, cancelled) = match self.core.slab.take(key.slot) {
-                SlotState::Scheduled { event, cancelled } => (event, cancelled),
-                _ => unreachable!("heap key points at unscheduled slot"),
             };
-            if cancelled {
-                self.core.cancelled_in_heap -= 1;
-                continue;
+            // Drain the whole same-timestamp run in one pass. Pops at
+            // equal time are the common case under synchronized clients,
+            // and batching keeps the heap descent per run, not per event.
+            batch.clear();
+            while let Some(k) = self.core.events.peek() {
+                if k.time != t {
+                    break;
+                }
+                batch.push(*k);
+                self.core.events.pop();
             }
-            debug_assert!(key.time >= self.core.now, "time went backwards");
-            self.core.now = key.time;
-            self.core.dispatched += 1;
-            n += 1;
-            match event {
-                Event::Arrive { to, from, msg } => {
-                    let now = self.core.now;
-                    self.core
-                        .enqueue_local(to, QueueItem::Message { from, msg }, now);
+            for &entry in &batch {
+                // Handlers can schedule same-timestamp events that order
+                // (by src, seq) before a later batch entry; the serial
+                // loop would pop those first, so merge them in to keep
+                // dispatch order exactly identical.
+                loop {
+                    let top = match self.core.events.peek() {
+                        Some(k) if k.time == t && *k < entry => *k,
+                        _ => break,
+                    };
+                    self.core.events.pop();
+                    if self.dispatch(top) {
+                        n += 1;
+                    }
                 }
-                Event::SwitchArrive { to, from, msg } => {
-                    self.core.switch_deliver(to, from, msg);
-                }
-                Event::TimerFire { node, tag, epoch } => {
-                    self.core.timer_fire(node, tag, epoch);
-                }
-                Event::Process { node, epoch } => {
-                    self.process(node, epoch);
+                if self.dispatch(entry) {
+                    n += 1;
                 }
             }
         }
+        self.batch = batch;
         n
+    }
+
+    /// Frees the slot, skips cancelled entries, advances the clock, and
+    /// runs one event. Returns whether anything actually dispatched.
+    fn dispatch(&mut self, key: HeapKey) -> bool {
+        // Freeing the slot here is what makes cancellation O(1)
+        // overall: a cancelled entry is reclaimed the moment it
+        // surfaces, and the generation bump turns any still-held
+        // TimerId into a rejected stale cancel.
+        let (event, cancelled) = match self.core.slab.take(key.slot) {
+            SlotState::Scheduled { event, cancelled } => (event, cancelled),
+            _ => unreachable!("heap key points at unscheduled slot"),
+        };
+        if cancelled {
+            // The key may sit in the dispatch batch (outside the heap)
+            // when its cancel lands; a compaction in between walks only
+            // the heap and zeroes the counter, so saturate rather than
+            // underflow.
+            self.core.cancelled_in_heap = self.core.cancelled_in_heap.saturating_sub(1);
+            return false;
+        }
+        debug_assert!(key.time >= self.core.now, "time went backwards");
+        self.core.now = key.time;
+        self.core.dispatched += 1;
+        match event {
+            Event::Arrive { to, from, msg } => {
+                let now = self.core.now;
+                self.core
+                    .enqueue_local(to, QueueItem::Message { from, msg }, now);
+            }
+            Event::SwitchArrive {
+                to,
+                from,
+                msg,
+                size,
+            } => {
+                self.core.switch_deliver(to, from, msg, size);
+            }
+            Event::TimerFire { node, tag, epoch } => {
+                self.core.timer_fire(node, tag, epoch);
+            }
+            Event::Process { node, epoch } => {
+                self.process(node, epoch);
+            }
+        }
+        true
     }
 
     fn process(&mut self, node: NodeId, epoch: u32) {
@@ -915,7 +1010,7 @@ impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
             core: &mut self.core,
             node,
             cpu_used: SimDuration::ZERO,
-            outputs: Vec::new(),
+            outputs: std::mem::take(&mut self.scratch_outputs),
         };
         match item {
             QueueItem::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
@@ -923,7 +1018,7 @@ impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
             QueueItem::Restart => actor.on_restart(&mut ctx),
         }
         let cpu = ctx.cpu_used;
-        let outputs = std::mem::take(&mut ctx.outputs);
+        let mut outputs = std::mem::take(&mut ctx.outputs);
         drop(ctx);
         self.actors[node.idx()] = Some(actor);
 
@@ -935,7 +1030,7 @@ impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
             n.messages_handled += 1;
             n.incarnation
         };
-        for out in outputs {
+        for out in outputs.drain(..) {
             match out {
                 Output::Send { to, msg } => self.core.transmit(node, to, msg, done),
                 Output::SendLocal { to, msg } => {
@@ -978,6 +1073,8 @@ impl<M: MessageSize + Clone + Send + 'static> Shard<M> {
                 }
             }
         }
+        // Hand the (now empty) buffer back for the next invocation.
+        self.scratch_outputs = outputs;
         // Serve the next queued item once the CPU frees up.
         let more = !self.core.node(node).queue.is_empty();
         if more {
@@ -1007,6 +1104,8 @@ pub struct Engine<M> {
     /// (driver probe loops, stepped schedules) cost a channel hand-off
     /// instead of a thread spawn and join per call.
     pool: Option<shard::WorkerPool<M>>,
+    /// Windows executed on the serial (single-shard) path.
+    serial_windows: u64,
 }
 
 impl<M: MessageSize + Clone + Send + 'static> Engine<M> {
@@ -1023,6 +1122,7 @@ impl<M: MessageSize + Clone + Send + 'static> Engine<M> {
             payload_probe: None,
             worker_payload: (0, 0, 0),
             pool: None,
+            serial_windows: 0,
         }
     }
 
@@ -1082,6 +1182,7 @@ impl<M: MessageSize + Clone + Send + 'static> Engine<M> {
         let Shard {
             mut core,
             mut actors,
+            ..
         } = old;
         let nnodes = assignment.len();
         let mut new_shards: Vec<Shard<M>> = (0..shards)
@@ -1288,24 +1389,38 @@ impl<M: MessageSize + Clone + Send + 'static> Engine<M> {
         self.flush_driver_outboxes();
         let total = if self.shards.len() == 1 {
             let shard = &mut self.shards[0];
-            let mut total = 0u64;
-            while total < limit {
-                let Some(w0) = shard.next_time() else { break };
-                if let Some(t) = until {
-                    if w0 > t {
-                        break;
+            if limit == u64::MAX {
+                // Unbudgeted serial run: no barrier to synchronize with
+                // and no budget to check between windows, so one window
+                // spanning the whole horizon dispatches the identical
+                // event sequence without per-window peek/bound work.
+                let bound = match until {
+                    Some(t) => t + SimDuration::from_nanos(1),
+                    None => SimTime::from_nanos(u64::MAX),
+                };
+                self.serial_windows += 1;
+                shard.run_window(bound)
+            } else {
+                let mut total = 0u64;
+                while total < limit {
+                    let Some(w0) = shard.next_time() else { break };
+                    if let Some(t) = until {
+                        if w0 > t {
+                            break;
+                        }
                     }
-                }
-                let mut w1 = w0 + self.lookahead;
-                if let Some(t) = until {
-                    let cap = t + SimDuration::from_nanos(1);
-                    if w1 > cap {
-                        w1 = cap;
+                    let mut w1 = w0 + self.lookahead;
+                    if let Some(t) = until {
+                        let cap = t + SimDuration::from_nanos(1);
+                        if w1 > cap {
+                            w1 = cap;
+                        }
                     }
+                    self.serial_windows += 1;
+                    total += shard.run_window(w1);
                 }
-                total += shard.run_window(w1);
+                total
             }
-            total
         } else {
             if self.pool.is_none() {
                 self.pool = Some(shard::WorkerPool::new(self.shards.len(), self.lookahead));
@@ -1423,6 +1538,20 @@ impl<M: MessageSize + Clone + Send + 'static> Engine<M> {
     /// identical at any shard count.
     pub fn events_executed(&self) -> u64 {
         self.shards.iter().map(|s| s.core.dispatched).sum()
+    }
+
+    /// Time windows executed across the engine's lifetime: serial
+    /// single-shard windows plus barrier-synchronized parallel ones.
+    /// Adaptive widening shows up here as fewer windows for the same
+    /// number of dispatched events.
+    pub fn shard_windows(&self) -> u64 {
+        self.serial_windows + self.pool.as_ref().map_or(0, |p| p.windows())
+    }
+
+    /// Barrier crossings paid by the parallel window loop (zero for
+    /// serial runs).
+    pub fn shard_barrier_rounds(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.barrier_rounds())
     }
 
     /// Events currently live in the slabs (scheduled or armed).
@@ -2203,6 +2332,55 @@ mod tests {
         assert_eq!(serial, run(3), "3 shards diverged from serial");
     }
 
+    /// Adaptive widening: when only one shard has events below the
+    /// conservative horizon (the other is idle), the active shard's
+    /// window extends to the idle shard's published minimum — here
+    /// infinity — so a sparse millisecond-spaced timer chain runs in a
+    /// handful of windows instead of one per hop-latency lookahead.
+    #[test]
+    fn lone_active_shard_widens_past_conservative_lookahead() {
+        struct Chain {
+            fires: u64,
+        }
+        impl Actor<Vec<u8>> for Chain {
+            fn on_message(&mut self, _c: &mut Ctx<'_, Vec<u8>>, _f: NodeId, _m: Vec<u8>) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _tag: u64) {
+                self.fires += 1;
+                if self.fires < 100 {
+                    ctx.set_timer(SimDuration::from_millis(1), 1);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut eng: Engine<Vec<u8>> = Engine::new(net(), 3);
+        let chain = eng.add_node("chain", Box::new(Chain { fires: 0 }));
+        eng.add_node(
+            "idle",
+            Box::new(Echo {
+                service: SimDuration::ZERO,
+                seen: vec![],
+            }),
+        );
+        eng.set_shards(2, &[0, 1]);
+        eng.kick(chain);
+        eng.run_until(SimTime::from_nanos(200_000_000));
+        assert_eq!(eng.actor::<Chain>(chain).fires, 100);
+        // 100 ms of 1 ms-spaced timers with a ~µs lookahead would cost
+        // tens of thousands of conservative windows; widening must
+        // collapse that by orders of magnitude.
+        let windows = eng.shard_windows();
+        assert!(
+            windows < 100,
+            "expected widened windows, got {windows} for 100 timer fires"
+        );
+        assert!(eng.shard_barrier_rounds() > 0, "pool never ran a round");
+    }
+
     #[test]
     fn sharded_run_matches_serial_with_fault_injection() {
         // Loss, duplication, and reordering draw from per-node streams, so
@@ -2291,13 +2469,16 @@ mod tests {
             (b.0, 0u64, b, 3u8),
             (a.0, 3u64, a, 1u8),
         ] {
+            let msg = vec![tagbyte];
+            let size = msg.wire_size() as u32;
             eng.shards[0].push_cross(Cross {
                 time: t,
                 src,
                 seq,
                 to: echo,
                 from,
-                msg: vec![tagbyte],
+                msg,
+                size,
             });
         }
         eng.run_until_idle(10_000);

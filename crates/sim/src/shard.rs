@@ -138,6 +138,9 @@ struct Shared<M> {
     /// Lifetime window-loop iterations (counted by shard 0); reported at
     /// pool drop when `SLICE_SHARD_STATS` is set.
     windows: AtomicU64,
+    /// Lifetime barrier crossings (counted by shard 0): two per executed
+    /// window plus one for the terminating round of each run.
+    barrier_rounds: AtomicU64,
 }
 
 /// A thread-local statistics snapshot function, run by each worker
@@ -193,6 +196,9 @@ fn run_shard<M: MessageSize + Clone + Send + 'static>(
         );
         counts[me].store(my_done, Ordering::Relaxed);
         shared.barrier.wait(me, sense);
+        if me == 0 {
+            shared.barrier_rounds.fetch_add(1, Ordering::Relaxed);
+        }
         // Every shard computes the same w0 and the same stop decision from
         // the same published values, so all break together — no extra
         // barrier needed on exit.
@@ -205,9 +211,35 @@ fn run_shard<M: MessageSize + Clone + Send + 'static>(
         if w0 == u64::MAX || done >= limit || w0 > until_ns {
             break;
         }
-        let w1 = w0
-            .saturating_add(lookahead.as_nanos())
-            .min(until_ns.saturating_add(1));
+        let conservative = w0.saturating_add(lookahead.as_nanos());
+        let mut w1 = conservative;
+        // Adaptive widening: when exactly one shard has work inside the
+        // conservative window, nothing another shard does can influence
+        // the run before its own earliest event — so the active shard may
+        // run ahead to the others' earliest time (every shard computes the
+        // same w1 from the same frozen mins, so the lock-step is kept).
+        // Safety rests on the dynamic cap inside run_window: the moment
+        // the active shard deposits a cross-shard event at time `t` it
+        // stops before `t + lookahead`, i.e. before any reaction to that
+        // deposit could reach it. Budgeted runs keep the conservative
+        // width so the budget is spent at the same window granularity at
+        // every shard count.
+        if limit == u64::MAX {
+            let mut active = 0usize;
+            let mut others_min = u64::MAX;
+            for m in mins {
+                let v = m.load(Ordering::Relaxed);
+                if v < conservative {
+                    active += 1;
+                } else {
+                    others_min = others_min.min(v);
+                }
+            }
+            if active == 1 {
+                w1 = w1.max(others_min);
+            }
+        }
+        let w1 = w1.min(until_ns.saturating_add(1));
         let n = shard.run_window(SimTime::from_nanos(w1));
         my_done += n;
         for dst in 0..nshards {
@@ -223,6 +255,9 @@ fn run_shard<M: MessageSize + Clone + Send + 'static>(
             }
         }
         shared.barrier.wait(me, sense);
+        if me == 0 {
+            shared.barrier_rounds.fetch_add(1, Ordering::Relaxed);
+        }
         for src in 0..nshards {
             if src == me {
                 continue;
@@ -262,6 +297,7 @@ impl<M: MessageSize + Clone + Send + 'static> WorkerPool<M> {
                 .map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect())
                 .collect(),
             windows: AtomicU64::new(0),
+            barrier_rounds: AtomicU64::new(0),
         });
         let (done_tx, done_rx) = std::sync::mpsc::channel::<Done<M>>();
         let mut job_tx = Vec::with_capacity(n - 1);
@@ -368,6 +404,16 @@ impl<M: MessageSize + Clone + Send + 'static> WorkerPool<M> {
             .map(|c| c.load(Ordering::Relaxed))
             .sum();
         (total, payload)
+    }
+
+    /// Lifetime window-loop iterations across all runs of this pool.
+    pub(crate) fn windows(&self) -> u64 {
+        self.shared.windows.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime barrier crossings across all runs of this pool.
+    pub(crate) fn barrier_rounds(&self) -> u64 {
+        self.shared.barrier_rounds.load(Ordering::Relaxed)
     }
 }
 

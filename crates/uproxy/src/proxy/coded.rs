@@ -249,11 +249,12 @@ impl Uproxy {
             NfsRequest::Write { offset, data, .. } => (NfsProc::Write, *offset, data.len() as u32),
             _ => unreachable!("coded legs are reads and writes"),
         };
+        let fhid = self.fhs.intern(&fh);
         self.pending.insert(
             xid,
             PendingReq {
                 proc,
-                fh: Some(fh),
+                fh: Some(fhid),
                 offset,
                 len,
                 class: Class::Storage,
@@ -288,11 +289,12 @@ impl Uproxy {
             NfsRequest::Write { offset, data, .. } => (NfsProc::Write, *offset, data.len() as u32),
             _ => unreachable!("sf legs are reads and writes"),
         };
+        let fhid = self.fhs.intern(&fh);
         self.pending.insert(
             xid,
             PendingReq {
                 proc,
-                fh: Some(fh),
+                fh: Some(fhid),
                 offset,
                 len,
                 class: Class::SmallFile,

@@ -53,7 +53,7 @@ impl BigDir {
         let Some(dir) = self.dir else {
             io.call(
                 0,
-                &NfsRequest::Mkdir {
+                NfsRequest::Mkdir {
                     dir: Fhandle::root(),
                     name: "bigdir".into(),
                     attr: Sattr3::default(),
@@ -64,7 +64,7 @@ impl BigDir {
         if self.phase_create {
             io.call(
                 1,
-                &NfsRequest::Create {
+                NfsRequest::Create {
                     dir,
                     name: format!("p{}e{}", self.id, self.created),
                     attr: Sattr3 {
@@ -76,7 +76,7 @@ impl BigDir {
         } else {
             io.call(
                 2,
-                &NfsRequest::Lookup {
+                NfsRequest::Lookup {
                     dir,
                     name: format!("p{}e{}", self.id, self.looked_up),
                 },
@@ -101,7 +101,7 @@ impl Workload for BigDir {
                     _ => {
                         io.call(
                             3,
-                            &NfsRequest::Lookup {
+                            NfsRequest::Lookup {
                                 dir: Fhandle::root(),
                                 name: "bigdir".into(),
                             },

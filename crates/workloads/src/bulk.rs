@@ -123,7 +123,7 @@ impl BulkIo {
                     count: len,
                 },
             };
-            io.call(1, &req);
+            io.call(1, req);
             self.next_offset += u64::from(len);
             self.outstanding += 1;
         }
@@ -134,7 +134,7 @@ impl BulkIo {
                     self.commit_issued_at = Some(io.now());
                     io.call(
                         2,
-                        &NfsRequest::Commit {
+                        NfsRequest::Commit {
                             fh,
                             offset: 0,
                             count: 0,
@@ -158,7 +158,7 @@ impl Workload for BulkIo {
                 let mode_extra = if self.mirrored { MODE_MIRRORED } else { 0 };
                 io.call(
                     0,
-                    &NfsRequest::Create {
+                    NfsRequest::Create {
                         dir: Fhandle::root(),
                         name: self.file_name.clone(),
                         attr: Sattr3 {
@@ -171,7 +171,7 @@ impl Workload for BulkIo {
             BulkMode::Read => {
                 io.call(
                     0,
-                    &NfsRequest::Lookup {
+                    NfsRequest::Lookup {
                         dir: Fhandle::root(),
                         name: self.file_name.clone(),
                     },

@@ -295,7 +295,7 @@ impl ScriptWorkload {
                 },
             };
             self.issued_at = Some(io.now());
-            io.call(tag, &req);
+            io.call(tag, req);
         }
     }
 

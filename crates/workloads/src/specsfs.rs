@@ -187,7 +187,7 @@ impl SpecSfs {
                 let name = format!("sfs{}d{}", self.cfg.id, self.dirs.len());
                 io.call(
                     0,
-                    &NfsRequest::Mkdir {
+                    NfsRequest::Mkdir {
                         dir: Fhandle::root(),
                         name,
                         attr: Sattr3::default(),
@@ -201,7 +201,7 @@ impl SpecSfs {
                     let dir = self.dirs[ix % self.dirs.len()];
                     io.call(
                         2,
-                        &NfsRequest::Symlink {
+                        NfsRequest::Symlink {
                             dir,
                             name: format!("sfs{}l{}", self.cfg.id, ix),
                             target: "target/elsewhere".into(),
@@ -212,7 +212,7 @@ impl SpecSfs {
                     let dir = self.dirs[ix % self.dirs.len()];
                     io.call(
                         1,
-                        &NfsRequest::Create {
+                        NfsRequest::Create {
                             dir,
                             name: format!("sfs{}f{}", self.cfg.id, ix),
                             attr: Sattr3 {
@@ -340,7 +340,7 @@ impl SpecSfs {
                 .unwrap_or(false);
             let tag = 1000 + self.issued_ops;
             self.inflight.insert(tag, (io.now(), measured));
-            io.call(tag, &req);
+            io.call(tag, req);
         }
     }
 }
@@ -372,7 +372,7 @@ impl Workload for SpecSfs {
                             let len = size.min(THRESHOLD);
                             io.call(
                                 3,
-                                &NfsRequest::Write {
+                                NfsRequest::Write {
                                     fh: *fh,
                                     offset: 0,
                                     stable: StableHow::FileSync,

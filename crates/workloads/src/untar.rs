@@ -125,7 +125,7 @@ impl Untar {
                 },
             },
         };
-        io.call(0, &req);
+        io.call(0, req);
     }
 
     fn advance(&mut self, reply: &NfsReply) {

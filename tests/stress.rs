@@ -228,7 +228,7 @@ impl Stress {
             eprintln!("op: {check:?}");
         }
         self.pending = Some(check);
-        io.call(0, &req);
+        io.call(0, req);
     }
 
     fn check(&mut self, reply: &NfsReply) {
